@@ -1,0 +1,492 @@
+//! The two-pass assembler: symbolic items → [`Image`].
+
+use std::collections::HashMap;
+
+use lbp_isa::{Instr, CODE_BASE, SHARED_BASE};
+
+use crate::error::AsmError;
+use crate::expr::Expr;
+use crate::image::Image;
+use crate::item::{Item, PatchKind, Section, SourceItem, SymInstr};
+use crate::parser::parse_program;
+
+/// Assembles source text into an executable image.
+///
+/// # Errors
+///
+/// Returns the first syntax, symbol-resolution or encoding-range error with
+/// its source line.
+///
+/// # Examples
+///
+/// ```
+/// let image = lbp_asm::assemble("main: li a0, 1\n ret\n")?;
+/// assert_eq!(image.text.len(), 2);
+/// assert_eq!(image.entry, image.symbol("main").unwrap());
+/// # Ok::<(), lbp_asm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    assemble_items(&parse_program(source)?)
+}
+
+/// Assembles pre-parsed (or builder-generated) items into an image.
+///
+/// # Errors
+///
+/// Returns the first symbol-resolution or encoding-range error.
+pub fn assemble_items(items: &[SourceItem]) -> Result<Image, AsmError> {
+    let symbols = layout(items)?;
+    emit(items, symbols)
+}
+
+/// Pass 1: walk the items, maintain the two location counters, record label
+/// addresses and `.equ` definitions.
+fn layout(items: &[SourceItem]) -> Result<HashMap<String, u32>, AsmError> {
+    let mut symbols: HashMap<String, u32> = HashMap::new();
+    let mut lc = LocationCounters::new();
+    for si in items {
+        match &si.item {
+            Item::Label(name) => {
+                let addr = lc.here();
+                if symbols.insert(name.clone(), addr).is_some() {
+                    return Err(AsmError::new(si.line, format!("duplicate label `{name}`")));
+                }
+            }
+            Item::Section(s) => lc.section = *s,
+            Item::Instr(_) => lc.advance(si, 4)?,
+            Item::Word(_) => {
+                lc.check_word_aligned(si)?;
+                lc.advance(si, 4)?;
+            }
+            Item::Space(n) => {
+                let bytes = eval_space(n, &symbols, si.line)?;
+                lc.advance(si, bytes)?;
+            }
+            Item::Align(n) => lc.align(si, *n)?,
+            Item::Equ(name, expr) => {
+                // `.equ` must be evaluable from symbols defined above it, so
+                // that pass-1 layout stays single-pass and deterministic.
+                let v = expr
+                    .eval(&symbols)
+                    .map_err(|e| AsmError::new(si.line, format!("in .equ {name}: {e}")))?;
+                if symbols.insert(name.clone(), v as u32).is_some() {
+                    return Err(AsmError::new(si.line, format!("duplicate symbol `{name}`")));
+                }
+            }
+        }
+    }
+    Ok(symbols)
+}
+
+/// Pass 2: evaluate expressions and encode instructions and data.
+fn emit(items: &[SourceItem], symbols: HashMap<String, u32>) -> Result<Image, AsmError> {
+    let mut image = Image {
+        symbols,
+        ..Image::default()
+    };
+    let mut lc = LocationCounters::new();
+    for si in items {
+        match &si.item {
+            Item::Label(_) | Item::Equ(..) => {}
+            Item::Section(s) => lc.section = *s,
+            Item::Instr(sym) => {
+                let pc = lc.here();
+                let instr = resolve(sym, pc, &image.symbols, si.line)?;
+                let word = instr
+                    .encode()
+                    .map_err(|e| AsmError::new(si.line, e.to_string()))?;
+                debug_assert_eq!(lc.section, Section::Text, "instr outside .text");
+                image.text.push(word);
+                image.lines.push(si.line);
+                lc.advance(si, 4)?;
+            }
+            Item::Word(e) => {
+                lc.check_word_aligned(si)?;
+                let v = e
+                    .eval(&image.symbols)
+                    .map_err(|err| AsmError::new(si.line, err.to_string()))?;
+                match lc.section {
+                    Section::Text => {
+                        image.text.push(v as u32);
+                        image.lines.push(si.line);
+                    }
+                    Section::Data => image.data.extend_from_slice(&(v as u32).to_le_bytes()),
+                }
+                lc.advance(si, 4)?;
+            }
+            Item::Space(n) => {
+                let bytes = eval_space(n, &image.symbols, si.line)?;
+                pad(&mut image, lc.section, bytes, si.line)?;
+                lc.advance(si, bytes)?;
+            }
+            Item::Align(n) => {
+                lc.align_emit(si, *n, &mut image)?;
+            }
+        }
+    }
+    image.entry = image
+        .symbols
+        .get("main")
+        .or_else(|| image.symbols.get("_start"))
+        .copied()
+        .unwrap_or(CODE_BASE);
+    Ok(image)
+}
+
+fn pad(image: &mut Image, section: Section, bytes: u32, line: usize) -> Result<(), AsmError> {
+    match section {
+        Section::Text => {
+            if bytes % 4 != 0 {
+                return Err(AsmError::new(
+                    line,
+                    format!("text padding of {bytes} bytes is not word-aligned"),
+                ));
+            }
+            for _ in 0..bytes / 4 {
+                image.text.push(0);
+                image.lines.push(line);
+            }
+        }
+        Section::Data => image.data.extend(std::iter::repeat_n(0u8, bytes as usize)),
+    }
+    Ok(())
+}
+
+/// Resolves a symbolic instruction at its final address.
+fn resolve(
+    sym: &SymInstr,
+    pc: u32,
+    symbols: &HashMap<String, u32>,
+    line: usize,
+) -> Result<Instr, AsmError> {
+    let patch = match sym {
+        SymInstr::Ready(i) => return Ok(*i),
+        SymInstr::Patch { kind, expr } => (kind, expr),
+    };
+    let (kind, expr) = patch;
+    let value = expr
+        .eval(symbols)
+        .map_err(|e| AsmError::new(line, e.to_string()))?;
+    let imm32 = value as i32;
+    // Branch/jump targets that reference symbols are absolute addresses and
+    // become pc-relative here; pure constants are raw offsets.
+    let rel = |v: i64| -> i32 {
+        if expr.references_symbol() {
+            (v as u32).wrapping_sub(pc) as i32
+        } else {
+            v as i32
+        }
+    };
+    Ok(match *kind {
+        PatchKind::Jalr { rd, rs1 } => Instr::Jalr {
+            rd,
+            rs1,
+            offset: imm32,
+        },
+        PatchKind::Load { kind, rd, rs1 } => Instr::Load {
+            kind,
+            rd,
+            rs1,
+            offset: imm32,
+        },
+        PatchKind::Store { kind, rs1, rs2 } => Instr::Store {
+            kind,
+            rs1,
+            rs2,
+            offset: imm32,
+        },
+        PatchKind::OpImm { kind, rd, rs1 } => Instr::OpImm {
+            kind,
+            rd,
+            rs1,
+            imm: imm32,
+        },
+        PatchKind::Lui { rd } => {
+            let field = value as u32;
+            if field > 0xfffff {
+                return Err(AsmError::new(
+                    line,
+                    format!("lui field {field:#x} exceeds 20 bits"),
+                ));
+            }
+            Instr::Lui {
+                rd,
+                imm: field << 12,
+            }
+        }
+        PatchKind::Auipc { rd } => {
+            let field = value as u32;
+            if field > 0xfffff {
+                return Err(AsmError::new(
+                    line,
+                    format!("auipc field {field:#x} exceeds 20 bits"),
+                ));
+            }
+            Instr::Auipc {
+                rd,
+                imm: field << 12,
+            }
+        }
+        PatchKind::Branch { kind, rs1, rs2 } => Instr::Branch {
+            kind,
+            rs1,
+            rs2,
+            offset: rel(value),
+        },
+        PatchKind::Jal { rd } => Instr::Jal {
+            rd,
+            offset: rel(value),
+        },
+        PatchKind::PJal { rd, rs1 } => Instr::PJal {
+            rd,
+            rs1,
+            offset: rel(value),
+        },
+        PatchKind::PLwcv { rd } => Instr::PLwcv { rd, offset: imm32 },
+        PatchKind::PSwcv { rs1, rs2 } => Instr::PSwcv {
+            rs1,
+            rs2,
+            offset: imm32,
+        },
+        PatchKind::PLwre { rd } => Instr::PLwre { rd, offset: imm32 },
+        PatchKind::PSwre { rs1, rs2 } => Instr::PSwre {
+            rs1,
+            rs2,
+            offset: imm32,
+        },
+    })
+}
+
+/// The text/data location counters of one pass.
+struct LocationCounters {
+    section: Section,
+    text: u32,
+    data: u32,
+}
+
+impl LocationCounters {
+    fn new() -> LocationCounters {
+        LocationCounters {
+            section: Section::Text,
+            text: CODE_BASE,
+            data: SHARED_BASE,
+        }
+    }
+
+    fn here(&self) -> u32 {
+        match self.section {
+            Section::Text => self.text,
+            Section::Data => self.data,
+        }
+    }
+
+    fn advance(&mut self, si: &SourceItem, bytes: u32) -> Result<(), AsmError> {
+        let lc = match self.section {
+            Section::Text => &mut self.text,
+            Section::Data => &mut self.data,
+        };
+        *lc = lc
+            .checked_add(bytes)
+            .ok_or_else(|| AsmError::new(si.line, "section overflow"))?;
+        Ok(())
+    }
+
+    /// Pass-1 alignment (no emission).
+    fn align(&mut self, si: &SourceItem, to: u32) -> Result<(), AsmError> {
+        let here = self.here();
+        let aligned = here.next_multiple_of(to);
+        self.advance(si, aligned - here)
+    }
+
+    /// Pass-2 alignment, emitting the pad bytes.
+    fn align_emit(&mut self, si: &SourceItem, to: u32, image: &mut Image) -> Result<(), AsmError> {
+        let here = self.here();
+        let aligned = here.next_multiple_of(to);
+        let bytes = aligned - here;
+        if bytes > 0 {
+            pad(image, self.section, bytes, si.line)?;
+            self.advance(si, bytes)?;
+        }
+        Ok(())
+    }
+
+    /// `.word` requires an already-aligned location counter so that a label
+    /// written just before it names the word itself.
+    fn check_word_aligned(&self, si: &SourceItem) -> Result<(), AsmError> {
+        if self.here() % 4 != 0 {
+            return Err(AsmError::new(
+                si.line,
+                "`.word` at unaligned address; insert `.align 4` first",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Evaluates a `.space` byte count from the symbols defined so far.
+fn eval_space(expr: &Expr, symbols: &HashMap<String, u32>, line: usize) -> Result<u32, AsmError> {
+    let v = expr
+        .eval(symbols)
+        .map_err(|e| AsmError::new(line, format!("in .space: {e}")))?;
+    u32::try_from(v).map_err(|_| AsmError::new(line, format!("bad .space count {v}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbp_isa::{BranchKind, OpImmKind, Reg};
+
+    #[test]
+    fn forward_and_backward_branches() {
+        let img = assemble(
+            "top:\n  addi a0, a0, 1\n  bne a0, a1, top\n  beq a0, a1, done\n  nop\ndone:\n  ret\n",
+        )
+        .unwrap();
+        // bne at pc=4 targets 0 → offset -4.
+        let bne = Instr::decode(img.text[1]).unwrap();
+        assert_eq!(
+            bne,
+            Instr::Branch {
+                kind: BranchKind::Ne,
+                rs1: Reg::A0,
+                rs2: Reg::A1,
+                offset: -4
+            }
+        );
+        // beq at pc=8 targets 16 → offset 8.
+        let beq = Instr::decode(img.text[2]).unwrap();
+        assert!(matches!(beq, Instr::Branch { offset: 8, .. }));
+    }
+
+    #[test]
+    fn la_resolves_data_address() {
+        let img = assemble(".data\nv: .word 7\n.text\nmain: la a0, v\n lw a1, 0(a0)\n").unwrap();
+        assert_eq!(img.symbol("v"), Some(SHARED_BASE));
+        // lui a0, %hi(0x80000000) == lui a0, 0x80000.
+        let lui = Instr::decode(img.text[0]).unwrap();
+        assert_eq!(
+            lui,
+            Instr::Lui {
+                rd: Reg::A0,
+                imm: 0x8000_0000
+            }
+        );
+        let addi = Instr::decode(img.text[1]).unwrap();
+        assert_eq!(
+            addi,
+            Instr::OpImm {
+                kind: OpImmKind::Add,
+                rd: Reg::A0,
+                rs1: Reg::A0,
+                imm: 0
+            }
+        );
+        assert_eq!(img.data, vec![7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn entry_prefers_main() {
+        let img = assemble("boot: nop\nmain: nop\n").unwrap();
+        assert_eq!(img.entry, 4);
+        let img = assemble("_start: nop\n").unwrap();
+        assert_eq!(img.entry, 0);
+        let img = assemble("nop\n").unwrap();
+        assert_eq!(img.entry, CODE_BASE);
+    }
+
+    #[test]
+    fn equ_and_expressions() {
+        let img = assemble(".equ N, 16\n.data\nv: .space N\nw: .word N+1\n").unwrap();
+        assert_eq!(img.symbol("w"), Some(SHARED_BASE + 16));
+        assert_eq!(&img.data[16..20], &[17, 0, 0, 0]);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let err = assemble("j nowhere\n").unwrap_err();
+        assert!(err.to_string().contains("undefined symbol"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn branch_out_of_range_rejected() {
+        let mut src = String::from("start:\n");
+        for _ in 0..2000 {
+            src.push_str("  nop\n");
+        }
+        src.push_str("  beq a0, a1, start\n");
+        let err = assemble(&src).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn space_in_text_must_be_word_aligned() {
+        assert!(assemble(".space 3\n").is_err());
+        assert!(assemble(".space 8\n").is_ok());
+    }
+
+    #[test]
+    fn unaligned_word_rejected() {
+        let err = assemble(".data\n.space 2\nv: .word 5\n").unwrap_err();
+        assert!(err.to_string().contains("unaligned"));
+        // With explicit alignment the label names the word.
+        let img = assemble(".data\n.space 2\n.align 4\nv: .word 5\n").unwrap();
+        assert_eq!(img.symbol("v"), Some(SHARED_BASE + 4));
+        assert_eq!(img.data.len(), 8);
+    }
+
+    #[test]
+    fn lines_track_source() {
+        let img = assemble("nop\nnop\nli a0, 0x12345678\n").unwrap();
+        assert_eq!(img.lines, vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn paper_main_listing_assembles() {
+        // Fig. 6 of the paper (labels added for data/functions).
+        let src = "\
+main:
+    li   t0, -1
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   t0, 4(sp)
+    p_set t0
+    la   a0, thread
+    la   a1, data
+    jal  LBP_parallel_start
+rp:
+    lw   ra, 0(sp)
+    lw   t0, 4(sp)
+    addi sp, sp, 8
+    p_ret
+thread:
+    ret
+LBP_parallel_start:
+    ret
+.data
+data: .word 0
+";
+        let img = assemble(src).unwrap();
+        assert!(img.text.len() >= 12);
+        assert_eq!(img.entry, 0);
+    }
+
+    #[test]
+    fn raw_numeric_branch_offsets() {
+        // A constant operand is a raw pc-relative offset, as in disassembly.
+        let img = assemble("jal zero, 8\n").unwrap();
+        assert_eq!(
+            Instr::decode(img.text[0]).unwrap(),
+            Instr::Jal {
+                rd: Reg::ZERO,
+                offset: 8
+            }
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! A small code-generation builder that accumulates assembly *text*.
+//!
+//! The Deterministic OpenMP runtime (`lbp-omp`) and the mini-C compiler
+//! (`lbp-cc`) both generate programs through [`Asm`]. Generating text
+//! rather than binary keeps every generated program inspectable — the
+//! exact listing can be dumped, diffed against the paper's figures, and
+//! assembled by the same two-pass assembler users run on hand-written
+//! code.
+//!
+//! # Examples
+//!
+//! ```
+//! use lbp_asm::Asm;
+//!
+//! let mut a = Asm::new();
+//! a.label("main");
+//! a.line("li a0, 41");
+//! a.line("addi a0, a0, 1");
+//! a.line("p_ret");
+//! let image = a.assemble()?;
+//! assert_eq!(image.text.len(), 3);
+//! # Ok::<(), lbp_asm::AsmError>(())
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::assemble::assemble;
+use crate::error::AsmError;
+use crate::image::Image;
+
+/// An assembly-text accumulator with label management.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    text: String,
+    fresh: u32,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Appends one instruction or directive line (indented).
+    pub fn line(&mut self, line: impl AsRef<str>) -> &mut Asm {
+        let _ = writeln!(self.text, "    {}", line.as_ref());
+        self
+    }
+
+    /// Appends a formatted instruction line.
+    pub fn linef(&mut self, args: std::fmt::Arguments<'_>) -> &mut Asm {
+        let _ = writeln!(self.text, "    {args}");
+        self
+    }
+
+    /// Appends a label definition at column zero.
+    pub fn label(&mut self, name: impl AsRef<str>) -> &mut Asm {
+        let _ = writeln!(self.text, "{}:", name.as_ref());
+        self
+    }
+
+    /// Appends a `# comment` line.
+    pub fn comment(&mut self, text: impl AsRef<str>) -> &mut Asm {
+        let _ = writeln!(self.text, "    # {}", text.as_ref());
+        self
+    }
+
+    /// Appends a blank separator line.
+    pub fn blank(&mut self) -> &mut Asm {
+        self.text.push('\n');
+        self
+    }
+
+    /// Appends raw multi-line assembly verbatim.
+    pub fn raw(&mut self, block: impl AsRef<str>) -> &mut Asm {
+        self.text.push_str(block.as_ref());
+        if !self.text.ends_with('\n') {
+            self.text.push('\n');
+        }
+        self
+    }
+
+    /// Returns a label name unique within this builder, prefixed for
+    /// readability (e.g. `"\_L_loop_0"`).
+    pub fn fresh_label(&mut self, prefix: &str) -> String {
+        let n = self.fresh;
+        self.fresh += 1;
+        format!("_L_{prefix}_{n}")
+    }
+
+    /// The accumulated assembly text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Consumes the builder, returning the assembly text.
+    pub fn into_text(self) -> String {
+        self.text
+    }
+
+    /// Assembles the accumulated text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors; line numbers refer to the generated
+    /// text, available from [`Asm::text`].
+    pub fn assemble(&self) -> Result<Image, AsmError> {
+        assemble(&self.text)
+    }
+}
+
+/// Convenience macro for formatted emission:
+/// `emit!(asm, "addi {rd}, {rs}, {imm}")`.
+#[macro_export]
+macro_rules! emit {
+    ($asm:expr, $($fmt:tt)*) => {
+        $asm.linef(format_args!($($fmt)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_assembles() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.comment("the answer");
+        emit!(a, "li a0, {}", 42);
+        a.line("p_ret");
+        let img = a.assemble().unwrap();
+        assert_eq!(img.text.len(), 2);
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut a = Asm::new();
+        let l1 = a.fresh_label("loop");
+        let l2 = a.fresh_label("loop");
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn raw_blocks_keep_newlines() {
+        let mut a = Asm::new();
+        a.raw("main: nop");
+        a.raw("nop\n");
+        assert_eq!(a.assemble().unwrap().text.len(), 2);
+    }
+
+    #[test]
+    fn text_is_inspectable() {
+        let mut a = Asm::new();
+        a.label("f").line("ret");
+        assert_eq!(a.text(), "f:\n    ret\n");
+    }
+}

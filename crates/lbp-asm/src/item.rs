@@ -1,0 +1,180 @@
+//! The symbolic program model: what the text parser and the programmatic
+//! [`builder`](crate::builder) both produce, and what the two-pass assembler
+//! consumes.
+
+use lbp_isa::{BranchKind, Instr, LoadKind, OpImmKind, Reg, StoreKind};
+
+use crate::expr::Expr;
+
+/// An instruction whose immediate operand may still reference symbols.
+///
+/// `Ready` carries a fully resolved [`Instr`]; `Patch` carries the register
+/// fields plus an unevaluated [`Expr`] with the shape of the hole described
+/// by [`PatchKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymInstr {
+    /// Already fully resolved.
+    Ready(Instr),
+    /// Needs the expression evaluated and the immediate patched in.
+    Patch {
+        /// Which instruction shape and register fields to build.
+        kind: PatchKind,
+        /// The unevaluated immediate/target expression.
+        expr: Expr,
+    },
+}
+
+impl From<Instr> for SymInstr {
+    fn from(i: Instr) -> SymInstr {
+        SymInstr::Ready(i)
+    }
+}
+
+/// The shape of an instruction with a symbolic immediate.
+///
+/// *Absolute-target* variants (`Branch`, `Jal`) take the evaluated
+/// expression as an absolute address and convert it to a pc-relative offset
+/// at the instruction's own address; *raw* variants use the value directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatchKind {
+    /// `jalr rd, expr(rs1)`.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+    },
+    /// Load with symbolic offset.
+    Load {
+        /// Width/sign.
+        kind: LoadKind,
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        rs1: Reg,
+    },
+    /// Store with symbolic offset.
+    Store {
+        /// Width.
+        kind: StoreKind,
+        /// Base register.
+        rs1: Reg,
+        /// Source register.
+        rs2: Reg,
+    },
+    /// ALU register-immediate with symbolic immediate.
+    OpImm {
+        /// Operation.
+        kind: OpImmKind,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+    },
+    /// `lui rd, expr` where the evaluated value is a raw 20-bit field
+    /// (the assembler shifts it left by 12).
+    Lui {
+        /// Destination.
+        rd: Reg,
+    },
+    /// `auipc rd, expr` (raw 20-bit field).
+    Auipc {
+        /// Destination.
+        rd: Reg,
+    },
+    /// Conditional branch to an absolute target address.
+    Branch {
+        /// Comparison.
+        kind: BranchKind,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `jal rd, target` with an absolute target address.
+    Jal {
+        /// Link register.
+        rd: Reg,
+    },
+    /// `p_jal rd, rs1, expr` (raw offset relative to pc, byte units).
+    PJal {
+        /// Cleared register.
+        rd: Reg,
+        /// Allocated-hart register.
+        rs1: Reg,
+    },
+    /// `p_lwcv rd, expr`.
+    PLwcv {
+        /// Destination.
+        rd: Reg,
+    },
+    /// `p_swcv rs2 -> hart rs1, slot expr`.
+    PSwcv {
+        /// Target hart register.
+        rs1: Reg,
+        /// Value register.
+        rs2: Reg,
+    },
+    /// `p_lwre rd, expr`.
+    PLwre {
+        /// Destination.
+        rd: Reg,
+    },
+    /// `p_swre rs2 -> hart rs1, slot expr`.
+    PSwre {
+        /// Target hart register.
+        rs1: Reg,
+        /// Value register.
+        rs2: Reg,
+    },
+}
+
+/// Which section an item is emitted into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Section {
+    /// Program text (code banks).
+    #[default]
+    Text,
+    /// Initialized global data (shared memory).
+    Data,
+}
+
+/// One unit of a symbolic program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Defines a label at the current location of the current section.
+    Label(String),
+    /// Switches the current section.
+    Section(Section),
+    /// An instruction (text section only).
+    Instr(SymInstr),
+    /// A 32-bit datum (`.word`). The location counter must already be
+    /// 4-byte aligned (use `.align 4`).
+    Word(Expr),
+    /// `n` zero bytes (`.space n`); the count must evaluate from symbols
+    /// defined above it.
+    Space(Expr),
+    /// Aligns the location counter to a multiple of `n` bytes (`.align`
+    /// takes the byte count, not a power of two).
+    Align(u32),
+    /// Defines a constant symbol (`.equ name, expr`; the expression must be
+    /// evaluable from already-defined symbols).
+    Equ(String, Expr),
+}
+
+/// An [`Item`] together with the source line it came from (1-based; line 0
+/// marks builder-generated items).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceItem {
+    /// The item.
+    pub item: Item,
+    /// 1-based source line, or 0 for generated code.
+    pub line: usize,
+}
+
+impl SourceItem {
+    /// Wraps an item with no source location (generated code).
+    pub fn generated(item: Item) -> SourceItem {
+        SourceItem { item, line: 0 }
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-layer property test: the disassembly text of any encodable
+//! instruction re-assembles to the same binary word — the disassembler
+//! (`Instr: Display`), the parser and the encoder agree.
+
+use lbp_asm::assemble;
+use lbp_isa::{BranchKind, Instr, LoadKind, OpImmKind, OpKind, Reg, StoreKind};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+fn i12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+/// Instructions whose text form is position-independent (no pc-relative
+/// operands, which the parser would re-base at address 0 anyway — the
+/// test places each instruction at address 0, so those are fine too).
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_reg(), 0u32..=0xfffff).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
+        (any_reg(), any_reg(), i12()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (any_reg(), (-512i32..=511).prop_map(|x| x * 2))
+            .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (
+            prop_oneof![
+                Just(BranchKind::Eq),
+                Just(BranchKind::Ne),
+                Just(BranchKind::Lt),
+                Just(BranchKind::Ge),
+                Just(BranchKind::Ltu),
+                Just(BranchKind::Geu)
+            ],
+            any_reg(),
+            any_reg(),
+            (-512i32..=511).prop_map(|x| x * 2),
+        )
+            .prop_map(|(kind, rs1, rs2, offset)| Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset
+            }),
+        (
+            prop_oneof![
+                Just(LoadKind::B),
+                Just(LoadKind::H),
+                Just(LoadKind::W),
+                Just(LoadKind::Bu),
+                Just(LoadKind::Hu)
+            ],
+            any_reg(),
+            any_reg(),
+            i12(),
+        )
+            .prop_map(|(kind, rd, rs1, offset)| Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset
+            }),
+        (
+            prop_oneof![Just(StoreKind::B), Just(StoreKind::H), Just(StoreKind::W)],
+            any_reg(),
+            any_reg(),
+            i12(),
+        )
+            .prop_map(|(kind, rs1, rs2, offset)| Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset
+            }),
+        (
+            prop_oneof![
+                Just(OpImmKind::Add),
+                Just(OpImmKind::Slt),
+                Just(OpImmKind::Sltu),
+                Just(OpImmKind::Xor),
+                Just(OpImmKind::Or),
+                Just(OpImmKind::And)
+            ],
+            any_reg(),
+            any_reg(),
+            i12(),
+        )
+            .prop_map(|(kind, rd, rs1, imm)| Instr::OpImm { kind, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(OpImmKind::Sll),
+                Just(OpImmKind::Srl),
+                Just(OpImmKind::Sra)
+            ],
+            any_reg(),
+            any_reg(),
+            0i32..32,
+        )
+            .prop_map(|(kind, rd, rs1, imm)| Instr::OpImm { kind, rd, rs1, imm }),
+        (
+            prop_oneof![
+                Just(OpKind::Add),
+                Just(OpKind::Sub),
+                Just(OpKind::Mul),
+                Just(OpKind::Div),
+                Just(OpKind::Rem),
+                Just(OpKind::And),
+                Just(OpKind::Or),
+                Just(OpKind::Xor),
+                Just(OpKind::Sll),
+                Just(OpKind::Srl),
+                Just(OpKind::Sra),
+                Just(OpKind::Slt),
+                Just(OpKind::Sltu),
+                Just(OpKind::Mulh),
+                Just(OpKind::Mulhu),
+                Just(OpKind::Mulhsu),
+                Just(OpKind::Divu),
+                Just(OpKind::Remu)
+            ],
+            any_reg(),
+            any_reg(),
+            any_reg(),
+        )
+            .prop_map(|(kind, rd, rs1, rs2)| Instr::Op { kind, rd, rs1, rs2 }),
+        any_reg().prop_map(|rd| Instr::PFc { rd }),
+        any_reg().prop_map(|rd| Instr::PFn { rd }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::PSet { rd, rs1 }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::PMerge { rd, rs1, rs2 }),
+        Just(Instr::PSyncm),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::PJalr { rd, rs1, rs2 }),
+        (any_reg(), any_reg(), i12()).prop_map(|(rd, rs1, offset)| Instr::PJal { rd, rs1, offset }),
+        (any_reg(), i12()).prop_map(|(rd, offset)| Instr::PLwcv { rd, offset }),
+        (any_reg(), any_reg(), i12()).prop_map(|(rs1, rs2, offset)| Instr::PSwcv {
+            rs1,
+            rs2,
+            offset
+        }),
+        (any_reg(), i12()).prop_map(|(rd, offset)| Instr::PLwre { rd, offset }),
+        (any_reg(), any_reg(), i12()).prop_map(|(rs1, rs2, offset)| Instr::PSwre {
+            rs1,
+            rs2,
+            offset
+        }),
+    ]
+}
+
+proptest! {
+    /// assemble(display(i)) == encode(i): the textual pipeline is
+    /// faithful to the binary one.
+    #[test]
+    fn display_reassembles_to_the_same_word(instr in any_instr()) {
+        let text = instr.to_string();
+        let image = assemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
+        prop_assert_eq!(image.text.len(), 1, "`{}` produced several words", text);
+        let expect = instr.encode().expect("generated instruction encodes");
+        prop_assert_eq!(
+            image.text[0], expect,
+            "`{}`: {:#010x} != {:#010x}", text, image.text[0], expect
+        );
+    }
+}
+
+#[test]
+fn disassembly_has_labels_and_instructions() {
+    let image =
+        assemble("main:\n  li a0, 5\n  jal helper\n  p_ret\nhelper:\n  add a0, a0, a0\n  ret\n")
+            .unwrap();
+    let d = image.disassemble();
+    assert!(d.contains("main:"), "{d}");
+    assert!(d.contains("helper:"), "{d}");
+    assert!(d.contains("addi a0, zero, 5"), "{d}");
+    assert!(d.contains("p_ret"), "{d}");
+}

@@ -1,0 +1,68 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - **link latency**: the hierarchical bus keeps remote latency low
+//!   (2-6 hops); inflating the per-hop cost shows how much of LBP's
+//!   throughput rides on the interconnect design;
+//! - **multiplier latency**: the cacheless design hides functional-unit
+//!   latency with multithreading — the matmul cycle count should degrade
+//!   far less than linearly in the multiplier latency;
+//! - **multithreading**: a team of one member per core (no
+//!   hart-level parallelism) against four members per core on the same
+//!   core count isolates the latency-hiding contribution of the four
+//!   harts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbp_kernels::matmul::{Matmul, Version};
+use lbp_sim::Machine;
+
+fn run_with(mm: &Matmul, patch: impl Fn(&mut lbp_sim::LbpConfig)) -> u64 {
+    let image = mm.build();
+    let mut cfg = mm.config();
+    patch(&mut cfg);
+    let mut m = Machine::new(cfg, &image).expect("machine");
+    let l = mm.layout();
+    for i in 0..l.n {
+        for k in 0..l.m {
+            m.poke_shared(l.x(i, k), 1).expect("poke");
+        }
+    }
+    for k in 0..l.m {
+        for j in 0..l.n {
+            m.poke_shared(l.y(k, j), 1).expect("poke");
+        }
+    }
+    m.run(1_000_000_000).expect("run").stats.cycles
+}
+
+/// Simulated-cycle sensitivity to the inter-router hop cost.
+fn link_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_link_hop");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    let mm = Matmul::new(16, Version::Base);
+    for hop in [1u32, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(hop), &hop, |b, &hop| {
+            b.iter(|| run_with(&mm, |cfg| cfg.latencies.link_hop = hop));
+        });
+    }
+    g.finish();
+}
+
+/// Simulated-cycle sensitivity to multiplier latency (latency hiding).
+fn mul_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_mul_latency");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    let mm = Matmul::new(16, Version::Base);
+    for mul in [1u32, 3, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(mul), &mul, |b, &mul| {
+            b.iter(|| run_with(&mm, |cfg| cfg.latencies.mul = mul));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, link_latency, mul_latency);
+criterion_main!(benches);

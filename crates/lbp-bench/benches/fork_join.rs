@@ -1,0 +1,55 @@
+//! Claim C2 bench: team spawn/join overhead across team sizes, and the
+//! cost of consecutive barrier-separated regions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbp_omp::DetOmp;
+use lbp_sim::{LbpConfig, Machine};
+
+fn team_program(threads: usize, regions: usize) -> (DetOmp, usize) {
+    let mut p = DetOmp::new(threads).function("empty", "p_ret");
+    for _ in 0..regions {
+        p = p.parallel_for("empty");
+    }
+    (p, threads.div_ceil(4))
+}
+
+/// Spawning and joining an empty team of n members.
+fn fork_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fork_join_overhead");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    for threads in [4usize, 16, 64] {
+        let (p, cores) = team_program(threads, 1);
+        let image = p.build().expect("assembles");
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::new(LbpConfig::cores(cores), &image).expect("machine");
+                m.run(10_000_000).expect("run").stats.cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+/// The hardware barrier between consecutive regions (re-spawn cost).
+fn barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consecutive_regions");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    g.sample_size(10);
+    for regions in [1usize, 4, 16] {
+        let (p, cores) = team_program(16, regions);
+        let image = p.build().expect("assembles");
+        g.bench_with_input(BenchmarkId::from_parameter(regions), &regions, |b, _| {
+            b.iter(|| {
+                let mut m = Machine::new(LbpConfig::cores(cores), &image).expect("machine");
+                m.run(10_000_000).expect("run").stats.cycles
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fork_join, barriers);
+criterion_main!(benches);

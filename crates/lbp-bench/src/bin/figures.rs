@@ -1,0 +1,137 @@
+//! Regenerates the paper's evaluation artifacts.
+//!
+//! ```text
+//! cargo run -p lbp-bench --release --bin figures -- all
+//! cargo run -p lbp-bench --release --bin figures -- fig19 fig20
+//! cargo run -p lbp-bench --release --bin figures -- determinism overhead
+//! ```
+
+use std::time::Instant;
+
+use lbp_bench::{
+    determinism_check, energy_comparison, fork_join_overhead, reproduce_figure, single_core_ipc,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--csv] [fig19] [fig20] [fig21] [determinism] [overhead] [multithreading] [energy] [all]\n\
+         Regenerates the paper's Figures 19-21 and the claim checks.\n\
+         --csv prints figures as CSV rows instead of tables."
+    );
+    std::process::exit(2)
+}
+
+fn run_figure(number: u32, csv: bool) {
+    let t = Instant::now();
+    let fig = reproduce_figure(number);
+    if csv {
+        print!("{}", fig.to_csv());
+        return;
+    }
+    print!("{}", fig.to_table());
+    println!("shape checks:");
+    let mut all_ok = true;
+    for (what, ok) in fig.check_shapes() {
+        println!("  [{}] {}", if ok { "ok" } else { "FAIL" }, what);
+        all_ok &= ok;
+    }
+    println!(
+        "(regenerated in {:.1?} of host time; simulated numbers are exact)\n",
+        t.elapsed()
+    );
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
+fn run_determinism() {
+    println!("C1 — cycle determinism (tiled matmul, two traced replays):");
+    for harts in [16usize, 64] {
+        let ok = determinism_check(harts);
+        println!(
+            "  [{}] h={harts}: traces, cycles and retired counts bit-identical",
+            if ok { "ok" } else { "FAIL" }
+        );
+        assert!(ok);
+    }
+    println!();
+}
+
+fn run_overhead() {
+    println!("C2 — parallelization overhead (empty team, spawn + barrier + join):");
+    println!(
+        "{:<18} {:>10} {:>10} {:>16}",
+        "team", "cycles", "retired", "retired/member"
+    );
+    for threads in [4usize, 16, 64, 256] {
+        let row = fork_join_overhead(threads);
+        println!(
+            "{:<18} {:>10} {:>10} {:>16.1}",
+            row.name,
+            row.cycles,
+            row.retired,
+            row.retired as f64 / threads as f64
+        );
+    }
+    println!();
+}
+
+fn run_multithreading() {
+    println!(
+        "Multithreading ablation — §5.2: harts needed to fill one core's pipeline\n\
+         (no branch predictor: every fetch suspends until the next pc is known)"
+    );
+    println!("{:<14} {:>10}", "active harts", "core IPC");
+    for members in 1..=4 {
+        println!("{:<14} {:>10.2}", members, single_core_ipc(members));
+    }
+    println!();
+}
+
+fn run_energy() {
+    println!("Energy proxy — §7's closing claim (tiled matmul, h = 64):");
+    let (lbp_j, phi_j, a) = energy_comparison(64);
+    println!(
+        "  LBP (activity model, embedded 28nm-class point): {:.3} mJ",
+        lbp_j * 1e3
+    );
+    println!(
+        "  Xeon-Phi2-class (TDP x modelled time):           {:.3} mJ",
+        phi_j * 1e3
+    );
+    println!("  efficiency ratio: {:.1}x in LBP's favor", phi_j / lbp_j);
+    println!(
+        "  (activity: {} instr, {} muldiv, {} mem ops, {} hops, {} cycles on {} cores)\n",
+        a.retired, a.muldiv_ops, a.mem_ops, a.link_hops, a.cycles, a.cores
+    );
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    if args.is_empty() {
+        usage();
+    }
+    for arg in &args {
+        match arg.as_str() {
+            "fig19" => run_figure(19, csv),
+            "fig20" => run_figure(20, csv),
+            "fig21" => run_figure(21, csv),
+            "determinism" => run_determinism(),
+            "overhead" => run_overhead(),
+            "multithreading" => run_multithreading(),
+            "energy" => run_energy(),
+            "all" => {
+                run_figure(19, csv);
+                run_figure(20, csv);
+                run_figure(21, csv);
+                run_determinism();
+                run_overhead();
+                run_multithreading();
+                run_energy();
+            }
+            _ => usage(),
+        }
+    }
+}

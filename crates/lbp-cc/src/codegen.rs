@@ -1,0 +1,1235 @@
+//! Code generation: checked AST → PISC assembly.
+//!
+//! ## Conventions
+//!
+//! - Scalar locals and parameters live in registers `s4`-`s11` (so the
+//!   Deterministic OpenMP team loop, which uses `s0`-`s3`, never collides
+//!   with them); expression scratch is `t2`-`t6`, `a6`, `a7`.
+//! - `t0`/`t1` are never touched: they carry the X_PAR identity words.
+//! - Every function gets a fixed 96-byte frame: `ra` at 0, `t0`-save at 4
+//!   (main only), `s4`-`s11` saves at 8..40, spill slots at 40..92.
+//! - LBP has no load/store queue, so the generator tracks *pending
+//!   stores* per alias class (global symbol / unknown / compiler stack)
+//!   and inserts `p_syncm` before a load that might observe one. Every
+//!   epilogue starts with `p_syncm`, which both protects the register
+//!   restores and gives calls barrier semantics.
+//! - `#pragma omp parallel for` bodies are extracted into member
+//!   functions ending in `p_ret` and lowered through
+//!   [`lbp_omp::emit_parallel_region`] — the paper's Fig. 2 translation.
+
+use std::collections::{HashMap, HashSet};
+
+use lbp_asm::Asm;
+use lbp_omp::{emit_parallel_region, TeamBody};
+
+use crate::ast::*;
+use crate::sema::Checked;
+use crate::CcError;
+
+/// Expression scratch registers (order = allocation preference).
+const SCRATCH: [&str; 7] = ["t2", "t3", "t4", "t5", "t6", "a6", "a7"];
+/// Register-local pool.
+const LOCALS: [&str; 8] = ["s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"];
+
+/// Frame layout.
+const FRAME: i32 = 96;
+const OFF_RA: i32 = 0;
+const OFF_T0: i32 = 4;
+const OFF_SREG: i32 = 8; // 8 words
+const OFF_SPILL: i32 = 40; // 13 words
+
+/// Generates the complete assembly program.
+///
+/// # Errors
+///
+/// Returns an error for constructs the generator cannot express
+/// (expressions deeper than the scratch pool, unsupported builtins).
+pub fn generate(cx: &Checked) -> Result<String, CcError> {
+    let mut g = Gen {
+        cx,
+        asm: Asm::new(),
+        label_n: 0,
+        team_fns: Vec::new(),
+        section_tables: Vec::new(),
+    };
+    g.asm
+        .comment("Compiled by lbp-cc (Deterministic OpenMP translator)");
+    // main first (the boot hart starts at `main`).
+    let main = cx
+        .unit
+        .functions
+        .iter()
+        .find(|f| f.name == "main")
+        .expect("sema guarantees main");
+    g.function(main, FnKind::Main)?;
+    for f in &cx.unit.functions {
+        if f.name != "main" {
+            g.function(f, FnKind::Normal)?;
+        }
+    }
+    // Extracted parallel-region member functions.
+    while let Some((f, kind)) = g.team_fns.pop() {
+        g.function(&f, kind)?;
+    }
+    // Data section.
+    g.asm.blank();
+    g.asm.line(".data");
+    for global in &cx.unit.globals {
+        g.asm.line(".align 4");
+        g.asm.label(&global.name);
+        match &global.fill {
+            Some(Init::Uniform(v)) if *v != 0 => {
+                for _ in 0..global.elems {
+                    g.asm.line(format!(".word {v}"));
+                }
+            }
+            Some(Init::List(values)) => {
+                for v in values.iter().take(global.elems as usize) {
+                    g.asm.line(format!(".word {v}"));
+                }
+                let rest = global.elems as usize - values.len().min(global.elems as usize);
+                if rest > 0 {
+                    g.asm.line(format!(".space {}", rest * 4));
+                }
+            }
+            _ => {
+                g.asm.line(format!(".space {}", global.elems * 4));
+            }
+        }
+    }
+    for (name, fns) in &g.section_tables {
+        g.asm.line(".align 4");
+        g.asm.label(name);
+        for f in fns {
+            g.asm.line(format!(".word {f}"));
+        }
+    }
+    Ok(g.asm.into_text())
+}
+
+/// What kind of epilogue a function needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FnKind {
+    /// The program entry: Deterministic OpenMP prologue, exits by `p_ret`.
+    Main,
+    /// Ordinary function: returns with `ret`.
+    Normal,
+    /// Parallel-region member: returns with `p_ret`.
+    TeamMember,
+}
+
+/// Pending (possibly still in-flight) stores, by alias class.
+#[derive(Debug, Clone, Default)]
+struct Pending {
+    unknown: bool,
+    syms: HashSet<String>,
+}
+
+impl Pending {
+    fn clear(&mut self) {
+        self.unknown = false;
+        self.syms.clear();
+    }
+
+    fn any(&self) -> bool {
+        self.unknown || !self.syms.is_empty()
+    }
+
+    fn add(&mut self, class: &Alias) {
+        match class {
+            Alias::Global(s) => {
+                self.syms.insert(s.clone());
+            }
+            Alias::Unknown => self.unknown = true,
+        }
+    }
+
+    fn union(&mut self, other: &Pending) {
+        self.unknown |= other.unknown;
+        self.syms.extend(other.syms.iter().cloned());
+    }
+
+    fn conflicts(&self, load: &Alias) -> bool {
+        match load {
+            Alias::Global(s) => self.unknown || self.syms.contains(s),
+            Alias::Unknown => self.any(),
+        }
+    }
+}
+
+/// The alias class of one memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Alias {
+    Global(String),
+    Unknown,
+}
+
+/// A computed value: a constant or a register (owned scratch or a
+/// read-only local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Val {
+    Imm(i64),
+    Reg {
+        name: &'static str,
+        owned: bool,
+    },
+    /// A local register, referred by pool index (read-only).
+    Local(usize),
+}
+
+struct Gen<'a> {
+    cx: &'a Checked,
+    asm: Asm,
+    label_n: usize,
+    team_fns: Vec<(Function, FnKind)>,
+    section_tables: Vec<(String, Vec<String>)>,
+}
+
+impl Gen<'_> {
+    fn fresh(&mut self, tag: &str) -> String {
+        self.label_n += 1;
+        format!("_cc_{tag}_{}", self.label_n)
+    }
+
+    fn function(&mut self, f: &Function, kind: FnKind) -> Result<(), CcError> {
+        let locals = collect_locals(f);
+        // Local arrays sit above the fixed header in the frame.
+        let mut arrays = HashMap::new();
+        let mut frame = FRAME;
+        for (name, elems) in collect_local_arrays(f) {
+            arrays.insert(name, frame);
+            frame += (elems * 4) as i32;
+        }
+        frame = (frame + 7) & !7;
+        let mut fx = FnGen {
+            locals: locals
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), i))
+                .collect(),
+            arrays,
+            frame,
+            n_locals: locals.len(),
+            free_scratch: (0..SCRATCH.len()).rev().collect(),
+            pending: Pending::default(),
+            epilogue: String::new(),
+            loop_labels: Vec::new(),
+        };
+        fx.epilogue = self.fresh(&format!("{}_end", f.name));
+        self.asm.blank();
+        self.asm.label(&f.name);
+        // Prologue (a frame beyond the addi range uses li/add).
+        if fx.frame <= 2048 {
+            self.asm.line(format!("addi sp, sp, -{}", fx.frame));
+        } else {
+            self.asm.line(format!("li   t6, {}", fx.frame));
+            self.asm.line("sub  sp, sp, t6");
+        }
+        self.asm.line(format!("sw   ra, {OFF_RA}(sp)"));
+        if kind == FnKind::Main {
+            self.asm.line("li   t0, -1");
+            self.asm.line(format!("sw   t0, {OFF_T0}(sp)"));
+            self.asm.line("p_set t0");
+        }
+        for i in 0..fx.n_locals {
+            self.asm.line(format!(
+                "sw   {}, {}(sp)",
+                LOCALS[i],
+                OFF_SREG + 4 * i as i32
+            ));
+        }
+        // Parameters arrive in a0.. and move into their local registers.
+        for (i, _p) in f.params.iter().enumerate() {
+            self.asm.line(format!("mv   {}, a{i}", LOCALS[i]));
+        }
+        // Body.
+        self.block(&f.body, &mut fx)?;
+        // Epilogue.
+        self.asm.label(&fx.epilogue.clone());
+        self.asm.line("p_syncm");
+        self.asm.line(format!("lw   ra, {OFF_RA}(sp)"));
+        if kind == FnKind::Main {
+            self.asm.line(format!("lw   t0, {OFF_T0}(sp)"));
+        }
+        for i in 0..fx.n_locals {
+            self.asm.line(format!(
+                "lw   {}, {}(sp)",
+                LOCALS[i],
+                OFF_SREG + 4 * i as i32
+            ));
+        }
+        // The register restores are loads from the frame this function's
+        // own stores filled; a second p_syncm lets them land before the
+        // control transfer reads `ra`/`t0`.
+        self.asm.line("p_syncm");
+        if fx.frame <= 2047 {
+            self.asm.line(format!("addi sp, sp, {}", fx.frame));
+        } else {
+            self.asm.line(format!("li   t6, {}", fx.frame));
+            self.asm.line("add  sp, sp, t6");
+        }
+        match kind {
+            FnKind::Main | FnKind::TeamMember => self.asm.line("p_ret"),
+            FnKind::Normal => self.asm.line("ret"),
+        };
+        Ok(())
+    }
+
+    fn block(&mut self, stmts: &[Stmt], fx: &mut FnGen) -> Result<(), CcError> {
+        for s in stmts {
+            self.stmt(s, fx)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt, fx: &mut FnGen) -> Result<(), CcError> {
+        match s {
+            Stmt::DeclArray { .. } => Ok(()),
+            Stmt::Decl { name, init, line } => {
+                let idx = fx.locals[name];
+                if let Some(e) = init {
+                    let v = self.expr(e, fx, *line)?;
+                    self.move_into(LOCALS[idx], v, fx);
+                }
+                Ok(())
+            }
+            Stmt::Assign { lhs, rhs, line } => {
+                let v = self.expr(rhs, fx, *line)?;
+                self.store_place(lhs, v, fx, *line)
+            }
+            Stmt::Expr(e, line) => {
+                let v = self.expr(e, fx, *line)?;
+                fx.release(v);
+                Ok(())
+            }
+            Stmt::If { cond, then, els } => {
+                let else_l = self.fresh("else");
+                let end_l = self.fresh("endif");
+                self.branch_if_false(cond, &else_l, fx)?;
+                let entry_pending = fx.pending.clone();
+                self.block(then, fx)?;
+                let then_pending = fx.pending.clone();
+                if els.is_empty() {
+                    self.asm.label(&else_l);
+                    fx.pending.union(&then_pending);
+                } else {
+                    self.asm.line(format!("j    {end_l}"));
+                    self.asm.label(&else_l);
+                    fx.pending = entry_pending;
+                    self.block(els, fx)?;
+                    fx.pending.union(&then_pending);
+                    self.asm.label(&end_l);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let head = self.fresh("while");
+                let end = self.fresh("wend");
+                // Any iteration may observe the previous iteration's
+                // stores.
+                fx.pending.union(&stores_of(body, self.cx));
+                self.asm.label(&head);
+                self.branch_if_false(cond, &end, fx)?;
+                fx.loop_labels.push((head.clone(), end.clone()));
+                self.block(body, fx)?;
+                fx.loop_labels.pop();
+                self.asm.line(format!("j    {head}"));
+                self.asm.label(&end);
+                fx.pending.union(&stores_of(body, self.cx));
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init.as_ref() {
+                    self.stmt(i, fx)?;
+                }
+                let head = self.fresh("for");
+                let end = self.fresh("fend");
+                let mut loop_stores = stores_of(body, self.cx);
+                if let Some(st) = step.as_ref() {
+                    loop_stores.union(&stores_of(std::slice::from_ref(st), self.cx));
+                }
+                let step_l = self.fresh("fstep");
+                fx.pending.union(&loop_stores);
+                self.asm.label(&head);
+                if let Some(c) = cond {
+                    self.branch_if_false(c, &end, fx)?;
+                }
+                fx.loop_labels.push((step_l.clone(), end.clone()));
+                self.block(body, fx)?;
+                fx.loop_labels.pop();
+                self.asm.label(&step_l);
+                if let Some(st) = step.as_ref() {
+                    self.stmt(st, fx)?;
+                }
+                self.asm.line(format!("j    {head}"));
+                self.asm.label(&end);
+                fx.pending.union(&loop_stores);
+                Ok(())
+            }
+            Stmt::Break(_) => {
+                let (_, brk) = fx
+                    .loop_labels
+                    .last()
+                    .cloned()
+                    .expect("sema rejects break outside loops");
+                self.asm.line(format!("j    {brk}"));
+                Ok(())
+            }
+            Stmt::Continue(_) => {
+                let (cont, _) = fx
+                    .loop_labels
+                    .last()
+                    .cloned()
+                    .expect("sema rejects continue outside loops");
+                self.asm.line(format!("j    {cont}"));
+                Ok(())
+            }
+            Stmt::Return(value, line) => {
+                if let Some(e) = value {
+                    let v = self.expr(e, fx, *line)?;
+                    self.move_into("a0", v, fx);
+                }
+                self.asm.line(format!("j    {}", fx.epilogue));
+                Ok(())
+            }
+            Stmt::ParallelFor {
+                var,
+                count,
+                body,
+                line,
+            } => self.lower_parallel_for(var, *count, body, fx, *line),
+            Stmt::ParallelSections { sections, line } => {
+                self.lower_parallel_sections(sections, fx, *line)
+            }
+        }
+    }
+
+    fn lower_parallel_for(
+        &mut self,
+        var: &str,
+        count: i64,
+        body: &[Stmt],
+        fx: &mut FnGen,
+        line: usize,
+    ) -> Result<(), CcError> {
+        let fn_name = self.fresh("omp_fn");
+        self.team_fns.push((
+            Function {
+                name: fn_name.clone(),
+                params: vec![var.to_owned()],
+                returns_value: false,
+                body: body.to_vec(),
+                line,
+            },
+            FnKind::TeamMember,
+        ));
+        // The region's built-in p_syncm (before each p_jalr) drains
+        // main's pending stores before any member runs.
+        emit_parallel_region(
+            &mut self.asm,
+            count as usize,
+            &TeamBody::Uniform { function: fn_name },
+            None,
+        );
+        // Members' epilogues drained their stores before the join, but
+        // main cannot know which symbols they wrote.
+        fx.pending.clear();
+        fx.pending.unknown = true;
+        Ok(())
+    }
+
+    fn lower_parallel_sections(
+        &mut self,
+        sections: &[Vec<Stmt>],
+        fx: &mut FnGen,
+        line: usize,
+    ) -> Result<(), CcError> {
+        let table = self.fresh("omp_sections");
+        let mut fns = Vec::new();
+        for body in sections {
+            let fn_name = self.fresh("omp_sec");
+            self.team_fns.push((
+                Function {
+                    name: fn_name.clone(),
+                    params: Vec::new(),
+                    returns_value: false,
+                    body: body.to_vec(),
+                    line,
+                },
+                FnKind::TeamMember,
+            ));
+            fns.push(fn_name);
+        }
+        let count = fns.len();
+        self.section_tables.push((table.clone(), fns));
+        emit_parallel_region(&mut self.asm, count, &TeamBody::Sections { table }, None);
+        fx.pending.clear();
+        fx.pending.unknown = true;
+        Ok(())
+    }
+
+    // ----- places and memory -----
+
+    /// Stores `v` into a place.
+    fn store_place(
+        &mut self,
+        place: &Place,
+        v: Val,
+        fx: &mut FnGen,
+        line: usize,
+    ) -> Result<(), CcError> {
+        match place {
+            Place::Var(name) => {
+                if let Some(&idx) = fx.locals.get(name) {
+                    self.move_into(LOCALS[idx], v, fx);
+                    return Ok(());
+                }
+                // Scalar global.
+                let addr = fx.alloc(line)?;
+                self.asm.line(format!("la   {addr}, {name}"));
+                let vr = self.to_reg(v, fx, line)?;
+                self.asm.line(format!("sw   {}, 0({addr})", reg_name(vr)));
+                fx.release(vr);
+                fx.free_scratch_reg(addr);
+                fx.pending.add(&Alias::Global(name.clone()));
+                Ok(())
+            }
+            Place::Index(name, idx_expr) => {
+                let (addr, class) = self.element_addr(name, idx_expr, fx, line)?;
+                let vr = self.to_reg(v, fx, line)?;
+                self.asm
+                    .line(format!("sw   {}, 0({})", reg_name(vr), reg_name(addr)));
+                fx.release(vr);
+                fx.release(addr);
+                fx.pending.add(&class);
+                Ok(())
+            }
+            Place::Deref(ptr) => {
+                let p = self.expr(ptr, fx, line)?;
+                let pr = self.to_reg(p, fx, line)?;
+                let vr = self.to_reg(v, fx, line)?;
+                self.asm
+                    .line(format!("sw   {}, 0({})", reg_name(vr), reg_name(pr)));
+                fx.release(vr);
+                fx.release(pr);
+                fx.pending.add(&Alias::Unknown);
+                Ok(())
+            }
+        }
+    }
+
+    /// Computes the address of `name[idx]`, returning its alias class.
+    fn element_addr(
+        &mut self,
+        name: &str,
+        idx: &Expr,
+        fx: &mut FnGen,
+        line: usize,
+    ) -> Result<(Val, Alias), CcError> {
+        let scaled = Expr::Binary(BinOp::Mul, Box::new(idx.clone()), Box::new(Expr::Int(4)));
+        let off = self.expr(&scaled, fx, line)?;
+        if let Some(&base_off) = fx.arrays.get(name) {
+            // A stack-local array: sp + frame offset + scaled index.
+            let dest = self.to_owned_reg(off, fx, line)?;
+            let dn = reg_name(dest);
+            if base_off <= 2047 {
+                self.asm.line(format!("addi {dn}, {dn}, {base_off}"));
+            } else {
+                let t = fx.alloc(line)?;
+                self.asm.line(format!("li   {t}, {base_off}"));
+                self.asm.line(format!("add  {dn}, {dn}, {t}"));
+                fx.free_scratch_reg(t);
+            }
+            self.asm.line(format!("add  {dn}, {dn}, sp"));
+            return Ok((dest, Alias::Global(format!("%frame%{name}"))));
+        }
+        if fx.locals.contains_key(name) {
+            // Pointer variable.
+            let idx_local = fx.locals[name];
+            let dest = self.to_owned_reg(off, fx, line)?;
+            self.asm.line(format!(
+                "add  {}, {}, {}",
+                reg_name(dest),
+                reg_name(dest),
+                LOCALS[idx_local]
+            ));
+            Ok((dest, Alias::Unknown))
+        } else {
+            // Global array (or scalar used as one-element array).
+            let base = fx.alloc(line)?;
+            self.asm.line(format!("la   {base}, {name}"));
+            let dest = self.to_owned_reg(off, fx, line)?;
+            self.asm.line(format!(
+                "add  {}, {}, {base}",
+                reg_name(dest),
+                reg_name(dest)
+            ));
+            fx.free_scratch_reg(base);
+            Ok((dest, Alias::Global(name.to_owned())))
+        }
+    }
+
+    /// Emits a load with the pending-store fence when needed.
+    fn emit_load(&mut self, dest: &str, addr: &str, class: &Alias, fx: &mut FnGen) {
+        if fx.pending.conflicts(class) {
+            self.asm.line("p_syncm");
+            fx.pending.clear();
+        }
+        self.asm.line(format!("lw   {dest}, 0({addr})"));
+    }
+
+    // ----- expressions -----
+
+    fn expr(&mut self, e: &Expr, fx: &mut FnGen, line: usize) -> Result<Val, CcError> {
+        match e {
+            Expr::Int(v) => Ok(Val::Imm(*v)),
+            Expr::Var(name) => {
+                if let Some(&base_off) = fx.arrays.get(name) {
+                    // Array name decays to its frame address.
+                    let r = fx.alloc(line)?;
+                    self.asm.line(format!("li   {r}, {base_off}"));
+                    self.asm.line(format!("add  {r}, {r}, sp"));
+                    return Ok(Val::Reg {
+                        name: r,
+                        owned: true,
+                    });
+                }
+                if let Some(&idx) = fx.locals.get(name) {
+                    return Ok(Val::Local(idx));
+                }
+                let is_array = *self.cx.globals.get(name).unwrap_or(&false);
+                let r = fx.alloc(line)?;
+                if is_array {
+                    // Array names decay to their address.
+                    self.asm.line(format!("la   {r}, {name}"));
+                } else {
+                    self.asm.line(format!("la   {r}, {name}"));
+                    let class = Alias::Global(name.clone());
+                    self.emit_load(r, r, &class, fx);
+                }
+                Ok(Val::Reg {
+                    name: r,
+                    owned: true,
+                })
+            }
+            Expr::Index(name, idx) => {
+                let (addr, class) = self.element_addr(name, idx, fx, line)?;
+                let ar = reg_name(addr);
+                self.emit_load(ar, ar, &class, fx);
+                Ok(addr)
+            }
+            Expr::Deref(ptr) => {
+                let p = self.expr(ptr, fx, line)?;
+                let pr = self.to_owned_reg(p, fx, line)?;
+                let r = reg_name(pr);
+                self.emit_load(r, r, &Alias::Unknown, fx);
+                Ok(pr)
+            }
+            Expr::AddrOf(place) => match place.as_ref() {
+                Place::Var(name) => {
+                    let r = fx.alloc(line)?;
+                    self.asm.line(format!("la   {r}, {name}"));
+                    Ok(Val::Reg {
+                        name: r,
+                        owned: true,
+                    })
+                }
+                Place::Index(name, idx) => {
+                    let (addr, _class) = self.element_addr(name, idx, fx, line)?;
+                    Ok(addr)
+                }
+                Place::Deref(inner) => self.expr(inner, fx, line),
+            },
+            Expr::Unary(op, inner) => {
+                let v = self.expr(inner, fx, line)?;
+                if let Val::Imm(i) = v {
+                    return Ok(Val::Imm(match op {
+                        UnOp::Neg => i.wrapping_neg(),
+                        UnOp::Not => (i == 0) as i64,
+                        UnOp::BitNot => !i,
+                    }));
+                }
+                let r = self.to_owned_reg(v, fx, line)?;
+                let rn = reg_name(r);
+                match op {
+                    UnOp::Neg => self.asm.line(format!("neg  {rn}, {rn}")),
+                    UnOp::Not => self.asm.line(format!("seqz {rn}, {rn}")),
+                    UnOp::BitNot => self.asm.line(format!("not  {rn}, {rn}")),
+                };
+                Ok(r)
+            }
+            Expr::Binary(op, a, b) => self.binary(*op, a, b, fx, line),
+            Expr::Call(name, args) => self.call(name, args, fx, line),
+        }
+    }
+
+    fn binary(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        fx: &mut FnGen,
+        line: usize,
+    ) -> Result<Val, CcError> {
+        if matches!(op, BinOp::LAnd | BinOp::LOr) {
+            return self.short_circuit(op, a, b, fx, line);
+        }
+        let va = self.expr(a, fx, line)?;
+        let vb = self.expr(b, fx, line)?;
+        if let (Val::Imm(x), Val::Imm(y)) = (va, vb) {
+            return Ok(Val::Imm(fold(op, x, y)));
+        }
+        // Immediate forms for commutative/offset-friendly operations.
+        if let Val::Imm(y) = vb {
+            if let Some(mn) = imm_mnemonic(op) {
+                if imm_fits(op, y) {
+                    let d = self.to_owned_reg(va, fx, line)?;
+                    let dn = reg_name(d);
+                    self.asm.line(format!("{mn} {dn}, {dn}, {y}"));
+                    return Ok(d);
+                }
+            }
+        }
+        let ra = self.to_reg(va, fx, line)?;
+        let rb = self.to_reg(vb, fx, line)?;
+        // Destination: reuse an owned operand or allocate.
+        let dest = if is_owned(ra) {
+            reg_name(ra)
+        } else if is_owned(rb) {
+            reg_name(rb)
+        } else {
+            fx.alloc(line)?
+        };
+        let (an, bn) = (reg_name(ra), reg_name(rb));
+        match op {
+            BinOp::Add => self.asm.line(format!("add  {dest}, {an}, {bn}")),
+            BinOp::Sub => self.asm.line(format!("sub  {dest}, {an}, {bn}")),
+            BinOp::Mul => self.asm.line(format!("mul  {dest}, {an}, {bn}")),
+            BinOp::Div => self.asm.line(format!("div  {dest}, {an}, {bn}")),
+            BinOp::Rem => self.asm.line(format!("rem  {dest}, {an}, {bn}")),
+            BinOp::And => self.asm.line(format!("and  {dest}, {an}, {bn}")),
+            BinOp::Or => self.asm.line(format!("or   {dest}, {an}, {bn}")),
+            BinOp::Xor => self.asm.line(format!("xor  {dest}, {an}, {bn}")),
+            BinOp::Shl => self.asm.line(format!("sll  {dest}, {an}, {bn}")),
+            BinOp::Shr => self.asm.line(format!("sra  {dest}, {an}, {bn}")),
+            BinOp::Lt => self.asm.line(format!("slt  {dest}, {an}, {bn}")),
+            BinOp::Gt => self.asm.line(format!("slt  {dest}, {bn}, {an}")),
+            BinOp::Le => {
+                self.asm.line(format!("slt  {dest}, {bn}, {an}"));
+                self.asm.line(format!("xori {dest}, {dest}, 1"))
+            }
+            BinOp::Ge => {
+                self.asm.line(format!("slt  {dest}, {an}, {bn}"));
+                self.asm.line(format!("xori {dest}, {dest}, 1"))
+            }
+            BinOp::Eq => {
+                self.asm.line(format!("sub  {dest}, {an}, {bn}"));
+                self.asm.line(format!("seqz {dest}, {dest}"))
+            }
+            BinOp::Ne => {
+                self.asm.line(format!("sub  {dest}, {an}, {bn}"));
+                self.asm.line(format!("snez {dest}, {dest}"))
+            }
+            BinOp::LAnd | BinOp::LOr => unreachable!("handled above"),
+        };
+        // Free whichever owned operand is not the destination.
+        for r in [ra, rb] {
+            if is_owned(r) && reg_name(r) != dest {
+                fx.free_scratch_reg(reg_name(r));
+            }
+        }
+        Ok(Val::Reg {
+            name: dest,
+            owned: true,
+        })
+    }
+
+    fn short_circuit(
+        &mut self,
+        op: BinOp,
+        a: &Expr,
+        b: &Expr,
+        fx: &mut FnGen,
+        line: usize,
+    ) -> Result<Val, CcError> {
+        let dest = fx.alloc(line)?;
+        let end = self.fresh("sc");
+        let va = self.expr(a, fx, line)?;
+        let ra = self.to_reg(va, fx, line)?;
+        self.asm.line(format!("snez {dest}, {}", reg_name(ra)));
+        fx.release(ra);
+        match op {
+            BinOp::LAnd => self.asm.line(format!("beqz {dest}, {end}")),
+            BinOp::LOr => self.asm.line(format!("bnez {dest}, {end}")),
+            _ => unreachable!(),
+        };
+        let vb = self.expr(b, fx, line)?;
+        let rb = self.to_reg(vb, fx, line)?;
+        self.asm.line(format!("snez {dest}, {}", reg_name(rb)));
+        fx.release(rb);
+        self.asm.label(&end);
+        Ok(Val::Reg {
+            name: dest,
+            owned: true,
+        })
+    }
+
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        fx: &mut FnGen,
+        line: usize,
+    ) -> Result<Val, CcError> {
+        if name == "omp_set_num_threads" {
+            // Team sizes come from each region's trip count; the call is
+            // accepted for source compatibility and has no effect.
+            let v = self.expr(&args[0], fx, line)?;
+            fx.release(v);
+            return Ok(Val::Imm(0));
+        }
+        // Evaluate arguments into spill slots (robust against nested
+        // calls), then save live scratch, reload the arguments and call.
+        for (i, arg) in args.iter().enumerate() {
+            let v = self.expr(arg, fx, line)?;
+            let r = self.to_reg(v, fx, line)?;
+            self.asm.line(format!(
+                "sw   {}, {}(sp)",
+                reg_name(r),
+                OFF_SPILL + 4 * (SCRATCH.len() + i) as i32
+            ));
+            fx.release(r);
+        }
+        // Save the scratch registers still holding enclosing-expression
+        // values.
+        let live: Vec<usize> = (0..SCRATCH.len())
+            .filter(|i| !fx.free_scratch.contains(i))
+            .collect();
+        for &i in &live {
+            self.asm.line(format!(
+                "sw   {}, {}(sp)",
+                SCRATCH[i],
+                OFF_SPILL + 4 * i as i32
+            ));
+        }
+        // The spill stores must land before the argument reloads.
+        self.asm.line("p_syncm");
+        fx.pending.clear();
+        for i in 0..args.len() {
+            self.asm.line(format!(
+                "lw   a{i}, {}(sp)",
+                OFF_SPILL + 4 * (SCRATCH.len() + i) as i32
+            ));
+        }
+        if !args.is_empty() {
+            // The a-register values must be architecturally ready before
+            // the callee reads them; the loads complete out of order but
+            // register renaming orders them — no fence needed.
+        }
+        self.asm.line(format!("jal  {name}"));
+        // The callee's epilogue p_syncm drained every store, including
+        // our scratch saves.
+        for &i in &live {
+            self.asm.line(format!(
+                "lw   {}, {}(sp)",
+                SCRATCH[i],
+                OFF_SPILL + 4 * i as i32
+            ));
+        }
+        fx.pending.clear();
+        let returns = self
+            .cx
+            .signatures
+            .get(name)
+            .map(|&(_, r)| r)
+            .unwrap_or(false);
+        if returns {
+            let r = fx.alloc(line)?;
+            self.asm.line(format!("mv   {r}, a0"));
+            Ok(Val::Reg {
+                name: r,
+                owned: true,
+            })
+        } else {
+            Ok(Val::Imm(0))
+        }
+    }
+
+    /// Emits a branch to `target` when `cond` is false, using native
+    /// branch instructions for comparisons.
+    fn branch_if_false(
+        &mut self,
+        cond: &Expr,
+        target: &str,
+        fx: &mut FnGen,
+    ) -> Result<(), CcError> {
+        let line = 0;
+        if let Expr::Binary(op, a, b) = cond {
+            if let Some((mn, swap)) = inverse_branch(*op) {
+                let va = self.expr(a, fx, line)?;
+                let vb = self.expr(b, fx, line)?;
+                let ra = self.to_reg(va, fx, line)?;
+                let rb = self.to_reg(vb, fx, line)?;
+                let (x, y) = if swap {
+                    (reg_name(rb), reg_name(ra))
+                } else {
+                    (reg_name(ra), reg_name(rb))
+                };
+                self.asm.line(format!("{mn} {x}, {y}, {target}"));
+                fx.release(ra);
+                fx.release(rb);
+                return Ok(());
+            }
+        }
+        match self.expr(cond, fx, line)? {
+            Val::Imm(0) => {
+                self.asm.line(format!("j    {target}"));
+            }
+            Val::Imm(_) => {}
+            v => {
+                let r = self.to_reg(v, fx, line)?;
+                self.asm.line(format!("beqz {}, {target}", reg_name(r)));
+                fx.release(r);
+            }
+        }
+        Ok(())
+    }
+
+    // ----- value plumbing -----
+
+    /// Materializes a value into some register (owned or local).
+    fn to_reg(&mut self, v: Val, fx: &mut FnGen, line: usize) -> Result<Val, CcError> {
+        match v {
+            Val::Imm(i) => {
+                let r = fx.alloc(line)?;
+                self.asm.line(format!("li   {r}, {i}"));
+                Ok(Val::Reg {
+                    name: r,
+                    owned: true,
+                })
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// Materializes a value into an *owned scratch* register that may be
+    /// overwritten.
+    fn to_owned_reg(&mut self, v: Val, fx: &mut FnGen, line: usize) -> Result<Val, CcError> {
+        match v {
+            Val::Reg { owned: true, .. } => Ok(v),
+            Val::Imm(i) => {
+                let r = fx.alloc(line)?;
+                self.asm.line(format!("li   {r}, {i}"));
+                Ok(Val::Reg {
+                    name: r,
+                    owned: true,
+                })
+            }
+            Val::Local(idx) => {
+                let r = fx.alloc(line)?;
+                self.asm.line(format!("mv   {r}, {}", LOCALS[idx]));
+                Ok(Val::Reg {
+                    name: r,
+                    owned: true,
+                })
+            }
+            Val::Reg { name, owned: false } => {
+                let r = fx.alloc(line)?;
+                self.asm.line(format!("mv   {r}, {name}"));
+                Ok(Val::Reg {
+                    name: r,
+                    owned: true,
+                })
+            }
+        }
+    }
+
+    /// Moves a value into a named register and releases it.
+    fn move_into(&mut self, dest: &str, v: Val, fx: &mut FnGen) {
+        match v {
+            Val::Imm(i) => {
+                self.asm.line(format!("li   {dest}, {i}"));
+            }
+            Val::Local(idx) => {
+                if LOCALS[idx] != dest {
+                    self.asm.line(format!("mv   {dest}, {}", LOCALS[idx]));
+                }
+            }
+            Val::Reg { name, .. } => {
+                if name != dest {
+                    self.asm.line(format!("mv   {dest}, {name}"));
+                }
+                fx.release(v);
+            }
+        }
+    }
+}
+
+/// Per-function emission state.
+struct FnGen {
+    locals: HashMap<String, usize>,
+    /// Local array name -> byte offset from sp.
+    arrays: HashMap<String, i32>,
+    /// This function's frame size (the 96-byte header + array storage).
+    frame: i32,
+    n_locals: usize,
+    free_scratch: Vec<usize>,
+    pending: Pending,
+    epilogue: String,
+    /// `(continue_target, break_target)` labels of enclosing loops.
+    loop_labels: Vec<(String, String)>,
+}
+
+impl FnGen {
+    fn alloc(&mut self, line: usize) -> Result<&'static str, CcError> {
+        let i = self.free_scratch.pop().ok_or_else(|| {
+            CcError::new(line, "expression too complex for the scratch register pool")
+        })?;
+        Ok(SCRATCH[i])
+    }
+
+    fn free_scratch_reg(&mut self, name: &str) {
+        if let Some(i) = SCRATCH.iter().position(|&s| s == name) {
+            debug_assert!(!self.free_scratch.contains(&i), "double free of {name}");
+            self.free_scratch.push(i);
+        }
+    }
+
+    fn release(&mut self, v: Val) {
+        if let Val::Reg { name, owned: true } = v {
+            self.free_scratch_reg(name);
+        }
+    }
+}
+
+/// The register a value lives in (must not be `Imm`).
+fn reg_name(v: Val) -> &'static str {
+    match v {
+        Val::Reg { name, .. } => name,
+        Val::Local(idx) => LOCALS[idx],
+        Val::Imm(_) => unreachable!("immediate has no register"),
+    }
+}
+
+fn is_owned(v: Val) -> bool {
+    matches!(v, Val::Reg { owned: true, .. })
+}
+
+fn fold(op: BinOp, x: i64, y: i64) -> i64 {
+    let (x32, y32) = (x as i32, y as i32);
+    (match op {
+        BinOp::Add => x32.wrapping_add(y32),
+        BinOp::Sub => x32.wrapping_sub(y32),
+        BinOp::Mul => x32.wrapping_mul(y32),
+        BinOp::Div => {
+            if y32 == 0 {
+                -1
+            } else {
+                x32.wrapping_div(y32)
+            }
+        }
+        BinOp::Rem => {
+            if y32 == 0 {
+                x32
+            } else {
+                x32.wrapping_rem(y32)
+            }
+        }
+        BinOp::And => x32 & y32,
+        BinOp::Or => x32 | y32,
+        BinOp::Xor => x32 ^ y32,
+        BinOp::Shl => x32.wrapping_shl(y32 as u32 & 31),
+        BinOp::Shr => x32.wrapping_shr(y32 as u32 & 31),
+        BinOp::Lt => (x32 < y32) as i32,
+        BinOp::Le => (x32 <= y32) as i32,
+        BinOp::Gt => (x32 > y32) as i32,
+        BinOp::Ge => (x32 >= y32) as i32,
+        BinOp::Eq => (x32 == y32) as i32,
+        BinOp::Ne => (x32 != y32) as i32,
+        BinOp::LAnd => ((x32 != 0) && (y32 != 0)) as i32,
+        BinOp::LOr => ((x32 != 0) || (y32 != 0)) as i32,
+    }) as i64
+}
+
+/// The `op rd, rs, imm` mnemonic for immediate-friendly operations.
+fn imm_mnemonic(op: BinOp) -> Option<&'static str> {
+    Some(match op {
+        BinOp::Add => "addi",
+        BinOp::And => "andi",
+        BinOp::Or => "ori",
+        BinOp::Xor => "xori",
+        BinOp::Shl => "slli",
+        BinOp::Shr => "srai",
+        BinOp::Lt => "slti",
+        _ => return None,
+    })
+}
+
+fn imm_fits(op: BinOp, y: i64) -> bool {
+    match op {
+        BinOp::Shl | BinOp::Shr => (0..32).contains(&y),
+        _ => (-2048..=2047).contains(&y),
+    }
+}
+
+/// The branch mnemonic taken when `op` is FALSE, with operand swap.
+fn inverse_branch(op: BinOp) -> Option<(&'static str, bool)> {
+    Some(match op {
+        BinOp::Lt => ("bge ", false),
+        BinOp::Ge => ("blt ", false),
+        BinOp::Gt => ("bge ", true),
+        BinOp::Le => ("blt ", true),
+        BinOp::Eq => ("bne ", false),
+        BinOp::Ne => ("beq ", false),
+        _ => return None,
+    })
+}
+
+/// Whether an expression contains a function call.
+fn expr_calls(e: &Expr) -> bool {
+    match e {
+        Expr::Call(..) => true,
+        Expr::Int(_) | Expr::Var(_) => false,
+        Expr::Index(_, inner) | Expr::Deref(inner) | Expr::Unary(_, inner) => expr_calls(inner),
+        Expr::AddrOf(place) => match place.as_ref() {
+            Place::Index(_, inner) | Place::Deref(inner) => expr_calls(inner),
+            Place::Var(_) => false,
+        },
+        Expr::Binary(_, a, b) => expr_calls(a) || expr_calls(b),
+    }
+}
+
+/// Collects the local arrays of a function, in declaration order.
+fn collect_local_arrays(f: &Function) -> Vec<(String, u32)> {
+    fn walk(stmts: &[Stmt], out: &mut Vec<(String, u32)>) {
+        for s in stmts {
+            match s {
+                Stmt::DeclArray { name, elems, .. } => out.push((name.clone(), *elems)),
+                Stmt::If { then, els, .. } => {
+                    walk(then, out);
+                    walk(els, out);
+                }
+                Stmt::While { body, .. } => walk(body, out),
+                Stmt::For {
+                    init, step, body, ..
+                } => {
+                    if let Some(i) = init.as_ref() {
+                        walk(std::slice::from_ref(i), out);
+                    }
+                    walk(body, out);
+                    if let Some(st) = step.as_ref() {
+                        walk(std::slice::from_ref(st), out);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(&f.body, &mut out);
+    out
+}
+
+/// Collects the register locals of a function: parameters first, then
+/// declarations in source order.
+fn collect_locals(f: &Function) -> Vec<String> {
+    let mut out = f.params.clone();
+    fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
+        for s in stmts {
+            match s {
+                Stmt::Decl { name, .. } => {
+                    if !out.contains(name) {
+                        out.push(name.clone());
+                    }
+                }
+                Stmt::If { then, els, .. } => {
+                    walk(then, out);
+                    walk(els, out);
+                }
+                Stmt::While { body, .. } => walk(body, out),
+                Stmt::For {
+                    init, step, body, ..
+                } => {
+                    if let Some(i) = init.as_ref() {
+                        walk(std::slice::from_ref(i), out);
+                    }
+                    walk(body, out);
+                    if let Some(st) = step.as_ref() {
+                        walk(std::slice::from_ref(st), out);
+                    }
+                }
+                // Parallel bodies become separate functions with their
+                // own locals.
+                _ => {}
+            }
+        }
+    }
+    walk(&f.body, &mut out);
+    out
+}
+
+/// The set of alias classes a statement list may store to (used at loop
+/// heads).
+fn stores_of(stmts: &[Stmt], cx: &Checked) -> Pending {
+    let mut p = Pending::default();
+    fn walk(stmts: &[Stmt], p: &mut Pending, cx: &Checked) {
+        for s in stmts {
+            match s {
+                Stmt::Assign { lhs, rhs, .. } => {
+                    if expr_calls(rhs) {
+                        p.unknown = true;
+                    }
+                    match lhs {
+                        Place::Var(name) => {
+                            if cx.globals.contains_key(name) {
+                                p.syms.insert(name.clone());
+                            }
+                        }
+                        Place::Index(name, _) => {
+                            if cx.globals.contains_key(name) {
+                                p.syms.insert(name.clone());
+                            } else {
+                                // A frame array (keyed so array-only loops
+                                // stay fenceless) or an unknown pointer.
+                                p.syms.insert(format!("%frame%{name}"));
+                                p.unknown = true;
+                            }
+                        }
+                        Place::Deref(_) => p.unknown = true,
+                    }
+                }
+                // Calls drain at their epilogue, but their writes are
+                // unknown to the caller (also when nested in expressions).
+                Stmt::Expr(e, _) => {
+                    if expr_calls(e) {
+                        p.unknown = true;
+                    }
+                }
+                Stmt::If { then, els, .. } => {
+                    walk(then, p, cx);
+                    walk(els, p, cx);
+                }
+                Stmt::While { body, .. } => walk(body, p, cx),
+                Stmt::For {
+                    init, step, body, ..
+                } => {
+                    if let Some(i) = init.as_ref() {
+                        walk(std::slice::from_ref(i), p, cx);
+                    }
+                    walk(body, p, cx);
+                    if let Some(st) = step.as_ref() {
+                        walk(std::slice::from_ref(st), p, cx);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    walk(stmts, &mut p, cx);
+    p
+}

@@ -1,0 +1,119 @@
+//! # lbp-cc — the Deterministic OpenMP translator
+//!
+//! A from-scratch mini-C compiler targeting the PISC ISA, implementing
+//! the paper's source-to-source story: a Deterministic OpenMP program "is
+//! quite not distinguishable from a classic OpenMP one" (its Fig. 1) —
+//! the same `#pragma omp parallel for` / `parallel sections` source
+//! compiles to ordered hart teams synchronized by hardware. (The paper
+//! lists completing this translator as future work; it is implemented
+//! here.)
+//!
+//! ## The subset
+//!
+//! `int` scalars, pointers and one-dimensional global arrays; functions;
+//! `if`/`while`/`for`; the usual operators; `#define` object macros;
+//! `omp_set_num_threads`; `#pragma omp parallel for` over the canonical
+//! `for (t = 0; t < N; t++)` loop; and `#pragma omp parallel sections`.
+//! Scalar locals live in registers (at most eight per function) and
+//! cannot have their address taken. Parallel-region bodies may touch the
+//! index variable, their own locals and globals — the shape of every
+//! program in the paper.
+//!
+//! # Examples
+//!
+//! Compile and run the paper's Fig. 1 program:
+//!
+//! ```
+//! use lbp_sim::{LbpConfig, Machine};
+//!
+//! let compiled = lbp_cc::compile(
+//!     r#"
+//! #define NUM_HART 8
+//! #include <det_omp.h>
+//! int v[NUM_HART];
+//! void thread(int t) { v[t] = t + 1; }
+//! void main(void) {
+//!     int t;
+//!     omp_set_num_threads(NUM_HART);
+//! #pragma omp parallel for
+//!     for (t = 0; t < NUM_HART; t++) thread(t);
+//! }
+//! "#,
+//! )?;
+//! let mut m = Machine::new(LbpConfig::cores(2), &compiled.image)?;
+//! m.run(1_000_000)?;
+//! let v = compiled.image.symbol("v").unwrap();
+//! assert_eq!(m.peek_shared(v + 4 * 3)?, 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod ast;
+mod codegen;
+mod lex;
+mod parse;
+mod sema;
+
+pub use sema::{MAX_ARGS, MAX_LOCALS};
+
+/// A compilation error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl CcError {
+    /// Creates an error.
+    pub fn new(line: usize, message: impl Into<String>) -> CcError {
+        CcError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compile error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// The output of a successful compilation.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The generated PISC assembly (inspectable, diffable against the
+    /// paper's listings).
+    pub asm: String,
+    /// The assembled, loadable image.
+    pub image: lbp_asm::Image,
+}
+
+/// Compiles a mini-C translation unit to a loadable LBP image.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, semantic or code-generation
+/// error with its source line.
+pub fn compile(source: &str) -> Result<Compiled, CcError> {
+    let tokens = lex::lex(source)?;
+    let unit = parse::parse(tokens)?;
+    let checked = sema::check(unit)?;
+    let asm = codegen::generate(&checked)?;
+    let image = lbp_asm::assemble(&asm).map_err(|e| {
+        // An assembler error on generated code is a compiler bug; point
+        // at the generated line for debugging.
+        CcError::new(
+            0,
+            format!("internal error: generated assembly rejected: {e}\n--- generated ---\n{asm}"),
+        )
+    })?;
+    Ok(Compiled { asm, image })
+}

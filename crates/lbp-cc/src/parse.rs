@@ -1,0 +1,930 @@
+//! Recursive-descent parser for the mini-C subset.
+
+use crate::ast::*;
+use crate::lex::{Tok, Token};
+use crate::CcError;
+
+/// Parses a token stream into a translation unit.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source line.
+pub fn parse(tokens: Vec<Token>) -> Result<Unit, CcError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CcError {
+        CcError::new(self.line(), msg)
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> Result<(), CcError> {
+        match self.peek() {
+            Tok::Sym(s) if *s == sym => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{sym}`, found {other}"))),
+        }
+    }
+
+    fn at_sym(&self, sym: &str) -> bool {
+        matches!(self.peek(), Tok::Sym(s) if *s == sym)
+    }
+
+    fn eat_ident(&mut self) -> Result<String, CcError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(CcError::new(
+                self.tokens[self.pos - 1].line,
+                format!("expected an identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), CcError> {
+        if self.at_keyword(kw) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found {}", self.peek())))
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, CcError> {
+        let mut unit = Unit {
+            globals: Vec::new(),
+            functions: Vec::new(),
+        };
+        while *self.peek() != Tok::Eof {
+            let line = self.line();
+            let returns_value = if self.at_keyword("void") {
+                self.bump();
+                false
+            } else {
+                self.eat_keyword("int")
+                    .map_err(|_| self.err("expected `int` or `void` at top level"))?;
+                true
+            };
+            // Pointers on the declarator are accepted and erased (all
+            // values are 32-bit words on LBP).
+            while self.at_sym("*") {
+                self.bump();
+            }
+            let name = self.eat_ident()?;
+            if self.at_sym("(") {
+                unit.functions
+                    .push(self.function(name, returns_value, line)?);
+            } else {
+                self.global(&mut unit, name, line)?;
+            }
+        }
+        Ok(unit)
+    }
+
+    fn global(&mut self, unit: &mut Unit, first: String, line: usize) -> Result<(), CcError> {
+        // One or more comma-separated declarators of the same base type.
+        let mut name = first;
+        loop {
+            let mut elems = 1u32;
+            let mut is_array = false;
+            if self.at_sym("[") {
+                self.bump();
+                elems = self.const_expr()?;
+                is_array = true;
+                self.eat_sym("]")?;
+            }
+            let mut fill = None;
+            if self.at_sym("=") {
+                self.bump();
+                fill = Some(self.initializer(is_array)?);
+            }
+            unit.globals.push(Global {
+                name,
+                elems,
+                is_array,
+                fill,
+                line,
+            });
+            if self.at_sym(",") {
+                self.bump();
+                name = self.eat_ident()?;
+                continue;
+            }
+            self.eat_sym(";")?;
+            return Ok(());
+        }
+    }
+
+    /// A constant expression for array bounds (literals and `<<` only —
+    /// `#define`s were already substituted by the lexer).
+    fn const_expr(&mut self) -> Result<u32, CcError> {
+        let v = match self.bump() {
+            Tok::Int(v) => v,
+            other => return Err(self.err(format!("expected a constant, found {other}"))),
+        };
+        let v = if self.at_sym("<<") {
+            self.bump();
+            match self.bump() {
+                Tok::Int(s) => v << s,
+                other => return Err(self.err(format!("expected a constant, found {other}"))),
+            }
+        } else if self.at_sym("*") {
+            self.bump();
+            match self.bump() {
+                Tok::Int(s) => v * s,
+                other => return Err(self.err(format!("expected a constant, found {other}"))),
+            }
+        } else {
+            v
+        };
+        u32::try_from(v).map_err(|_| self.err(format!("bad array size {v}")))
+    }
+
+    /// `= 3` for scalars; for arrays, `= {[0 ... N-1] = 1}` (the paper's
+    /// fill form) or an explicit list `= {1, 2, 3}` (remaining elements
+    /// zero).
+    fn initializer(&mut self, is_array: bool) -> Result<Init, CcError> {
+        if !is_array {
+            return match self.bump() {
+                Tok::Int(v) => Ok(Init::Uniform(v)),
+                other => Err(self.err(format!("expected a constant initializer, found {other}"))),
+            };
+        }
+        self.eat_sym("{")?;
+        if self.at_sym("[") {
+            // `[0 ... N-1] = fill` — accept any range, use the fill value.
+            while !self.at_sym("=") {
+                if matches!(self.peek(), Tok::Eof) {
+                    return Err(self.err("unterminated designated initializer"));
+                }
+                self.bump();
+            }
+            self.eat_sym("=")?;
+            let v = match self.bump() {
+                Tok::Int(v) => v,
+                other => return Err(self.err(format!("expected a fill constant, found {other}"))),
+            };
+            self.eat_sym("}")?;
+            return Ok(Init::Uniform(v));
+        }
+        let mut values = Vec::new();
+        loop {
+            let v = match self.bump() {
+                Tok::Int(v) => v,
+                Tok::Sym("-") => match self.bump() {
+                    Tok::Int(v) => -v,
+                    other => {
+                        return Err(self.err(format!("expected a constant, found {other}")))
+                    }
+                },
+                other => return Err(self.err(format!("expected a constant, found {other}"))),
+            };
+            values.push(v);
+            if self.at_sym(",") {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.eat_sym("}")?;
+        Ok(Init::List(values))
+    }
+
+    fn function(
+        &mut self,
+        name: String,
+        returns_value: bool,
+        line: usize,
+    ) -> Result<Function, CcError> {
+        self.eat_sym("(")?;
+        let mut params = Vec::new();
+        if !self.at_sym(")") {
+            loop {
+                if self.at_keyword("void") && params.is_empty() && self.peek2() == &Tok::Sym(")") {
+                    self.bump();
+                    break;
+                }
+                self.eat_keyword("int")?;
+                while self.at_sym("*") {
+                    self.bump();
+                }
+                let pname = self.eat_ident()?;
+                // Array parameters `int v[]` decay to pointers.
+                if self.at_sym("[") {
+                    self.bump();
+                    if let Tok::Int(_) = self.peek() {
+                        self.bump();
+                    }
+                    self.eat_sym("]")?;
+                }
+                params.push(pname);
+                if self.at_sym(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_sym(")")?;
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            params,
+            returns_value,
+            body,
+            line,
+        })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CcError> {
+        self.eat_sym("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_sym("}") {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.err("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, CcError> {
+        if self.at_sym("{") {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CcError> {
+        let line = self.line();
+        if self.at_sym("{") {
+            // A bare block statement (scoping is flat: locals are
+            // function-wide registers).
+            let body = self.block()?;
+            return Ok(Stmt::If {
+                cond: Expr::Int(1),
+                then: body,
+                els: Vec::new(),
+            });
+        }
+        match self.peek().clone() {
+            Tok::PragmaParallelFor => {
+                self.bump();
+                self.parallel_for(line)
+            }
+            Tok::PragmaParallelSections => {
+                self.bump();
+                self.parallel_sections(line)
+            }
+            Tok::PragmaSection => {
+                Err(self.err("`#pragma omp section` outside a `parallel sections` block"))
+            }
+            Tok::Ident(kw) if kw == "int" => {
+                self.bump();
+                while self.at_sym("*") {
+                    self.bump();
+                }
+                let name = self.eat_ident()?;
+                if self.at_sym("[") {
+                    // A stack-allocated local array: `int buf[16];`.
+                    self.bump();
+                    let elems = self.const_expr()?;
+                    self.eat_sym("]")?;
+                    self.eat_sym(";")?;
+                    return Ok(Stmt::DeclArray { name, elems, line });
+                }
+                // Comma-separated scalar locals: `int i, j, k;`.
+                let mut decls = Vec::new();
+                let mut current = name;
+                loop {
+                    let init = if self.at_sym("=") {
+                        self.bump();
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    decls.push(Stmt::Decl {
+                        name: current.clone(),
+                        init,
+                        line,
+                    });
+                    if self.at_sym(",") {
+                        self.bump();
+                        while self.at_sym("*") {
+                            self.bump();
+                        }
+                        current = self.eat_ident()?;
+                    } else {
+                        break;
+                    }
+                }
+                self.eat_sym(";")?;
+                if decls.len() == 1 {
+                    Ok(decls.pop().expect("one decl"))
+                } else {
+                    // Represent multi-decls as a flattened sequence via a
+                    // zero-iteration-free `if (1)` block is ugly; instead
+                    // nest them in an always-true If with empty else.
+                    Ok(Stmt::If {
+                        cond: Expr::Int(1),
+                        then: decls,
+                        els: Vec::new(),
+                    })
+                }
+            }
+            Tok::Ident(kw) if kw == "if" => {
+                self.bump();
+                self.eat_sym("(")?;
+                let cond = self.expr()?;
+                self.eat_sym(")")?;
+                let then = self.stmt_or_block()?;
+                let els = if self.at_keyword("else") {
+                    self.bump();
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::Ident(kw) if kw == "do" => {
+                self.bump();
+                let body = self.stmt_or_block()?;
+                self.eat_keyword("while")?;
+                self.eat_sym("(")?;
+                let cond = self.expr()?;
+                self.eat_sym(")")?;
+                self.eat_sym(";")?;
+                // Desugar to `while (1) { body; if (!cond) break; }`.
+                // `break` binds correctly; `continue` would re-enter the
+                // body instead of testing the condition, so reject it.
+                if body_has_toplevel_continue(&body) {
+                    return Err(CcError::new(
+                        line,
+                        "`continue` directly inside `do/while` is not supported",
+                    ));
+                }
+                let mut looped = body;
+                looped.push(Stmt::If {
+                    cond,
+                    then: Vec::new(),
+                    els: vec![Stmt::Break(line)],
+                });
+                Ok(Stmt::While {
+                    cond: Expr::Int(1),
+                    body: looped,
+                })
+            }
+            Tok::Ident(kw) if kw == "while" => {
+                self.bump();
+                self.eat_sym("(")?;
+                let cond = self.expr()?;
+                self.eat_sym(")")?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Ident(kw) if kw == "for" => {
+                self.bump();
+                let (init, cond, step) = self.for_header()?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::For {
+                    init: Box::new(init),
+                    cond,
+                    step: Box::new(step),
+                    body,
+                })
+            }
+            Tok::Ident(kw) if kw == "break" => {
+                self.bump();
+                self.eat_sym(";")?;
+                Ok(Stmt::Break(line))
+            }
+            Tok::Ident(kw) if kw == "continue" => {
+                self.bump();
+                self.eat_sym(";")?;
+                Ok(Stmt::Continue(line))
+            }
+            Tok::Ident(kw) if kw == "return" => {
+                self.bump();
+                let value = if self.at_sym(";") {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.eat_sym(";")?;
+                Ok(Stmt::Return(value, line))
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.eat_sym(";")?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn for_header(&mut self) -> Result<(Option<Stmt>, Option<Expr>, Option<Stmt>), CcError> {
+        self.eat_sym("(")?;
+        let init = if self.at_sym(";") {
+            None
+        } else if self.at_keyword("int") {
+            // `for (int i = 0; ...)`.
+            self.bump();
+            let line = self.line();
+            let name = self.eat_ident()?;
+            self.eat_sym("=")?;
+            let e = self.expr()?;
+            Some(Stmt::Decl {
+                name,
+                init: Some(e),
+                line,
+            })
+        } else {
+            Some(self.comma_stmts()?)
+        };
+        self.eat_sym(";")?;
+        let cond = if self.at_sym(";") {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.eat_sym(";")?;
+        let step = if self.at_sym(")") {
+            None
+        } else {
+            Some(self.comma_stmts()?)
+        };
+        self.eat_sym(")")?;
+        Ok((init, cond, step))
+    }
+
+    /// One or more comma-separated simple statements (the paper's Fig. 18
+    /// writes `for (l = 0, i = t; ...)`), folded into a single statement.
+    fn comma_stmts(&mut self) -> Result<Stmt, CcError> {
+        let mut stmts = vec![self.simple_stmt()?];
+        while self.at_sym(",") {
+            self.bump();
+            stmts.push(self.simple_stmt()?);
+        }
+        if stmts.len() == 1 {
+            Ok(stmts.pop().expect("one statement"))
+        } else {
+            // An always-true If is the parser's statement-sequence node.
+            Ok(Stmt::If {
+                cond: Expr::Int(1),
+                then: stmts,
+                els: Vec::new(),
+            })
+        }
+    }
+
+    /// Assignment / compound assignment / increment / call — statements
+    /// that also appear in `for` headers.
+    fn simple_stmt(&mut self) -> Result<Stmt, CcError> {
+        let line = self.line();
+        let e = self.expr()?;
+        // `x = e`, `x += e`, `x++`: rewrite the parsed lhs expression
+        // into a place.
+        for (sym, op) in [
+            ("+=", Some(BinOp::Add)),
+            ("-=", Some(BinOp::Sub)),
+            ("*=", Some(BinOp::Mul)),
+            ("/=", Some(BinOp::Div)),
+            ("%=", Some(BinOp::Rem)),
+            ("=", None),
+        ] {
+            if self.at_sym(sym) {
+                self.bump();
+                let place = expr_to_place(&e)
+                    .ok_or_else(|| CcError::new(line, "left side is not assignable"))?;
+                let rhs = self.expr()?;
+                let rhs = match op {
+                    Some(op) => Expr::Binary(op, Box::new(e), Box::new(rhs)),
+                    None => rhs,
+                };
+                return Ok(Stmt::Assign {
+                    lhs: place,
+                    rhs,
+                    line,
+                });
+            }
+        }
+        for (sym, op) in [("++", BinOp::Add), ("--", BinOp::Sub)] {
+            if self.at_sym(sym) {
+                self.bump();
+                let place = expr_to_place(&e)
+                    .ok_or_else(|| CcError::new(line, "operand of ++/-- is not assignable"))?;
+                return Ok(Stmt::Assign {
+                    lhs: place,
+                    rhs: Expr::Binary(op, Box::new(e), Box::new(Expr::Int(1))),
+                    line,
+                });
+            }
+        }
+        Ok(Stmt::Expr(e, line))
+    }
+
+    /// The canonical parallel-for form: `for (v = 0; v < N; v++) body`.
+    fn parallel_for(&mut self, line: usize) -> Result<Stmt, CcError> {
+        self.eat_keyword("for").map_err(|_| {
+            CcError::new(line, "`#pragma omp parallel for` must precede a for loop")
+        })?;
+        let (init, cond, step) = self.for_header()?;
+        let body = self.stmt_or_block()?;
+        // Validate the canonical shape and extract (var, count).
+        let (var, start) = match init {
+            Some(Stmt::Assign {
+                lhs: Place::Var(v),
+                rhs: Expr::Int(s),
+                ..
+            })
+            | Some(Stmt::Decl {
+                name: v,
+                init: Some(Expr::Int(s)),
+                ..
+            }) => (v, s),
+            _ => {
+                return Err(CcError::new(
+                    line,
+                    "parallel for must initialize its index to a constant (e.g. `t = 0`)",
+                ))
+            }
+        };
+        if start != 0 {
+            return Err(CcError::new(line, "parallel for must start at 0"));
+        }
+        let count = match cond {
+            Some(Expr::Binary(BinOp::Lt, lhs, rhs)) => match (*lhs, *rhs) {
+                (Expr::Var(v), Expr::Int(n)) if v == var => n,
+                _ => {
+                    return Err(CcError::new(
+                        line,
+                        "parallel for condition must be `index < CONSTANT`",
+                    ))
+                }
+            },
+            _ => {
+                return Err(CcError::new(
+                    line,
+                    "parallel for condition must be `index < CONSTANT`",
+                ))
+            }
+        };
+        match step {
+            Some(Stmt::Assign {
+                lhs: Place::Var(v),
+                rhs: Expr::Binary(BinOp::Add, a, b),
+                ..
+            }) if v == var
+                && matches!(*a, Expr::Var(ref x) if *x == var)
+                && matches!(*b, Expr::Int(1)) => {}
+            _ => {
+                return Err(CcError::new(
+                    line,
+                    "parallel for step must be `index++` (or `index = index + 1`)",
+                ))
+            }
+        }
+        if count < 1 {
+            return Err(CcError::new(
+                line,
+                "parallel for needs a positive trip count",
+            ));
+        }
+        Ok(Stmt::ParallelFor {
+            var,
+            count,
+            body,
+            line,
+        })
+    }
+
+    fn parallel_sections(&mut self, line: usize) -> Result<Stmt, CcError> {
+        self.eat_sym("{")
+            .map_err(|_| CcError::new(line, "`parallel sections` must be followed by a block"))?;
+        let mut sections = Vec::new();
+        while !self.at_sym("}") {
+            match self.peek() {
+                Tok::PragmaSection => {
+                    self.bump();
+                    sections.push(self.stmt_or_block()?);
+                }
+                Tok::Eof => return Err(self.err("unterminated parallel sections block")),
+                other => {
+                    return Err(self.err(format!("expected `#pragma omp section`, found {other}")))
+                }
+            }
+        }
+        self.bump();
+        if sections.is_empty() {
+            return Err(CcError::new(
+                line,
+                "parallel sections needs at least one section",
+            ));
+        }
+        Ok(Stmt::ParallelSections { sections, line })
+    }
+
+    // ----- expressions (precedence climbing) -----
+
+    fn expr(&mut self) -> Result<Expr, CcError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_tier: usize) -> Result<Expr, CcError> {
+        const TIERS: [&[(&str, BinOp)]; 10] = [
+            &[("||", BinOp::LOr)],
+            &[("&&", BinOp::LAnd)],
+            &[("|", BinOp::Or)],
+            &[("^", BinOp::Xor)],
+            &[("&", BinOp::And)],
+            &[("==", BinOp::Eq), ("!=", BinOp::Ne)],
+            &[
+                ("<", BinOp::Lt),
+                ("<=", BinOp::Le),
+                (">", BinOp::Gt),
+                (">=", BinOp::Ge),
+            ],
+            &[("<<", BinOp::Shl), (">>", BinOp::Shr)],
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Rem)],
+        ];
+        if min_tier >= TIERS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(min_tier + 1)?;
+        'outer: loop {
+            for &(sym, op) in TIERS[min_tier] {
+                if self.at_sym(sym) {
+                    self.bump();
+                    let rhs = self.binary(min_tier + 1)?;
+                    lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, CcError> {
+        if self.at_sym("-") {
+            self.bump();
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.at_sym("!") {
+            self.bump();
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)));
+        }
+        if self.at_sym("~") {
+            self.bump();
+            return Ok(Expr::Unary(UnOp::BitNot, Box::new(self.unary()?)));
+        }
+        if self.at_sym("*") {
+            self.bump();
+            return Ok(Expr::Deref(Box::new(self.unary()?)));
+        }
+        if self.at_sym("&") {
+            self.bump();
+            let e = self.unary()?;
+            let place = expr_to_place(&e)
+                .ok_or_else(|| self.err("`&` needs a variable or array element"))?;
+            return Ok(Expr::AddrOf(Box::new(place)));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CcError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::Sym("(") => {
+                // Casts like `(int *)` or `(type_t *)` are erased. Only
+                // type-looking names count, so `(a * b)` stays a product
+                // (we have no typedef table to disambiguate with).
+                if let Tok::Ident(id) = self.peek().clone() {
+                    if (id == "int" || id.ends_with("_t")) && matches!(self.peek2(), Tok::Sym("*"))
+                    {
+                        self.bump();
+                        self.bump();
+                        self.eat_sym(")")?;
+                        return self.unary();
+                    }
+                }
+                let e = self.expr()?;
+                self.eat_sym(")")?;
+                // A parenthesized expression may be indexed.
+                self.maybe_index_or_call_on(e)
+            }
+            Tok::Ident(name) => {
+                if self.at_sym("(") {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at_sym(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at_sym(",") {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_sym(")")?;
+                    return Ok(Expr::Call(name, args));
+                }
+                if self.at_sym("[") {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.eat_sym("]")?;
+                    return Ok(Expr::Index(name, Box::new(idx)));
+                }
+                Ok(Expr::Var(name))
+            }
+            other => Err(CcError::new(
+                self.tokens[self.pos - 1].line,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+
+    fn maybe_index_or_call_on(&mut self, e: Expr) -> Result<Expr, CcError> {
+        if self.at_sym("[") {
+            self.bump();
+            let idx = self.expr()?;
+            self.eat_sym("]")?;
+            // `(p)[i]` == `*(p + i)` in words: scale by 4 at codegen via
+            // Deref of pointer arithmetic.
+            return Ok(Expr::Deref(Box::new(Expr::Binary(
+                BinOp::Add,
+                Box::new(e),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(idx),
+                    Box::new(Expr::Int(4)),
+                )),
+            ))));
+        }
+        Ok(e)
+    }
+}
+
+/// Whether a statement list contains a `continue` that would bind to the
+/// enclosing loop (i.e. not nested inside a further loop).
+fn body_has_toplevel_continue(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Continue(_) => true,
+        Stmt::If { then, els, .. } => {
+            body_has_toplevel_continue(then) || body_has_toplevel_continue(els)
+        }
+        _ => false,
+    })
+}
+
+/// Rewrites an already-parsed expression into an assignable place.
+fn expr_to_place(e: &Expr) -> Option<Place> {
+    match e {
+        Expr::Var(name) => Some(Place::Var(name.clone())),
+        Expr::Index(name, idx) => Some(Place::Index(name.clone(), (**idx).clone())),
+        Expr::Deref(inner) => Some(Place::Deref((**inner).clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(lex(src).unwrap()).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn globals_and_arrays() {
+        let u = parse_src("int x; int v[16]; int w[4] = {[0 ... 3] = 1}; int y = 7;");
+        assert_eq!(u.globals.len(), 4);
+        assert_eq!(u.globals[1].elems, 16);
+        assert_eq!(u.globals[2].fill, Some(Init::Uniform(1)));
+        assert_eq!(u.globals[3].fill, Some(Init::Uniform(7)));
+        assert!(!u.globals[3].is_array);
+    }
+
+    #[test]
+    fn function_with_control_flow() {
+        let u = parse_src("int abs(int x) { if (x < 0) { return -x; } else { return x; } }");
+        assert_eq!(u.functions[0].params, vec!["x"]);
+        assert!(u.functions[0].returns_value);
+    }
+
+    #[test]
+    fn for_loops_and_compound_assign() {
+        let u = parse_src("void f(void) { int s = 0; int i; for (i = 0; i < 10; i++) s += i; }");
+        let body = &u.functions[0].body;
+        assert!(matches!(body[2], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parallel_for_canonical_form() {
+        let u = parse_src(
+            "#define NUM_HART 8
+void thread(int t) { }
+void main(void) {
+    int t;
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) thread(t);
+}",
+        );
+        let main = u.functions.iter().find(|f| f.name == "main").unwrap();
+        let pf = main
+            .body
+            .iter()
+            .find(|s| matches!(s, Stmt::ParallelFor { .. }));
+        match pf {
+            Some(Stmt::ParallelFor { var, count, .. }) => {
+                assert_eq!(var, "t");
+                assert_eq!(*count, 8);
+            }
+            other => panic!("expected parallel for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_for_rejects_non_canonical() {
+        let bad =
+            "void main(void) { int t;\n#pragma omp parallel for\nfor (t = 1; t < 8; t++) { } }";
+        assert!(parse(lex(bad).unwrap()).is_err());
+        let bad2 =
+            "void main(void) { int t;\n#pragma omp parallel for\nfor (t = 0; t < 8; t += 2) { } }";
+        assert!(parse(lex(bad2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn parallel_sections() {
+        let u = parse_src(
+            "void main(void) {
+#pragma omp parallel sections
+{
+#pragma omp section
+    { }
+#pragma omp section
+    { }
+}
+}",
+        );
+        match &u.functions[0].body[0] {
+            Stmt::ParallelSections { sections, .. } => assert_eq!(sections.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let u = parse_src("int f(void) { return 1 + 2 * 3 < 8 && 1; }");
+        match &u.functions[0].body[0] {
+            Stmt::Return(Some(Expr::Binary(BinOp::LAnd, ..)), _) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pointers_and_casts_erase() {
+        let u = parse_src("void f(int *p) { int x; x = *p; *p = x + 1; p[2] = 5; x = (int *)p; }");
+        assert_eq!(u.functions[0].params, vec!["p"]);
+    }
+
+    #[test]
+    fn sensible_errors() {
+        let e = parse(lex("int f( { }").unwrap()).unwrap_err();
+        assert!(e.to_string().contains("expected"));
+    }
+}

@@ -1,0 +1,472 @@
+//! Semantic checks: name resolution, arity, and the Deterministic OpenMP
+//! region restrictions.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::CcError;
+
+/// Summary of the checked unit, consumed by the code generator.
+#[derive(Debug, Clone)]
+pub struct Checked {
+    /// The unit itself.
+    pub unit: Unit,
+    /// Global name → is-array.
+    pub globals: HashMap<String, bool>,
+    /// Function name → (param count, returns value).
+    pub signatures: HashMap<String, (usize, bool)>,
+}
+
+/// Functions the compiler provides (the `det_omp.h` API surface).
+const BUILTINS: [(&str, usize, bool); 1] = [("omp_set_num_threads", 1, false)];
+
+/// The register-allocatable local budget per function (locals + params
+/// live in `s4`-`s11`).
+pub const MAX_LOCALS: usize = 8;
+
+/// Maximum call arguments (`a0`-`a5`; `a6`/`a7` are expression scratch).
+pub const MAX_ARGS: usize = 6;
+
+/// Checks a parsed unit.
+///
+/// # Errors
+///
+/// Returns the first semantic error with its source line.
+pub fn check(unit: Unit) -> Result<Checked, CcError> {
+    let mut globals = HashMap::new();
+    for g in &unit.globals {
+        if globals.insert(g.name.clone(), g.is_array).is_some() {
+            return Err(CcError::new(
+                g.line,
+                format!("duplicate global `{}`", g.name),
+            ));
+        }
+    }
+    let mut signatures: HashMap<String, (usize, bool)> = BUILTINS
+        .iter()
+        .map(|&(n, a, r)| (n.to_owned(), (a, r)))
+        .collect();
+    for f in &unit.functions {
+        if globals.contains_key(&f.name) {
+            return Err(CcError::new(
+                f.line,
+                format!("`{}` is both a global and a function", f.name),
+            ));
+        }
+        if signatures
+            .insert(f.name.clone(), (f.params.len(), f.returns_value))
+            .is_some()
+        {
+            return Err(CcError::new(
+                f.line,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+    if !signatures.contains_key("main") {
+        return Err(CcError::new(1, "a program needs a `main` function"));
+    }
+    let checked = Checked {
+        unit,
+        globals,
+        signatures,
+    };
+    for f in &checked.unit.functions {
+        check_function(f, &checked)?;
+    }
+    Ok(checked)
+}
+
+fn check_function(f: &Function, cx: &Checked) -> Result<(), CcError> {
+    let mut scope: HashMap<String, bool> = HashMap::new();
+    for p in &f.params {
+        if scope.insert(p.clone(), false).is_some() {
+            return Err(CcError::new(f.line, format!("duplicate parameter `{p}`")));
+        }
+    }
+    let mut counter = f.params.len();
+    check_block(&f.body, f, cx, &mut scope, &mut counter, false)?;
+    if counter > MAX_LOCALS {
+        return Err(CcError::new(
+            f.line,
+            format!(
+                "function `{}` needs {counter} register locals; the compiler supports {MAX_LOCALS}",
+                f.name
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn check_block(
+    stmts: &[Stmt],
+    f: &Function,
+    cx: &Checked,
+    scope: &mut HashMap<String, bool>,
+    counter: &mut usize,
+    in_region: bool,
+) -> Result<(), CcError> {
+    check_block_depth(stmts, f, cx, scope, counter, in_region, 0)
+}
+
+fn check_block_depth(
+    stmts: &[Stmt],
+    f: &Function,
+    cx: &Checked,
+    scope: &mut HashMap<String, bool>,
+    counter: &mut usize,
+    in_region: bool,
+    loops: usize,
+) -> Result<(), CcError> {
+    for s in stmts {
+        check_stmt_depth(s, f, cx, scope, counter, in_region, loops)?;
+    }
+    Ok(())
+}
+
+fn check_stmt_depth(
+    s: &Stmt,
+    f: &Function,
+    cx: &Checked,
+    scope: &mut HashMap<String, bool>,
+    counter: &mut usize,
+    in_region: bool,
+    loops: usize,
+) -> Result<(), CcError> {
+    match s {
+        Stmt::Break(line) | Stmt::Continue(line) => {
+            if loops == 0 {
+                return Err(CcError::new(*line, "`break`/`continue` outside a loop"));
+            }
+        }
+        Stmt::Decl { name, init, line } => {
+            if let Some(e) = init {
+                check_expr(e, *line, cx, scope)?;
+            }
+            if cx.globals.contains_key(name) {
+                // Shadowing a global is allowed; it resolves to the local.
+            }
+            if scope.insert(name.clone(), false).is_some() {
+                return Err(CcError::new(*line, format!("duplicate local `{name}`")));
+            }
+            *counter += 1;
+        }
+        Stmt::DeclArray { name, elems, line } => {
+            if *elems == 0 {
+                return Err(CcError::new(
+                    *line,
+                    format!("array `{name}` has zero elements"),
+                ));
+            }
+            if *elems * 4 > 8192 {
+                return Err(CcError::new(
+                    *line,
+                    format!("local array `{name}` exceeds the 8 KiB frame budget"),
+                ));
+            }
+            if scope.insert(name.clone(), true).is_some() {
+                return Err(CcError::new(*line, format!("duplicate local `{name}`")));
+            }
+            // Arrays live in the frame, not in the register-local budget.
+        }
+        Stmt::Assign { lhs, rhs, line } => {
+            check_place(lhs, *line, cx, scope)?;
+            check_expr(rhs, *line, cx, scope)?;
+        }
+        Stmt::Expr(e, line) => check_expr(e, *line, cx, scope)?,
+        Stmt::If { cond, then, els } => {
+            check_expr(cond, f.line, cx, scope)?;
+            check_block_depth(then, f, cx, scope, counter, in_region, loops)?;
+            check_block_depth(els, f, cx, scope, counter, in_region, loops)?;
+        }
+        Stmt::While { cond, body } => {
+            check_expr(cond, f.line, cx, scope)?;
+            check_block_depth(body, f, cx, scope, counter, in_region, loops + 1)?;
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(i) = init.as_ref() {
+                check_stmt_depth(i, f, cx, scope, counter, in_region, loops)?;
+            }
+            if let Some(c) = cond {
+                check_expr(c, f.line, cx, scope)?;
+            }
+            check_block_depth(body, f, cx, scope, counter, in_region, loops + 1)?;
+            if let Some(st) = step.as_ref() {
+                check_stmt_depth(st, f, cx, scope, counter, in_region, loops + 1)?;
+            }
+        }
+        Stmt::Return(value, line) => {
+            if in_region {
+                return Err(CcError::new(*line, "`return` inside a parallel region"));
+            }
+            match (value, f.returns_value) {
+                (Some(e), true) => check_expr(e, *line, cx, scope)?,
+                (None, false) => {}
+                (Some(_), false) => {
+                    return Err(CcError::new(
+                        *line,
+                        "returning a value from a void function",
+                    ))
+                }
+                (None, true) => return Err(CcError::new(*line, "missing return value")),
+            }
+        }
+        Stmt::ParallelFor {
+            var,
+            body,
+            line,
+            count,
+        } => {
+            if f.name != "main" {
+                return Err(CcError::new(
+                    *line,
+                    "parallel regions are only supported in `main` (the paper's program shape)",
+                ));
+            }
+            if in_region {
+                return Err(CcError::new(
+                    *line,
+                    "nested parallel regions are not supported",
+                ));
+            }
+            if *count > 256 {
+                return Err(CcError::new(
+                    *line,
+                    format!("team of {count} exceeds 256 harts"),
+                ));
+            }
+            // The member body sees only the index variable, its own
+            // locals, and globals.
+            let mut region_scope: HashMap<String, bool> = HashMap::new();
+            region_scope.insert(var.clone(), false);
+            let mut region_locals = 1usize;
+            check_block(body, f, cx, &mut region_scope, &mut region_locals, true)?;
+            if region_locals > MAX_LOCALS {
+                return Err(CcError::new(
+                    *line,
+                    format!(
+                        "parallel body needs {region_locals} register locals; max {MAX_LOCALS}"
+                    ),
+                ));
+            }
+        }
+        Stmt::ParallelSections { sections, line } => {
+            if f.name != "main" {
+                return Err(CcError::new(
+                    *line,
+                    "parallel regions are only supported in `main`",
+                ));
+            }
+            if in_region {
+                return Err(CcError::new(
+                    *line,
+                    "nested parallel regions are not supported",
+                ));
+            }
+            for body in sections {
+                let mut region_scope = HashMap::new();
+                let mut region_locals = 0usize;
+                check_block(body, f, cx, &mut region_scope, &mut region_locals, true)?;
+                if region_locals > MAX_LOCALS {
+                    return Err(CcError::new(
+                        *line,
+                        "section needs too many register locals",
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_place(
+    p: &Place,
+    line: usize,
+    cx: &Checked,
+    scope: &HashMap<String, bool>,
+) -> Result<(), CcError> {
+    match p {
+        Place::Var(name) => {
+            if let Some(&is_array) = scope.get(name) {
+                if is_array {
+                    return Err(CcError::new(
+                        line,
+                        format!("cannot assign to array `{name}`"),
+                    ));
+                }
+                return Ok(());
+            }
+            match cx.globals.get(name) {
+                Some(false) => Ok(()),
+                Some(true) => Err(CcError::new(
+                    line,
+                    format!("cannot assign to array `{name}`"),
+                )),
+                None => Err(CcError::new(line, format!("undefined variable `{name}`"))),
+            }
+        }
+        Place::Index(name, idx) => {
+            if !scope.contains_key(name) && !cx.globals.contains_key(name) {
+                return Err(CcError::new(line, format!("undefined variable `{name}`")));
+            }
+            check_expr(idx, line, cx, scope)
+        }
+        Place::Deref(e) => check_expr(e, line, cx, scope),
+    }
+}
+
+fn check_expr(
+    e: &Expr,
+    line: usize,
+    cx: &Checked,
+    scope: &HashMap<String, bool>,
+) -> Result<(), CcError> {
+    match e {
+        Expr::Int(_) => Ok(()),
+        Expr::Var(name) => {
+            if scope.contains_key(name) || cx.globals.contains_key(name) {
+                Ok(())
+            } else {
+                Err(CcError::new(line, format!("undefined variable `{name}`")))
+            }
+        }
+        Expr::Index(name, idx) => {
+            if !scope.contains_key(name) && !cx.globals.contains_key(name) {
+                return Err(CcError::new(line, format!("undefined variable `{name}`")));
+            }
+            check_expr(idx, line, cx, scope)
+        }
+        Expr::Deref(inner) => check_expr(inner, line, cx, scope),
+        Expr::AddrOf(place) => match place.as_ref() {
+            Place::Var(name) if scope.get(name) == Some(&false) => Err(CcError::new(
+                line,
+                format!("cannot take the address of register local `{name}`"),
+            )),
+            p => check_place(p, line, cx, scope),
+        },
+        Expr::Unary(_, inner) => check_expr(inner, line, cx, scope),
+        Expr::Binary(_, a, b) => {
+            check_expr(a, line, cx, scope)?;
+            check_expr(b, line, cx, scope)
+        }
+        Expr::Call(name, args) => {
+            let (arity, _ret) = cx.signatures.get(name).ok_or_else(|| {
+                CcError::new(line, format!("call to undefined function `{name}`"))
+            })?;
+            if args.len() != *arity {
+                return Err(CcError::new(
+                    line,
+                    format!("`{name}` takes {arity} argument(s), got {}", args.len()),
+                ));
+            }
+            if args.len() > MAX_ARGS {
+                return Err(CcError::new(
+                    line,
+                    format!("calls support at most {MAX_ARGS} arguments"),
+                ));
+            }
+            for a in args {
+                check_expr(a, line, cx, scope)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::parse::parse;
+
+    fn check_src(src: &str) -> Result<Checked, CcError> {
+        check(parse(lex(src).unwrap())?)
+    }
+
+    #[test]
+    fn accepts_a_paper_shaped_program() {
+        check_src(
+            "#define NUM_HART 8
+int v[8];
+void thread(int t) { v[t] = t; }
+void main(void) {
+    int t;
+    omp_set_num_threads(NUM_HART);
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) thread(t);
+}",
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undefined_names() {
+        assert!(check_src("void main(void) { x = 1; }").is_err());
+        assert!(check_src("void main(void) { f(); }").is_err());
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let e = check_src("void f(int a) { } void main(void) { f(1, 2); }").unwrap_err();
+        assert!(e.to_string().contains("takes 1"));
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        assert!(check_src("void f(void) { }").is_err());
+    }
+
+    #[test]
+    fn region_capture_is_rejected() {
+        let e = check_src(
+            "void main(void) {
+    int t; int secret;
+    secret = 5;
+#pragma omp parallel for
+    for (t = 0; t < 4; t++) { int x; x = secret; }
+}",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("undefined variable `secret`"));
+    }
+
+    #[test]
+    fn regions_only_in_main() {
+        let e = check_src(
+            "void helper(void) {
+    int t;
+#pragma omp parallel for
+    for (t = 0; t < 4; t++) { }
+}
+void main(void) { }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("only supported in `main`"));
+    }
+
+    #[test]
+    fn addr_of_register_local_rejected() {
+        let e = check_src("void main(void) { int x; int p; p = &x; }").unwrap_err();
+        assert!(e.to_string().contains("register local"));
+    }
+
+    #[test]
+    fn too_many_locals_rejected() {
+        let e = check_src(
+            "void main(void) { int a; int b; int c; int d; int e; int f; int g; int h; int i; }",
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("register locals"));
+    }
+
+    #[test]
+    fn assigning_to_array_rejected() {
+        let e = check_src("int v[4]; void main(void) { v = 1; }").unwrap_err();
+        assert!(e.to_string().contains("cannot assign to array"));
+    }
+}

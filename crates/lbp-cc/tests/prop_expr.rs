@@ -1,0 +1,156 @@
+//! Property test: random expression trees compiled by `lbp-cc` and
+//! executed on the LBP simulator produce the same values as a host-side
+//! reference evaluator (with RV32 semantics: wrapping `i32` arithmetic,
+//! masked shifts, RISC-V division-by-zero results).
+
+use lbp_cc::compile;
+use lbp_sim::{LbpConfig, Machine};
+use proptest::prelude::*;
+
+/// A random expression over three variables `a`, `b`, `c`.
+#[derive(Debug, Clone)]
+enum E {
+    Const(i32),
+    Var(usize),
+    Un(&'static str, Box<E>),
+    Bin(&'static str, Box<E>, Box<E>),
+}
+
+impl E {
+    fn to_c(&self) -> String {
+        match self {
+            E::Const(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", (*v as i64).abs())
+                } else {
+                    format!("{v}")
+                }
+            }
+            E::Var(i) => ["a", "b", "c"][*i].to_owned(),
+            E::Un(op, x) => format!("({op}{})", x.to_c()),
+            E::Bin(op, x, y) => format!("({} {op} {})", x.to_c(), y.to_c()),
+        }
+    }
+
+    fn eval(&self, vars: [i32; 3]) -> i32 {
+        match self {
+            E::Const(v) => *v,
+            E::Var(i) => vars[*i],
+            E::Un(op, x) => {
+                let v = x.eval(vars);
+                match *op {
+                    "-" => v.wrapping_neg(),
+                    "!" => (v == 0) as i32,
+                    "~" => !v,
+                    _ => unreachable!(),
+                }
+            }
+            E::Bin(op, x, y) => {
+                let (a, b) = (x.eval(vars), y.eval(vars));
+                match *op {
+                    "+" => a.wrapping_add(b),
+                    "-" => a.wrapping_sub(b),
+                    "*" => a.wrapping_mul(b),
+                    "/" => {
+                        if b == 0 {
+                            -1
+                        } else if a == i32::MIN && b == -1 {
+                            a
+                        } else {
+                            a.wrapping_div(b)
+                        }
+                    }
+                    "%" => {
+                        if b == 0 {
+                            a
+                        } else if a == i32::MIN && b == -1 {
+                            0
+                        } else {
+                            a.wrapping_rem(b)
+                        }
+                    }
+                    "&" => a & b,
+                    "|" => a | b,
+                    "^" => a ^ b,
+                    "<<" => a.wrapping_shl(b as u32 & 31),
+                    ">>" => a.wrapping_shr(b as u32 & 31),
+                    "<" => (a < b) as i32,
+                    "<=" => (a <= b) as i32,
+                    ">" => (a > b) as i32,
+                    ">=" => (a >= b) as i32,
+                    "==" => (a == b) as i32,
+                    "!=" => (a != b) as i32,
+                    "&&" => ((a != 0) && (b != 0)) as i32,
+                    "||" => ((a != 0) || (b != 0)) as i32,
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-64i32..64).prop_map(E::Const),
+        (0usize..3).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (prop_oneof![Just("-"), Just("!"), Just("~")], inner.clone())
+                .prop_map(|(op, x)| E::Un(op, Box::new(x))),
+            (
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("%"),
+                    Just("&"),
+                    Just("|"),
+                    Just("^"),
+                    Just("<"),
+                    Just("<="),
+                    Just(">"),
+                    Just(">="),
+                    Just("=="),
+                    Just("!="),
+                    Just("&&"),
+                    Just("||"),
+                ],
+                inner.clone(),
+                inner
+            )
+                .prop_map(|(op, x, y)| E::Bin(op, Box::new(x), Box::new(y))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_expressions_match_reference(
+        e in arb_expr(),
+        a in -100i32..100,
+        b in -100i32..100,
+        c in -100i32..100,
+    ) {
+        let src = format!(
+            "int out[1];
+void main(void) {{
+    int a; int b; int c;
+    a = {a}; b = {b}; c = {c};
+    out[0] = {};
+}}",
+            e.to_c()
+        );
+        let compiled = compile(&src).unwrap_or_else(|err| panic!("{err}\n{src}"));
+        let mut m = Machine::new(LbpConfig::cores(1), &compiled.image).expect("machine");
+        m.run(10_000_000).unwrap_or_else(|err| panic!("{err}\n{}", compiled.asm));
+        let got = m
+            .peek_shared(compiled.image.symbol("out").expect("symbol"))
+            .expect("peek") as i32;
+        let want = e.eval([a, b, c]);
+        prop_assert_eq!(got, want, "expr {} with a={} b={} c={}", e.to_c(), a, b, c);
+    }
+}

@@ -1,0 +1,235 @@
+//! Statement-level property test: random straight-line/branching/looping
+//! mini-C programs compiled by `lbp-cc` and executed on the LBP simulator
+//! produce the same final variable values as a host interpreter with RV32
+//! semantics. This exercises the code generator's control flow, register
+//! allocation and `p_syncm` fence inference together.
+
+use lbp_cc::compile;
+use lbp_sim::{LbpConfig, Machine};
+use proptest::prelude::*;
+
+/// The mutable program variables (`g` is a global array of 4 cells).
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+#[derive(Debug, Clone)]
+enum E {
+    Const(i32),
+    Var(usize),
+    Cell(usize),
+    Bin(&'static str, Box<E>, Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    /// `var = expr;`
+    Assign(usize, E),
+    /// `g[k] = expr;`
+    Store(usize, E),
+    /// `if (expr) { .. } else { .. }`
+    If(E, Vec<S>, Vec<S>),
+    /// `for (i = 0; i < n; i++) { .. }` — the body never writes `i`.
+    ForN(u8, Vec<S>),
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-50i32..50).prop_map(E::Const),
+        (0usize..VARS.len()).prop_map(E::Var),
+        (0usize..4).prop_map(E::Cell),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        (
+            prop_oneof![
+                Just("+"),
+                Just("-"),
+                Just("*"),
+                Just("/"),
+                Just("%"),
+                Just("<"),
+                Just("=="),
+                Just("&"),
+                Just("^"),
+            ],
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+fn arb_stmt(depth: u32) -> BoxedStrategy<S> {
+    let assign = (0..VARS.len(), arb_expr()).prop_map(|(v, e)| S::Assign(v, e));
+    let store = (0..4usize, arb_expr()).prop_map(|(k, e)| S::Store(k, e));
+    if depth == 0 {
+        prop_oneof![3 => assign, 2 => store].boxed()
+    } else {
+        let inner = move || prop::collection::vec(arb_stmt(depth - 1), 1..4);
+        prop_oneof![
+            3 => assign,
+            2 => store,
+            2 => (arb_expr(), inner(), inner()).prop_map(|(c, t, e)| S::If(c, t, e)),
+            2 => (1u8..5, inner()).prop_map(|(n, b)| S::ForN(n, b)),
+        ]
+        .boxed()
+    }
+}
+
+// ----- pretty printing to C -----
+
+fn expr_c(e: &E) -> String {
+    match e {
+        E::Const(v) => {
+            if *v < 0 {
+                format!("(0 - {})", -(*v as i64))
+            } else {
+                v.to_string()
+            }
+        }
+        E::Var(i) => VARS[*i].to_owned(),
+        E::Cell(k) => format!("g[{k}]"),
+        E::Bin(op, a, b) => format!("({} {op} {})", expr_c(a), expr_c(b)),
+    }
+}
+
+fn stmt_c(s: &S, ind: usize, loop_depth: usize, out: &mut String) {
+    let pad = "    ".repeat(ind + 1);
+    match s {
+        S::Assign(v, e) => out.push_str(&format!("{pad}{} = {};\n", VARS[*v], expr_c(e))),
+        S::Store(k, e) => out.push_str(&format!("{pad}g[{k}] = {};\n", expr_c(e))),
+        S::If(c, t, e) => {
+            out.push_str(&format!("{pad}if ({}) {{\n", expr_c(c)));
+            for s in t {
+                stmt_c(s, ind + 1, loop_depth, out);
+            }
+            out.push_str(&format!("{pad}}} else {{\n"));
+            for s in e {
+                stmt_c(s, ind + 1, loop_depth, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+        S::ForN(n, body) => {
+            let i = format!("i{loop_depth}");
+            out.push_str(&format!("{pad}for ({i} = 0; {i} < {n}; {i}++) {{\n"));
+            for s in body {
+                stmt_c(s, ind + 1, loop_depth + 1, out);
+            }
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+fn program_c(stmts: &[S]) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        stmt_c(s, 0, 0, &mut body);
+    }
+    format!(
+        "int g[4];
+int out[7];
+void main(void) {{
+    int x; int y; int z; int i0; int i1;
+    x = 3; y = -5; z = 40;
+{body}    out[0] = x; out[1] = y; out[2] = z;
+    out[3] = g[0]; out[4] = g[1]; out[5] = g[2]; out[6] = g[3];
+}}"
+    )
+}
+
+// ----- host interpreter with RV32 semantics -----
+
+struct HostState {
+    vars: [i32; 3],
+    cells: [i32; 4],
+}
+
+fn eval_e(e: &E, st: &HostState) -> i32 {
+    match e {
+        E::Const(v) => *v,
+        E::Var(i) => st.vars[*i],
+        E::Cell(k) => st.cells[*k],
+        E::Bin(op, a, b) => {
+            let (x, y) = (eval_e(a, st), eval_e(b, st));
+            match *op {
+                "+" => x.wrapping_add(y),
+                "-" => x.wrapping_sub(y),
+                "*" => x.wrapping_mul(y),
+                "/" => {
+                    if y == 0 {
+                        -1
+                    } else if x == i32::MIN && y == -1 {
+                        x
+                    } else {
+                        x.wrapping_div(y)
+                    }
+                }
+                "%" => {
+                    if y == 0 {
+                        x
+                    } else if x == i32::MIN && y == -1 {
+                        0
+                    } else {
+                        x.wrapping_rem(y)
+                    }
+                }
+                "<" => (x < y) as i32,
+                "==" => (x == y) as i32,
+                "&" => x & y,
+                "^" => x ^ y,
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn run_s(s: &S, st: &mut HostState) {
+    match s {
+        S::Assign(v, e) => st.vars[*v] = eval_e(e, st),
+        S::Store(k, e) => st.cells[*k] = eval_e(e, st),
+        S::If(c, t, e) => {
+            let branch = if eval_e(c, st) != 0 { t } else { e };
+            for s in branch {
+                run_s(s, st);
+            }
+        }
+        S::ForN(n, body) => {
+            for _ in 0..*n {
+                for s in body {
+                    run_s(s, st);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn compiled_programs_match_host_interpreter(
+        stmts in prop::collection::vec(arb_stmt(2), 1..10)
+    ) {
+        let src = program_c(&stmts);
+        let compiled = compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let mut m = Machine::new(LbpConfig::cores(1), &compiled.image).expect("machine");
+        m.run(50_000_000)
+            .unwrap_or_else(|e| panic!("{e}\n{src}\n{}", compiled.asm));
+        let mut host = HostState { vars: [3, -5, 40], cells: [0; 4] };
+        for s in &stmts {
+            run_s(s, &mut host);
+        }
+        let out = compiled.image.symbol("out").expect("out symbol");
+        let expect = [
+            host.vars[0],
+            host.vars[1],
+            host.vars[2],
+            host.cells[0],
+            host.cells[1],
+            host.cells[2],
+            host.cells[3],
+        ];
+        for (i, want) in expect.iter().enumerate() {
+            let got = m.peek_shared(out + 4 * i as u32).unwrap() as i32;
+            prop_assert_eq!(got, *want, "slot {}\n{}", i, src);
+        }
+    }
+}

@@ -1,0 +1,422 @@
+//! Binary decoding of 32-bit instruction words into [`Instr`].
+
+use core::fmt;
+
+use crate::encode::{OPC_CUSTOM0, OPC_CUSTOM1};
+use crate::instr::{BranchKind, Instr, LoadKind, OpImmKind, OpKind, StoreKind};
+use crate::Reg;
+
+/// Error produced when a word is not a valid RV32IM / X_PAR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(word: u32) -> Reg {
+    Reg::new(((word >> 7) & 0x1f) as u8).expect("5-bit field")
+}
+
+fn rs1(word: u32) -> Reg {
+    Reg::new(((word >> 15) & 0x1f) as u8).expect("5-bit field")
+}
+
+fn rs2(word: u32) -> Reg {
+    Reg::new(((word >> 20) & 0x1f) as u8).expect("5-bit field")
+}
+
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+/// Sign-extended 12-bit I-type immediate.
+fn i_imm(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+/// Sign-extended 12-bit S-type immediate.
+fn s_imm(word: u32) -> i32 {
+    let hi = (word as i32) >> 25; // sign-extends imm[11:5]
+    let lo = ((word >> 7) & 0x1f) as i32;
+    (hi << 5) | lo
+}
+
+/// Sign-extended 13-bit B-type immediate.
+fn b_imm(word: u32) -> i32 {
+    let bit11 = (((word >> 7) & 1) as i32) << 11;
+    let bits10_5 = (((word >> 25) & 0x3f) as i32) << 5;
+    let bits4_1 = (((word >> 8) & 0xf) as i32) << 1;
+    let unsigned = bit11 | bits10_5 | bits4_1;
+    if word & 0x8000_0000 != 0 {
+        unsigned | (-1i32 << 12)
+    } else {
+        unsigned
+    }
+}
+
+/// Sign-extended 21-bit J-type immediate.
+fn j_imm(word: u32) -> i32 {
+    let bits19_12 = ((word >> 12) & 0xff) << 12;
+    let bit11 = ((word >> 20) & 1) << 11;
+    let bits10_1 = ((word >> 21) & 0x3ff) << 1;
+    let unsigned = (bits19_12 | bit11 | bits10_1) as i32;
+    if word & 0x8000_0000 != 0 {
+        unsigned | (-1i32 << 20)
+    } else {
+        unsigned
+    }
+}
+
+impl Instr {
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for words outside the implemented RV32IM +
+    /// X_PAR space (including reserved funct encodings).
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let err = Err(DecodeError { word });
+        let opcode = word & 0x7f;
+        Ok(match opcode {
+            0b0110111 => Instr::Lui {
+                rd: rd(word),
+                imm: word & 0xffff_f000,
+            },
+            0b0010111 => Instr::Auipc {
+                rd: rd(word),
+                imm: word & 0xffff_f000,
+            },
+            0b1101111 => Instr::Jal {
+                rd: rd(word),
+                offset: j_imm(word),
+            },
+            0b1100111 => {
+                if funct3(word) != 0 {
+                    return err;
+                }
+                Instr::Jalr {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    offset: i_imm(word),
+                }
+            }
+            0b1100011 => {
+                let kind = match funct3(word) {
+                    0b000 => BranchKind::Eq,
+                    0b001 => BranchKind::Ne,
+                    0b100 => BranchKind::Lt,
+                    0b101 => BranchKind::Ge,
+                    0b110 => BranchKind::Ltu,
+                    0b111 => BranchKind::Geu,
+                    _ => return err,
+                };
+                Instr::Branch {
+                    kind,
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                    offset: b_imm(word),
+                }
+            }
+            0b0000011 => {
+                let kind = match funct3(word) {
+                    0b000 => LoadKind::B,
+                    0b001 => LoadKind::H,
+                    0b010 => LoadKind::W,
+                    0b100 => LoadKind::Bu,
+                    0b101 => LoadKind::Hu,
+                    _ => return err,
+                };
+                Instr::Load {
+                    kind,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    offset: i_imm(word),
+                }
+            }
+            0b0100011 => {
+                let kind = match funct3(word) {
+                    0b000 => StoreKind::B,
+                    0b001 => StoreKind::H,
+                    0b010 => StoreKind::W,
+                    _ => return err,
+                };
+                Instr::Store {
+                    kind,
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                    offset: s_imm(word),
+                }
+            }
+            0b0010011 => {
+                let kind = match funct3(word) {
+                    0b000 => OpImmKind::Add,
+                    0b010 => OpImmKind::Slt,
+                    0b011 => OpImmKind::Sltu,
+                    0b100 => OpImmKind::Xor,
+                    0b110 => OpImmKind::Or,
+                    0b111 => OpImmKind::And,
+                    0b001 => {
+                        if funct7(word) != 0 {
+                            return err;
+                        }
+                        return Ok(Instr::OpImm {
+                            kind: OpImmKind::Sll,
+                            rd: rd(word),
+                            rs1: rs1(word),
+                            imm: ((word >> 20) & 0x1f) as i32,
+                        });
+                    }
+                    0b101 => {
+                        let kind = match funct7(word) {
+                            0b0000000 => OpImmKind::Srl,
+                            0b0100000 => OpImmKind::Sra,
+                            _ => return err,
+                        };
+                        return Ok(Instr::OpImm {
+                            kind,
+                            rd: rd(word),
+                            rs1: rs1(word),
+                            imm: ((word >> 20) & 0x1f) as i32,
+                        });
+                    }
+                    _ => return err,
+                };
+                Instr::OpImm {
+                    kind,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    imm: i_imm(word),
+                }
+            }
+            0b0110011 => {
+                let kind = match (funct7(word), funct3(word)) {
+                    (0b0000000, 0b000) => OpKind::Add,
+                    (0b0100000, 0b000) => OpKind::Sub,
+                    (0b0000000, 0b001) => OpKind::Sll,
+                    (0b0000000, 0b010) => OpKind::Slt,
+                    (0b0000000, 0b011) => OpKind::Sltu,
+                    (0b0000000, 0b100) => OpKind::Xor,
+                    (0b0000000, 0b101) => OpKind::Srl,
+                    (0b0100000, 0b101) => OpKind::Sra,
+                    (0b0000000, 0b110) => OpKind::Or,
+                    (0b0000000, 0b111) => OpKind::And,
+                    (0b0000001, 0b000) => OpKind::Mul,
+                    (0b0000001, 0b001) => OpKind::Mulh,
+                    (0b0000001, 0b010) => OpKind::Mulhsu,
+                    (0b0000001, 0b011) => OpKind::Mulhu,
+                    (0b0000001, 0b100) => OpKind::Div,
+                    (0b0000001, 0b101) => OpKind::Divu,
+                    (0b0000001, 0b110) => OpKind::Rem,
+                    (0b0000001, 0b111) => OpKind::Remu,
+                    _ => return err,
+                };
+                Instr::Op {
+                    kind,
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                }
+            }
+            OPC_CUSTOM0 => match (funct7(word), funct3(word)) {
+                (0b0000000, 0b000) => {
+                    if rs1(word) != Reg::ZERO || rs2(word) != Reg::ZERO {
+                        return err;
+                    }
+                    Instr::PFc { rd: rd(word) }
+                }
+                (0b0000001, 0b000) => {
+                    if rs1(word) != Reg::ZERO || rs2(word) != Reg::ZERO {
+                        return err;
+                    }
+                    Instr::PFn { rd: rd(word) }
+                }
+                (0b0000000, 0b001) => {
+                    if rs2(word) != Reg::ZERO {
+                        return err;
+                    }
+                    Instr::PSet {
+                        rd: rd(word),
+                        rs1: rs1(word),
+                    }
+                }
+                (0b0000000, 0b010) => Instr::PMerge {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                },
+                (0b0000000, 0b011) => {
+                    if word != Instr::PSyncm.encode().expect("constant encodes") {
+                        return err;
+                    }
+                    Instr::PSyncm
+                }
+                (0b0000000, 0b100) => Instr::PJalr {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                },
+                _ => return err,
+            },
+            OPC_CUSTOM1 => match funct3(word) {
+                0b000 => {
+                    if rs1(word) != Reg::ZERO {
+                        return err;
+                    }
+                    Instr::PLwcv {
+                        rd: rd(word),
+                        offset: i_imm(word),
+                    }
+                }
+                0b001 => Instr::PSwcv {
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                    offset: s_imm(word),
+                },
+                0b010 => {
+                    if rs1(word) != Reg::ZERO {
+                        return err;
+                    }
+                    Instr::PLwre {
+                        rd: rd(word),
+                        offset: i_imm(word),
+                    }
+                }
+                0b011 => Instr::PSwre {
+                    rs1: rs1(word),
+                    rs2: rs2(word),
+                    offset: s_imm(word),
+                },
+                0b100 => Instr::PJal {
+                    rd: rd(word),
+                    rs1: rs1(word),
+                    offset: i_imm(word),
+                },
+                _ => return err,
+            },
+            _ => return err,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediates_sign_extend() {
+        // addi a0, a0, -1
+        let i = Instr::OpImm {
+            kind: OpImmKind::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: -1,
+        };
+        let w = i.encode().unwrap();
+        assert_eq!(Instr::decode(w).unwrap(), i);
+        // sw with negative offset
+        let s = Instr::Store {
+            kind: StoreKind::W,
+            rs1: Reg::SP,
+            rs2: Reg::RA,
+            offset: -8,
+        };
+        assert_eq!(Instr::decode(s.encode().unwrap()).unwrap(), s);
+        // branch backward
+        let b = Instr::Branch {
+            kind: BranchKind::Ltu,
+            rs1: Reg::T1,
+            rs2: Reg::T2,
+            offset: -4096,
+        };
+        assert_eq!(Instr::decode(b.encode().unwrap()).unwrap(), b);
+        // jal far backward
+        let j = Instr::Jal {
+            rd: Reg::ZERO,
+            offset: -(1 << 20),
+        };
+        assert_eq!(Instr::decode(j.encode().unwrap()).unwrap(), j);
+    }
+
+    #[test]
+    fn rejects_reserved_encodings() {
+        // funct3 = 011 under LOAD is reserved (ld is RV64 only).
+        assert!(Instr::decode(0x0001_3083).is_err());
+        // SYSTEM opcode is not implemented (LBP has no traps).
+        assert!(Instr::decode(0x0000_0073).is_err());
+        // All-zero and all-one words are illegal per the RISC-V spec.
+        assert!(Instr::decode(0).is_err());
+        assert!(Instr::decode(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn xpar_round_trips() {
+        let cases = [
+            Instr::PFc { rd: Reg::T6 },
+            Instr::PFn { rd: Reg::T6 },
+            Instr::PSet {
+                rd: Reg::T0,
+                rs1: Reg::T0,
+            },
+            Instr::PMerge {
+                rd: Reg::T0,
+                rs1: Reg::T0,
+                rs2: Reg::T6,
+            },
+            Instr::PSyncm,
+            Instr::PJalr {
+                rd: Reg::RA,
+                rs1: Reg::T0,
+                rs2: Reg::A0,
+            },
+            Instr::PJal {
+                rd: Reg::RA,
+                rs1: Reg::T6,
+                offset: 12,
+            },
+            Instr::PLwcv {
+                rd: Reg::A1,
+                offset: 8,
+            },
+            Instr::PSwcv {
+                rs1: Reg::T6,
+                rs2: Reg::A1,
+                offset: 8,
+            },
+            Instr::PLwre {
+                rd: Reg::A0,
+                offset: 3,
+            },
+            Instr::PSwre {
+                rs1: Reg::T0,
+                rs2: Reg::A0,
+                offset: 3,
+            },
+        ];
+        for i in cases {
+            let w = i.encode().unwrap();
+            assert_eq!(Instr::decode(w).unwrap(), i, "round-trip of {i}");
+        }
+    }
+
+    #[test]
+    fn xpar_reserved_fields_rejected() {
+        // p_fc with a non-zero rs1 field is reserved.
+        let w = Instr::PFc { rd: Reg::T6 }.encode().unwrap() | (1 << 15);
+        assert!(Instr::decode(w).is_err());
+        // p_syncm with a non-zero rd field is reserved.
+        let w = Instr::PSyncm.encode().unwrap() | (1 << 7);
+        assert!(Instr::decode(w).is_err());
+    }
+}

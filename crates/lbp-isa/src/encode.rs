@@ -1,0 +1,464 @@
+//! Binary encoding of [`Instr`] into 32-bit RISC-V instruction words.
+//!
+//! Standard RV32IM instructions use their architectural encodings; the
+//! X_PAR extension occupies the *custom-0* (`0001011`) and *custom-1*
+//! (`0101011`) major opcodes reserved by the RISC-V specification for
+//! vendor extensions.
+
+use core::fmt;
+
+use crate::instr::{BranchKind, Instr, LoadKind, OpImmKind, OpKind, StoreKind};
+use crate::Reg;
+
+/// Major opcode for register-form X_PAR instructions
+/// (`p_fc`, `p_fn`, `p_set`, `p_merge`, `p_syncm`, `p_jalr`).
+pub const OPC_CUSTOM0: u32 = 0b0001011;
+/// Major opcode for immediate-form X_PAR instructions
+/// (`p_lwcv`, `p_swcv`, `p_lwre`, `p_swre`, `p_jal`).
+pub const OPC_CUSTOM1: u32 = 0b0101011;
+
+/// Error produced when an [`Instr`] cannot be represented in 32 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate exceeds its field range.
+    ImmOutOfRange {
+        /// The instruction mnemonic.
+        what: &'static str,
+        /// The offending value.
+        value: i64,
+        /// The allowed inclusive range.
+        range: (i64, i64),
+    },
+    /// A branch/jump offset is not a multiple of two.
+    MisalignedOffset {
+        /// The instruction mnemonic.
+        what: &'static str,
+        /// The offending offset.
+        offset: i32,
+    },
+    /// A `lui`/`auipc` immediate has non-zero low bits.
+    DirtyUpperImm {
+        /// The offending value.
+        value: u32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange { what, value, range } => write!(
+                f,
+                "immediate {value} of `{what}` outside [{}, {}]",
+                range.0, range.1
+            ),
+            EncodeError::MisalignedOffset { what, offset } => {
+                write!(f, "offset {offset} of `{what}` is not even")
+            }
+            EncodeError::DirtyUpperImm { value } => {
+                write!(f, "upper immediate {value:#x} has non-zero low 12 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn check_i_imm(what: &'static str, imm: i32) -> Result<u32, EncodeError> {
+    if (-2048..=2047).contains(&imm) {
+        Ok((imm as u32) & 0xfff)
+    } else {
+        Err(EncodeError::ImmOutOfRange {
+            what,
+            value: imm as i64,
+            range: (-2048, 2047),
+        })
+    }
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm12: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (imm12 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm12: u32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let hi = (imm12 >> 5) & 0x7f;
+    let lo = imm12 & 0x1f;
+    (hi << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (lo << 7) | opcode
+}
+
+fn b_type(
+    what: &'static str,
+    offset: i32,
+    rs2: u32,
+    rs1: u32,
+    funct3: u32,
+) -> Result<u32, EncodeError> {
+    if offset % 2 != 0 {
+        return Err(EncodeError::MisalignedOffset { what, offset });
+    }
+    if !(-4096..=4094).contains(&offset) {
+        return Err(EncodeError::ImmOutOfRange {
+            what,
+            value: offset as i64,
+            range: (-4096, 4094),
+        });
+    }
+    let imm = offset as u32;
+    let bit12 = (imm >> 12) & 1;
+    let bit11 = (imm >> 11) & 1;
+    let bits10_5 = (imm >> 5) & 0x3f;
+    let bits4_1 = (imm >> 1) & 0xf;
+    Ok((bit12 << 31)
+        | (bits10_5 << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (bits4_1 << 8)
+        | (bit11 << 7)
+        | 0b1100011)
+}
+
+fn j_type(what: &'static str, offset: i32, rd: u32) -> Result<u32, EncodeError> {
+    if offset % 2 != 0 {
+        return Err(EncodeError::MisalignedOffset { what, offset });
+    }
+    if !(-(1 << 20)..=(1 << 20) - 2).contains(&offset) {
+        return Err(EncodeError::ImmOutOfRange {
+            what,
+            value: offset as i64,
+            range: (-(1 << 20) as i64, ((1 << 20) - 2) as i64),
+        });
+    }
+    let imm = offset as u32;
+    let bit20 = (imm >> 20) & 1;
+    let bits10_1 = (imm >> 1) & 0x3ff;
+    let bit11 = (imm >> 11) & 1;
+    let bits19_12 = (imm >> 12) & 0xff;
+    Ok(
+        (bit20 << 31)
+            | (bits10_1 << 21)
+            | (bit11 << 20)
+            | (bits19_12 << 12)
+            | (rd << 7)
+            | 0b1101111,
+    )
+}
+
+fn rnum(r: Reg) -> u32 {
+    r.number() as u32
+}
+
+impl Instr {
+    /// Encodes the instruction into its 32-bit binary word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] if an immediate or offset does not fit its
+    /// encoding field. The assembler catches these at assembly time.
+    pub fn encode(&self) -> Result<u32, EncodeError> {
+        Ok(match *self {
+            Instr::Lui { rd, imm } => {
+                if imm & 0xfff != 0 {
+                    return Err(EncodeError::DirtyUpperImm { value: imm });
+                }
+                imm | (rnum(rd) << 7) | 0b0110111
+            }
+            Instr::Auipc { rd, imm } => {
+                if imm & 0xfff != 0 {
+                    return Err(EncodeError::DirtyUpperImm { value: imm });
+                }
+                imm | (rnum(rd) << 7) | 0b0010111
+            }
+            Instr::Jal { rd, offset } => j_type("jal", offset, rnum(rd))?,
+            Instr::Jalr { rd, rs1, offset } => i_type(
+                check_i_imm("jalr", offset)?,
+                rnum(rs1),
+                0b000,
+                rnum(rd),
+                0b1100111,
+            ),
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let funct3 = match kind {
+                    BranchKind::Eq => 0b000,
+                    BranchKind::Ne => 0b001,
+                    BranchKind::Lt => 0b100,
+                    BranchKind::Ge => 0b101,
+                    BranchKind::Ltu => 0b110,
+                    BranchKind::Geu => 0b111,
+                };
+                b_type(kind.mnemonic(), offset, rnum(rs2), rnum(rs1), funct3)?
+            }
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let funct3 = match kind {
+                    LoadKind::B => 0b000,
+                    LoadKind::H => 0b001,
+                    LoadKind::W => 0b010,
+                    LoadKind::Bu => 0b100,
+                    LoadKind::Hu => 0b101,
+                };
+                i_type(
+                    check_i_imm(kind.mnemonic(), offset)?,
+                    rnum(rs1),
+                    funct3,
+                    rnum(rd),
+                    0b0000011,
+                )
+            }
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let funct3 = match kind {
+                    StoreKind::B => 0b000,
+                    StoreKind::H => 0b001,
+                    StoreKind::W => 0b010,
+                };
+                s_type(
+                    check_i_imm(kind.mnemonic(), offset)?,
+                    rnum(rs2),
+                    rnum(rs1),
+                    funct3,
+                    0b0100011,
+                )
+            }
+            Instr::OpImm { kind, rd, rs1, imm } => match kind {
+                OpImmKind::Sll | OpImmKind::Srl | OpImmKind::Sra => {
+                    if !(0..32).contains(&imm) {
+                        return Err(EncodeError::ImmOutOfRange {
+                            what: kind.mnemonic(),
+                            value: imm as i64,
+                            range: (0, 31),
+                        });
+                    }
+                    let funct7 = if kind == OpImmKind::Sra { 0b0100000 } else { 0 };
+                    let funct3 = if kind == OpImmKind::Sll { 0b001 } else { 0b101 };
+                    r_type(funct7, imm as u32, rnum(rs1), funct3, rnum(rd), 0b0010011)
+                }
+                _ => {
+                    let funct3 = match kind {
+                        OpImmKind::Add => 0b000,
+                        OpImmKind::Slt => 0b010,
+                        OpImmKind::Sltu => 0b011,
+                        OpImmKind::Xor => 0b100,
+                        OpImmKind::Or => 0b110,
+                        OpImmKind::And => 0b111,
+                        _ => unreachable!(),
+                    };
+                    i_type(
+                        check_i_imm(kind.mnemonic(), imm)?,
+                        rnum(rs1),
+                        funct3,
+                        rnum(rd),
+                        0b0010011,
+                    )
+                }
+            },
+            Instr::Op { kind, rd, rs1, rs2 } => {
+                let (funct7, funct3) = match kind {
+                    OpKind::Add => (0b0000000, 0b000),
+                    OpKind::Sub => (0b0100000, 0b000),
+                    OpKind::Sll => (0b0000000, 0b001),
+                    OpKind::Slt => (0b0000000, 0b010),
+                    OpKind::Sltu => (0b0000000, 0b011),
+                    OpKind::Xor => (0b0000000, 0b100),
+                    OpKind::Srl => (0b0000000, 0b101),
+                    OpKind::Sra => (0b0100000, 0b101),
+                    OpKind::Or => (0b0000000, 0b110),
+                    OpKind::And => (0b0000000, 0b111),
+                    OpKind::Mul => (0b0000001, 0b000),
+                    OpKind::Mulh => (0b0000001, 0b001),
+                    OpKind::Mulhsu => (0b0000001, 0b010),
+                    OpKind::Mulhu => (0b0000001, 0b011),
+                    OpKind::Div => (0b0000001, 0b100),
+                    OpKind::Divu => (0b0000001, 0b101),
+                    OpKind::Rem => (0b0000001, 0b110),
+                    OpKind::Remu => (0b0000001, 0b111),
+                };
+                r_type(funct7, rnum(rs2), rnum(rs1), funct3, rnum(rd), 0b0110011)
+            }
+            Instr::PFc { rd } => r_type(0b0000000, 0, 0, 0b000, rnum(rd), OPC_CUSTOM0),
+            Instr::PFn { rd } => r_type(0b0000001, 0, 0, 0b000, rnum(rd), OPC_CUSTOM0),
+            Instr::PSet { rd, rs1 } => {
+                r_type(0b0000000, 0, rnum(rs1), 0b001, rnum(rd), OPC_CUSTOM0)
+            }
+            Instr::PMerge { rd, rs1, rs2 } => r_type(
+                0b0000000,
+                rnum(rs2),
+                rnum(rs1),
+                0b010,
+                rnum(rd),
+                OPC_CUSTOM0,
+            ),
+            Instr::PSyncm => r_type(0b0000000, 0, 0, 0b011, 0, OPC_CUSTOM0),
+            Instr::PJalr { rd, rs1, rs2 } => r_type(
+                0b0000000,
+                rnum(rs2),
+                rnum(rs1),
+                0b100,
+                rnum(rd),
+                OPC_CUSTOM0,
+            ),
+            Instr::PLwcv { rd, offset } => i_type(
+                check_i_imm("p_lwcv", offset)?,
+                0,
+                0b000,
+                rnum(rd),
+                OPC_CUSTOM1,
+            ),
+            Instr::PSwcv { rs1, rs2, offset } => s_type(
+                check_i_imm("p_swcv", offset)?,
+                rnum(rs2),
+                rnum(rs1),
+                0b001,
+                OPC_CUSTOM1,
+            ),
+            Instr::PLwre { rd, offset } => i_type(
+                check_i_imm("p_lwre", offset)?,
+                0,
+                0b010,
+                rnum(rd),
+                OPC_CUSTOM1,
+            ),
+            Instr::PSwre { rs1, rs2, offset } => s_type(
+                check_i_imm("p_swre", offset)?,
+                rnum(rs2),
+                rnum(rs1),
+                0b011,
+                OPC_CUSTOM1,
+            ),
+            Instr::PJal { rd, rs1, offset } => i_type(
+                check_i_imm("p_jal", offset)?,
+                rnum(rs1),
+                0b100,
+                rnum(rd),
+                OPC_CUSTOM1,
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_words() {
+        // Cross-checked against the RISC-V spec examples / gnu as output.
+        // addi x0, x0, 0 == canonical nop == 0x00000013.
+        assert_eq!(Instr::NOP.encode().unwrap(), 0x0000_0013);
+        // add a0, a1, a2 == 0x00c58533.
+        let add = Instr::Op {
+            kind: OpKind::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(add.encode().unwrap(), 0x00c5_8533);
+        // lw ra, 0(sp) == 0x00012083.
+        let lw = Instr::Load {
+            kind: LoadKind::W,
+            rd: Reg::RA,
+            rs1: Reg::SP,
+            offset: 0,
+        };
+        assert_eq!(lw.encode().unwrap(), 0x0001_2083);
+        // sw ra, 4(sp) == 0x00112223.
+        let sw = Instr::Store {
+            kind: StoreKind::W,
+            rs1: Reg::SP,
+            rs2: Reg::RA,
+            offset: 4,
+        };
+        assert_eq!(sw.encode().unwrap(), 0x0011_2223);
+        // mul a0, a0, a1 == 0x02b50533.
+        let mul = Instr::Op {
+            kind: OpKind::Mul,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+        };
+        assert_eq!(mul.encode().unwrap(), 0x02b5_0533);
+    }
+
+    #[test]
+    fn branch_offset_bits() {
+        // beq x0, x0, -4: B-type with negative offset.
+        let b = Instr::Branch {
+            kind: BranchKind::Eq,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            offset: -4,
+        };
+        assert_eq!(b.encode().unwrap(), 0xfe00_0ee3);
+    }
+
+    #[test]
+    fn jal_offset_bits() {
+        // jal ra, 8 == 0x008000ef.
+        let j = Instr::Jal {
+            rd: Reg::RA,
+            offset: 8,
+        };
+        assert_eq!(j.encode().unwrap(), 0x0080_00ef);
+    }
+
+    #[test]
+    fn imm_range_checked() {
+        let i = Instr::OpImm {
+            kind: OpImmKind::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 4096,
+        };
+        assert!(matches!(i.encode(), Err(EncodeError::ImmOutOfRange { .. })));
+    }
+
+    #[test]
+    fn misaligned_branch_rejected() {
+        let b = Instr::Branch {
+            kind: BranchKind::Ne,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 3,
+        };
+        assert!(matches!(
+            b.encode(),
+            Err(EncodeError::MisalignedOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn dirty_lui_rejected() {
+        let l = Instr::Lui {
+            rd: Reg::A0,
+            imm: 0x1234,
+        };
+        assert!(matches!(l.encode(), Err(EncodeError::DirtyUpperImm { .. })));
+    }
+
+    #[test]
+    fn shift_amount_range() {
+        let s = Instr::OpImm {
+            kind: OpImmKind::Sll,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 32,
+        };
+        assert!(s.encode().is_err());
+    }
+}

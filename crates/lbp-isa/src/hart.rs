@@ -1,0 +1,230 @@
+//! Hart (hardware-thread) identities and the X_PAR identity-word formats.
+//!
+//! LBP identifies a hart globally by `HARTS_PER_CORE * core + hart`
+//! (the paper writes this `4*core+hart`). Two X_PAR instructions manipulate
+//! words that *carry* hart identities:
+//!
+//! - `p_set rd, rs1` builds `rd = (rs1 & 0xffff) | (self_id << 16) | 0x8000_0000`,
+//!   stamping the executing hart's identity into the upper half-word;
+//! - `p_merge rd, rs1, rs2` builds `rd = (rs1 & 0x7fff_0000) | (rs2 & 0xffff)`,
+//!   combining a join-hart identity (upper half) with an allocated-hart
+//!   identity (lower half).
+//!
+//! The resulting word, interpreted by [`IdentityWord`], is what travels in
+//! register `t0` through a Deterministic OpenMP team (paper Figs. 6-8).
+
+use core::fmt;
+
+/// Number of harts in one LBP core (fixed by the paper's design).
+pub const HARTS_PER_CORE: usize = 4;
+
+/// A global hart identity: `core * HARTS_PER_CORE + local`.
+///
+/// # Examples
+///
+/// ```
+/// use lbp_isa::HartId;
+/// let h = HartId::from_parts(13, 2);
+/// assert_eq!(h.core(), 13);
+/// assert_eq!(h.local(), 2);
+/// assert_eq!(h.global(), 54);
+/// assert_eq!(h.next(), HartId::from_parts(13, 3));
+/// assert_eq!(HartId::from_parts(13, 3).next(), HartId::from_parts(14, 0));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct HartId(u32);
+
+impl HartId {
+    /// The first hart of the machine (core 0, hart 0), where sequential code
+    /// begins and to which final joins return.
+    pub const FIRST: HartId = HartId(0);
+
+    /// Creates a hart id from its global number.
+    pub fn new(global: u32) -> HartId {
+        HartId(global)
+    }
+
+    /// Creates a hart id from a core number and a core-local hart number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local >= HARTS_PER_CORE`.
+    pub fn from_parts(core: u32, local: u32) -> HartId {
+        assert!(
+            (local as usize) < HARTS_PER_CORE,
+            "local hart {local} out of range"
+        );
+        HartId(core * HARTS_PER_CORE as u32 + local)
+    }
+
+    /// The global hart number, `HARTS_PER_CORE * core + local`.
+    pub fn global(self) -> u32 {
+        self.0
+    }
+
+    /// The core this hart lives on.
+    pub fn core(self) -> u32 {
+        self.0 / HARTS_PER_CORE as u32
+    }
+
+    /// The hart number within its core, in `0..HARTS_PER_CORE`.
+    pub fn local(self) -> u32 {
+        self.0 % HARTS_PER_CORE as u32
+    }
+
+    /// The hart that follows this one in the machine's serpentine order
+    /// (the *team successor*: receiver of the ending-hart signal).
+    pub fn next(self) -> HartId {
+        HartId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for HartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}h{}", self.core(), self.local())
+    }
+}
+
+/// The identity-word bit set by `p_set` marking a valid stamped identity.
+pub const IDENTITY_VALID: u32 = 0x8000_0000;
+
+/// A register word carrying hart identities, as produced by `p_set` and
+/// `p_merge` (the `t0` word of the Deterministic OpenMP protocol).
+///
+/// Layout: bit 31 = valid flag (`p_set` only), bits 30..16 = *join* hart
+/// (the hart a team's last member joins back to), bits 15..0 = *allocated*
+/// hart (the continuation hart a `p_jalr` call starts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IdentityWord(u32);
+
+impl IdentityWord {
+    /// Wraps a raw register value.
+    pub fn from_bits(bits: u32) -> IdentityWord {
+        IdentityWord(bits)
+    }
+
+    /// The raw register value.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Applies the `p_set` formula: stamp `executing` into the upper half,
+    /// preserve the lower half of `self`, set the valid flag.
+    pub fn set(self, executing: HartId) -> IdentityWord {
+        IdentityWord((self.0 & 0x0000_ffff) | (executing.global() << 16) | IDENTITY_VALID)
+    }
+
+    /// Applies the `p_merge` formula: upper half (minus the valid flag) from
+    /// `self`, lower half from `allocated`.
+    pub fn merge(self, allocated: IdentityWord) -> IdentityWord {
+        IdentityWord((self.0 & 0x7fff_0000) | (allocated.0 & 0x0000_ffff))
+    }
+
+    /// The join-hart identity stamped in the upper half-word.
+    pub fn join_hart(self) -> HartId {
+        HartId::new((self.0 >> 16) & 0x7fff)
+    }
+
+    /// The allocated-hart identity in the lower half-word.
+    pub fn allocated_hart(self) -> HartId {
+        HartId::new(self.0 & 0xffff)
+    }
+
+    /// Whether the word is the `-1` *exit* sentinel tested by `p_ret`
+    /// (the boot code loads `t0 = -1`, paper Fig. 6).
+    pub fn is_exit_sentinel(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// Whether the join-hart field identifies `hart` itself — the `p_ret`
+    /// "keep current hart waiting for a join" case.
+    ///
+    /// Note that `p_merge` drops the valid flag (its mask is
+    /// `0x7fff_0000`), so this test looks only at the join field; the exit
+    /// sentinel must be ruled out first, which this method does.
+    pub fn joins_to(self, hart: HartId) -> bool {
+        !self.is_exit_sentinel() && self.join_hart() == hart
+    }
+}
+
+/// An `rd` value returned by the fork instructions `p_fc`/`p_fn`: the global
+/// identity of the freshly allocated hart, as a plain number.
+pub fn fork_result(allocated: HartId) -> u32 {
+    allocated.global()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parts_round_trip() {
+        for core in 0..64 {
+            for local in 0..HARTS_PER_CORE as u32 {
+                let h = HartId::from_parts(core, local);
+                assert_eq!(h.core(), core);
+                assert_eq!(h.local(), local);
+                assert_eq!(HartId::new(h.global()), h);
+            }
+        }
+    }
+
+    #[test]
+    fn next_crosses_core_boundary() {
+        let last = HartId::from_parts(0, 3);
+        assert_eq!(last.next(), HartId::from_parts(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_parts_rejects_bad_local() {
+        let _ = HartId::from_parts(0, 4);
+    }
+
+    #[test]
+    fn p_set_formula_matches_paper() {
+        // The boot value of t0 is -1; after p_set on core 2 hart 1 the word
+        // keeps the low half, stamps 4*2+1 = 9 in the upper half and sets
+        // the valid flag.
+        let w = IdentityWord::from_bits(u32::MAX).set(HartId::from_parts(2, 1));
+        assert_eq!(w.bits(), 0x0000_ffff | (9 << 16) | 0x8000_0000);
+        assert_eq!(w.join_hart(), HartId::from_parts(2, 1));
+    }
+
+    #[test]
+    fn p_merge_formula_matches_paper() {
+        let join = IdentityWord::from_bits(0).set(HartId::new(9));
+        let alloc = IdentityWord::from_bits(fork_result(HartId::new(10)));
+        let merged = join.merge(alloc);
+        // p_merge masks with 0x7fff_0000: the valid flag is dropped.
+        assert_eq!(merged.bits(), (9 << 16) | 10);
+        assert_eq!(merged.join_hart(), HartId::new(9));
+        assert_eq!(merged.allocated_hart(), HartId::new(10));
+    }
+
+    #[test]
+    fn exit_sentinel() {
+        assert!(IdentityWord::from_bits(u32::MAX).is_exit_sentinel());
+        assert!(!IdentityWord::from_bits(0x8000_0000).is_exit_sentinel());
+    }
+
+    #[test]
+    fn joins_to_matches_the_join_field() {
+        let h = HartId::new(3);
+        let stamped = IdentityWord::from_bits(0).set(h);
+        assert!(stamped.joins_to(h));
+        assert!(!stamped.joins_to(HartId::new(4)));
+        // p_merge drops the valid flag; the join test must still work.
+        let merged = stamped.merge(IdentityWord::from_bits(7));
+        assert!(merged.joins_to(h));
+        // The exit sentinel never joins.
+        assert!(!IdentityWord::from_bits(u32::MAX).joins_to(HartId::new(0x7fff)));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(HartId::from_parts(55, 2).to_string(), "c55h2");
+    }
+}

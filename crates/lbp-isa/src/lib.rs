@@ -1,0 +1,48 @@
+//! # lbp-isa — the PISC instruction set (RV32IM + X_PAR)
+//!
+//! The *Parallel Instruction Set Computer* (PISC) ISA of the LBP processor:
+//! the RV32IM base instruction set extended with the twelve `X_PAR` machine
+//! instructions for hardware fork/join, inter-hart register transmission and
+//! per-hart memory synchronization (Goossens, Louetsi, Parello,
+//! *"Deterministic OpenMP and the LBP Parallelizing Manycore Processor"*,
+//! PACT 2021, Fig. 5).
+//!
+//! This crate is the shared vocabulary of the whole stack: the assembler
+//! ([`lbp-asm`]), the mini-C compiler (`lbp-cc`), the Deterministic OpenMP
+//! runtime (`lbp-omp`) and the cycle-level simulator (`lbp-sim`) all speak
+//! [`Instr`].
+//!
+//! # Examples
+//!
+//! Encode, decode and disassemble an X_PAR fork:
+//!
+//! ```
+//! use lbp_isa::{Instr, Reg};
+//!
+//! let fork = Instr::PFc { rd: Reg::T6 };
+//! let word = fork.encode()?;
+//! assert_eq!(Instr::decode(word)?, fork);
+//! assert_eq!(fork.to_string(), "p_fc t6");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`lbp-asm`]: https://example.org/lbp
+
+#![warn(missing_docs)]
+
+mod decode;
+mod encode;
+mod hart;
+mod instr;
+mod mem;
+mod reg;
+
+pub use decode::DecodeError;
+pub use encode::{EncodeError, OPC_CUSTOM0, OPC_CUSTOM1};
+pub use hart::{fork_result, HartId, IdentityWord, HARTS_PER_CORE, IDENTITY_VALID};
+pub use instr::{BranchKind, Instr, LoadKind, OpImmKind, OpKind, StoreKind};
+pub use mem::{Region, CODE_BASE, IO_BASE, LOCAL_BASE, SHARED_BASE};
+pub use reg::{ParseRegError, Reg};
+
+/// The size of one instruction word in bytes.
+pub const INSTR_BYTES: u32 = 4;

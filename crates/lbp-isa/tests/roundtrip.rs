@@ -1,0 +1,181 @@
+//! Property tests: encode/decode is a bijection between the valid [`Instr`]
+//! space and its binary image, and disassembly is total.
+
+use lbp_isa::{BranchKind, Instr, LoadKind, OpImmKind, OpKind, Reg, StoreKind};
+use proptest::prelude::*;
+
+fn any_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+}
+
+fn i12() -> impl Strategy<Value = i32> {
+    -2048i32..=2047
+}
+
+fn b_off() -> impl Strategy<Value = i32> {
+    (-2048i32..=2047).prop_map(|x| x * 2)
+}
+
+fn j_off() -> impl Strategy<Value = i32> {
+    (-(1i32 << 19)..=(1 << 19) - 1).prop_map(|x| x * 2)
+}
+
+fn any_branch_kind() -> impl Strategy<Value = BranchKind> {
+    prop_oneof![
+        Just(BranchKind::Eq),
+        Just(BranchKind::Ne),
+        Just(BranchKind::Lt),
+        Just(BranchKind::Ge),
+        Just(BranchKind::Ltu),
+        Just(BranchKind::Geu),
+    ]
+}
+
+fn any_load_kind() -> impl Strategy<Value = LoadKind> {
+    prop_oneof![
+        Just(LoadKind::B),
+        Just(LoadKind::H),
+        Just(LoadKind::W),
+        Just(LoadKind::Bu),
+        Just(LoadKind::Hu),
+    ]
+}
+
+fn any_store_kind() -> impl Strategy<Value = StoreKind> {
+    prop_oneof![Just(StoreKind::B), Just(StoreKind::H), Just(StoreKind::W)]
+}
+
+fn any_op_imm_kind() -> impl Strategy<Value = OpImmKind> {
+    prop_oneof![
+        Just(OpImmKind::Add),
+        Just(OpImmKind::Slt),
+        Just(OpImmKind::Sltu),
+        Just(OpImmKind::Xor),
+        Just(OpImmKind::Or),
+        Just(OpImmKind::And),
+        Just(OpImmKind::Sll),
+        Just(OpImmKind::Srl),
+        Just(OpImmKind::Sra),
+    ]
+}
+
+fn any_op_kind() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Add),
+        Just(OpKind::Sub),
+        Just(OpKind::Sll),
+        Just(OpKind::Slt),
+        Just(OpKind::Sltu),
+        Just(OpKind::Xor),
+        Just(OpKind::Srl),
+        Just(OpKind::Sra),
+        Just(OpKind::Or),
+        Just(OpKind::And),
+        Just(OpKind::Mul),
+        Just(OpKind::Mulh),
+        Just(OpKind::Mulhsu),
+        Just(OpKind::Mulhu),
+        Just(OpKind::Div),
+        Just(OpKind::Divu),
+        Just(OpKind::Rem),
+        Just(OpKind::Remu),
+    ]
+}
+
+/// Any encodable instruction.
+fn any_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (any_reg(), 0u32..=0xfffff).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
+        (any_reg(), 0u32..=0xfffff).prop_map(|(rd, v)| Instr::Auipc { rd, imm: v << 12 }),
+        (any_reg(), j_off()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
+        (any_reg(), any_reg(), i12()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
+        (any_branch_kind(), any_reg(), any_reg(), b_off()).prop_map(|(kind, rs1, rs2, offset)| {
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            }
+        }),
+        (any_load_kind(), any_reg(), any_reg(), i12()).prop_map(|(kind, rd, rs1, offset)| {
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            }
+        }),
+        (any_store_kind(), any_reg(), any_reg(), i12()).prop_map(|(kind, rs1, rs2, offset)| {
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            }
+        }),
+        (any_op_imm_kind(), any_reg(), any_reg(), i12()).prop_map(|(kind, rd, rs1, imm)| {
+            let imm = match kind {
+                OpImmKind::Sll | OpImmKind::Srl | OpImmKind::Sra => imm.rem_euclid(32),
+                _ => imm,
+            };
+            Instr::OpImm { kind, rd, rs1, imm }
+        }),
+        (any_op_kind(), any_reg(), any_reg(), any_reg())
+            .prop_map(|(kind, rd, rs1, rs2)| Instr::Op { kind, rd, rs1, rs2 }),
+        any_reg().prop_map(|rd| Instr::PFc { rd }),
+        any_reg().prop_map(|rd| Instr::PFn { rd }),
+        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::PSet { rd, rs1 }),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::PMerge { rd, rs1, rs2 }),
+        Just(Instr::PSyncm),
+        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::PJalr { rd, rs1, rs2 }),
+        (any_reg(), any_reg(), i12()).prop_map(|(rd, rs1, offset)| Instr::PJal { rd, rs1, offset }),
+        (any_reg(), i12()).prop_map(|(rd, offset)| Instr::PLwcv { rd, offset }),
+        (any_reg(), any_reg(), i12()).prop_map(|(rs1, rs2, offset)| Instr::PSwcv {
+            rs1,
+            rs2,
+            offset
+        }),
+        (any_reg(), i12()).prop_map(|(rd, offset)| Instr::PLwre { rd, offset }),
+        (any_reg(), any_reg(), i12()).prop_map(|(rs1, rs2, offset)| Instr::PSwre {
+            rs1,
+            rs2,
+            offset
+        }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) == i for every valid instruction.
+    #[test]
+    fn encode_decode_round_trip(instr in any_instr()) {
+        let word = instr.encode().expect("generated instruction is encodable");
+        let back = Instr::decode(word).expect("encoded word decodes");
+        prop_assert_eq!(back, instr);
+    }
+
+    /// Every decodable word re-encodes to itself: decoding is injective and
+    /// the encoder is its inverse.
+    #[test]
+    fn decode_encode_round_trip(word in any::<u32>()) {
+        if let Ok(instr) = Instr::decode(word) {
+            let re = instr.encode().expect("decoded instruction re-encodes");
+            prop_assert_eq!(re, word);
+        }
+    }
+
+    /// Disassembly never panics and is never empty.
+    #[test]
+    fn display_is_total(instr in any_instr()) {
+        prop_assert!(!instr.to_string().is_empty());
+    }
+
+    /// Operand accessors agree: a register reported as a source appears in
+    /// the instruction's encoding fields.
+    #[test]
+    fn sources_and_dest_exclude_x0(instr in any_instr()) {
+        prop_assert!(instr.dest() != Some(Reg::ZERO));
+        for s in instr.sources().into_iter().flatten() {
+            prop_assert!(!s.is_zero());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # lbp-kernels — the paper's workloads
+//!
+//! Ready-made Deterministic OpenMP programs for the LBP machine:
+//!
+//! - [`matmul`]: the §7 experiment — integer matrix multiplication in the
+//!   paper's five versions (base, copy, distributed, d+c, tiled);
+//! - [`simple`]: smaller kernels used by the examples and extra benches —
+//!   parallel vector fill/scale, a 3-point stencil, and a dot-product
+//!   reduction over the backward result line;
+//! - [`sensor`]: the §6 non-interruptible I/O application — four sensor
+//!   sections fused and written to an actuator (paper Figs. 16-17).
+//!
+//! # Examples
+//!
+//! Run the paper's base matmul at the smallest size (16 harts, 4 cores):
+//!
+//! ```
+//! use lbp_kernels::matmul::{Matmul, Version};
+//!
+//! let mm = Matmul::new(16, Version::Base);
+//! let mut machine = mm.machine()?;
+//! machine.run(10_000_000)?;
+//! assert!(mm.verify(&mut machine)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod matmul;
+pub mod sensor;
+pub mod simple;

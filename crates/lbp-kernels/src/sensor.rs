@@ -1,0 +1,125 @@
+//! The paper's §6 application (Figs. 16-17): a non-interruptible sensor
+//! fusion loop.
+//!
+//! Four sensors respond in a non-deterministic order; each round, a team
+//! of four harts polls them in parallel (`parallel sections`), the
+//! hardware barrier closes the round, and the sequential part fuses the
+//! four readings (`(s[0]+s[1]+s[2]+s[3])/4`) and writes the result to an
+//! actuator. The *ordering of the input values in the static fusion
+//! expression* fixes the semantics, so the fused output is deterministic
+//! even though the sensors' timings are not.
+
+use lbp_omp::DetOmp;
+use lbp_sim::{InputDevice, IoBus, Machine};
+
+/// Number of sensors (fixed by the paper's example).
+pub const SENSORS: usize = 4;
+
+/// The sensor-fusion application: `rounds` poll-fuse-actuate iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct SensorApp {
+    /// How many fusion rounds to run (the paper's `while(1)`, bounded).
+    pub rounds: usize,
+}
+
+impl SensorApp {
+    /// Creates the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero.
+    pub fn new(rounds: usize) -> SensorApp {
+        assert!(rounds >= 1);
+        SensorApp { rounds }
+    }
+
+    /// Builds the Deterministic OpenMP program.
+    pub fn program(&self) -> DetOmp {
+        let mut p = DetOmp::new(SENSORS).data_space("s_vals", (SENSORS * 4) as u32);
+        for i in 0..SENSORS {
+            let addr = IoBus::input_addr(i);
+            p = p.function(
+                format!("get_sensor{i}"),
+                format!(
+                    "    li   a2, {addr}
+gs{i}_poll:
+    lw   a3, 0(a2)
+    bgez a3, gs{i}_poll     # bit 31 set when a value is ready
+    slli a3, a3, 1
+    srli a3, a3, 1
+    la   a4, s_vals
+    sw   a3, {off}(a4)
+    p_ret",
+                    off = 4 * i
+                ),
+            );
+        }
+        let out_addr = IoBus::output_addr(0);
+        let fuse = format!(
+            "    la   a2, s_vals
+    lw   a3, 0(a2)
+    lw   a4, 4(a2)
+    lw   a5, 8(a2)
+    lw   a6, 12(a2)
+    add  a3, a3, a4
+    add  a3, a3, a5
+    add  a3, a3, a6
+    srai a3, a3, 2
+    li   a4, {out_addr}
+    sw   a3, 0(a4)
+    p_syncm"
+        );
+        let sections: Vec<String> = (0..SENSORS).map(|i| format!("get_sensor{i}")).collect();
+        let names: Vec<&str> = sections.iter().map(String::as_str).collect();
+        for _ in 0..self.rounds {
+            p = p.parallel_sections(&names).seq(fuse.clone());
+        }
+        p
+    }
+
+    /// Attaches the four scripted sensors and the actuator to a machine.
+    /// `schedules[i]` lists `(ready_cycle, value)` pairs for sensor `i`,
+    /// one entry per round. Returns the actuator's output-device index.
+    pub fn attach_devices(
+        &self,
+        machine: &mut Machine,
+        schedules: [Vec<(u64, u32)>; SENSORS],
+    ) -> usize {
+        for schedule in schedules {
+            assert_eq!(
+                schedule.len(),
+                self.rounds,
+                "one sensor value per round required"
+            );
+            machine.io_mut().add_input(InputDevice::scripted(schedule));
+        }
+        machine.io_mut().add_output()
+    }
+
+    /// The expected actuator outputs for the given per-round sensor
+    /// values (host-side reference).
+    pub fn expected(&self, values: &[[u32; SENSORS]]) -> Vec<u32> {
+        values
+            .iter()
+            .map(|round| round.iter().sum::<u32>() / SENSORS as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_assembles() {
+        let app = SensorApp::new(3);
+        let p = app.program();
+        p.build().unwrap_or_else(|e| panic!("{e}\n{}", p.source()));
+    }
+
+    #[test]
+    fn expected_is_the_average() {
+        let app = SensorApp::new(2);
+        assert_eq!(app.expected(&[[1, 2, 3, 6], [4, 4, 4, 4]]), vec![3, 4]);
+    }
+}

@@ -1,0 +1,528 @@
+//! Small parallel kernels: vector fill/scale, a 3-point stencil, and a
+//! dot-product reduction — the building blocks the examples and ablation
+//! benches use.
+
+use lbp_omp::{DetOmp, ReduceOp};
+
+/// A parallel vector program over `harts` members, each owning a
+/// contiguous chunk of `len` elements (so `len` must be a multiple of the
+/// team size).
+#[derive(Debug, Clone, Copy)]
+pub struct VectorParams {
+    /// Team size.
+    pub harts: usize,
+    /// Total element count.
+    pub len: usize,
+}
+
+impl VectorParams {
+    /// Creates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `len` is a positive multiple of `harts`.
+    pub fn new(harts: usize, len: usize) -> VectorParams {
+        assert!(harts >= 1 && len >= harts && len % harts == 0);
+        VectorParams { harts, len }
+    }
+
+    /// Elements per member.
+    pub fn chunk(&self) -> usize {
+        self.len / self.harts
+    }
+}
+
+/// The paper's Fig. 4 program: a producing region fills `v[i] = i`, the
+/// hardware barrier separates it from a consuming region computing
+/// `w[i] = v[i] * scale`.
+pub fn set_get_program(p: VectorParams, scale: i64) -> DetOmp {
+    let chunk = p.chunk();
+    DetOmp::new(p.harts)
+        .data_space("vec_v", (p.len * 4) as u32)
+        .data_space("vec_w", (p.len * 4) as u32)
+        .function(
+            "vset",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2          # first index of the chunk
+    la   t4, vec_v
+    slli t5, t3, 2
+    add  t4, t4, t5
+    addi t6, t3, {chunk}
+vset_loop:
+    sw   t3, 0(t4)
+    addi t4, t4, 4
+    addi t3, t3, 1
+    bne  t3, t6, vset_loop
+    p_ret"
+            ),
+        )
+        .function(
+            "vget",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, vec_v
+    la   t5, vec_w
+    slli t6, t3, 2
+    add  t4, t4, t6
+    add  t5, t5, t6
+    li   a2, {scale}
+    addi t6, t3, {chunk}
+vget_loop:
+    lw   a3, 0(t4)
+    mul  a3, a3, a2
+    sw   a3, 0(t5)
+    addi t4, t4, 4
+    addi t5, t5, 4
+    addi t3, t3, 1
+    bne  t3, t6, vget_loop
+    p_ret"
+            ),
+        )
+        .parallel_for("vset")
+        .parallel_for("vget")
+}
+
+/// A 3-point stencil: `out[i] = in[i-1] + 2*in[i] + in[i+1]` over the
+/// interior, chunked across the team, with the producing fill region
+/// barrier-separated from the stencil region.
+pub fn stencil_program(p: VectorParams) -> DetOmp {
+    let chunk = p.chunk();
+    let len = p.len;
+    DetOmp::new(p.harts)
+        .data_space("st_in", (len * 4) as u32)
+        .data_space("st_out", (len * 4) as u32)
+        .function(
+            "st_fill",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, st_in
+    slli t5, t3, 2
+    add  t4, t4, t5
+    addi t6, t3, {chunk}
+stf_loop:
+    andi a2, t3, 15          # a small periodic pattern
+    sw   a2, 0(t4)
+    addi t4, t4, 4
+    addi t3, t3, 1
+    bne  t3, t6, stf_loop
+    p_ret"
+            ),
+        )
+        .function(
+            "st_apply",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2          # i0
+    addi a4, t3, {chunk}     # end
+    # clamp to the interior [1, len-1)
+    bnez t3, st_lo_ok
+    li   t3, 1
+st_lo_ok:
+    li   t5, {hi}
+    blt  a4, t5, st_hi_ok
+    mv   a4, t5
+st_hi_ok:
+    bge  t3, a4, st_done
+    la   t6, st_in
+    slli a2, t3, 2
+    add  t6, t6, a2          # &in[i]
+    la   a5, st_out
+    add  a5, a5, a2          # &out[i]
+st_loop:
+    lw   a2, -4(t6)
+    lw   a3, 0(t6)
+    lw   a6, 4(t6)
+    slli a3, a3, 1
+    add  a2, a2, a3
+    add  a2, a2, a6
+    sw   a2, 0(a5)
+    addi t6, t6, 4
+    addi a5, a5, 4
+    addi t3, t3, 1
+    bne  t3, a4, st_loop
+st_done:
+    p_ret",
+                hi = len - 1
+            ),
+        )
+        .parallel_for("st_fill")
+        .parallel_for("st_apply")
+}
+
+/// A dot product: each member multiplies-and-accumulates its chunk of two
+/// vectors (filled with `i` and the constant 2) and sends the partial sum
+/// to the join hart over the backward line; hart 0 folds the partials.
+pub fn dot_product_program(p: VectorParams) -> DetOmp {
+    let chunk = p.chunk();
+    DetOmp::new(p.harts)
+        .data_space("dp_a", (p.len * 4) as u32)
+        .data_space("dp_b", (p.len * 4) as u32)
+        .data_space("dp_sum", 4)
+        .function(
+            "dp_fill",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, dp_a
+    la   t5, dp_b
+    slli t6, t3, 2
+    add  t4, t4, t6
+    add  t5, t5, t6
+    li   a2, 2
+    addi t6, t3, {chunk}
+dpf_loop:
+    sw   t3, 0(t4)
+    sw   a2, 0(t5)
+    addi t4, t4, 4
+    addi t5, t5, 4
+    addi t3, t3, 1
+    bne  t3, t6, dpf_loop
+    p_ret"
+            ),
+        )
+        .function(
+            "dp_mac",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, dp_a
+    la   t5, dp_b
+    slli t6, t3, 2
+    add  t4, t4, t6
+    add  t5, t5, t6
+    addi t6, t3, {chunk}
+    li   a2, 0
+dpm_loop:
+    lw   a3, 0(t4)
+    lw   a4, 0(t5)
+    mul  a5, a3, a4
+    add  a2, a2, a5
+    addi t4, t4, 4
+    addi t5, t5, 4
+    addi t3, t3, 1
+    bne  t3, t6, dpm_loop
+    p_swre a2, t1, 0
+    p_ret"
+            ),
+        )
+        .parallel_for("dp_fill")
+        .parallel_for("dp_mac")
+        .collect_reduction(0, p.harts, ReduceOp::Add, "dp_sum")
+}
+
+/// The host-side expected dot-product value for [`dot_product_program`].
+pub fn dot_product_expected(p: VectorParams) -> u64 {
+    (0..p.len as u64).map(|i| i * 2).sum()
+}
+
+/// The host-side expected stencil output for [`stencil_program`].
+pub fn stencil_expected(p: VectorParams) -> Vec<u32> {
+    let input: Vec<u32> = (0..p.len as u32).map(|i| i & 15).collect();
+    let mut out = vec![0; p.len];
+    for i in 1..p.len - 1 {
+        out[i] = input[i - 1] + 2 * input[i] + input[i + 1];
+    }
+    out
+}
+
+/// A three-phase parallel prefix sum (exclusive scan): members sum their
+/// chunks into `ps_partial[t]`; a sequential step scans the partials into
+/// per-member offsets; a second region writes each chunk's running sums.
+/// Two hardware barriers, no locks.
+pub fn prefix_sum_program(p: VectorParams) -> DetOmp {
+    let chunk = p.chunk();
+    let harts = p.harts;
+    DetOmp::new(p.harts)
+        .data_space("ps_in", (p.len * 4) as u32)
+        .data_space("ps_out", (p.len * 4) as u32)
+        .data_space("ps_partial", (p.harts * 4) as u32)
+        .function(
+            "ps_fill",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, ps_in
+    slli t5, t3, 2
+    add  t4, t4, t5
+    addi t6, t3, {chunk}
+psf_loop:
+    andi a2, t3, 7
+    addi a2, a2, 1            # values 1..8, repeating
+    sw   a2, 0(t4)
+    addi t4, t4, 4
+    addi t3, t3, 1
+    bne  t3, t6, psf_loop
+    p_ret"
+            ),
+        )
+        .function(
+            "ps_local_sum",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, ps_in
+    slli t5, t3, 2
+    add  t4, t4, t5
+    addi t6, t3, {chunk}
+    li   a2, 0
+psl_loop:
+    lw   a3, 0(t4)
+    add  a2, a2, a3
+    addi t4, t4, 4
+    addi t3, t3, 1
+    bne  t3, t6, psl_loop
+    la   t4, ps_partial
+    slli t5, a0, 2
+    add  t4, t4, t5
+    sw   a2, 0(t4)
+    p_ret"
+            ),
+        )
+        .parallel_for("ps_fill")
+        .parallel_for("ps_local_sum")
+        // Sequential exclusive scan of the per-member partials.
+        .seq(format!(
+            "    la   a2, ps_partial
+    li   a3, 0                # running total
+    li   a4, 0                # t
+    li   a5, {harts}
+pscan_loop:
+    lw   a6, 0(a2)
+    p_syncm
+    sw   a3, 0(a2)            # partial[t] becomes the exclusive offset
+    add  a3, a3, a6
+    addi a2, a2, 4
+    addi a4, a4, 1
+    bne  a4, a5, pscan_loop
+    p_syncm"
+        ))
+        .function(
+            "ps_apply",
+            format!(
+                "    la   t4, ps_partial
+    slli t5, a0, 2
+    add  t4, t4, t5
+    lw   a2, 0(t4)            # my exclusive offset
+    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, ps_in
+    la   t5, ps_out
+    slli t6, t3, 2
+    add  t4, t4, t6
+    add  t5, t5, t6
+    addi t6, t3, {chunk}
+psa_loop:
+    lw   a3, 0(t4)
+    sw   a2, 0(t5)            # exclusive: write before adding
+    add  a2, a2, a3
+    addi t4, t4, 4
+    addi t5, t5, 4
+    addi t3, t3, 1
+    bne  t3, t6, psa_loop
+    p_ret"
+            ),
+        )
+        .parallel_for("ps_apply")
+}
+
+/// The host-side reference for [`prefix_sum_program`].
+pub fn prefix_sum_expected(p: VectorParams) -> Vec<u32> {
+    let input: Vec<u32> = (0..p.len as u32).map(|i| (i & 7) + 1).collect();
+    let mut out = Vec::with_capacity(p.len);
+    let mut acc = 0u32;
+    for v in input {
+        out.push(acc);
+        acc += v;
+    }
+    out
+}
+
+/// Bins of the parallel histogram.
+pub const HISTOGRAM_BINS: usize = 16;
+
+/// A race-free parallel histogram: members count their chunk into a
+/// *private* row of a `harts x 16` matrix (no atomics exist and none are
+/// needed), then a second region of 16 members folds one bin column each.
+pub fn histogram_program(p: VectorParams) -> DetOmp {
+    let chunk = p.chunk();
+    let harts = p.harts;
+    let bins = HISTOGRAM_BINS;
+    DetOmp::new(p.harts)
+        .data_space("hg_in", (p.len * 4) as u32)
+        .data_space("hg_rows", (p.harts * bins * 4) as u32)
+        .data_space("hg_out", (bins * 4) as u32)
+        .function(
+            "hg_fill",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, hg_in
+    slli t5, t3, 2
+    add  t4, t4, t5
+    addi t6, t3, {chunk}
+hgf_loop:
+    slli a2, t3, 1
+    addi a2, a2, 3
+    andi a2, a2, 15           # a mixing pattern over the 16 bins
+    sw   a2, 0(t4)
+    addi t4, t4, 4
+    addi t3, t3, 1
+    bne  t3, t6, hgf_loop
+    p_ret"
+            ),
+        )
+        .function(
+            "hg_count",
+            format!(
+                "    li   t2, {chunk}
+    mul  t3, a0, t2
+    la   t4, hg_in
+    slli t5, t3, 2
+    add  t4, t4, t5
+    addi t6, t3, {chunk}
+    la   a2, hg_rows
+    slli t5, a0, {row_shift}
+    add  a2, a2, t5           # my private row
+hgc_loop:
+    lw   a3, 0(t4)
+    slli a3, a3, 2
+    add  a3, a3, a2           # &row[bin]
+    lw   a4, 0(a3)
+    p_syncm                   # read-modify-write of my own row
+    addi a4, a4, 1
+    sw   a4, 0(a3)
+    addi t4, t4, 4
+    addi t3, t3, 1
+    bne  t3, t6, hgc_loop
+    p_ret",
+                row_shift = (bins * 4).trailing_zeros()
+            ),
+        )
+        .function(
+            "hg_fold",
+            format!(
+                "    la   t2, hg_rows
+    slli t3, a0, 2
+    add  t2, t2, t3           # column a0, row 0
+    li   a2, 0
+    li   t4, 0
+hgr_loop:
+    lw   a3, 0(t2)
+    add  a2, a2, a3
+    addi t2, t2, {row_bytes}
+    addi t4, t4, 1
+    li   t5, {harts}
+    bne  t4, t5, hgr_loop
+    la   t2, hg_out
+    add  t2, t2, t3
+    sw   a2, 0(t2)
+    p_ret",
+                row_bytes = bins * 4
+            ),
+        )
+        .parallel_for("hg_fill")
+        .parallel_for("hg_count")
+        .parallel_for_n("hg_fold", bins)
+}
+
+/// The host-side reference for [`histogram_program`].
+pub fn histogram_expected(p: VectorParams) -> Vec<u32> {
+    let mut out = vec![0u32; HISTOGRAM_BINS];
+    for i in 0..p.len as u32 {
+        out[(((i << 1) + 3) & 15) as usize] += 1;
+    }
+    out
+}
+
+/// An odd-even transposition sort over `harts` elements: `harts` rounds,
+/// each a parallel region whose member `i` compare-swaps the pair
+/// `(a[i], a[i+1])` when `i`'s parity matches the round's. The hardware
+/// barrier between rounds is the only synchronization — `harts` barriers
+/// for a full sort, which only works because LBP's barrier costs tens of
+/// cycles, not microseconds.
+pub fn odd_even_sort_program(harts: usize, seed_stride: i64) -> DetOmp {
+    assert!((2..=256).contains(&harts));
+    let n = harts;
+    let mut p = DetOmp::new(harts).data_space("oe_a", (n * 4) as u32);
+    // Fill with a decreasing, striding pattern (worst case for bubble
+    // family sorts).
+    p = p.function(
+        "oe_fill",
+        format!(
+            "    li   t2, {n}
+    sub  t2, t2, a0
+    li   t3, {seed_stride}
+    mul  t2, t2, t3
+    la   t4, oe_a
+    slli t5, a0, 2
+    add  t4, t4, t5
+    sw   t2, 0(t4)
+    p_ret"
+        ),
+    );
+    for parity in 0..2 {
+        p = p.function(
+            format!("oe_pass{parity}"),
+            format!(
+                "    andi t2, a0, 1
+    li   t3, {parity}
+    bne  t2, t3, oe_skip{parity}   # wrong parity: idle this round
+    li   t3, {last}
+    bge  a0, t3, oe_skip{parity}   # no right neighbour
+    la   t4, oe_a
+    slli t5, a0, 2
+    add  t4, t4, t5
+    lw   t6, 0(t4)
+    lw   a2, 4(t4)
+    bge  a2, t6, oe_skip{parity}   # already ordered
+    sw   a2, 0(t4)
+    sw   t6, 4(t4)
+oe_skip{parity}:
+    p_ret",
+                last = n - 1
+            ),
+        );
+    }
+    p = p.parallel_for("oe_fill");
+    for round in 0..n {
+        p = p.parallel_for(format!("oe_pass{}", round % 2));
+    }
+    p
+}
+
+/// Host reference for [`odd_even_sort_program`]: the sorted fill pattern.
+pub fn odd_even_sort_expected(harts: usize, seed_stride: i64) -> Vec<i64> {
+    let n = harts as i64;
+    let mut v: Vec<i64> = (0..n).map(|i| (n - i) * seed_stride).collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programs_assemble() {
+        let p = VectorParams::new(8, 64);
+        for prog in [
+            set_get_program(p, 3),
+            stencil_program(p),
+            dot_product_program(p),
+            prefix_sum_program(p),
+            histogram_program(p),
+        ] {
+            prog.build()
+                .unwrap_or_else(|e| panic!("{e}\n{}", prog.source()));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn uneven_chunking_rejected() {
+        let _ = VectorParams::new(8, 63);
+    }
+}

@@ -1,0 +1,257 @@
+//! Code generation for Deterministic OpenMP parallel regions.
+//!
+//! This module emits the translation the paper's Fig. 2 describes: a
+//! `parallel for` (or `parallel sections`) region becomes an inlined
+//! `LBP_parallel_start` that distributes the team over consecutive harts
+//! with the Fig. 8 fork protocol — `p_fc`/`p_fn`, continuation-value
+//! transmission (`p_swcv`/`p_lwcv`), `p_syncm`, and a parallelized call
+//! `p_jalr` — and joins back through the ordered `p_ret` commits that
+//! implement the hardware barrier.
+//!
+//! ## Register conventions inside a team
+//!
+//! | register | role |
+//! |---|---|
+//! | `ra` | join address (the code after the region) |
+//! | `t0` | identity word: join hart in the upper half |
+//! | `s0` | thread function pointer (or section-table base) |
+//! | `s1` | team-member index `t` |
+//! | `s2` | team size `nt` |
+//! | `a0` | thread argument: the member index |
+//! | `a1` | thread argument: user data pointer |
+//! | `t1` | the team's join-hart identity word, for `p_swre` targeting |
+//!
+//! Thread functions receive `(a0, a1)`, may clobber anything **except
+//! `t0`** (their final `p_ret` reads it) and the continuation-value frame
+//! above their initial `sp`, and must end with `p_ret` instead of `ret`.
+//! A member that sends a result or reduction value backward uses
+//! `p_swre value, t1, slot`: `t1` carries the join hart in its upper
+//! half for *every* member, including the last one (whose `t0` is
+//! re-stamped with its own identity for the self-join of Fig. 7).
+
+use lbp_asm::Asm;
+
+/// Continuation-value frame slots used by the team protocol (byte
+/// offsets within the allocated hart's cv frame).
+pub mod cv_slots {
+    /// Join address (`ra`).
+    pub const RA: u32 = 0;
+    /// Identity word (`t0`).
+    pub const T0: u32 = 4;
+    /// Function pointer / section table (`s0`).
+    pub const S0: u32 = 8;
+    /// User data pointer (`a1`).
+    pub const A1: u32 = 12;
+    /// Next member index (`s1`).
+    pub const S1: u32 = 16;
+    /// Team size (`s2`).
+    pub const S2: u32 = 20;
+}
+
+/// What the team members run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TeamBody {
+    /// Every member calls the same function with its index in `a0`
+    /// (`#pragma omp parallel for`).
+    Uniform {
+        /// Label of the thread function.
+        function: String,
+    },
+    /// Member `t` calls the `t`-th function of a section table
+    /// (`#pragma omp parallel sections`).
+    Sections {
+        /// Label of a word table of function addresses, one per member.
+        table: String,
+    },
+}
+
+/// Emits one parallel region inline at the current position of `asm`.
+///
+/// On entry the code runs on the team's first hart (hart 0 in this
+/// runtime); on exit (after the hardware barrier) it resumes on the same
+/// hart at the generated join label. `threads` must be at least 1;
+/// `arg` optionally names a data symbol loaded into `a1`.
+pub fn emit_parallel_region(asm: &mut Asm, threads: usize, body: &TeamBody, arg: Option<&str>) {
+    assert!(threads >= 1, "a team needs at least one member");
+    let rp = asm.fresh_label("join");
+    asm.blank();
+    asm.comment(format!("--- parallel region: {threads} team member(s) ---"));
+    // Re-stamp the identity word: the join hart is this hart.
+    asm.line("p_set t0");
+    if let Some(sym) = arg {
+        asm.line(format!("la   a1, {sym}"));
+    } else {
+        asm.line("li   a1, 0");
+    }
+    match body {
+        TeamBody::Uniform { function } => {
+            asm.line(format!("la   s0, {function}"));
+        }
+        TeamBody::Sections { table } => {
+            asm.line(format!("la   s0, {table}"));
+        }
+    }
+    if threads == 1 {
+        // Degenerate team: a plain local call, no fork, no barrier needed.
+        asm.line("li   s1, 0");
+        emit_last_member_call(asm, body, &rp, true);
+        asm.label(&rp);
+        return;
+    }
+    asm.line(format!("la   ra, {rp}"));
+    asm.line("li   s1, 0");
+    asm.line(format!("li   s2, {threads}"));
+    let loop_l = asm.fresh_label("team");
+    let last_l = asm.fresh_label("last");
+    let next_l = asm.fresh_label("fnext");
+    let forked_l = asm.fresh_label("forked");
+    asm.label(&loop_l);
+    asm.line("addi t5, s2, -1");
+    asm.line(format!("beq  s1, t5, {last_l}"));
+    // Placement (paper Fig. 3): fill the four harts of the current core,
+    // then expand to the next core.
+    asm.line("andi t4, s1, 3");
+    asm.line("addi t3, zero, 3");
+    asm.line(format!("beq  t4, t3, {next_l}"));
+    asm.line("p_fc t6");
+    asm.line(format!("j    {forked_l}"));
+    asm.label(&next_l);
+    asm.line("p_fn t6");
+    asm.label(&forked_l);
+    // Transmit the continuation state to the allocated hart (Fig. 8).
+    asm.line(format!("p_swcv ra, t6, {}", cv_slots::RA));
+    asm.line(format!("p_swcv t0, t6, {}", cv_slots::T0));
+    asm.line(format!("p_swcv s0, t6, {}", cv_slots::S0));
+    asm.line(format!("p_swcv a1, t6, {}", cv_slots::A1));
+    asm.line(format!("p_swcv s2, t6, {}", cv_slots::S2));
+    asm.line("addi s1, s1, 1");
+    asm.line(format!("p_swcv s1, t6, {}", cv_slots::S1));
+    asm.line("addi s1, s1, -1");
+    asm.line("p_merge t0, t0, t6");
+    asm.line("p_syncm");
+    emit_member_arg(asm, body);
+    // Call the member function locally; the continuation (the rest of
+    // this loop) starts on the allocated hart at pc+4.
+    asm.line("p_jalr ra, t0, s3");
+    asm.comment("-- continuation: runs on the freshly forked hart --");
+    asm.line(format!("p_lwcv ra, {}", cv_slots::RA));
+    asm.line(format!("p_lwcv t0, {}", cv_slots::T0));
+    asm.line(format!("p_lwcv s0, {}", cv_slots::S0));
+    asm.line(format!("p_lwcv a1, {}", cv_slots::A1));
+    asm.line(format!("p_lwcv s1, {}", cv_slots::S1));
+    asm.line(format!("p_lwcv s2, {}", cv_slots::S2));
+    asm.line(format!("j    {loop_l}"));
+    asm.label(&last_l);
+    emit_last_member_call(asm, body, &rp, false);
+    asm.label(&rp);
+}
+
+/// Loads the member's function pointer into `s3`, its index into `a0`,
+/// and the join-hart identity word into `t1`.
+fn emit_member_arg(asm: &mut Asm, body: &TeamBody) {
+    match body {
+        TeamBody::Uniform { .. } => {
+            asm.line("mv   s3, s0");
+        }
+        TeamBody::Sections { .. } => {
+            asm.line("slli t4, s1, 2");
+            asm.line("add  t4, s0, t4");
+            asm.line("lw   s3, 0(t4)");
+            asm.line("p_syncm");
+        }
+    }
+    asm.line("mv   a0, s1");
+    asm.line("mv   t1, t0");
+}
+
+/// The last team member calls the function with a plain `jalr` after
+/// `p_set t0`, so the thread's `p_ret` self-joins (paper Fig. 7); it then
+/// forwards the join address to the team's first hart — unless the team
+/// has a single member, in which case execution simply falls through.
+fn emit_last_member_call(asm: &mut Asm, body: &TeamBody, _rp: &str, solo: bool) {
+    emit_member_arg(asm, body);
+    asm.line("p_set t0");
+    asm.line("jalr s3");
+    if !solo {
+        asm.comment("-- resumed by the self-join; forward to the join hart --");
+        asm.line(format!("p_lwcv ra, {}", cv_slots::RA));
+        asm.line(format!("p_lwcv t0, {}", cv_slots::T0));
+        asm.line("p_ret");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_assembles() {
+        let mut a = Asm::new();
+        a.label("main");
+        a.line("li t0, -1");
+        a.line("addi sp, sp, -8");
+        a.line("sw ra, 0(sp)");
+        a.line("sw t0, 4(sp)");
+        emit_parallel_region(
+            &mut a,
+            8,
+            &TeamBody::Uniform {
+                function: "thread".into(),
+            },
+            None,
+        );
+        a.line("lw ra, 0(sp)");
+        a.line("lw t0, 4(sp)");
+        a.line("addi sp, sp, 8");
+        a.line("p_ret");
+        a.label("thread");
+        a.line("p_ret");
+        let image = a.assemble().expect("generated region assembles");
+        assert!(image.text.len() > 30);
+    }
+
+    #[test]
+    fn solo_region_has_no_forks() {
+        let mut a = Asm::new();
+        a.label("main");
+        emit_parallel_region(
+            &mut a,
+            1,
+            &TeamBody::Uniform {
+                function: "thread".into(),
+            },
+            None,
+        );
+        assert!(!a.text().contains("p_fc"));
+        assert!(!a.text().contains("p_fn"));
+    }
+
+    #[test]
+    fn sections_load_from_table() {
+        let mut a = Asm::new();
+        a.label("main");
+        emit_parallel_region(
+            &mut a,
+            2,
+            &TeamBody::Sections {
+                table: "tbl".into(),
+            },
+            None,
+        );
+        assert!(a.text().contains("lw   s3, 0(t4)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_threads_rejected() {
+        let mut a = Asm::new();
+        emit_parallel_region(
+            &mut a,
+            0,
+            &TeamBody::Uniform {
+                function: "t".into(),
+            },
+            None,
+        );
+    }
+}

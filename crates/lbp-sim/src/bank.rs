@@ -1,0 +1,494 @@
+//! Memory banks and the per-core memory ports.
+//!
+//! Each core owns three banks (paper Fig. 13): a code bank (a copy of the
+//! program image; read by the fetch stage, one word per cycle, never
+//! contended), a local bank (hart stacks and cv frames, private to the
+//! core) and one slice of the distributed shared memory. Shared banks are
+//! dual-ported: the local port serves the owning core, the network port
+//! serves remote requests arriving through the r1 router.
+
+use std::collections::VecDeque;
+
+use lbp_isa::{HartId, Region, HARTS_PER_CORE, LOCAL_BASE, SHARED_BASE};
+
+use crate::config::{LbpConfig, CV_FRAME_BYTES};
+use crate::io::IoBus;
+use crate::msg::NetMsg;
+use crate::network::Network;
+
+/// A fatal memory fault. LBP has no traps: a bad access ends the
+/// simulation with an error describing the offending access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemFault {
+    /// Address not mapped to any bank of this configuration.
+    Unmapped {
+        /// The faulting address.
+        addr: u32,
+        /// The hart that issued the access.
+        hart: HartId,
+    },
+    /// Access not aligned to its size.
+    Unaligned {
+        /// The faulting address.
+        addr: u32,
+        /// The access size.
+        size: u8,
+        /// The hart that issued the access.
+        hart: HartId,
+    },
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemFault::Unmapped { addr, hart } => {
+                write!(f, "hart {hart} accessed unmapped address {addr:#010x}")
+            }
+            MemFault::Unaligned { addr, size, hart } => write!(
+                f,
+                "hart {hart} made a misaligned {size}-byte access at {addr:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// A queued request at a bank port, stamped with its arrival cycle so the
+/// bank serves it no earlier than the following cycle.
+#[derive(Debug, Clone, Copy)]
+struct Ported {
+    msg: NetMsg,
+    arrived: u64,
+}
+
+/// All memory state of the machine plus the per-core local ports.
+#[derive(Debug)]
+pub struct MemSys {
+    cores: usize,
+    local_bank_bytes: u32,
+    shared_bank_bytes: u32,
+    /// Per-core local banks (stacks, cv frames).
+    local: Vec<Vec<u8>>,
+    /// Per-core shared-bank slices.
+    shared: Vec<Vec<u8>>,
+    /// The code image (identical copy in every core's code bank).
+    code: Vec<u32>,
+    /// Local-bank port queue, one per core (own loads/stores/`p_lwcv`).
+    local_q: Vec<VecDeque<Ported>>,
+    /// Own-shared-slice local port queue, one per core.
+    shared_q: Vec<VecDeque<Ported>>,
+    /// Responses completed by local ports, delivered next cycle.
+    staged: Vec<Vec<NetMsg>>,
+    /// The r1/r2/r3 network serving remote shared accesses.
+    pub net: Network,
+    /// Memory-mapped devices (served through the local ports).
+    pub io: IoBus,
+    /// Count of accesses served by local ports.
+    pub local_served: u64,
+    /// Count of accesses served by network ports.
+    pub remote_served: u64,
+    /// The current cycle, updated by [`MemSys::tick`] (device timing).
+    now: u64,
+}
+
+impl MemSys {
+    /// Builds the memory system and loads the program image copies.
+    pub fn new(cfg: &LbpConfig, text: &[u32], data: &[u8]) -> Result<MemSys, MemFault> {
+        let cores = cfg.cores;
+        let mut mem = MemSys {
+            cores,
+            local_bank_bytes: cfg.local_bank_bytes,
+            shared_bank_bytes: cfg.shared_bank_bytes,
+            local: (0..cores)
+                .map(|_| vec![0; cfg.local_bank_bytes as usize])
+                .collect(),
+            shared: (0..cores)
+                .map(|_| vec![0; cfg.shared_bank_bytes as usize])
+                .collect(),
+            code: text.to_vec(),
+            local_q: (0..cores).map(|_| VecDeque::new()).collect(),
+            shared_q: (0..cores).map(|_| VecDeque::new()).collect(),
+            staged: (0..cores).map(|_| Vec::new()).collect(),
+            net: Network::new(cores, cfg.shared_bank_bytes),
+            io: IoBus::new(),
+            local_served: 0,
+            remote_served: 0,
+            now: 0,
+        };
+        // Distribute the initialized data over the shared banks.
+        for (i, &byte) in data.iter().enumerate() {
+            let addr = SHARED_BASE + i as u32;
+            mem.poke_shared(addr, byte, HartId::FIRST)?;
+        }
+        Ok(mem)
+    }
+
+    /// The shared bank (== core number) serving a shared address.
+    pub fn shared_bank_of(&self, addr: u32) -> u32 {
+        (addr - SHARED_BASE) / self.shared_bank_bytes
+    }
+
+    /// Fetches a code word (used by the fetch stage; no contention).
+    pub fn fetch(&self, pc: u32, hart: HartId) -> Result<u32, MemFault> {
+        if pc % 4 != 0 {
+            return Err(MemFault::Unaligned {
+                addr: pc,
+                size: 4,
+                hart,
+            });
+        }
+        self.code
+            .get((pc / 4) as usize)
+            .copied()
+            .ok_or(MemFault::Unmapped { addr: pc, hart })
+    }
+
+    /// The fixed continuation-value frame base address of a hart (within
+    /// its core's local bank).
+    pub fn cv_base(&self, hart: HartId) -> u32 {
+        let stack = self.local_bank_bytes / HARTS_PER_CORE as u32;
+        LOCAL_BASE + (hart.local() + 1) * stack - CV_FRAME_BYTES
+    }
+
+    /// Writes one byte directly into a shared bank (image loading).
+    fn poke_shared(&mut self, addr: u32, byte: u8, hart: HartId) -> Result<(), MemFault> {
+        let bank = self.shared_bank_of(addr) as usize;
+        if bank >= self.cores {
+            return Err(MemFault::Unmapped { addr, hart });
+        }
+        let off = ((addr - SHARED_BASE) % self.shared_bank_bytes) as usize;
+        self.shared[bank][off] = byte;
+        Ok(())
+    }
+
+    /// Enqueues a request on the owning core's local-bank port.
+    pub fn local_request(&mut self, core: u32, msg: NetMsg, now: u64) {
+        self.local_q[core as usize].push_back(Ported { msg, arrived: now });
+    }
+
+    /// Enqueues a request on the core's own shared-slice local port.
+    pub fn shared_local_request(&mut self, core: u32, msg: NetMsg, now: u64) {
+        self.shared_q[core as usize].push_back(Ported { msg, arrived: now });
+    }
+
+    /// Applies a cross-core `p_swcv` continuation-value write (the forward
+    /// link's dedicated port into the local bank).
+    pub fn cv_write(&mut self, to: HartId, offset: u32, value: u32) -> Result<(), MemFault> {
+        let addr = self.cv_base(to) + offset;
+        self.write_local(to.core(), addr, value, 4, to)
+    }
+
+    /// Takes the local-port responses staged for a core.
+    pub fn take_staged(&mut self, core: u32) -> Vec<NetMsg> {
+        std::mem::take(&mut self.staged[core as usize])
+    }
+
+    /// One cycle of bank service: each local port and each network port
+    /// serves one request that arrived on an earlier cycle.
+    pub fn tick(&mut self, now: u64) -> Result<(), MemFault> {
+        self.now = now;
+        for core in 0..self.cores as u32 {
+            // Local-bank port.
+            if let Some(p) = self.local_q[core as usize].front().copied() {
+                if p.arrived < now {
+                    self.local_q[core as usize].pop_front();
+                    let resp = self.perform(core, p.msg, PortSide::Local)?;
+                    self.staged[core as usize].push(resp);
+                    self.local_served += 1;
+                }
+            }
+            // Shared-slice local port.
+            if let Some(p) = self.shared_q[core as usize].front().copied() {
+                if p.arrived < now {
+                    self.shared_q[core as usize].pop_front();
+                    let resp = self.perform(core, p.msg, PortSide::Local)?;
+                    self.staged[core as usize].push(resp);
+                    self.local_served += 1;
+                }
+            }
+            // Network port of the shared bank.
+            if let Some(msg) = self.net.bank_queue(core).pop_front() {
+                let resp = self.perform(core, msg, PortSide::Network)?;
+                self.net.send_from_bank(core, resp);
+                self.remote_served += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs a read/write at `bank_core` and builds the response.
+    fn perform(
+        &mut self,
+        bank_core: u32,
+        msg: NetMsg,
+        _side: PortSide,
+    ) -> Result<NetMsg, MemFault> {
+        match msg {
+            NetMsg::ReadReq {
+                addr,
+                hart,
+                size,
+                signed,
+            } => {
+                let value = if Region::of(addr) == Region::Io {
+                    self.io
+                        .read(addr, self.now)
+                        .ok_or(MemFault::Unmapped { addr, hart })?
+                } else {
+                    self.read(bank_core, addr, size, signed, hart)?
+                };
+                Ok(NetMsg::ReadResp { addr, value, hart })
+            }
+            NetMsg::WriteReq {
+                addr,
+                value,
+                size,
+                hart,
+            } => {
+                if Region::of(addr) == Region::Io {
+                    self.io
+                        .write(addr, value, self.now)
+                        .ok_or(MemFault::Unmapped { addr, hart })?;
+                } else {
+                    self.write(bank_core, addr, value, size, hart)?;
+                }
+                Ok(NetMsg::WriteAck { addr, hart })
+            }
+            other => unreachable!("bank port received a response {other:?}"),
+        }
+    }
+
+    fn check_align(addr: u32, size: u8, hart: HartId) -> Result<(), MemFault> {
+        if addr % size as u32 != 0 {
+            Err(MemFault::Unaligned { addr, size, hart })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn slice_for(
+        &mut self,
+        bank_core: u32,
+        addr: u32,
+        size: u8,
+        hart: HartId,
+    ) -> Result<&mut [u8], MemFault> {
+        Self::check_align(addr, size, hart)?;
+        let (arr, off) = match Region::of(addr) {
+            Region::Local => (
+                &mut self.local[bank_core as usize],
+                (addr - LOCAL_BASE) as usize,
+            ),
+            Region::Shared => {
+                let bank = self.shared_bank_of(addr) as usize;
+                if bank >= self.cores {
+                    return Err(MemFault::Unmapped { addr, hart });
+                }
+                debug_assert_eq!(bank as u32, bank_core, "request routed to wrong bank");
+                (
+                    &mut self.shared[bank],
+                    ((addr - SHARED_BASE) % self.shared_bank_bytes) as usize,
+                )
+            }
+            Region::Code | Region::Io => return Err(MemFault::Unmapped { addr, hart }),
+        };
+        let end = off + size as usize;
+        if end > arr.len() {
+            return Err(MemFault::Unmapped { addr, hart });
+        }
+        Ok(&mut arr[off..end])
+    }
+
+    /// Reads a value of `size` bytes at `addr` from `bank_core`'s banks.
+    pub fn read(
+        &mut self,
+        bank_core: u32,
+        addr: u32,
+        size: u8,
+        signed: bool,
+        hart: HartId,
+    ) -> Result<u32, MemFault> {
+        let bytes = self.slice_for(bank_core, addr, size, hart)?;
+        let mut raw = 0u32;
+        for (i, b) in bytes.iter().enumerate() {
+            raw |= (*b as u32) << (8 * i);
+        }
+        Ok(match (size, signed) {
+            (1, true) => (raw as u8 as i8) as i32 as u32,
+            (2, true) => (raw as u16 as i16) as i32 as u32,
+            _ => raw,
+        })
+    }
+
+    /// Writes the low `size` bytes of `value` at `addr`.
+    pub fn write(
+        &mut self,
+        bank_core: u32,
+        addr: u32,
+        value: u32,
+        size: u8,
+        hart: HartId,
+    ) -> Result<(), MemFault> {
+        let bytes = self.slice_for(bank_core, addr, size, hart)?;
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn write_local(
+        &mut self,
+        core: u32,
+        addr: u32,
+        value: u32,
+        size: u8,
+        hart: HartId,
+    ) -> Result<(), MemFault> {
+        self.write(core, addr, value, size, hart)
+    }
+
+    /// Directly reads shared memory (for test harnesses and result
+    /// extraction after a run).
+    pub fn peek_shared(&mut self, addr: u32) -> Result<u32, MemFault> {
+        let bank = self.shared_bank_of(addr);
+        self.read(bank, addr, 4, false, HartId::FIRST)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PortSide {
+    Local,
+    Network,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memsys(cores: usize) -> MemSys {
+        MemSys::new(&LbpConfig::cores(cores), &[0x13], &[1, 0, 0, 0]).unwrap()
+    }
+
+    #[test]
+    fn image_data_lands_in_shared_bank_zero() {
+        let mut m = memsys(4);
+        assert_eq!(m.peek_shared(SHARED_BASE).unwrap(), 1);
+    }
+
+    #[test]
+    fn cv_base_is_per_hart() {
+        let m = memsys(4);
+        // 64 KiB local bank -> 16 KiB stacks.
+        assert_eq!(
+            m.cv_base(HartId::from_parts(2, 0)),
+            LOCAL_BASE + 16 * 1024 - CV_FRAME_BYTES
+        );
+        assert_eq!(
+            m.cv_base(HartId::from_parts(2, 3)),
+            LOCAL_BASE + 64 * 1024 - CV_FRAME_BYTES
+        );
+    }
+
+    #[test]
+    fn local_port_serves_one_per_cycle_after_arrival() {
+        let mut m = memsys(1);
+        let h = HartId::FIRST;
+        m.local_request(
+            0,
+            NetMsg::WriteReq {
+                addr: LOCAL_BASE,
+                value: 42,
+                size: 4,
+                hart: h,
+            },
+            5,
+        );
+        // Same-cycle service is not allowed.
+        m.tick(5).unwrap();
+        assert!(m.take_staged(0).is_empty());
+        m.tick(6).unwrap();
+        let resp = m.take_staged(0);
+        assert_eq!(
+            resp,
+            vec![NetMsg::WriteAck {
+                addr: LOCAL_BASE,
+                hart: h
+            }]
+        );
+        assert_eq!(m.read(0, LOCAL_BASE, 4, false, h).unwrap(), 42);
+    }
+
+    #[test]
+    fn sign_extension() {
+        let mut m = memsys(1);
+        let h = HartId::FIRST;
+        m.write(0, LOCAL_BASE, 0x80, 1, h).unwrap();
+        assert_eq!(m.read(0, LOCAL_BASE, 1, true, h).unwrap(), 0xffff_ff80);
+        assert_eq!(m.read(0, LOCAL_BASE, 1, false, h).unwrap(), 0x80);
+        m.write(0, LOCAL_BASE + 2, 0x8000, 2, h).unwrap();
+        assert_eq!(m.read(0, LOCAL_BASE + 2, 2, true, h).unwrap(), 0xffff_8000);
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let mut m = memsys(1);
+        let err = m
+            .read(0, LOCAL_BASE + 2, 4, false, HartId::FIRST)
+            .unwrap_err();
+        assert!(matches!(err, MemFault::Unaligned { .. }));
+    }
+
+    #[test]
+    fn out_of_range_faults() {
+        let mut m = memsys(1);
+        // Beyond the single 64 KiB shared bank.
+        let err = m.peek_shared(SHARED_BASE + 0x10000).unwrap_err();
+        assert!(matches!(err, MemFault::Unmapped { .. }));
+    }
+
+    #[test]
+    fn remote_requests_flow_through_network() {
+        let mut m = memsys(4);
+        let h = HartId::from_parts(3, 0);
+        // Core 3 reads bank 0 remotely.
+        m.net.send_from_core(
+            3,
+            NetMsg::ReadReq {
+                addr: SHARED_BASE,
+                hart: h,
+                size: 4,
+                signed: false,
+            },
+        );
+        let mut got = None;
+        for now in 1..20 {
+            m.net.tick();
+            m.tick(now).unwrap();
+            let inbox = m.net.take_core_inbox(3);
+            if !inbox.is_empty() {
+                got = Some((now, inbox));
+                break;
+            }
+        }
+        let (when, inbox) = got.expect("response arrives");
+        assert_eq!(
+            inbox,
+            vec![NetMsg::ReadResp {
+                addr: SHARED_BASE,
+                value: 1,
+                hart: h
+            }]
+        );
+        // core->r1 (1), r1->bank (2), served (2), bank->r1 (3), r1->core (4).
+        assert_eq!(when, 4);
+    }
+
+    #[test]
+    fn code_fetch_bounds() {
+        let m = memsys(1);
+        assert_eq!(m.fetch(0, HartId::FIRST).unwrap(), 0x13);
+        assert!(m.fetch(4, HartId::FIRST).is_err());
+        assert!(m.fetch(2, HartId::FIRST).is_err());
+    }
+}

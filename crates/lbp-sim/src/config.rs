@@ -1,0 +1,135 @@
+//! Machine configuration.
+
+use lbp_isa::HARTS_PER_CORE;
+
+/// Functional-unit and interconnect latencies, in cycles.
+///
+/// The defaults model the FPGA implementation the paper reports on: a
+/// single-cycle ALU, a short pipelined multiplier, an iterative divider,
+/// single-cycle link hops and single-cycle bank service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Latencies {
+    /// ALU operations (result available the next cycle).
+    pub alu: u32,
+    /// RV32M multiplications.
+    pub mul: u32,
+    /// RV32M divisions/remainders.
+    pub div: u32,
+    /// One traversal of any inter-core or router link.
+    pub link_hop: u32,
+    /// Bank access time once a request is at the bank port.
+    pub bank: u32,
+}
+
+impl Default for Latencies {
+    fn default() -> Latencies {
+        Latencies {
+            alu: 1,
+            mul: 3,
+            div: 12,
+            link_hop: 1,
+            bank: 1,
+        }
+    }
+}
+
+/// Full configuration of an LBP machine instance.
+///
+/// # Examples
+///
+/// ```
+/// use lbp_sim::LbpConfig;
+/// let cfg = LbpConfig::cores(16);
+/// assert_eq!(cfg.cores, 16);
+/// assert_eq!(cfg.harts(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LbpConfig {
+    /// Number of cores (the paper evaluates 4, 16 and 64).
+    pub cores: usize,
+    /// Bytes of local (stack) bank per core; divided evenly among the
+    /// core's four harts.
+    pub local_bank_bytes: u32,
+    /// Bytes of shared bank per core; the global shared space is the
+    /// concatenation of all shared banks.
+    pub shared_bank_bytes: u32,
+    /// Renaming (physical) registers per hart.
+    pub phys_regs: usize,
+    /// Reorder-buffer entries per hart.
+    pub rob_entries: usize,
+    /// Instruction-table (waiting-station) entries per hart.
+    pub it_entries: usize,
+    /// `p_swre`/`p_lwre` result-buffer slots per hart.
+    pub result_slots: usize,
+    /// Functional-unit and interconnect latencies.
+    pub latencies: Latencies,
+    /// Record a full event trace (costly; for determinism checks and
+    /// debugging).
+    pub trace: bool,
+}
+
+impl LbpConfig {
+    /// A machine with `cores` cores and default parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn cores(cores: usize) -> LbpConfig {
+        assert!(cores > 0, "a machine needs at least one core");
+        LbpConfig {
+            cores,
+            local_bank_bytes: 64 * 1024,
+            shared_bank_bytes: 64 * 1024,
+            phys_regs: 64,
+            rob_entries: 32,
+            it_entries: 32,
+            result_slots: 8,
+            latencies: Latencies::default(),
+            trace: false,
+        }
+    }
+
+    /// Total hart count (`4 * cores`).
+    pub fn harts(&self) -> usize {
+        self.cores * HARTS_PER_CORE
+    }
+
+    /// Stack bytes available to each hart.
+    pub fn stack_bytes(&self) -> u32 {
+        self.local_bank_bytes / HARTS_PER_CORE as u32
+    }
+
+    /// Total bytes of the global shared space.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_bank_bytes as u64 * self.cores as u64
+    }
+
+    /// Enables event tracing.
+    pub fn with_trace(mut self) -> LbpConfig {
+        self.trace = true;
+        self
+    }
+}
+
+/// Bytes reserved at the top of each hart stack for the continuation-value
+/// frame written by `p_swcv` and read by `p_lwcv` (16 word slots).
+pub const CV_FRAME_BYTES: u32 = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = LbpConfig::cores(64);
+        assert_eq!(cfg.harts(), 256);
+        assert_eq!(cfg.stack_bytes(), 16 * 1024);
+        assert_eq!(cfg.shared_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = LbpConfig::cores(0);
+    }
+}

@@ -1,0 +1,659 @@
+//! One LBP core: four harts sharing a five-stage out-of-order pipeline.
+//!
+//! Every cycle each stage — fetch, decode/rename, issue, write-back,
+//! commit — independently selects one eligible hart by round robin (paper
+//! Figs. 10-12). A hart is suspended after *every* fetch until its next pc
+//! is known: at decode for straight-line code and direct jumps, at execute
+//! for conditional branches and indirect calls. There is no branch
+//! predictor; multithreading hides the bubble.
+
+use std::collections::VecDeque;
+
+use lbp_isa::{HartId, IdentityWord, Instr, OpKind, Region, HARTS_PER_CORE};
+
+use crate::bank::MemSys;
+use crate::config::Latencies;
+use crate::error::SimError;
+use crate::fabric::Fabric;
+use crate::hart::{Fetched, HartCtx, HartState, ItEntry, Rb, RbWait};
+use crate::msg::{CoreMsg, NetMsg};
+use crate::stats::Stats;
+use crate::trace::{EventKind, Trace};
+
+/// Pipeline stage indices for the round-robin pointers.
+const ST_FETCH: usize = 0;
+const ST_RENAME: usize = 1;
+const ST_ISSUE: usize = 2;
+const ST_WB: usize = 3;
+const ST_COMMIT: usize = 4;
+
+/// Shared mutable context threaded through the pipeline stages.
+pub(crate) struct Env<'a> {
+    pub mem: &'a mut MemSys,
+    pub fabric: &'a mut Fabric,
+    pub stats: &'a mut Stats,
+    pub trace: &'a mut Trace,
+    pub trace_on: bool,
+    pub lat: Latencies,
+    pub now: u64,
+    pub cores: usize,
+    pub exited: &'a mut bool,
+}
+
+impl Env<'_> {
+    fn emit(&mut self, hart: HartId, kind: EventKind) {
+        if self.trace_on {
+            self.trace.push(self.now, hart, kind);
+        }
+    }
+}
+
+/// One core: its four harts, the stage round-robin pointers and the hart
+/// allocator queue.
+#[derive(Debug)]
+pub(crate) struct Core {
+    pub index: u32,
+    pub harts: Vec<HartCtx>,
+    rr: [usize; 5],
+    /// Pending fork requests (own `p_fc`s and `ForkReq`s from the
+    /// predecessor core), satisfied one per cycle in arrival order.
+    pub alloc_q: VecDeque<HartId>,
+}
+
+impl Core {
+    pub fn new(index: u32, mk_hart: impl Fn(HartId) -> HartCtx) -> Core {
+        Core {
+            index,
+            harts: (0..HARTS_PER_CORE as u32)
+                .map(|l| mk_hart(HartId::from_parts(index, l)))
+                .collect(),
+            rr: [0; 5],
+            alloc_q: VecDeque::new(),
+        }
+    }
+
+    /// Round-robin selection of one hart satisfying `pred`, advancing the
+    /// stage pointer past the chosen hart.
+    fn select(&mut self, stage: usize, pred: impl Fn(&HartCtx) -> bool) -> Option<usize> {
+        let start = self.rr[stage];
+        for k in 0..HARTS_PER_CORE {
+            let i = (start + k) % HARTS_PER_CORE;
+            if pred(&self.harts[i]) {
+                self.rr[stage] = (i + 1) % HARTS_PER_CORE;
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// One full core cycle (stages run in reverse pipeline order so each
+    /// stage sees the state its predecessors left at the end of the
+    /// previous cycle).
+    pub fn tick(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
+        self.process_alloc(env);
+        self.release_syncm(env.now);
+        self.stage_commit(env)?;
+        self.stage_writeback(env);
+        self.stage_issue(env)?;
+        self.stage_rename(env);
+        self.stage_fetch(env)?;
+        Ok(())
+    }
+
+    /// Satisfies at most one pending fork request with the lowest-numbered
+    /// free hart.
+    fn process_alloc(&mut self, env: &mut Env<'_>) {
+        let Some(&requester) = self.alloc_q.front() else {
+            return;
+        };
+        let Some(child_local) = self.harts.iter().position(|h| h.state == HartState::Free) else {
+            return; // all four harts busy: the fork stalls, deterministically
+        };
+        self.alloc_q.pop_front();
+        let child = HartId::from_parts(self.index, child_local as u32);
+        let sp = env.mem.cv_base(child);
+        self.harts[child_local].allocate(sp);
+        env.stats.forks += 1;
+        env.emit(requester, EventKind::Fork { child });
+        if requester.core() == self.index {
+            // Complete the local `p_fc`.
+            let rb = self.harts[requester.local() as usize]
+                .rb
+                .as_mut()
+                .expect("p_fc holds the result buffer");
+            debug_assert!(matches!(rb.wait, RbWait::Fork));
+            rb.wait = RbWait::Done {
+                value: Some(child.global()),
+            };
+        } else {
+            // Reply to the predecessor core's `p_fn`.
+            env.fabric.send(
+                self.index,
+                CoreMsg::ForkReply {
+                    to: requester,
+                    child,
+                },
+            );
+        }
+    }
+
+    /// Releases harts whose `p_syncm` drain condition is now met.
+    fn release_syncm(&mut self, now: u64) {
+        for h in &mut self.harts {
+            if h.syncm_wait && h.mem_drained() {
+                h.syncm_wait = false;
+                h.unsuspend_next(now);
+            }
+        }
+    }
+
+    fn stage_fetch(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
+        let now = env.now;
+        let Some(i) = self.select(ST_FETCH, |h| {
+            h.state == HartState::Running && h.pc.is_some() && h.can_fetch(now) && h.ib.is_none()
+        }) else {
+            return Ok(());
+        };
+        let h = &mut self.harts[i];
+        let pc = h.pc.expect("checked by predicate");
+        let word = env.mem.fetch(pc, h.id)?;
+        let instr = Instr::decode(word).map_err(|_| SimError::Decode {
+            pc,
+            word,
+            hart: h.id,
+        })?;
+        h.ib = Some(Fetched { pc, instr });
+        h.fetch_suspended = true;
+        let id = h.id;
+        env.emit(id, EventKind::Fetch { pc });
+        Ok(())
+    }
+
+    fn stage_rename(&mut self, env: &mut Env<'_>) {
+        let Some(i) = self.select(ST_RENAME, |h| {
+            h.ib.as_ref()
+                .is_some_and(|f| h.rename_capacity(f.instr.dest().is_some()))
+        }) else {
+            return;
+        };
+        let h = &mut self.harts[i];
+        let f = h.ib.take().expect("checked by predicate");
+        h.rename(f);
+        // Next-pc resolution (releases the post-fetch suspension).
+        match f.instr {
+            Instr::Jal { offset, .. } | Instr::PJal { offset, .. } => {
+                h.pc = Some(f.pc.wrapping_add(offset as u32));
+                h.unsuspend_next(env.now);
+            }
+            Instr::Branch { .. } | Instr::Jalr { .. } => {
+                // Resolved at execute; stay suspended.
+            }
+            Instr::PJalr { rd, .. } => {
+                if rd.is_zero() {
+                    // p_ret: the hart fetches nothing more until it is
+                    // ended, joined or restarted.
+                    h.pc = None;
+                } // call form: target known at execute; stay suspended.
+            }
+            Instr::PSyncm => {
+                // Fetch stays blocked until the hart's memory accesses
+                // drain (released by `release_syncm`).
+                h.pc = Some(f.pc.wrapping_add(4));
+                h.syncm_wait = true;
+            }
+            _ => {
+                h.pc = Some(f.pc.wrapping_add(4));
+                h.unsuspend_next(env.now);
+            }
+        }
+    }
+
+    fn stage_issue(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
+        let Some(i) = self.select(ST_ISSUE, |h| h.rb.is_none() && h.oldest_ready().is_some())
+        else {
+            return Ok(());
+        };
+        let idx = self.harts[i].oldest_ready().expect("checked by predicate");
+        let entry = self.harts[i].it.remove(idx);
+        if entry.instr.is_mem() {
+            self.harts[i].mem_in_it -= 1;
+        }
+        let wait = self.execute(i, &entry, env)?;
+        self.harts[i].rb = Some(Rb {
+            seq: entry.seq,
+            dest: entry.dest,
+            wait,
+        });
+        Ok(())
+    }
+
+    /// Executes one instruction (the issue + functional-unit step),
+    /// returning the result-buffer wait state.
+    fn execute(
+        &mut self,
+        hart_idx: usize,
+        e: &ItEntry,
+        env: &mut Env<'_>,
+    ) -> Result<RbWait, SimError> {
+        let now = env.now;
+        let lat = env.lat;
+        let alu = |v: u32| RbWait::Until {
+            at: now + lat.alu as u64,
+            value: Some(v),
+        };
+        let silent = RbWait::Until {
+            at: now + lat.alu as u64,
+            value: None,
+        };
+        let id = self.harts[hart_idx].id;
+        let v1 = self.harts[hart_idx].src_value(e.srcs[0]);
+        let v2 = self.harts[hart_idx].src_value(e.srcs[1]);
+        Ok(match e.instr {
+            Instr::Lui { imm, .. } => alu(imm),
+            Instr::Auipc { imm, .. } => alu(e.pc.wrapping_add(imm)),
+            Instr::OpImm { kind, imm, .. } => alu(kind.eval(v1, imm)),
+            Instr::Op { kind, .. } => {
+                if kind.is_muldiv() {
+                    env.stats.muldiv_ops += 1;
+                }
+                let cycles = if kind.is_muldiv() {
+                    if matches!(
+                        kind,
+                        OpKind::Mul | OpKind::Mulh | OpKind::Mulhsu | OpKind::Mulhu
+                    ) {
+                        lat.mul
+                    } else {
+                        lat.div
+                    }
+                } else {
+                    lat.alu
+                };
+                RbWait::Until {
+                    at: now + cycles as u64,
+                    value: Some(kind.eval(v1, v2)),
+                }
+            }
+            Instr::Jal { .. } => alu(e.pc.wrapping_add(4)),
+            Instr::Jalr { offset, .. } => {
+                let target = v1.wrapping_add(offset as u32) & !1;
+                let h = &mut self.harts[hart_idx];
+                h.pc = Some(target);
+                h.unsuspend_next(now);
+                alu(e.pc.wrapping_add(4))
+            }
+            Instr::Branch { kind, offset, .. } => {
+                let target = if kind.taken(v1, v2) {
+                    e.pc.wrapping_add(offset as u32)
+                } else {
+                    e.pc.wrapping_add(4)
+                };
+                let h = &mut self.harts[hart_idx];
+                h.pc = Some(target);
+                h.unsuspend_next(now);
+                silent
+            }
+            Instr::Load { kind, offset, .. } => {
+                let addr = v1.wrapping_add(offset as u32);
+                self.send_read(
+                    id,
+                    addr,
+                    kind.size() as u8,
+                    matches!(kind, lbp_isa::LoadKind::B | lbp_isa::LoadKind::H),
+                    env,
+                )?;
+                self.harts[hart_idx].in_flight_mem += 1;
+                RbWait::Mem
+            }
+            Instr::Store { kind, offset, .. } => {
+                let addr = v1.wrapping_add(offset as u32);
+                self.send_write(id, addr, v2, kind.size() as u8, env)?;
+                self.harts[hart_idx].in_flight_mem += 1;
+                silent
+            }
+            Instr::PLwcv { offset, .. } => {
+                let addr = env.mem.cv_base(id).wrapping_add(offset as u32);
+                self.send_read(id, addr, 4, false, env)?;
+                self.harts[hart_idx].in_flight_mem += 1;
+                RbWait::Mem
+            }
+            Instr::PSwcv { offset, .. } => {
+                let target = HartId::new(v1 & 0xffff);
+                self.harts[hart_idx].in_flight_mem += 1;
+                if target.core() == self.index {
+                    let addr = env.mem.cv_base(target).wrapping_add(offset as u32);
+                    env.mem.local_request(
+                        self.index,
+                        NetMsg::WriteReq {
+                            addr,
+                            value: v2,
+                            size: 4,
+                            hart: id,
+                        },
+                        now,
+                    );
+                    env.emit(
+                        id,
+                        EventKind::MemWrite {
+                            addr,
+                            bank: self.index,
+                            value: v2,
+                        },
+                    );
+                    env.stats.local_accesses += 1;
+                } else if target.core() == self.index + 1 {
+                    env.fabric.send(
+                        self.index,
+                        CoreMsg::CvWrite {
+                            to: target,
+                            offset: offset as u32,
+                            value: v2,
+                            from: id,
+                        },
+                    );
+                } else {
+                    return Err(SimError::Protocol {
+                        hart: id,
+                        what: format!(
+                            "p_swcv to hart {target}, which is neither on this core nor the next"
+                        ),
+                    });
+                }
+                silent
+            }
+            Instr::PLwre { offset, .. } => {
+                let slot = offset as usize;
+                let value = self.harts[hart_idx].recv[slot]
+                    .pop_front()
+                    .expect("issue gated on a full slot");
+                alu(value)
+            }
+            Instr::PSwre { offset, .. } => {
+                // rs1 is an identity word: the receiving (prior) hart is in
+                // the upper half (`p_set` puts it there; `p_merge` keeps it).
+                let target = IdentityWord::from_bits(v1).join_hart();
+                if target.core() > self.index {
+                    return Err(SimError::Protocol {
+                        hart: id,
+                        what: format!(
+                            "p_swre to hart {target}, which follows this core: the backward \
+                             line cannot send data forward in the sequential order"
+                        ),
+                    });
+                }
+                env.fabric.send(
+                    self.index,
+                    CoreMsg::Result {
+                        to: target,
+                        slot: offset as u32,
+                        value: v2,
+                    },
+                );
+                silent
+            }
+            Instr::PFc { .. } => {
+                self.alloc_q.push_back(id);
+                RbWait::Fork
+            }
+            Instr::PFn { .. } => {
+                if self.index as usize + 1 >= env.cores {
+                    return Err(SimError::Protocol {
+                        hart: id,
+                        what: "p_fn on the last core: the core line does not wrap".to_owned(),
+                    });
+                }
+                env.fabric.send(self.index, CoreMsg::ForkReq { from: id });
+                RbWait::Fork
+            }
+            Instr::PSet { .. } => alu(IdentityWord::from_bits(v1).set(id).bits()),
+            Instr::PMerge { .. } => alu(IdentityWord::from_bits(v1)
+                .merge(IdentityWord::from_bits(v2))
+                .bits()),
+            Instr::PSyncm => silent,
+            Instr::PJal { .. } => {
+                let target = HartId::new(v1 & 0xffff);
+                self.send_start(id, target, e.pc.wrapping_add(4), env)?;
+                self.harts[hart_idx].team_succ = Some(target);
+                alu(0) // rd is cleared
+            }
+            Instr::PJalr { rd, .. } => {
+                if rd.is_zero() {
+                    // p_ret: resolved here, acted on at commit (in team
+                    // order).
+                    self.harts[hart_idx].rob_set_pret(e.seq, v1, v2);
+                    silent
+                } else {
+                    // Parallelized call: jump locally to rs2, start the
+                    // allocated hart (low half of rs1) at pc+4, clear rd.
+                    let target_hart = IdentityWord::from_bits(v1).allocated_hart();
+                    self.send_start(id, target_hart, e.pc.wrapping_add(4), env)?;
+                    let h = &mut self.harts[hart_idx];
+                    h.team_succ = Some(target_hart);
+                    h.pc = Some(v2 & !1);
+                    h.unsuspend_next(now);
+                    alu(0)
+                }
+            }
+        })
+    }
+
+    /// Sends a start pc to an allocated hart (same or next core).
+    fn send_start(
+        &mut self,
+        from: HartId,
+        to: HartId,
+        pc: u32,
+        env: &mut Env<'_>,
+    ) -> Result<(), SimError> {
+        if to.core() != self.index && to.core() != self.index + 1 {
+            return Err(SimError::Protocol {
+                hart: from,
+                what: format!("start pc sent to hart {to}, which is neither local nor next-core"),
+            });
+        }
+        env.fabric.send(self.index, CoreMsg::Start { to, pc });
+        Ok(())
+    }
+
+    /// Routes a read request to the right port.
+    fn send_read(
+        &mut self,
+        hart: HartId,
+        addr: u32,
+        size: u8,
+        signed: bool,
+        env: &mut Env<'_>,
+    ) -> Result<(), SimError> {
+        let msg = NetMsg::ReadReq {
+            addr,
+            hart,
+            size,
+            signed,
+        };
+        self.route_request(hart, addr, msg, env)?;
+        let bank = self.bank_of(addr, env);
+        env.emit(hart, EventKind::MemRead { addr, bank });
+        Ok(())
+    }
+
+    /// Routes a write request to the right port.
+    fn send_write(
+        &mut self,
+        hart: HartId,
+        addr: u32,
+        value: u32,
+        size: u8,
+        env: &mut Env<'_>,
+    ) -> Result<(), SimError> {
+        let msg = NetMsg::WriteReq {
+            addr,
+            value,
+            size,
+            hart,
+        };
+        self.route_request(hart, addr, msg, env)?;
+        let bank = self.bank_of(addr, env);
+        env.emit(hart, EventKind::MemWrite { addr, bank, value });
+        Ok(())
+    }
+
+    fn bank_of(&self, addr: u32, env: &Env<'_>) -> u32 {
+        match Region::of(addr) {
+            Region::Shared => env.mem.shared_bank_of(addr),
+            _ => self.index,
+        }
+    }
+
+    fn route_request(
+        &mut self,
+        hart: HartId,
+        addr: u32,
+        msg: NetMsg,
+        env: &mut Env<'_>,
+    ) -> Result<(), SimError> {
+        match Region::of(addr) {
+            Region::Local | Region::Io => {
+                env.mem.local_request(self.index, msg, env.now);
+                env.stats.local_accesses += 1;
+            }
+            Region::Shared => {
+                let bank = env.mem.shared_bank_of(addr);
+                if bank as usize >= env.cores {
+                    return Err(SimError::Mem(crate::bank::MemFault::Unmapped {
+                        addr,
+                        hart,
+                    }));
+                }
+                if bank == self.index {
+                    env.mem.shared_local_request(self.index, msg, env.now);
+                    env.stats.local_accesses += 1;
+                } else {
+                    env.mem.net.send_from_core(self.index, msg);
+                    env.stats.remote_accesses += 1;
+                }
+            }
+            Region::Code => {
+                return Err(SimError::Protocol {
+                    hart,
+                    what: format!("data access to the code region at {addr:#010x}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn stage_writeback(&mut self, env: &mut Env<'_>) {
+        let now = env.now;
+        let Some(i) = self.select(ST_WB, |h| {
+            h.rb.as_ref().is_some_and(|rb| match rb.wait {
+                RbWait::Done { .. } => true,
+                RbWait::Until { at, .. } => at <= now,
+                RbWait::Mem | RbWait::Fork => false,
+            })
+        }) else {
+            return;
+        };
+        let h = &mut self.harts[i];
+        let rb = h.rb.take().expect("checked by predicate");
+        let value = match rb.wait {
+            RbWait::Done { value } | RbWait::Until { value, .. } => value,
+            _ => unreachable!("predicate admits only completed buffers"),
+        };
+        if let Some(dest) = rb.dest {
+            let slot = &mut h.prf[dest as usize];
+            slot.value = value.expect("instruction with a destination produced a value");
+            slot.ready = true;
+        }
+        h.rob_mark_done(rb.seq);
+    }
+
+    fn stage_commit(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
+        let Some(i) = self.select(ST_COMMIT, |h| {
+            h.rob.front().is_some_and(|e| {
+                // A p_ret additionally needs the team predecessor's ending
+                // signal AND a quiescent memory interface: the hardware
+                // barrier guarantees that a consuming region's loads see
+                // the producing region's stores (paper §3, Fig. 4), which
+                // only holds if a hart's stores are done before it ends.
+                e.done && (!e.is_pret || (h.end_signal && h.in_flight_mem == 0))
+            })
+        }) else {
+            return Ok(());
+        };
+        let h = &mut self.harts[i];
+        let entry = h.rob.pop_front().expect("checked by predicate");
+        if let Some((_new, Some(old))) = entry.dest {
+            h.free_phys.push_back(old);
+        }
+        let id = h.id;
+        env.stats.retired_per_hart[id.global() as usize] += 1;
+        env.emit(id, EventKind::Commit { pc: entry.pc });
+        if entry.is_pret {
+            self.commit_p_ret(i, entry.pret.expect("p_ret resolved at issue"), env)?;
+        }
+        Ok(())
+    }
+
+    /// The four ending types of a committing `p_ret` (paper §4).
+    fn commit_p_ret(
+        &mut self,
+        hart_idx: usize,
+        (ra, t0): (u32, u32),
+        env: &mut Env<'_>,
+    ) -> Result<(), SimError> {
+        let id = self.harts[hart_idx].id;
+        self.harts[hart_idx].end_signal = false; // consumed
+        let word = IdentityWord::from_bits(t0);
+        if ra == 0 {
+            if word.is_exit_sentinel() {
+                // Type 3: process exit.
+                *env.exited = true;
+                env.emit(id, EventKind::Exit);
+            } else if word.joins_to(id) {
+                // Type 2: keep waiting for a join.
+                self.harts[hart_idx].state = HartState::WaitingJoin;
+                self.forward_end_signal(hart_idx, env);
+            } else {
+                // Type 1: the hart ends.
+                self.harts[hart_idx].end();
+                env.emit(id, EventKind::HartEnd);
+                self.forward_end_signal(hart_idx, env);
+            }
+        } else {
+            // Type 4: end and send the continuation address to the join
+            // hart over the backward line. A join to the hart itself (the
+            // paper's Fig. 7: the team's last member calls the thread
+            // function with a plain `jalr` after `p_set t0`) resumes this
+            // same hart, so it waits instead of freeing.
+            let target = word.join_hart();
+            if target.core() > self.index {
+                return Err(SimError::Protocol {
+                    hart: id,
+                    what: format!("join address sent forward to hart {target}"),
+                });
+            }
+            env.fabric
+                .send(self.index, CoreMsg::Join { to: target, pc: ra });
+            if target == id {
+                self.harts[hart_idx].state = HartState::WaitingJoin;
+            } else {
+                self.harts[hart_idx].end();
+                env.emit(id, EventKind::HartEnd);
+            }
+        }
+        Ok(())
+    }
+
+    /// Forwards the ending-hart signal to the team successor — the hart
+    /// this hart's fork started (recorded at `p_jal`/`p_jalr`). A hart
+    /// that forked nothing has no successor and the signal stops.
+    fn forward_end_signal(&mut self, hart_idx: usize, env: &mut Env<'_>) {
+        let h = &self.harts[hart_idx];
+        let id = h.id;
+        if let Some(next) = h.team_succ {
+            if (next.core() as usize) < env.cores {
+                env.fabric.send(self.index, CoreMsg::EndSignal { to: next });
+                env.emit(id, EventKind::EndSignal);
+            }
+        }
+    }
+}

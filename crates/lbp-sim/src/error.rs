@@ -1,0 +1,65 @@
+//! Simulation errors.
+
+use std::fmt;
+
+use lbp_isa::HartId;
+
+use crate::bank::MemFault;
+
+/// A fatal simulation error. LBP has no traps or interrupts, so any of
+/// these conditions would hang or corrupt the real hardware; the simulator
+/// surfaces them as errors instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A memory access faulted.
+    Mem(MemFault),
+    /// An instruction word failed to decode.
+    Decode {
+        /// The fetch address.
+        pc: u32,
+        /// The undecodable word.
+        word: u32,
+        /// The fetching hart.
+        hart: HartId,
+    },
+    /// The X_PAR fork/join protocol was violated (e.g. `p_fn` on the last
+    /// core, a start pc delivered to a hart that was never allocated, a
+    /// `p_swre` sent forward in the sequential order).
+    Protocol {
+        /// The offending hart.
+        hart: HartId,
+        /// Description of the violation.
+        what: String,
+    },
+    /// The run did not exit within the cycle budget.
+    Timeout {
+        /// The budget that was exhausted.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Mem(m) => write!(f, "{m}"),
+            SimError::Decode { pc, word, hart } => write!(
+                f,
+                "hart {hart} fetched undecodable word {word:#010x} at pc {pc:#010x}"
+            ),
+            SimError::Protocol { hart, what } => {
+                write!(f, "hart {hart} violated the fork/join protocol: {what}")
+            }
+            SimError::Timeout { cycles } => {
+                write!(f, "run did not exit within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MemFault> for SimError {
+    fn from(m: MemFault) -> SimError {
+        SimError::Mem(m)
+    }
+}

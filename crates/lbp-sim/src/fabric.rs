@@ -1,0 +1,178 @@
+//! The inter-core fork/join fabric: the forward links and the backward
+//! line of the paper's Fig. 9.
+//!
+//! Every core is directly connected to its successor (forward link, blue
+//! arrows): hart allocations, continuation-value writes, start addresses
+//! and ending-hart signals ride it. A unidirectional backward line (magenta
+//! arrows) relays messages hop by hop toward any predecessor core: join
+//! addresses, fork replies, cv-write acks, and `p_swre` results/reductions.
+//! Each segment moves one message per cycle, FIFO — deterministic.
+
+use std::collections::VecDeque;
+
+use crate::msg::CoreMsg;
+
+/// The forward links and backward line of a `cores`-core machine.
+#[derive(Debug)]
+pub struct Fabric {
+    cores: u32,
+    /// `fwd[i]`: queue of messages traversing the link core i → core i+1.
+    fwd: Vec<VecDeque<CoreMsg>>,
+    /// `bwd[i]`: queue of messages traversing the segment core i+1 → core i.
+    bwd: Vec<VecDeque<CoreMsg>>,
+    /// Messages delivered to each core this cycle.
+    inbox: Vec<Vec<CoreMsg>>,
+    /// Total messages that crossed any segment (statistics).
+    pub hops: u64,
+}
+
+impl Fabric {
+    /// Builds the fabric for `cores` cores.
+    pub fn new(cores: usize) -> Fabric {
+        let cores = cores as u32;
+        let links = cores.saturating_sub(1) as usize;
+        Fabric {
+            cores,
+            fwd: (0..links).map(|_| VecDeque::new()).collect(),
+            bwd: (0..links).map(|_| VecDeque::new()).collect(),
+            inbox: (0..cores).map(|_| Vec::new()).collect(),
+            hops: 0,
+        }
+    }
+
+    /// Sends a message from `from_core`. Forward messages may only target
+    /// the immediate successor; backward messages any predecessor.
+    /// Same-core messages are delivered next cycle through the inbox
+    /// (modelling the one-cycle intra-core signal path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a forward message skips past the immediate successor
+    /// (LBP's forward links only connect neighbours).
+    pub fn send(&mut self, from_core: u32, msg: CoreMsg) {
+        let dest = msg.dest_core();
+        assert!(
+            dest < self.cores,
+            "message to core {dest} beyond the last core ({})",
+            self.cores
+        );
+        if dest == from_core {
+            // One-cycle local loop: stage on the (empty) path below.
+            self.inbox[dest as usize].push(msg);
+        } else if dest > from_core {
+            assert!(
+                dest == from_core + 1,
+                "forward link only reaches the next core (from {from_core} to {dest})"
+            );
+            self.fwd[from_core as usize].push_back(msg);
+        } else {
+            // Backward: enter the segment just below `from_core`.
+            self.bwd[(from_core - 1) as usize].push_back(msg);
+        }
+    }
+
+    /// Takes the messages delivered to a core this cycle.
+    pub fn take_inbox(&mut self, core: u32) -> Vec<CoreMsg> {
+        std::mem::take(&mut self.inbox[core as usize])
+    }
+
+    /// Advances every link segment by one cycle.
+    pub fn tick(&mut self) {
+        // Forward links: one message per segment per cycle, delivered to
+        // the successor core.
+        for i in 0..self.fwd.len() {
+            if let Some(msg) = self.fwd[i].pop_front() {
+                self.hops += 1;
+                self.inbox[i + 1].push(msg);
+            }
+        }
+        // Backward line: one message per segment per cycle; a message not
+        // yet at its destination re-enters the next segment down.
+        let mut relay = Vec::new();
+        for i in 0..self.bwd.len() {
+            if let Some(msg) = self.bwd[i].pop_front() {
+                self.hops += 1;
+                if msg.dest_core() == i as u32 {
+                    self.inbox[i].push(msg);
+                } else {
+                    relay.push((i - 1, msg));
+                }
+            }
+        }
+        for (seg, msg) in relay {
+            self.bwd[seg].push_back(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbp_isa::HartId;
+
+    fn join_to(core: u32) -> CoreMsg {
+        CoreMsg::Join {
+            to: HartId::from_parts(core, 0),
+            pc: 0x40,
+        }
+    }
+
+    #[test]
+    fn forward_delivery_takes_one_cycle() {
+        let mut f = Fabric::new(4);
+        f.send(
+            0,
+            CoreMsg::Start {
+                to: HartId::from_parts(1, 0),
+                pc: 0x10,
+            },
+        );
+        assert!(f.take_inbox(1).is_empty());
+        f.tick();
+        assert_eq!(f.take_inbox(1).len(), 1);
+    }
+
+    #[test]
+    fn backward_line_is_hop_by_hop() {
+        let mut f = Fabric::new(8);
+        f.send(5, join_to(1));
+        for _ in 0..3 {
+            f.tick();
+            assert!(f.take_inbox(1).is_empty());
+        }
+        f.tick();
+        assert_eq!(f.take_inbox(1).len(), 1);
+    }
+
+    #[test]
+    fn backward_segments_carry_one_message_per_cycle() {
+        let mut f = Fabric::new(4);
+        f.send(2, join_to(0));
+        f.send(2, join_to(0));
+        f.tick(); // msg1 on segment 1->0, msg2 waits
+        f.tick(); // msg1 delivered, msg2 crosses 2->1... (FIFO per segment)
+        assert_eq!(f.take_inbox(0).len(), 1);
+        f.tick();
+        assert_eq!(f.take_inbox(0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "forward link only reaches the next core")]
+    fn forward_skip_is_rejected() {
+        let mut f = Fabric::new(4);
+        f.send(
+            0,
+            CoreMsg::Start {
+                to: HartId::from_parts(2, 0),
+                pc: 0,
+            },
+        );
+    }
+
+    #[test]
+    fn same_core_messages_loop_locally() {
+        let mut f = Fabric::new(2);
+        f.send(1, join_to(1));
+        assert_eq!(f.take_inbox(1).len(), 1);
+    }
+}

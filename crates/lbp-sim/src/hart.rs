@@ -1,0 +1,466 @@
+//! Per-hart microarchitectural state: program counter, instruction buffer,
+//! renaming table, renaming register file, instruction table (waiting
+//! station), reorder buffer, result buffer and `p_swre` receive slots
+//! (paper Figs. 11-12).
+
+use std::collections::VecDeque;
+
+use lbp_isa::{HartId, Instr, Reg};
+
+/// Index into a hart's renaming (physical) register file.
+pub(crate) type PhysReg = u16;
+
+/// Lifecycle of a hart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum HartState {
+    /// Unallocated; a `p_fc`/`p_fn` may claim it.
+    Free,
+    /// Allocated by a fork, waiting for its start pc (`p_jal`/`p_jalr`).
+    Reserved,
+    /// Executing.
+    Running,
+    /// Ended with a type-2 `p_ret`; waiting for a join address.
+    WaitingJoin,
+}
+
+/// One renamed-register-file entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PrfEntry {
+    pub value: u32,
+    pub ready: bool,
+}
+
+/// The fetched instruction sitting in the 1-entry instruction buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fetched {
+    pub pc: u32,
+    pub instr: Instr,
+}
+
+/// One instruction-table (waiting station) entry.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ItEntry {
+    pub seq: u64,
+    pub pc: u32,
+    pub instr: Instr,
+    /// Renamed sources (positionally rs1, rs2); `None` reads as zero.
+    pub srcs: [Option<PhysReg>; 2],
+    /// Renamed destination.
+    pub dest: Option<PhysReg>,
+}
+
+/// What the 1-entry result buffer is waiting for.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RbWait {
+    /// Functional-unit completion at the given cycle.
+    Until { at: u64, value: Option<u32> },
+    /// An outstanding memory read (value arrives with the response).
+    Mem,
+    /// A fork allocation result (`p_fc`/`p_fn`).
+    Fork,
+    /// Complete; ready for the write-back stage.
+    Done { value: Option<u32> },
+}
+
+/// The result buffer: holds the unique in-flight result of the hart from
+/// issue to write-back. Its occupancy is what throttles a single hart and
+/// makes 4-way multithreading necessary to reach 1 IPC per core.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Rb {
+    pub seq: u64,
+    pub dest: Option<PhysReg>,
+    pub wait: RbWait,
+}
+
+/// One reorder-buffer entry (in-order commit).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RobEntry {
+    pub seq: u64,
+    pub pc: u32,
+    pub done: bool,
+    /// `(new_phys, old_phys)`: the old mapping is freed at commit.
+    pub dest: Option<(PhysReg, Option<PhysReg>)>,
+    /// For `p_ret`: the resolved `(ra, t0)` pair, filled at issue.
+    pub pret: Option<(u32, u32)>,
+    pub is_pret: bool,
+}
+
+/// Full per-hart context.
+#[derive(Debug)]
+pub(crate) struct HartCtx {
+    pub id: HartId,
+    pub state: HartState,
+    pub pc: Option<u32>,
+    /// Set after every fetch; cleared when the next pc becomes known
+    /// (decode for straight-line/direct-jump code, execute for branches).
+    pub fetch_suspended: bool,
+    /// The earliest cycle a pipeline-internal unsuspension takes effect:
+    /// the next pc computed by decode (or execute) in cycle N can feed a
+    /// fetch no earlier than cycle N+1 — which is why a lone hart cannot
+    /// fill the pipeline (paper §5.2).
+    pub resume_at: u64,
+    /// A decoded `p_syncm` is holding the fetch until the hart's memory
+    /// accesses drain.
+    pub syncm_wait: bool,
+    pub ib: Option<Fetched>,
+    /// Renaming table: architectural → physical.
+    pub rat: [PhysReg; 32],
+    pub prf: Vec<PrfEntry>,
+    pub free_phys: VecDeque<PhysReg>,
+    pub it: Vec<ItEntry>,
+    pub rob: VecDeque<RobEntry>,
+    pub rb: Option<Rb>,
+    pub next_seq: u64,
+    /// Memory instructions renamed but not yet issued.
+    pub mem_in_it: u32,
+    /// Memory accesses issued and not yet completed/acknowledged.
+    pub in_flight_mem: u32,
+    /// `p_swre` receive slots (the "result buffers" of the X_PAR ISA).
+    pub recv: Vec<VecDeque<u32>>,
+    /// The ending-hart signal from the team predecessor has arrived;
+    /// consumed by the commit of a `p_ret`.
+    pub end_signal: bool,
+    /// The team successor: the hart this hart's last `p_jal`/`p_jalr`
+    /// started (the paper's §3 "the hardware memorizes the necessary
+    /// links"). The ending-hart signal is forwarded to it.
+    pub team_succ: Option<HartId>,
+    /// Capacity limits (from the machine configuration).
+    it_capacity: usize,
+    rob_capacity: usize,
+}
+
+impl HartCtx {
+    /// Creates a hart in the `Free` state.
+    pub fn new(
+        id: HartId,
+        phys_regs: usize,
+        it_capacity: usize,
+        rob_capacity: usize,
+        result_slots: usize,
+    ) -> HartCtx {
+        assert!(phys_regs >= 34, "need at least 32 + 2 physical registers");
+        let mut h = HartCtx {
+            id,
+            state: HartState::Free,
+            pc: None,
+            fetch_suspended: true,
+            resume_at: 0,
+            syncm_wait: false,
+            ib: None,
+            rat: [0; 32],
+            prf: vec![
+                PrfEntry {
+                    value: 0,
+                    ready: true
+                };
+                phys_regs
+            ],
+            free_phys: VecDeque::new(),
+            it: Vec::new(),
+            rob: VecDeque::new(),
+            rb: None,
+            next_seq: 0,
+            mem_in_it: 0,
+            in_flight_mem: 0,
+            recv: (0..result_slots).map(|_| VecDeque::new()).collect(),
+            end_signal: false,
+            team_succ: None,
+            it_capacity,
+            rob_capacity,
+        };
+        h.reset_register_state(0);
+        h
+    }
+
+    /// Resets the renaming state: architectural register `i` maps to
+    /// physical register `i`, all zero except `sp`.
+    fn reset_register_state(&mut self, sp: u32) {
+        for i in 0..32 {
+            self.rat[i] = i as PhysReg;
+            self.prf[i] = PrfEntry {
+                value: 0,
+                ready: true,
+            };
+        }
+        self.prf[Reg::SP.index()] = PrfEntry {
+            value: sp,
+            ready: true,
+        };
+        self.free_phys = (32..self.prf.len() as PhysReg).collect();
+        self.it.clear();
+        self.rob.clear();
+        self.rb = None;
+        self.ib = None;
+        self.mem_in_it = 0;
+        self.in_flight_mem = 0;
+    }
+
+    /// Claims this hart for a fork: `Reserved`, fresh registers with the
+    /// stack pointer at the continuation-value frame base, cleared receive
+    /// slots, no ending signal.
+    pub fn allocate(&mut self, sp: u32) {
+        debug_assert_eq!(self.state, HartState::Free, "allocating a busy hart");
+        self.reset_register_state(sp);
+        for q in &mut self.recv {
+            q.clear();
+        }
+        self.end_signal = false;
+        self.team_succ = None;
+        self.syncm_wait = false;
+        self.state = HartState::Reserved;
+        self.pc = None;
+        self.fetch_suspended = true;
+    }
+
+    /// Boots this hart as the machine's first hart.
+    pub fn boot(&mut self, entry: u32, sp: u32) {
+        self.reset_register_state(sp);
+        self.state = HartState::Running;
+        self.pc = Some(entry);
+        self.fetch_suspended = false;
+        self.end_signal = true; // nothing precedes the boot hart
+    }
+
+    /// Ends the hart (`p_ret` types 1 and 4): back to `Free`.
+    pub fn end(&mut self) {
+        self.state = HartState::Free;
+        self.pc = None;
+        self.fetch_suspended = true;
+    }
+
+    /// Clears the fetch suspension, effective from the *next* cycle
+    /// (pipeline-internal next-pc signals cross a cycle boundary).
+    pub fn unsuspend_next(&mut self, now: u64) {
+        self.fetch_suspended = false;
+        self.resume_at = now + 1;
+    }
+
+    /// Clears the fetch suspension immediately (external events: start
+    /// pc or join delivery at the cycle boundary).
+    pub fn unsuspend_now(&mut self) {
+        self.fetch_suspended = false;
+        self.resume_at = 0;
+    }
+
+    /// Whether the fetch stage may select this hart at `now`.
+    pub fn can_fetch(&self, now: u64) -> bool {
+        !self.fetch_suspended && now >= self.resume_at
+    }
+
+    /// Reads a source operand value if ready.
+    pub fn src_ready(&self, src: Option<PhysReg>) -> bool {
+        src.is_none_or(|p| self.prf[p as usize].ready)
+    }
+
+    /// The value of a renamed source (`None` reads as zero, i.e. `x0`).
+    pub fn src_value(&self, src: Option<PhysReg>) -> u32 {
+        src.map_or(0, |p| self.prf[p as usize].value)
+    }
+
+    /// Whether rename can accept one more instruction.
+    pub fn rename_capacity(&self, needs_dest: bool) -> bool {
+        self.rob.len() < self.rob_capacity
+            && self.it.len() < self.it_capacity
+            && (!needs_dest || !self.free_phys.is_empty())
+    }
+
+    /// Renames and inserts an instruction; returns its sequence number.
+    ///
+    /// The caller must have checked [`HartCtx::rename_capacity`].
+    pub fn rename(&mut self, f: Fetched) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let srcs = f.instr.sources().map(|s| s.map(|r| self.rat[r.index()]));
+        let dest = f.instr.dest().map(|rd| {
+            let new = self.free_phys.pop_front().expect("checked by capacity");
+            let old = self.rat[rd.index()];
+            self.rat[rd.index()] = new;
+            self.prf[new as usize].ready = false;
+            (rd, new, old)
+        });
+        self.it.push(ItEntry {
+            seq,
+            pc: f.pc,
+            instr: f.instr,
+            srcs,
+            dest: dest.map(|(_, new, _)| new),
+        });
+        self.rob.push_back(RobEntry {
+            seq,
+            pc: f.pc,
+            done: false,
+            dest: dest.map(|(_, new, old)| (new, Some(old))),
+            pret: None,
+            is_pret: f.instr.is_p_ret(),
+        });
+        if f.instr.is_mem() {
+            self.mem_in_it += 1;
+        }
+        seq
+    }
+
+    /// The oldest instruction-table entry whose operands (and special
+    /// conditions) are satisfied.
+    pub fn oldest_ready(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, e) in self.it.iter().enumerate() {
+            if !self.src_ready(e.srcs[0]) || !self.src_ready(e.srcs[1]) {
+                continue;
+            }
+            if let Instr::PLwre { offset, .. } = e.instr {
+                let slot = offset as usize;
+                if self.recv.get(slot).is_none_or(|q| q.is_empty()) {
+                    continue;
+                }
+            }
+            if best.is_none_or(|(s, _)| e.seq < s) {
+                best = Some((e.seq, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Marks the ROB entry of `seq` as done.
+    pub fn rob_mark_done(&mut self, seq: u64) {
+        let e = self
+            .rob
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("rob entry for completed instruction");
+        e.done = true;
+    }
+
+    /// Stores the resolved `(ra, t0)` pair in the ROB entry of a `p_ret`.
+    pub fn rob_set_pret(&mut self, seq: u64, ra: u32, t0: u32) {
+        let e = self
+            .rob
+            .iter_mut()
+            .find(|e| e.seq == seq)
+            .expect("rob entry for p_ret");
+        e.pret = Some((ra, t0));
+    }
+
+    /// Whether every memory access decoded so far has completed
+    /// (the `p_syncm` drain condition).
+    pub fn mem_drained(&self) -> bool {
+        self.mem_in_it == 0 && self.in_flight_mem == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbp_isa::OpImmKind;
+
+    fn hart() -> HartCtx {
+        HartCtx::new(HartId::new(0), 64, 32, 32, 8)
+    }
+
+    fn addi(rd: Reg, rs1: Reg, imm: i32) -> Fetched {
+        Fetched {
+            pc: 0,
+            instr: Instr::OpImm {
+                kind: OpImmKind::Add,
+                rd,
+                rs1,
+                imm,
+            },
+        }
+    }
+
+    #[test]
+    fn rename_allocates_and_tracks_old_mapping() {
+        let mut h = hart();
+        h.boot(0, 0x1000);
+        let before = h.rat[Reg::A0.index()];
+        h.rename(addi(Reg::A0, Reg::A0, 1));
+        let after = h.rat[Reg::A0.index()];
+        assert_ne!(before, after);
+        assert_eq!(h.rob[0].dest, Some((after, Some(before))));
+        assert!(!h.prf[after as usize].ready);
+        // Source was renamed against the old mapping.
+        assert_eq!(h.it[0].srcs[0], Some(before));
+    }
+
+    #[test]
+    fn oldest_ready_respects_dependencies() {
+        let mut h = hart();
+        h.boot(0, 0x1000);
+        h.rename(addi(Reg::A0, Reg::A1, 1)); // ready (a1 ready)
+        h.rename(addi(Reg::A2, Reg::A0, 1)); // depends on the first
+        let idx = h.oldest_ready().unwrap();
+        assert_eq!(h.it[idx].seq, 0);
+        // Make the first's dest ready: second becomes eligible, but the
+        // first is still older.
+        let d = h.it[0].dest.unwrap();
+        h.prf[d as usize] = PrfEntry {
+            value: 7,
+            ready: true,
+        };
+        h.it.remove(0);
+        let idx = h.oldest_ready().unwrap();
+        assert_eq!(h.it[idx].seq, 1);
+    }
+
+    #[test]
+    fn p_lwre_waits_for_slot() {
+        let mut h = hart();
+        h.boot(0, 0x1000);
+        h.rename(Fetched {
+            pc: 0,
+            instr: Instr::PLwre {
+                rd: Reg::A0,
+                offset: 2,
+            },
+        });
+        assert_eq!(h.oldest_ready(), None);
+        h.recv[2].push_back(99);
+        assert!(h.oldest_ready().is_some());
+    }
+
+    #[test]
+    fn allocation_resets_state() {
+        let mut h = hart();
+        h.boot(0, 0x1000);
+        h.rename(addi(Reg::A0, Reg::A0, 5));
+        h.end();
+        h.allocate(0x2000);
+        assert_eq!(h.state, HartState::Reserved);
+        assert!(h.it.is_empty() && h.rob.is_empty());
+        assert_eq!(h.prf[h.rat[Reg::SP.index()] as usize].value, 0x2000);
+        assert_eq!(h.prf[h.rat[Reg::A0.index()] as usize].value, 0);
+        assert!(!h.end_signal);
+    }
+
+    #[test]
+    fn boot_hart_has_end_signal() {
+        let mut h = hart();
+        h.boot(0x40, 0x1000);
+        assert!(h.end_signal);
+        assert_eq!(h.pc, Some(0x40));
+    }
+
+    #[test]
+    fn x0_sources_read_zero() {
+        let h = hart();
+        assert!(h.src_ready(None));
+        assert_eq!(h.src_value(None), 0);
+    }
+
+    #[test]
+    fn mem_counters_feed_syncm() {
+        let mut h = hart();
+        h.boot(0, 0x1000);
+        assert!(h.mem_drained());
+        h.rename(Fetched {
+            pc: 0,
+            instr: Instr::Load {
+                kind: lbp_isa::LoadKind::W,
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: 0,
+            },
+        });
+        assert!(!h.mem_drained());
+    }
+}

@@ -1,0 +1,181 @@
+//! Scripted I/O devices (paper §6, Figs. 16-17).
+//!
+//! LBP is non-interruptible: devices never raise interrupts. Controller
+//! harts *poll* memory-mapped device registers and move values with
+//! `p_swre`/`p_lwre` pairs. Devices here are scripted — each input value
+//! becomes visible at a programmed (possibly jittered) cycle — which lets
+//! tests demonstrate the paper's claim that *semantic* determinism
+//! survives non-deterministic device timing.
+//!
+//! Address map: device `i` occupies 16 bytes at `IO_BASE + 16*i`:
+//! offset 0 reads the input register (`0x8000_0000 | value` when ready,
+//! consuming the value; `0` otherwise) and offset 4 writes the output
+//! register.
+
+use std::collections::VecDeque;
+
+use lbp_isa::IO_BASE;
+
+/// Bytes of address space per device.
+pub const DEVICE_STRIDE: u32 = 16;
+
+/// A scripted input device: each entry becomes readable at its cycle.
+#[derive(Debug, Clone, Default)]
+pub struct InputDevice {
+    /// `(ready_cycle, value)` pairs, in schedule order.
+    schedule: VecDeque<(u64, u32)>,
+}
+
+impl InputDevice {
+    /// Creates a device from `(ready_cycle, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycles are not non-decreasing.
+    pub fn scripted(schedule: impl IntoIterator<Item = (u64, u32)>) -> InputDevice {
+        let schedule: VecDeque<_> = schedule.into_iter().collect();
+        assert!(
+            schedule
+                .iter()
+                .zip(schedule.iter().skip(1))
+                .all(|(a, b)| a.0 <= b.0),
+            "input schedule must be time-ordered"
+        );
+        InputDevice { schedule }
+    }
+
+    /// Polls the device at `now`: consumes and returns the head value if
+    /// its ready-cycle has passed.
+    fn poll(&mut self, now: u64) -> u32 {
+        match self.schedule.front() {
+            Some(&(at, value)) if at <= now => {
+                self.schedule.pop_front();
+                0x8000_0000 | value
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// An output device recording every value written to it, with the cycle.
+#[derive(Debug, Clone, Default)]
+pub struct OutputDevice {
+    received: Vec<(u64, u32)>,
+}
+
+impl OutputDevice {
+    /// The `(cycle, value)` pairs written so far.
+    pub fn received(&self) -> &[(u64, u32)] {
+        &self.received
+    }
+
+    /// Just the values, in write order.
+    pub fn values(&self) -> Vec<u32> {
+        self.received.iter().map(|&(_, v)| v).collect()
+    }
+}
+
+/// The memory-mapped I/O bus.
+#[derive(Debug, Clone, Default)]
+pub struct IoBus {
+    inputs: Vec<InputDevice>,
+    outputs: Vec<OutputDevice>,
+}
+
+impl IoBus {
+    /// A bus with no devices (I/O accesses fault).
+    pub fn new() -> IoBus {
+        IoBus::default()
+    }
+
+    /// Attaches an input device; returns its index.
+    pub fn add_input(&mut self, dev: InputDevice) -> usize {
+        self.inputs.push(dev);
+        self.inputs.len() - 1
+    }
+
+    /// Attaches an output device; returns its index.
+    pub fn add_output(&mut self) -> usize {
+        self.outputs.push(OutputDevice::default());
+        self.outputs.len() - 1
+    }
+
+    /// The output device at `index`.
+    pub fn output(&self, index: usize) -> &OutputDevice {
+        &self.outputs[index]
+    }
+
+    /// The register address of input device `i`.
+    pub fn input_addr(i: usize) -> u32 {
+        IO_BASE + DEVICE_STRIDE * i as u32
+    }
+
+    /// The register address of output device `i`.
+    pub fn output_addr(i: usize) -> u32 {
+        IO_BASE + DEVICE_STRIDE * i as u32 + 4
+    }
+
+    /// Serves a load from the I/O region. Returns `None` for an unmapped
+    /// register.
+    pub fn read(&mut self, addr: u32, now: u64) -> Option<u32> {
+        let off = addr - IO_BASE;
+        let (dev, reg) = ((off / DEVICE_STRIDE) as usize, off % DEVICE_STRIDE);
+        match reg {
+            0 => Some(self.inputs.get_mut(dev)?.poll(now)),
+            _ => None,
+        }
+    }
+
+    /// Serves a store to the I/O region. Returns `None` for an unmapped
+    /// register.
+    pub fn write(&mut self, addr: u32, value: u32, now: u64) -> Option<()> {
+        let off = addr - IO_BASE;
+        let (dev, reg) = ((off / DEVICE_STRIDE) as usize, off % DEVICE_STRIDE);
+        match reg {
+            4 => {
+                self.outputs.get_mut(dev)?.received.push((now, value));
+                Some(())
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_becomes_ready_at_cycle() {
+        let mut bus = IoBus::new();
+        bus.add_input(InputDevice::scripted([(10, 42)]));
+        let addr = IoBus::input_addr(0);
+        assert_eq!(bus.read(addr, 9), Some(0));
+        assert_eq!(bus.read(addr, 10), Some(0x8000_0000 | 42));
+        // Consumed: next poll sees nothing.
+        assert_eq!(bus.read(addr, 11), Some(0));
+    }
+
+    #[test]
+    fn output_records_cycle_and_value() {
+        let mut bus = IoBus::new();
+        bus.add_output();
+        bus.write(IoBus::output_addr(0), 7, 100).unwrap();
+        assert_eq!(bus.output(0).received(), &[(100, 7)]);
+        assert_eq!(bus.output(0).values(), vec![7]);
+    }
+
+    #[test]
+    fn unmapped_registers_are_none() {
+        let mut bus = IoBus::new();
+        assert_eq!(bus.read(IoBus::input_addr(0), 0), None);
+        assert_eq!(bus.read(IO_BASE + 8, 0), None);
+        assert_eq!(bus.write(IO_BASE, 1, 0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn disordered_schedule_rejected() {
+        let _ = InputDevice::scripted([(10, 1), (5, 2)]);
+    }
+}

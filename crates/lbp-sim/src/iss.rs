@@ -1,0 +1,383 @@
+//! A simple functional instruction-set simulator (ISS).
+//!
+//! Executes single-hart RV32IM programs sequentially — one instruction
+//! at a time, memory strictly in order. Two uses:
+//!
+//! - a fast *functional* reference when cycle accuracy is not needed;
+//! - a differential oracle: the pipelined [`Machine`](crate::Machine)
+//!   executes out of order with unordered memory, but for a single hart
+//!   whose program uses `p_syncm` correctly, its architectural results
+//!   must match this ISS exactly (property-tested in
+//!   `tests/differential.rs`).
+//!
+//! Supported: all of RV32IM, `p_syncm` (a no-op here: the ISS is always
+//! ordered), `p_set` (hart 0's identity) and the exit form of `p_ret`.
+//! Other X_PAR instructions fork or message harts, which a sequential
+//! model cannot express — they raise [`IssError::Parallel`].
+
+use lbp_asm::Image;
+use lbp_isa::{HartId, IdentityWord, Instr, Reg, Region, LOCAL_BASE, SHARED_BASE};
+
+/// Errors a functional execution can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssError {
+    /// Fetch left the text section or hit an undecodable word.
+    BadFetch {
+        /// The faulting pc.
+        pc: u32,
+    },
+    /// A data access left the modelled memory.
+    BadAccess {
+        /// The faulting address.
+        addr: u32,
+    },
+    /// The program used a parallel X_PAR instruction.
+    Parallel {
+        /// The offending instruction.
+        instr: String,
+    },
+    /// The step budget ran out.
+    Timeout,
+}
+
+impl std::fmt::Display for IssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IssError::BadFetch { pc } => write!(f, "bad fetch at {pc:#010x}"),
+            IssError::BadAccess { addr } => write!(f, "bad access at {addr:#010x}"),
+            IssError::Parallel { instr } => {
+                write!(
+                    f,
+                    "`{instr}` needs the full machine, not the sequential ISS"
+                )
+            }
+            IssError::Timeout => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for IssError {}
+
+/// The sequential reference machine: one hart, flat memory.
+#[derive(Debug, Clone)]
+pub struct Iss {
+    /// Architectural registers.
+    pub regs: [u32; 32],
+    pc: u32,
+    text: Vec<u32>,
+    /// Local bank (stack) bytes.
+    local: Vec<u8>,
+    /// Shared memory bytes.
+    shared: Vec<u8>,
+    /// Instructions retired.
+    pub retired: u64,
+    exited: bool,
+}
+
+impl Iss {
+    /// Loads an image with the given local/shared sizes; `sp` starts at
+    /// the top of the local bank (mirroring the machine's hart-0 cv
+    /// base when given the same configuration).
+    pub fn new(image: &Image, local_bytes: u32, shared_bytes: u32, sp: u32) -> Iss {
+        let mut shared = vec![0u8; shared_bytes as usize];
+        shared[..image.data.len()].copy_from_slice(&image.data);
+        let mut regs = [0u32; 32];
+        regs[Reg::SP.index()] = sp;
+        Iss {
+            regs,
+            pc: image.entry,
+            text: image.text.clone(),
+            local: vec![0u8; local_bytes as usize],
+            shared,
+            retired: 0,
+            exited: false,
+        }
+    }
+
+    /// Whether the program has executed its exit `p_ret`.
+    pub fn exited(&self) -> bool {
+        self.exited
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Reads a 32-bit shared-memory word.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is outside the shared region.
+    pub fn peek_shared(&self, addr: u32) -> Result<u32, IssError> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= (self.byte(addr + i)? as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn byte(&self, addr: u32) -> Result<u8, IssError> {
+        match Region::of(addr) {
+            Region::Local => self
+                .local
+                .get((addr - LOCAL_BASE) as usize)
+                .copied()
+                .ok_or(IssError::BadAccess { addr }),
+            Region::Shared => self
+                .shared
+                .get((addr - SHARED_BASE) as usize)
+                .copied()
+                .ok_or(IssError::BadAccess { addr }),
+            _ => Err(IssError::BadAccess { addr }),
+        }
+    }
+
+    fn read(&self, addr: u32, size: u8, signed: bool) -> Result<u32, IssError> {
+        if addr % size as u32 != 0 {
+            return Err(IssError::BadAccess { addr });
+        }
+        let mut raw = 0u32;
+        for i in 0..size as u32 {
+            raw |= (self.byte(addr + i)? as u32) << (8 * i);
+        }
+        Ok(match (size, signed) {
+            (1, true) => raw as u8 as i8 as i32 as u32,
+            (2, true) => raw as u16 as i16 as i32 as u32,
+            _ => raw,
+        })
+    }
+
+    fn write(&mut self, addr: u32, value: u32, size: u8) -> Result<(), IssError> {
+        if addr % size as u32 != 0 {
+            return Err(IssError::BadAccess { addr });
+        }
+        for i in 0..size as u32 {
+            let b = (value >> (8 * i)) as u8;
+            match Region::of(addr) {
+                Region::Local => {
+                    let off = (addr + i - LOCAL_BASE) as usize;
+                    *self
+                        .local
+                        .get_mut(off)
+                        .ok_or(IssError::BadAccess { addr })? = b;
+                }
+                Region::Shared => {
+                    let off = (addr + i - SHARED_BASE) as usize;
+                    *self
+                        .shared
+                        .get_mut(off)
+                        .ok_or(IssError::BadAccess { addr })? = b;
+                }
+                _ => return Err(IssError::BadAccess { addr }),
+            }
+        }
+        Ok(())
+    }
+
+    fn set(&mut self, rd: Reg, v: u32) {
+        if !rd.is_zero() {
+            self.regs[rd.index()] = v;
+        }
+    }
+
+    fn get(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fetch/access faults and parallel-instruction use.
+    pub fn step(&mut self) -> Result<(), IssError> {
+        if self.exited {
+            return Ok(());
+        }
+        let pc = self.pc;
+        let word = *self
+            .text
+            .get((pc / 4) as usize)
+            .filter(|_| pc % 4 == 0)
+            .ok_or(IssError::BadFetch { pc })?;
+        let instr = Instr::decode(word).map_err(|_| IssError::BadFetch { pc })?;
+        let mut next = pc.wrapping_add(4);
+        match instr {
+            Instr::Lui { rd, imm } => self.set(rd, imm),
+            Instr::Auipc { rd, imm } => self.set(rd, pc.wrapping_add(imm)),
+            Instr::Jal { rd, offset } => {
+                self.set(rd, pc.wrapping_add(4));
+                next = pc.wrapping_add(offset as u32);
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                let target = self.get(rs1).wrapping_add(offset as u32) & !1;
+                self.set(rd, pc.wrapping_add(4));
+                next = target;
+            }
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                if kind.taken(self.get(rs1), self.get(rs2)) {
+                    next = pc.wrapping_add(offset as u32);
+                }
+            }
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.get(rs1).wrapping_add(offset as u32);
+                let signed = matches!(kind, lbp_isa::LoadKind::B | lbp_isa::LoadKind::H);
+                let v = self.read(addr, kind.size() as u8, signed)?;
+                self.set(rd, v);
+            }
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = self.get(rs1).wrapping_add(offset as u32);
+                self.write(addr, self.get(rs2), kind.size() as u8)?;
+            }
+            Instr::OpImm { kind, rd, rs1, imm } => {
+                self.set(rd, kind.eval(self.get(rs1), imm));
+            }
+            Instr::Op { kind, rd, rs1, rs2 } => {
+                self.set(rd, kind.eval(self.get(rs1), self.get(rs2)));
+            }
+            Instr::PSyncm => {} // the ISS is always ordered
+            Instr::PSet { rd, rs1 } => {
+                let w = IdentityWord::from_bits(self.get(rs1)).set(HartId::FIRST);
+                self.set(rd, w.bits());
+            }
+            Instr::PMerge { rd, rs1, rs2 } => {
+                let w = IdentityWord::from_bits(self.get(rs1))
+                    .merge(IdentityWord::from_bits(self.get(rs2)));
+                self.set(rd, w.bits());
+            }
+            Instr::PJalr { rd, rs1, rs2 } if rd.is_zero() => {
+                let (ra, t0) = (self.get(rs1), self.get(rs2));
+                if ra == 0 && IdentityWord::from_bits(t0).is_exit_sentinel() {
+                    self.exited = true;
+                } else if ra == 0 && IdentityWord::from_bits(t0).joins_to(HartId::FIRST) {
+                    // A single-hart "team of one" self-wait can never be
+                    // joined sequentially.
+                    return Err(IssError::Parallel {
+                        instr: instr.to_string(),
+                    });
+                } else if ra != 0 {
+                    // Treat the self-join of the last team member as a
+                    // plain return so the Fig. 7 idiom works one-hart.
+                    next = ra;
+                } else {
+                    return Err(IssError::Parallel {
+                        instr: instr.to_string(),
+                    });
+                }
+            }
+            other @ (Instr::PFc { .. }
+            | Instr::PFn { .. }
+            | Instr::PJal { .. }
+            | Instr::PJalr { .. }
+            | Instr::PLwcv { .. }
+            | Instr::PSwcv { .. }
+            | Instr::PLwre { .. }
+            | Instr::PSwre { .. }) => {
+                return Err(IssError::Parallel {
+                    instr: other.to_string(),
+                });
+            }
+        }
+        self.retired += 1;
+        self.pc = next;
+        Ok(())
+    }
+
+    /// Runs until exit or the step budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step errors; returns [`IssError::Timeout`] when the
+    /// budget runs out.
+    pub fn run(&mut self, max_steps: u64) -> Result<(), IssError> {
+        for _ in 0..max_steps {
+            if self.exited {
+                return Ok(());
+            }
+            self.step()?;
+        }
+        if self.exited {
+            Ok(())
+        } else {
+            Err(IssError::Timeout)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbp_asm::assemble;
+
+    fn run_iss(src: &str) -> Iss {
+        let image = assemble(src).unwrap();
+        let mut iss = Iss::new(&image, 0x10000, 0x10000, LOCAL_BASE + 0x4000);
+        iss.run(1_000_000).unwrap();
+        iss
+    }
+
+    #[test]
+    fn executes_arithmetic() {
+        let iss = run_iss(
+            "main:
+    li   a0, 6
+    li   a1, 7
+    mul  a2, a0, a1
+    li   t0, -1
+    li   ra, 0
+    p_ret",
+        );
+        assert_eq!(iss.reg(Reg::A2), 42);
+        assert!(iss.exited());
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let iss = run_iss(
+            "main:
+    la   a0, cell
+    li   a1, 1234
+    sw   a1, 0(a0)
+    lw   a2, 0(a0)
+    li   t0, -1
+    li   ra, 0
+    p_ret
+.data
+cell: .word 0",
+        );
+        assert_eq!(iss.reg(Reg::A2), 1234);
+        assert_eq!(iss.peek_shared(SHARED_BASE).unwrap(), 1234);
+    }
+
+    #[test]
+    fn forks_are_rejected() {
+        let image = assemble("main: p_fc t6\n p_ret").unwrap();
+        let mut iss = Iss::new(&image, 0x1000, 0x1000, LOCAL_BASE + 0x800);
+        assert!(matches!(iss.run(100), Err(IssError::Parallel { .. })));
+    }
+
+    #[test]
+    fn counts_retired() {
+        let iss = run_iss("main:\n li t0, -1\n li ra, 0\n p_ret");
+        assert_eq!(iss.retired, 3);
+    }
+}

@@ -1,0 +1,335 @@
+//! The top-level LBP machine: cores + banks + interconnect + devices.
+
+use lbp_asm::Image;
+use lbp_isa::HartId;
+
+use crate::bank::MemSys;
+use crate::config::LbpConfig;
+use crate::core::{Core, Env};
+use crate::error::SimError;
+use crate::fabric::Fabric;
+use crate::hart::{HartCtx, HartState, RbWait};
+use crate::io::IoBus;
+use crate::msg::{CoreMsg, NetMsg};
+use crate::stats::Stats;
+use crate::trace::{EventKind, Trace};
+
+/// The result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Cycle and instruction counters.
+    pub stats: Stats,
+    /// Whether the program exited (`p_ret` type 3) within the budget.
+    pub exited: bool,
+}
+
+/// A full LBP machine instance executing one loaded program.
+///
+/// # Examples
+///
+/// ```
+/// use lbp_sim::{LbpConfig, Machine};
+///
+/// let image = lbp_asm::assemble(
+///     "main:
+///         li   t0, -1
+///         li   a0, 0
+///         p_ret a0, t0   # ra-equivalent 0, t0 -1: exit",
+/// )?;
+/// let mut m = Machine::new(LbpConfig::cores(1), &image)?;
+/// let report = m.run(10_000)?;
+/// assert!(report.exited);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    cfg: LbpConfig,
+    cores: Vec<Core>,
+    mem: MemSys,
+    fabric: Fabric,
+    stats: Stats,
+    trace: Trace,
+    cycle: u64,
+    exited: bool,
+}
+
+impl Machine {
+    /// Builds a machine and loads the program image: the text into every
+    /// core's code bank, the data into the distributed shared banks, and
+    /// boots hart 0 of core 0 at the entry point.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initialized data exceeds the configured shared space.
+    pub fn new(cfg: LbpConfig, image: &Image) -> Result<Machine, SimError> {
+        let mem = MemSys::new(&cfg, &image.text, &image.data)?;
+        let mut cores: Vec<Core> = (0..cfg.cores as u32)
+            .map(|c| {
+                Core::new(c, |id| {
+                    HartCtx::new(
+                        id,
+                        cfg.phys_regs,
+                        cfg.it_entries,
+                        cfg.rob_entries,
+                        cfg.result_slots,
+                    )
+                })
+            })
+            .collect();
+        let boot_sp = mem.cv_base(HartId::FIRST);
+        cores[0].harts[0].boot(image.entry, boot_sp);
+        Ok(Machine {
+            fabric: Fabric::new(cfg.cores),
+            stats: Stats::new(cfg.harts()),
+            trace: Trace::new(),
+            cycle: 0,
+            exited: false,
+            cores,
+            mem,
+            cfg,
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &LbpConfig {
+        &self.cfg
+    }
+
+    /// The I/O bus, for attaching scripted devices before a run.
+    pub fn io_mut(&mut self) -> &mut IoBus {
+        &mut self.mem.io
+    }
+
+    /// Reads a word of shared memory (e.g. to check results after a run).
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or misaligned addresses.
+    pub fn peek_shared(&mut self, addr: u32) -> Result<u32, SimError> {
+        Ok(self.mem.peek_shared(addr)?)
+    }
+
+    /// Writes a word of shared memory directly, bypassing the pipeline —
+    /// for harness-side data initialization before a run (the equivalent
+    /// of the paper's statically initialized matrices, which cost no
+    /// retired instructions).
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or misaligned addresses.
+    pub fn poke_shared(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        let bank = self.mem.shared_bank_of(addr);
+        Ok(self.mem.write(bank, addr, value, 4, HartId::FIRST)?)
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The event trace (empty unless the configuration enables tracing).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs until the program exits or the cycle budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] if the budget runs out, or any fatal
+    /// fault raised by the program.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
+        while !self.exited {
+            if self.cycle >= max_cycles {
+                return Err(SimError::Timeout { cycles: max_cycles });
+            }
+            self.tick()?;
+        }
+        Ok(RunReport {
+            stats: self.stats.clone(),
+            exited: self.exited,
+        })
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn tick(&mut self) -> Result<(), SimError> {
+        self.cycle += 1;
+        let now = self.cycle;
+        // 1. Links move one hop.
+        self.fabric.tick();
+        self.mem.net.tick();
+        // 2. Deliver arrivals to harts.
+        self.deliver()?;
+        // 3. Core pipelines.
+        for c in 0..self.cores.len() {
+            let mut env = Env {
+                mem: &mut self.mem,
+                fabric: &mut self.fabric,
+                stats: &mut self.stats,
+                trace: &mut self.trace,
+                trace_on: self.cfg.trace,
+                lat: self.cfg.latencies,
+                now,
+                cores: self.cfg.cores,
+                exited: &mut self.exited,
+            };
+            self.cores[c].tick(&mut env)?;
+        }
+        // 4. Banks serve their ports.
+        self.mem.tick(now)?;
+        self.stats.cycles = self.cycle;
+        self.stats.link_hops = self.mem.net.hops + self.fabric.hops;
+        Ok(())
+    }
+
+    /// Delivers network responses and fabric messages that completed their
+    /// last hop.
+    fn deliver(&mut self) -> Result<(), SimError> {
+        let now = self.cycle;
+        for c in 0..self.cores.len() as u32 {
+            // Memory responses: from the network and from the local ports.
+            let mut resps = self.mem.net.take_core_inbox(c);
+            resps.extend(self.mem.take_staged(c));
+            for msg in resps {
+                self.deliver_mem(c, msg)?;
+            }
+            // Fork/join fabric messages.
+            let msgs = self.fabric.take_inbox(c);
+            for msg in msgs {
+                self.deliver_core_msg(c, msg, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn hart_mut(&mut self, id: HartId) -> &mut HartCtx {
+        &mut self.cores[id.core() as usize].harts[id.local() as usize]
+    }
+
+    fn emit(&mut self, hart: HartId, kind: EventKind) {
+        if self.cfg.trace {
+            self.trace.push(self.cycle, hart, kind);
+        }
+    }
+
+    fn deliver_mem(&mut self, _core: u32, msg: NetMsg) -> Result<(), SimError> {
+        match msg {
+            NetMsg::ReadResp { addr, value, hart } => {
+                let h = self.hart_mut(hart);
+                h.in_flight_mem -= 1;
+                let rb = h.rb.as_mut().ok_or_else(|| SimError::Protocol {
+                    hart,
+                    what: format!("load response for {addr:#010x} with no result buffer"),
+                })?;
+                debug_assert!(matches!(rb.wait, RbWait::Mem));
+                rb.wait = RbWait::Done { value: Some(value) };
+                self.emit(hart, EventKind::MemResp { addr });
+            }
+            NetMsg::WriteAck { addr, hart } => {
+                self.hart_mut(hart).in_flight_mem -= 1;
+                self.emit(hart, EventKind::MemResp { addr });
+            }
+            other => {
+                return Err(SimError::Protocol {
+                    hart: HartId::FIRST,
+                    what: format!("request {other:?} delivered to a core"),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn deliver_core_msg(&mut self, core: u32, msg: CoreMsg, now: u64) -> Result<(), SimError> {
+        match msg {
+            CoreMsg::ForkReq { from } => {
+                self.cores[core as usize].alloc_q.push_back(from);
+            }
+            CoreMsg::ForkReply { to, child } => {
+                let rb = self
+                    .hart_mut(to)
+                    .rb
+                    .as_mut()
+                    .ok_or_else(|| SimError::Protocol {
+                        hart: to,
+                        what: "fork reply with no pending p_fn".to_owned(),
+                    })?;
+                debug_assert!(matches!(rb.wait, RbWait::Fork));
+                rb.wait = RbWait::Done {
+                    value: Some(child.global()),
+                };
+            }
+            CoreMsg::Start { to, pc } => {
+                let h = self.hart_mut(to);
+                if h.state != HartState::Reserved {
+                    return Err(SimError::Protocol {
+                        hart: to,
+                        what: format!(
+                            "start pc {pc:#x} delivered to a hart in state {:?}",
+                            h.state
+                        ),
+                    });
+                }
+                h.state = HartState::Running;
+                h.pc = Some(pc);
+                h.unsuspend_now();
+                self.emit(to, EventKind::Start { pc });
+            }
+            CoreMsg::CvWrite {
+                to,
+                offset,
+                value,
+                from,
+            } => {
+                self.mem.cv_write(to, offset, value)?;
+                // Acknowledge toward the writer (feeds its p_syncm).
+                self.fabric.send(core, CoreMsg::CvAck { to: from });
+            }
+            CoreMsg::CvAck { to } => {
+                self.hart_mut(to).in_flight_mem -= 1;
+            }
+            CoreMsg::EndSignal { to } => {
+                self.hart_mut(to).end_signal = true;
+            }
+            CoreMsg::Join { to, pc } => {
+                let h = self.hart_mut(to);
+                if h.state != HartState::WaitingJoin {
+                    return Err(SimError::Protocol {
+                        hart: to,
+                        what: format!(
+                            "join address {pc:#x} delivered to a hart in state {:?}",
+                            h.state
+                        ),
+                    });
+                }
+                h.state = HartState::Running;
+                h.pc = Some(pc);
+                h.unsuspend_now();
+                h.end_signal = true; // everything sequentially prior committed
+                self.stats.joins += 1;
+                self.emit(to, EventKind::Join { pc });
+            }
+            CoreMsg::Result { to, slot, value } => {
+                let h = self.hart_mut(to);
+                let slot_q = h
+                    .recv
+                    .get_mut(slot as usize)
+                    .ok_or_else(|| SimError::Protocol {
+                        hart: to,
+                        what: format!("p_swre to out-of-range result slot {slot}"),
+                    })?;
+                slot_q.push_back(value);
+                self.emit(to, EventKind::ResultDelivered { slot, value });
+            }
+        }
+        let _ = now;
+        Ok(())
+    }
+
+    /// The architectural value of a register of a hart, read through its
+    /// renaming table (test/debug helper; meaningful when the hart's
+    /// pipeline is drained).
+    pub fn reg(&self, hart: HartId, reg: lbp_isa::Reg) -> u32 {
+        let h = &self.cores[hart.core() as usize].harts[hart.local() as usize];
+        h.prf[h.rat[reg.index()] as usize].value
+    }
+}

@@ -1,0 +1,152 @@
+//! Messages travelling on the LBP interconnect.
+
+use lbp_isa::HartId;
+
+/// A memory-network message (requests toward shared banks, responses back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetMsg {
+    /// Read request from `hart` for `addr`.
+    ReadReq {
+        /// Target address.
+        addr: u32,
+        /// Requesting hart (routes the response; a hart has at most one
+        /// outstanding load, so this is a sufficient tag).
+        hart: HartId,
+        /// Access size in bytes (1, 2 or 4).
+        size: u8,
+        /// Sign-extend the loaded value.
+        signed: bool,
+    },
+    /// Write request.
+    WriteReq {
+        /// Target address.
+        addr: u32,
+        /// Value to store (low `size` bytes).
+        value: u32,
+        /// Access size in bytes.
+        size: u8,
+        /// Requesting hart (routes the ack).
+        hart: HartId,
+    },
+    /// Load response.
+    ReadResp {
+        /// Original address.
+        addr: u32,
+        /// Loaded (extended) value.
+        value: u32,
+        /// Destination hart.
+        hart: HartId,
+    },
+    /// Store acknowledgement (consumed by `p_syncm` accounting).
+    WriteAck {
+        /// Original address.
+        addr: u32,
+        /// Destination hart.
+        hart: HartId,
+    },
+}
+
+impl NetMsg {
+    /// The core whose shared bank must serve this message, given the
+    /// per-core shared-bank size — meaningful for requests only.
+    pub fn dest_bank(&self, shared_bank_bytes: u32) -> Option<u32> {
+        match self {
+            NetMsg::ReadReq { addr, .. } | NetMsg::WriteReq { addr, .. } => {
+                Some((addr - lbp_isa::SHARED_BASE) / shared_bank_bytes)
+            }
+            _ => None,
+        }
+    }
+
+    /// The core the message is ultimately delivered to — meaningful for
+    /// responses only.
+    pub fn dest_core(&self) -> Option<u32> {
+        match self {
+            NetMsg::ReadResp { hart, .. } | NetMsg::WriteAck { hart, .. } => Some(hart.core()),
+            _ => None,
+        }
+    }
+}
+
+/// A message on the forward inter-core link or the backward line
+/// (paper Fig. 9: blue arrows forward, magenta backward).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreMsg {
+    /// `p_fn`: ask the next core to allocate a hart.
+    ForkReq {
+        /// The requesting hart (receives the reply).
+        from: HartId,
+    },
+    /// Reply to a `ForkReq` (travels backward).
+    ForkReply {
+        /// The requesting hart.
+        to: HartId,
+        /// The allocated hart.
+        child: HartId,
+    },
+    /// Start pc delivered to an allocated hart (`p_jal`/`p_jalr`).
+    Start {
+        /// The hart to start.
+        to: HartId,
+        /// Its first fetch address.
+        pc: u32,
+    },
+    /// A continuation value written by `p_swcv` into a next-core hart's
+    /// cv frame.
+    CvWrite {
+        /// The hart whose frame is written.
+        to: HartId,
+        /// Byte offset within the cv frame.
+        offset: u32,
+        /// The value.
+        value: u32,
+        /// The writing hart (receives the ack).
+        from: HartId,
+    },
+    /// Acknowledgement of a cross-core `CvWrite` (travels backward; feeds
+    /// the writer's `p_syncm` accounting).
+    CvAck {
+        /// The writing hart.
+        to: HartId,
+    },
+    /// The ending-hart signal a committing `p_ret` forwards to its team
+    /// successor.
+    EndSignal {
+        /// The successor hart.
+        to: HartId,
+    },
+    /// A join address sent by a type-4 `p_ret` to the team's join hart
+    /// (travels backward).
+    Join {
+        /// The waiting hart.
+        to: HartId,
+        /// The address it resumes at.
+        pc: u32,
+    },
+    /// A `p_swre` value for a result-buffer slot of a *prior* hart
+    /// (travels backward).
+    Result {
+        /// The receiving hart.
+        to: HartId,
+        /// The result-buffer slot.
+        slot: u32,
+        /// The value.
+        value: u32,
+    },
+}
+
+impl CoreMsg {
+    /// The core this message is addressed to.
+    pub fn dest_core(&self) -> u32 {
+        match self {
+            CoreMsg::ForkReq { from } => from.core() + 1,
+            CoreMsg::ForkReply { to, .. }
+            | CoreMsg::Start { to, .. }
+            | CoreMsg::CvWrite { to, .. }
+            | CoreMsg::CvAck { to }
+            | CoreMsg::EndSignal { to }
+            | CoreMsg::Join { to, .. }
+            | CoreMsg::Result { to, .. } => to.core(),
+        }
+    }
+}

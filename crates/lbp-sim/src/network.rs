@@ -1,0 +1,396 @@
+//! The hierarchical router interconnect (paper Figs. 13-15).
+//!
+//! Four cores share a level-one router (r1), four r1s share a level-two
+//! router (r2), four r2s a level-three router (r3) — and the pattern is
+//! "extensible" (paper §5.3): with more than 64 cores the hierarchy
+//! simply grows another level, which models the paper's Fig. 15
+//! multi-chip line sharing a last-level interconnect.
+//!
+//! Every directed link moves **one message per cycle**; contention queues
+//! at the link in deterministic FIFO order, so the whole network is
+//! cycle-reproducible. (The hardware has finite link buffers; the model
+//! uses unbounded queues with identical 1-message-per-cycle-per-link
+//! bandwidth, which preserves the contention behaviour the paper
+//! evaluates.)
+
+use std::collections::VecDeque;
+
+use crate::msg::NetMsg;
+
+/// Children per router at every level (cores per r1, r1s per r2, ...).
+const FANOUT: u32 = 4;
+
+/// A position in the hierarchy: `level` 0 = cores/banks, `level` 1 = r1
+/// routers, and so on; `index` counts within the level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Node {
+    level: u32,
+    index: u32,
+}
+
+/// The destination endpoints attached below level 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Core(u32),
+    Bank(u32),
+}
+
+/// One directed link with its FIFO queue.
+#[derive(Debug)]
+struct Edge {
+    queue: VecDeque<NetMsg>,
+    /// Where a message landing off this edge is processed.
+    dest: Dest,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dest {
+    Router(Node),
+    Deliver(Endpoint),
+}
+
+/// The memory network connecting cores to the distributed shared banks.
+#[derive(Debug)]
+pub struct Network {
+    cores: u32,
+    shared_bank_bytes: u32,
+    #[cfg_attr(not(test), allow(dead_code))] // reported by levels(), used in tests
+    levels: u32,
+    /// Routers per level, `routers[0] == cores` (a pseudo-level).
+    routers: Vec<u32>,
+    edges: Vec<Edge>,
+    /// Requests that arrived at each bank's network port.
+    bank_inbox: Vec<VecDeque<NetMsg>>,
+    /// Responses/acks that arrived back at each core.
+    core_inbox: Vec<Vec<NetMsg>>,
+    /// Total link traversals (for utilization statistics).
+    pub hops: u64,
+}
+
+impl Network {
+    /// Builds the hierarchy for `cores` cores: as many levels as needed
+    /// so the top level has a single router (or none for 1-4 cores,
+    /// where the single r1 *is* the top).
+    pub fn new(cores: usize, shared_bank_bytes: u32) -> Network {
+        let cores = cores as u32;
+        let mut routers = vec![cores];
+        loop {
+            let prev = *routers.last().expect("nonempty");
+            let next = prev.div_ceil(FANOUT);
+            routers.push(next);
+            if next <= 1 {
+                break;
+            }
+        }
+        let levels = routers.len() as u32 - 1;
+        let mut net = Network {
+            cores,
+            shared_bank_bytes,
+            levels,
+            routers,
+            edges: Vec::new(),
+            bank_inbox: (0..cores).map(|_| VecDeque::new()).collect(),
+            core_inbox: (0..cores).map(|_| Vec::new()).collect(),
+            hops: 0,
+        };
+        // Level-0 <-> level-1 edges: core up, core down, bank req, bank
+        // resp — four per core, in core order.
+        for c in 0..cores {
+            let r1 = Node {
+                level: 1,
+                index: c / FANOUT,
+            };
+            net.edges.push(Edge {
+                queue: VecDeque::new(),
+                dest: Dest::Router(r1),
+            }); // core up
+            net.edges.push(Edge {
+                queue: VecDeque::new(),
+                dest: Dest::Deliver(Endpoint::Core(c)),
+            }); // core down
+            net.edges.push(Edge {
+                queue: VecDeque::new(),
+                dest: Dest::Deliver(Endpoint::Bank(c)),
+            }); // bank req
+            net.edges.push(Edge {
+                queue: VecDeque::new(),
+                dest: Dest::Router(r1),
+            }); // bank resp
+        }
+        // Inter-router edges: one up and one down per router per level
+        // boundary.
+        for level in 1..levels {
+            let count = net.routers[level as usize];
+            for i in 0..count {
+                let parent = Node {
+                    level: level + 1,
+                    index: i / FANOUT,
+                };
+                let child = Node { level, index: i };
+                net.edges.push(Edge {
+                    queue: VecDeque::new(),
+                    dest: Dest::Router(parent),
+                }); // up
+                net.edges.push(Edge {
+                    queue: VecDeque::new(),
+                    dest: Dest::Router(child),
+                }); // down
+            }
+        }
+        net
+    }
+
+    /// Number of router levels (1 = r1 only, 3 = the paper's 64-core
+    /// r1/r2/r3, 4 = the multi-chip Fig. 15 arrangement).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    // Edge numbering helpers (must mirror the construction above).
+
+    fn e_core_up(&self, c: u32) -> usize {
+        (c * 4) as usize
+    }
+
+    fn e_core_down(&self, c: u32) -> usize {
+        (c * 4 + 1) as usize
+    }
+
+    fn e_bank_req(&self, b: u32) -> usize {
+        (b * 4 + 2) as usize
+    }
+
+    fn e_bank_resp(&self, b: u32) -> usize {
+        (b * 4 + 3) as usize
+    }
+
+    fn inter_base(&self, level: u32) -> usize {
+        let mut base = (self.cores * 4) as usize;
+        for l in 1..level {
+            base += self.routers[l as usize] as usize * 2;
+        }
+        base
+    }
+
+    fn e_up(&self, node: Node) -> usize {
+        self.inter_base(node.level) + node.index as usize * 2
+    }
+
+    fn e_down(&self, node: Node) -> usize {
+        self.inter_base(node.level) + node.index as usize * 2 + 1
+    }
+
+    /// Injects a request from a core into the network (the core's
+    /// up-link).
+    pub fn send_from_core(&mut self, core: u32, msg: NetMsg) {
+        let e = self.e_core_up(core);
+        self.edges[e].queue.push_back(msg);
+    }
+
+    /// Injects a response from a bank's network port.
+    pub fn send_from_bank(&mut self, bank: u32, msg: NetMsg) {
+        let e = self.e_bank_resp(bank);
+        self.edges[e].queue.push_back(msg);
+    }
+
+    /// The requests waiting at a bank's network port.
+    pub fn bank_queue(&mut self, bank: u32) -> &mut VecDeque<NetMsg> {
+        &mut self.bank_inbox[bank as usize]
+    }
+
+    /// Takes the responses delivered to a core this cycle.
+    pub fn take_core_inbox(&mut self, core: u32) -> Vec<NetMsg> {
+        std::mem::take(&mut self.core_inbox[core as usize])
+    }
+
+    /// Advances every link by one cycle: each edge delivers at most one
+    /// message one hop onward.
+    pub fn tick(&mut self) {
+        // Phase 1: pop one message per edge (the link's bandwidth).
+        let mut moved: Vec<(Dest, NetMsg)> = Vec::new();
+        for e in &mut self.edges {
+            if let Some(msg) = e.queue.pop_front() {
+                moved.push((e.dest, msg));
+            }
+        }
+        self.hops += moved.len() as u64;
+        // Phase 2: route each message at the node it just reached.
+        for (dest, msg) in moved {
+            match dest {
+                Dest::Deliver(Endpoint::Core(c)) => self.core_inbox[c as usize].push(msg),
+                Dest::Deliver(Endpoint::Bank(b)) => self.bank_inbox[b as usize].push_back(msg),
+                Dest::Router(node) => self.route(node, msg),
+            }
+        }
+    }
+
+    /// The level-0 endpoint index a message is heading to.
+    fn target(&self, msg: &NetMsg) -> (u32, bool) {
+        if let Some(bank) = msg.dest_bank(self.shared_bank_bytes) {
+            (bank, true)
+        } else {
+            (msg.dest_core().expect("message has a destination"), false)
+        }
+    }
+
+    /// Routes a message sitting at `node`: down toward the target if the
+    /// target is in this router's subtree, else up.
+    fn route(&mut self, node: Node, msg: NetMsg) {
+        let (target, is_request) = self.target(&msg);
+        let subtree = FANOUT.pow(node.level);
+        let e = if target / subtree == node.index {
+            // Descend one level.
+            if node.level == 1 {
+                if is_request {
+                    self.e_bank_req(target)
+                } else {
+                    self.e_core_down(target)
+                }
+            } else {
+                let child = Node {
+                    level: node.level - 1,
+                    index: target / FANOUT.pow(node.level - 1),
+                };
+                self.e_down(child)
+            }
+        } else {
+            self.e_up(node)
+        };
+        self.edges[e].queue.push_back(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbp_isa::{HartId, SHARED_BASE};
+
+    fn read_req(addr: u32, hart: u32) -> NetMsg {
+        NetMsg::ReadReq {
+            addr,
+            hart: HartId::new(hart),
+            size: 4,
+            signed: false,
+        }
+    }
+
+    /// Ticks until the request reaches the bank inbox; returns the cycle.
+    fn cycles_to_bank(cores: usize, from_core: u32, to_bank: u32) -> u32 {
+        let bank_bytes = 0x10000;
+        let mut net = Network::new(cores, bank_bytes);
+        let addr = SHARED_BASE + to_bank * bank_bytes;
+        net.send_from_core(from_core, read_req(addr, from_core * 4));
+        for cycle in 1..100 {
+            net.tick();
+            if !net.bank_queue(to_bank).is_empty() {
+                return cycle;
+            }
+        }
+        panic!("message never arrived");
+    }
+
+    #[test]
+    fn level_counts() {
+        assert_eq!(Network::new(1, 0x10000).levels(), 1);
+        assert_eq!(Network::new(4, 0x10000).levels(), 1);
+        assert_eq!(Network::new(16, 0x10000).levels(), 2);
+        assert_eq!(Network::new(64, 0x10000).levels(), 3);
+        assert_eq!(Network::new(256, 0x10000).levels(), 4); // Fig. 15
+    }
+
+    #[test]
+    fn same_group_takes_two_hops() {
+        assert_eq!(cycles_to_bank(16, 0, 1), 2);
+    }
+
+    #[test]
+    fn cross_r1_takes_four_hops() {
+        assert_eq!(cycles_to_bank(16, 0, 12), 4);
+    }
+
+    #[test]
+    fn cross_r2_takes_six_hops() {
+        assert_eq!(cycles_to_bank(64, 0, 63), 6);
+    }
+
+    #[test]
+    fn multi_chip_cross_r3_takes_eight_hops() {
+        // 256 cores = four 64-core chips (Fig. 15): core 0 to the last
+        // bank crosses the whole four-level hierarchy.
+        assert_eq!(cycles_to_bank(256, 0, 255), 8);
+    }
+
+    #[test]
+    fn response_routes_back_to_core() {
+        let mut net = Network::new(64, 0x10000);
+        net.send_from_bank(
+            63,
+            NetMsg::ReadResp {
+                addr: SHARED_BASE,
+                value: 7,
+                hart: HartId::new(0),
+            },
+        );
+        let mut arrived = 0;
+        for cycle in 1..100 {
+            net.tick();
+            let inbox = net.take_core_inbox(0);
+            if !inbox.is_empty() {
+                arrived = cycle;
+                assert_eq!(inbox.len(), 1);
+                break;
+            }
+        }
+        assert_eq!(arrived, 6);
+    }
+
+    #[test]
+    fn link_bandwidth_is_one_per_cycle() {
+        let mut net = Network::new(4, 0x10000);
+        net.send_from_core(0, read_req(SHARED_BASE + 0x10000, 0));
+        net.send_from_core(0, read_req(SHARED_BASE + 0x10000, 1));
+        net.tick();
+        net.tick();
+        assert_eq!(net.bank_queue(1).len(), 1);
+        net.tick();
+        assert_eq!(net.bank_queue(1).len(), 2);
+    }
+
+    #[test]
+    fn contention_is_fifo_deterministic() {
+        let mut net = Network::new(4, 0x10000);
+        for c in 0..4 {
+            net.send_from_core(c, read_req(SHARED_BASE, c * 4));
+        }
+        let mut order = Vec::new();
+        for _ in 0..16 {
+            net.tick();
+            while let Some(m) = net.bank_queue(0).pop_front() {
+                if let NetMsg::ReadReq { hart, .. } = m {
+                    order.push(hart.global());
+                }
+            }
+        }
+        assert_eq!(order, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn hop_counter_accumulates() {
+        let mut net = Network::new(4, 0x10000);
+        net.send_from_core(0, read_req(SHARED_BASE + 0x10000, 0));
+        for _ in 0..4 {
+            net.tick();
+        }
+        assert_eq!(net.hops, 2);
+    }
+
+    #[test]
+    fn odd_core_counts_work() {
+        // Non-power-of-four machines still route correctly.
+        for cores in [3usize, 5, 7, 12, 20, 100] {
+            let hops = cycles_to_bank(cores, 0, cores as u32 - 1);
+            assert!(hops >= 2, "{cores} cores: {hops} hops");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Run statistics: the quantities the paper's evaluation reports.
+
+use lbp_isa::HARTS_PER_CORE;
+
+/// Counters for one run, with per-core breakdowns.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stats {
+    /// Total cycles executed.
+    pub cycles: u64,
+    /// Instructions retired, per hart.
+    pub retired_per_hart: Vec<u64>,
+    /// Memory accesses served by the local port of the executing core's
+    /// banks (local stack + own shared slice).
+    pub local_accesses: u64,
+    /// Memory accesses that traversed the router hierarchy.
+    pub remote_accesses: u64,
+    /// Messages that crossed a router link (one count per hop).
+    pub link_hops: u64,
+    /// Harts allocated by `p_fc`/`p_fn` over the run.
+    pub forks: u64,
+    /// Join messages delivered.
+    pub joins: u64,
+    /// Multiply/divide operations issued (they burn more energy and
+    /// occupy the functional unit longer than ALU operations).
+    pub muldiv_ops: u64,
+}
+
+impl Stats {
+    /// Creates zeroed statistics for `harts` harts.
+    pub fn new(harts: usize) -> Stats {
+        Stats {
+            retired_per_hart: vec![0; harts],
+            ..Stats::default()
+        }
+    }
+
+    /// Total instructions retired across all harts.
+    pub fn retired(&self) -> u64 {
+        self.retired_per_hart.iter().sum()
+    }
+
+    /// Machine-wide IPC (`retired / cycles`); the paper's peak is one
+    /// instruction per core per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions retired by one core (sum over its four harts).
+    pub fn retired_by_core(&self, core: usize) -> u64 {
+        self.retired_per_hart[core * HARTS_PER_CORE..(core + 1) * HARTS_PER_CORE]
+            .iter()
+            .sum()
+    }
+
+    /// Total memory accesses (local + remote).
+    pub fn mem_ops(&self) -> u64 {
+        self.local_accesses + self.remote_accesses
+    }
+
+    /// Fraction of memory accesses that stayed local.
+    pub fn locality(&self) -> f64 {
+        let total = self.local_accesses + self.remote_accesses;
+        if total == 0 {
+            1.0
+        } else {
+            self.local_accesses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_locality() {
+        let mut s = Stats::new(8);
+        s.cycles = 100;
+        s.retired_per_hart[0] = 30;
+        s.retired_per_hart[5] = 20;
+        assert_eq!(s.retired(), 50);
+        assert!((s.ipc() - 0.5).abs() < 1e-12);
+        assert_eq!(s.retired_by_core(0), 30);
+        assert_eq!(s.retired_by_core(1), 20);
+        s.local_accesses = 3;
+        s.remote_accesses = 1;
+        assert!((s.locality() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_defined() {
+        let s = Stats::new(4);
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.locality(), 1.0);
+    }
+}

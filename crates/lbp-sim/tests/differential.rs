@@ -1,0 +1,225 @@
+//! Differential property test: random single-hart programs executed on
+//! the out-of-order, unordered-memory pipeline must produce exactly the
+//! architectural state the sequential reference ISS produces — same
+//! registers, same memory, same retired-instruction count.
+//!
+//! Programs fence every store with `p_syncm` before dependent loads (the
+//! machine's contract for single-hart RAW through memory).
+
+use lbp_asm::assemble;
+use lbp_isa::{Reg, LOCAL_BASE, SHARED_BASE};
+use lbp_sim::iss::Iss;
+use lbp_sim::{LbpConfig, Machine};
+use proptest::prelude::*;
+
+/// Registers the generator may write (never `zero/ra/sp/t0/t1/s0/s1`,
+/// which carry program structure).
+const POOL: [&str; 12] = [
+    "a0", "a1", "a2", "a3", "a4", "a5", "t2", "t3", "t4", "s2", "s3", "s4",
+];
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// `mnemonic rd, rs1, rs2`.
+    Rrr(&'static str, usize, usize, usize),
+    /// `mnemonic rd, rs1, imm`.
+    Rri(&'static str, usize, usize, i32),
+    /// `lui rd, imm20`.
+    Lui(usize, u32),
+    /// Store `rs` to scratch word `idx`, followed by `p_syncm`.
+    Store(usize, u8, u32),
+    /// Load scratch word `idx` into `rd`.
+    Load(usize, u8, bool, u32),
+    /// A countdown loop of `n` iterations around inner ops.
+    Loop(u8, Vec<Op>),
+}
+
+const SCRATCH_WORDS: u32 = 16;
+
+fn arb_rrr() -> impl Strategy<Value = Op> {
+    (
+        prop_oneof![
+            Just("add"),
+            Just("sub"),
+            Just("sll"),
+            Just("slt"),
+            Just("sltu"),
+            Just("xor"),
+            Just("srl"),
+            Just("sra"),
+            Just("or"),
+            Just("and"),
+            Just("mul"),
+            Just("mulh"),
+            Just("mulhu"),
+            Just("mulhsu"),
+            Just("div"),
+            Just("divu"),
+            Just("rem"),
+            Just("remu"),
+        ],
+        0..POOL.len(),
+        0..POOL.len(),
+        0..POOL.len(),
+    )
+        .prop_map(|(m, d, a, b)| Op::Rrr(m, d, a, b))
+}
+
+fn arb_rri() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (
+            prop_oneof![
+                Just("addi"),
+                Just("slti"),
+                Just("sltiu"),
+                Just("xori"),
+                Just("ori"),
+                Just("andi"),
+            ],
+            0..POOL.len(),
+            0..POOL.len(),
+            -2048i32..=2047,
+        )
+            .prop_map(|(m, d, a, i)| Op::Rri(m, d, a, i)),
+        (
+            prop_oneof![Just("slli"), Just("srli"), Just("srai")],
+            0..POOL.len(),
+            0..POOL.len(),
+            0i32..32,
+        )
+            .prop_map(|(m, d, a, i)| Op::Rri(m, d, a, i)),
+    ]
+}
+
+fn arb_flat_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_rrr(),
+        4 => arb_rri(),
+        1 => (0..POOL.len(), 0u32..0xfffff).prop_map(|(d, v)| Op::Lui(d, v)),
+        2 => (0..POOL.len(), prop_oneof![Just(1u8), Just(2), Just(4)], 0..SCRATCH_WORDS)
+            .prop_map(|(r, sz, i)| Op::Store(r, sz, i)),
+        2 => (0..POOL.len(), prop_oneof![Just(1u8), Just(2), Just(4)], any::<bool>(), 0..SCRATCH_WORDS)
+            .prop_map(|(r, sz, sg, i)| Op::Load(r, sz, sg, i)),
+    ]
+}
+
+fn arb_program() -> impl Strategy<Value = Vec<Op>> {
+    let looped =
+        (1u8..4, prop::collection::vec(arb_flat_op(), 1..8)).prop_map(|(n, ops)| Op::Loop(n, ops));
+    prop::collection::vec(prop_oneof![8 => arb_flat_op(), 1 => looped], 2..32)
+}
+
+fn emit(ops: &[Op], out: &mut String, label_n: &mut usize) {
+    use std::fmt::Write;
+    for op in ops {
+        match op {
+            Op::Rrr(m, d, a, b) => {
+                let _ = writeln!(out, "    {m} {}, {}, {}", POOL[*d], POOL[*a], POOL[*b]);
+            }
+            Op::Rri(m, d, a, i) => {
+                let _ = writeln!(out, "    {m} {}, {}, {i}", POOL[*d], POOL[*a]);
+            }
+            Op::Lui(d, v) => {
+                let _ = writeln!(out, "    lui  {}, {v}", POOL[*d]);
+            }
+            Op::Store(r, size, idx) => {
+                let mn = match size {
+                    1 => "sb",
+                    2 => "sh",
+                    _ => "sw",
+                };
+                let off = idx * 4; // word-aligned slots keep all sizes legal
+                let _ = writeln!(out, "    {mn}  {}, {off}(s1)", POOL[*r]);
+                let _ = writeln!(out, "    p_syncm");
+            }
+            Op::Load(r, size, signed, idx) => {
+                let mn = match (size, signed) {
+                    (1, true) => "lb",
+                    (1, false) => "lbu",
+                    (2, true) => "lh",
+                    (2, false) => "lhu",
+                    _ => "lw",
+                };
+                let off = idx * 4;
+                let _ = writeln!(out, "    {mn} {}, {off}(s1)", POOL[*r]);
+            }
+            Op::Loop(n, inner) => {
+                *label_n += 1;
+                let l = format!("loop{label_n}");
+                let _ = writeln!(out, "    li   s0, {n}");
+                let _ = writeln!(out, "{l}:");
+                emit(inner, out, label_n);
+                let _ = writeln!(out, "    addi s0, s0, -1");
+                let _ = writeln!(out, "    bnez s0, {l}");
+            }
+        }
+    }
+}
+
+fn program_text(ops: &[Op]) -> String {
+    let mut s = String::from(
+        "main:
+    la   s1, scratch
+    li   a0, 11
+    li   a1, -7
+    li   a2, 1000
+    li   a3, 3
+    li   a4, 0
+    li   a5, 85
+",
+    );
+    let mut label_n = 0;
+    emit(ops, &mut s, &mut label_n);
+    s.push_str(
+        "    li   t0, -1
+    li   ra, 0
+    p_ret
+.data
+scratch: .space 64
+",
+    );
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pipeline_matches_sequential_reference(ops in arb_program()) {
+        let src = program_text(&ops);
+        let image = assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        // Pipelined machine.
+        let cfg = LbpConfig::cores(1);
+        let mut machine = Machine::new(cfg.clone(), &image).expect("machine");
+        machine.run(10_000_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        // Sequential reference with the same memory geometry and the
+        // same initial sp.
+        let sp = LOCAL_BASE + cfg.stack_bytes() - lbp_sim::CV_FRAME_BYTES;
+        let mut iss = Iss::new(&image, cfg.local_bank_bytes, cfg.shared_bank_bytes, sp);
+        iss.run(10_000_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        // Same retired count.
+        prop_assert_eq!(
+            machine.stats().retired(),
+            iss.retired,
+            "retired mismatch\n{}", src
+        );
+        // Same registers (the pool plus the structural ones).
+        for name in POOL.iter().chain(["s0", "s1"].iter()) {
+            let r: Reg = name.parse().unwrap();
+            prop_assert_eq!(
+                machine.reg(lbp_isa::HartId::FIRST, r),
+                iss.reg(r),
+                "register {} mismatch\n{}", name, src
+            );
+        }
+        // Same scratch memory.
+        for i in 0..SCRATCH_WORDS {
+            let addr = SHARED_BASE + 4 * i;
+            prop_assert_eq!(
+                machine.peek_shared(addr).unwrap(),
+                iss.peek_shared(addr).unwrap(),
+                "scratch[{}] mismatch\n{}", i, src
+            );
+        }
+    }
+}

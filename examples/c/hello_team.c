@@ -1,0 +1,18 @@
+/* The paper's Fig. 1 shape: distribute a thread function over a team.
+ * Run with:  cargo run --bin lbp-run -- examples/c/hello_team.c --cores 2 --dump v:8
+ */
+#define NUM_HART 8
+#include <det_omp.h>
+
+int v[NUM_HART];
+
+void thread(int t) {
+    v[t] = (t + 1) * (t + 1);
+}
+
+void main(void) {
+    int t;
+    omp_set_num_threads(NUM_HART);
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) thread(t);
+}

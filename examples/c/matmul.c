@@ -1,0 +1,32 @@
+/* The paper's Fig. 18 matrix multiplication (base version, h = 16).
+ * Run with:  cargo run --bin lbp-run -- examples/c/matmul.c --cores 4 --dump Z:16
+ */
+#define NUM_HART 16
+#define COLUMN_X 8
+#define COLUMN_Y 16
+#define COLUMN_Z 16
+#include <det_omp.h>
+
+int X[128] = {[0 ... 127] = 1};
+int Y[128] = {[0 ... 127] = 1};
+int Z[256];
+
+void thread(int t) {
+    int i; int j; int k; int l; int tmp;
+    for (l = 0, i = t; l < 1; l++, i++) {
+        for (j = 0; j < COLUMN_Z; j++) {
+            tmp = 0;
+            for (k = 0; k < COLUMN_X; k++) {
+                tmp += X[i * COLUMN_X + k] * Y[k * COLUMN_Y + j];
+            }
+            Z[i * COLUMN_Z + j] = tmp;
+        }
+    }
+}
+
+void main(void) {
+    int t;
+    omp_set_num_threads(NUM_HART);
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) thread(t);
+}

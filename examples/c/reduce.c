@@ -1,0 +1,35 @@
+/* A tree-free reduction: members accumulate privately, a sequential tail
+ * folds — the shape Deterministic OpenMP favors (ordered, race-free).
+ * Run with:  cargo run --bin lbp-run -- examples/c/reduce.c --cores 2 --dump total:1
+ */
+#define NUM_HART 8
+#define N 256
+#include <det_omp.h>
+
+int data[N];
+int partial[NUM_HART];
+int total[1];
+
+void fill(int t) {
+    int i;
+    for (i = t * 32; i < t * 32 + 32; i++) data[i] = i % 10;
+}
+
+void sum_chunk(int t) {
+    int i; int s;
+    s = 0;
+    for (i = t * 32; i < t * 32 + 32; i++) s += data[i];
+    partial[t] = s;
+}
+
+void main(void) {
+    int t; int s;
+    omp_set_num_threads(NUM_HART);
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) fill(t);
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) sum_chunk(t);
+    s = 0;
+    for (t = 0; t < NUM_HART; t++) s += partial[t];
+    total[0] = s;
+}

@@ -1,0 +1,29 @@
+/* The paper's Fig. 4: a producing region, the hardware barrier, then a
+ * consuming region. No locks, no flush, no cache protocol.
+ * Run with:  cargo run --bin lbp-run -- examples/c/set_get.c --cores 4 --dump w:16
+ */
+#define NUM_HART 16
+#define SIZE 64
+#include <det_omp.h>
+
+int v[SIZE];
+int w[SIZE];
+
+void thread_set(int t) {
+    int i;
+    for (i = t * 4; i < t * 4 + 4; i++) v[i] = i;
+}
+
+void thread_get(int t) {
+    int i;
+    for (i = t * 4; i < t * 4 + 4; i++) w[i] = v[i] * 3;
+}
+
+void main(void) {
+    int t;
+    omp_set_num_threads(NUM_HART);
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) thread_set(t);
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) thread_get(t);
+}

@@ -1,0 +1,235 @@
+//! `lbp-run` — compile/assemble a program and execute it on the LBP
+//! simulator.
+//!
+//! ```text
+//! lbp-run program.c  --cores 4 --dump v:8
+//! lbp-run program.s  --cores 16 --trace trace.txt
+//! lbp-run program.c  --emit-asm
+//! ```
+//!
+//! `.c` inputs go through the Deterministic OpenMP translator
+//! (`lbp-cc`); `.s`/`.asm` inputs go straight to the assembler. After
+//! the run the tool prints the machine statistics and any requested
+//! memory dumps.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use lbp::sim::{LbpConfig, Machine};
+
+struct Options {
+    input: String,
+    cores: usize,
+    max_cycles: u64,
+    trace: Option<String>,
+    dumps: Vec<(String, u32)>,
+    emit_asm: bool,
+    disasm: bool,
+    profile: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lbp-run <program.c|program.s> [options]\n\
+         \n\
+         options:\n\
+           --cores N          machine size in cores (default 4)\n\
+           --max-cycles N     cycle budget (default 100000000)\n\
+           --trace FILE       record the cycle trace to FILE ('-' = stdout)\n\
+           --dump SYM[:N]     print N words of memory at symbol SYM after the run\n\
+           --emit-asm         print the generated assembly and exit\n\
+           --disasm           print the assembled image's disassembly and exit\n\
+           --profile [N]      print the N hottest instructions after the run (default 15)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: String::new(),
+        cores: 4,
+        max_cycles: 100_000_000,
+        trace: None,
+        dumps: Vec::new(),
+        emit_asm: false,
+        disasm: false,
+        profile: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cores" => {
+                opts.cores = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--max-cycles" => {
+                opts.max_cycles = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--dump" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let (sym, n) = match spec.split_once(':') {
+                    Some((s, n)) => (s.to_owned(), n.parse().unwrap_or_else(|_| usage())),
+                    None => (spec, 1),
+                };
+                opts.dumps.push((sym, n));
+            }
+            "--emit-asm" => opts.emit_asm = true,
+            "--disasm" => opts.disasm = true,
+            "--profile" => opts.profile = Some(15),
+            "--help" | "-h" => usage(),
+            other if opts.input.is_empty() && !other.starts_with('-') => {
+                opts.input = other.to_owned();
+            }
+            _ => usage(),
+        }
+    }
+    if opts.input.is_empty() {
+        usage();
+    }
+    if opts.cores == 0 || opts.cores > 4096 {
+        eprintln!("lbp-run: --cores must be between 1 and 4096");
+        std::process::exit(2);
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let source = match std::fs::read_to_string(&opts.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lbp-run: cannot read `{}`: {e}", opts.input);
+            return ExitCode::from(2);
+        }
+    };
+
+    // Front end by extension.
+    let (asm_text, image) = if opts.input.ends_with(".c") {
+        match lbp::cc::compile(&source) {
+            Ok(c) => (c.asm, c.image),
+            Err(e) => {
+                eprintln!("lbp-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match lbp::asm::assemble(&source) {
+            Ok(img) => (source, img),
+            Err(e) => {
+                eprintln!("lbp-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    if opts.emit_asm {
+        print!("{asm_text}");
+        return ExitCode::SUCCESS;
+    }
+    if opts.disasm {
+        print!("{}", image.disassemble());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = LbpConfig::cores(opts.cores);
+    if opts.trace.is_some() || opts.profile.is_some() {
+        cfg = cfg.with_trace();
+    }
+    let mut machine = match Machine::new(cfg, &image) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("lbp-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match machine.run(opts.max_cycles) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lbp-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("exited:   {}", report.exited);
+    println!("cycles:   {}", report.stats.cycles);
+    println!("retired:  {}", report.stats.retired());
+    println!(
+        "IPC:      {:.3} (peak {}.0)",
+        report.stats.ipc(),
+        opts.cores
+    );
+    println!("forks:    {}", report.stats.forks);
+    println!("locality: {:.2}", report.stats.locality());
+
+    for (sym, n) in &opts.dumps {
+        match image.symbol(sym) {
+            None => eprintln!("lbp-run: no symbol `{sym}`"),
+            Some(addr) => {
+                print!("{sym}:");
+                for i in 0..*n {
+                    match machine.peek_shared(addr + 4 * i) {
+                        Ok(v) => print!(" {}", v as i32),
+                        Err(e) => {
+                            print!(" <{e}>");
+                            break;
+                        }
+                    }
+                }
+                println!();
+            }
+        }
+    }
+
+    if let Some(top_n) = opts.profile {
+        use std::collections::HashMap;
+        let mut by_pc: HashMap<u32, u64> = HashMap::new();
+        let mut total = 0u64;
+        for e in machine.trace().events() {
+            if let lbp::sim::EventKind::Commit { pc } = e.kind {
+                *by_pc.entry(pc).or_default() += 1;
+                total += 1;
+            }
+        }
+        let mut hot: Vec<(u32, u64)> = by_pc.into_iter().collect();
+        hot.sort_by_key(|&(pc, n)| (std::cmp::Reverse(n), pc));
+        println!("\nhottest instructions ({total} commits):");
+        for (pc, n) in hot.into_iter().take(top_n) {
+            let text = image
+                .text_word(pc)
+                .and_then(|w| lbp::isa::Instr::decode(w).ok())
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "<data>".to_owned());
+            println!(
+                "  {pc:#010x}  {n:>9} ({:5.1}%)  {text}",
+                100.0 * n as f64 / total as f64
+            );
+        }
+    }
+
+    if let Some(path) = &opts.trace {
+        let mut text = String::new();
+        for e in machine.trace().events() {
+            let _ = writeln!(
+                text,
+                "{:>10}  {:<8} {:?}",
+                e.cycle,
+                e.hart.to_string(),
+                e.kind
+            );
+        }
+        if path == "-" {
+            print!("{text}");
+        } else if let Err(e) = std::fs::write(path, text) {
+            eprintln!("lbp-run: cannot write trace: {e}");
+            return ExitCode::FAILURE;
+        } else {
+            println!("trace:    {} events -> {path}", machine.trace().len());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the LBP stack.
+pub use lbp_asm as asm;
+pub use lbp_baseline as baseline;
+pub use lbp_cc as cc;
+pub use lbp_isa as isa;
+pub use lbp_kernels as kernels;
+pub use lbp_omp as omp;
+pub use lbp_sim as sim;

@@ -1,0 +1,54 @@
+//! Compiles and runs every shipped C sample in `examples/c/`, checking
+//! their documented results — so the samples a user tries first can never
+//! rot.
+
+use lbp::cc;
+use lbp::sim::{LbpConfig, Machine};
+
+fn run_sample(name: &str, cores: usize) -> (Machine, lbp::asm::Image) {
+    let path = format!("{}/examples/c/{name}", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let compiled = cc::compile(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let mut m = Machine::new(LbpConfig::cores(cores), &compiled.image).expect("machine");
+    let report = m.run(100_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert!(report.exited, "{name} must exit");
+    (m, compiled.image)
+}
+
+fn words(m: &mut Machine, image: &lbp::asm::Image, sym: &str, n: u32) -> Vec<i32> {
+    let base = image.symbol(sym).unwrap_or_else(|| panic!("symbol {sym}"));
+    (0..n)
+        .map(|i| m.peek_shared(base + 4 * i).unwrap() as i32)
+        .collect()
+}
+
+#[test]
+fn hello_team_sample() {
+    let (mut m, img) = run_sample("hello_team.c", 2);
+    let v = words(&mut m, &img, "v", 8);
+    assert_eq!(v, (1..=8).map(|x| x * x).collect::<Vec<i32>>());
+}
+
+#[test]
+fn matmul_sample() {
+    let (mut m, img) = run_sample("matmul.c", 4);
+    let z = words(&mut m, &img, "Z", 256);
+    assert!(z.iter().all(|&v| v == 8), "Z must be all 8");
+}
+
+#[test]
+fn set_get_sample() {
+    let (mut m, img) = run_sample("set_get.c", 4);
+    let w = words(&mut m, &img, "w", 64);
+    for (i, &v) in w.iter().enumerate() {
+        assert_eq!(v, 3 * i as i32, "w[{i}]");
+    }
+}
+
+#[test]
+fn reduce_sample() {
+    let (mut m, img) = run_sample("reduce.c", 2);
+    let total = words(&mut m, &img, "total", 1)[0];
+    let expect: i32 = (0..256).map(|i| i % 10).sum();
+    assert_eq!(total, expect);
+}
