@@ -136,7 +136,7 @@ fn emit(items: &[SourceItem], symbols: HashMap<String, u32>) -> Result<Image, As
 fn pad(image: &mut Image, section: Section, bytes: u32, line: usize) -> Result<(), AsmError> {
     match section {
         Section::Text => {
-            if bytes % 4 != 0 {
+            if !bytes.is_multiple_of(4) {
                 return Err(AsmError::new(
                     line,
                     format!("text padding of {bytes} bytes is not word-aligned"),
@@ -313,7 +313,7 @@ impl LocationCounters {
     /// `.word` requires an already-aligned location counter so that a label
     /// written just before it names the word itself.
     fn check_word_aligned(&self, si: &SourceItem) -> Result<(), AsmError> {
-        if self.here() % 4 != 0 {
+        if !self.here().is_multiple_of(4) {
             return Err(AsmError::new(
                 si.line,
                 "`.word` at unaligned address; insert `.align 4` first",

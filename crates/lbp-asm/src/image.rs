@@ -43,10 +43,11 @@ impl Image {
 
     /// The instruction word at a text address, if in range and aligned.
     pub fn text_word(&self, addr: u32) -> Option<u32> {
-        if addr % 4 != 0 || addr < CODE_BASE {
+        if !addr.is_multiple_of(4) {
             return None;
         }
-        self.text.get(((addr - CODE_BASE) / 4) as usize).copied()
+        let off = addr.checked_sub(CODE_BASE)?;
+        self.text.get((off / 4) as usize).copied()
     }
 
     /// Disassembles the text section, annotating known symbol addresses

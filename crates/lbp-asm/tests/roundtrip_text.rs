@@ -1,165 +1,194 @@
 //! Cross-layer property test: the disassembly text of any encodable
 //! instruction re-assembles to the same binary word — the disassembler
-//! (`Instr: Display`), the parser and the encoder agree.
+//! (`Instr: Display`), the parser and the encoder agree. Driven by the
+//! deterministic generator in `lbp-testutil`.
 
 use lbp_asm::assemble;
 use lbp_isa::{BranchKind, Instr, LoadKind, OpImmKind, OpKind, Reg, StoreKind};
-use proptest::prelude::*;
+use lbp_testutil::{check_cases, Rng};
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.range_u32(0, 31) as u8).unwrap()
 }
 
-fn i12() -> impl Strategy<Value = i32> {
-    -2048i32..=2047
+fn i12(rng: &mut Rng) -> i32 {
+    rng.range_i32(-2048, 2047)
 }
 
-/// Instructions whose text form is position-independent (no pc-relative
-/// operands, which the parser would re-base at address 0 anyway — the
-/// test places each instruction at address 0, so those are fine too).
-fn any_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (any_reg(), 0u32..=0xfffff).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
-        (any_reg(), any_reg(), i12()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (any_reg(), (-512i32..=511).prop_map(|x| x * 2))
-            .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (
-            prop_oneof![
-                Just(BranchKind::Eq),
-                Just(BranchKind::Ne),
-                Just(BranchKind::Lt),
-                Just(BranchKind::Ge),
-                Just(BranchKind::Ltu),
-                Just(BranchKind::Geu)
-            ],
-            any_reg(),
-            any_reg(),
-            (-512i32..=511).prop_map(|x| x * 2),
-        )
-            .prop_map(|(kind, rs1, rs2, offset)| Instr::Branch {
-                kind,
-                rs1,
-                rs2,
-                offset
-            }),
-        (
-            prop_oneof![
-                Just(LoadKind::B),
-                Just(LoadKind::H),
-                Just(LoadKind::W),
-                Just(LoadKind::Bu),
-                Just(LoadKind::Hu)
-            ],
-            any_reg(),
-            any_reg(),
-            i12(),
-        )
-            .prop_map(|(kind, rd, rs1, offset)| Instr::Load {
-                kind,
-                rd,
-                rs1,
-                offset
-            }),
-        (
-            prop_oneof![Just(StoreKind::B), Just(StoreKind::H), Just(StoreKind::W)],
-            any_reg(),
-            any_reg(),
-            i12(),
-        )
-            .prop_map(|(kind, rs1, rs2, offset)| Instr::Store {
-                kind,
-                rs1,
-                rs2,
-                offset
-            }),
-        (
-            prop_oneof![
-                Just(OpImmKind::Add),
-                Just(OpImmKind::Slt),
-                Just(OpImmKind::Sltu),
-                Just(OpImmKind::Xor),
-                Just(OpImmKind::Or),
-                Just(OpImmKind::And)
-            ],
-            any_reg(),
-            any_reg(),
-            i12(),
-        )
-            .prop_map(|(kind, rd, rs1, imm)| Instr::OpImm { kind, rd, rs1, imm }),
-        (
-            prop_oneof![
-                Just(OpImmKind::Sll),
-                Just(OpImmKind::Srl),
-                Just(OpImmKind::Sra)
-            ],
-            any_reg(),
-            any_reg(),
-            0i32..32,
-        )
-            .prop_map(|(kind, rd, rs1, imm)| Instr::OpImm { kind, rd, rs1, imm }),
-        (
-            prop_oneof![
-                Just(OpKind::Add),
-                Just(OpKind::Sub),
-                Just(OpKind::Mul),
-                Just(OpKind::Div),
-                Just(OpKind::Rem),
-                Just(OpKind::And),
-                Just(OpKind::Or),
-                Just(OpKind::Xor),
-                Just(OpKind::Sll),
-                Just(OpKind::Srl),
-                Just(OpKind::Sra),
-                Just(OpKind::Slt),
-                Just(OpKind::Sltu),
-                Just(OpKind::Mulh),
-                Just(OpKind::Mulhu),
-                Just(OpKind::Mulhsu),
-                Just(OpKind::Divu),
-                Just(OpKind::Remu)
-            ],
-            any_reg(),
-            any_reg(),
-            any_reg(),
-        )
-            .prop_map(|(kind, rd, rs1, rs2)| Instr::Op { kind, rd, rs1, rs2 }),
-        any_reg().prop_map(|rd| Instr::PFc { rd }),
-        any_reg().prop_map(|rd| Instr::PFn { rd }),
-        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::PSet { rd, rs1 }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::PMerge { rd, rs1, rs2 }),
-        Just(Instr::PSyncm),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::PJalr { rd, rs1, rs2 }),
-        (any_reg(), any_reg(), i12()).prop_map(|(rd, rs1, offset)| Instr::PJal { rd, rs1, offset }),
-        (any_reg(), i12()).prop_map(|(rd, offset)| Instr::PLwcv { rd, offset }),
-        (any_reg(), any_reg(), i12()).prop_map(|(rs1, rs2, offset)| Instr::PSwcv {
-            rs1,
-            rs2,
-            offset
-        }),
-        (any_reg(), i12()).prop_map(|(rd, offset)| Instr::PLwre { rd, offset }),
-        (any_reg(), any_reg(), i12()).prop_map(|(rs1, rs2, offset)| Instr::PSwre {
-            rs1,
-            rs2,
-            offset
-        }),
-    ]
-}
+const BRANCH_KINDS: [BranchKind; 6] = [
+    BranchKind::Eq,
+    BranchKind::Ne,
+    BranchKind::Lt,
+    BranchKind::Ge,
+    BranchKind::Ltu,
+    BranchKind::Geu,
+];
 
-proptest! {
-    /// assemble(display(i)) == encode(i): the textual pipeline is
-    /// faithful to the binary one.
-    #[test]
-    fn display_reassembles_to_the_same_word(instr in any_instr()) {
-        let text = instr.to_string();
-        let image = assemble(&text)
-            .unwrap_or_else(|e| panic!("`{text}` failed to assemble: {e}"));
-        prop_assert_eq!(image.text.len(), 1, "`{}` produced several words", text);
-        let expect = instr.encode().expect("generated instruction encodes");
-        prop_assert_eq!(
-            image.text[0], expect,
-            "`{}`: {:#010x} != {:#010x}", text, image.text[0], expect
-        );
+const LOAD_KINDS: [LoadKind; 5] = [
+    LoadKind::B,
+    LoadKind::H,
+    LoadKind::W,
+    LoadKind::Bu,
+    LoadKind::Hu,
+];
+
+const STORE_KINDS: [StoreKind; 3] = [StoreKind::B, StoreKind::H, StoreKind::W];
+
+const OP_IMM_LOGIC: [OpImmKind; 6] = [
+    OpImmKind::Add,
+    OpImmKind::Slt,
+    OpImmKind::Sltu,
+    OpImmKind::Xor,
+    OpImmKind::Or,
+    OpImmKind::And,
+];
+
+const OP_IMM_SHIFT: [OpImmKind; 3] = [OpImmKind::Sll, OpImmKind::Srl, OpImmKind::Sra];
+
+const OP_KINDS: [OpKind; 18] = [
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Mul,
+    OpKind::Div,
+    OpKind::Rem,
+    OpKind::And,
+    OpKind::Or,
+    OpKind::Xor,
+    OpKind::Sll,
+    OpKind::Srl,
+    OpKind::Sra,
+    OpKind::Slt,
+    OpKind::Sltu,
+    OpKind::Mulh,
+    OpKind::Mulhu,
+    OpKind::Mulhsu,
+    OpKind::Divu,
+    OpKind::Remu,
+];
+
+/// Instructions whose text form is position-independent (pc-relative
+/// operands are fine too — the test places each instruction at address 0,
+/// where the parser re-bases them identically).
+fn any_instr(rng: &mut Rng) -> Instr {
+    match rng.index(18) {
+        0 => Instr::Lui {
+            rd: any_reg(rng),
+            imm: rng.range_u32(0, 0xfffff) << 12,
+        },
+        1 => Instr::Jalr {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        2 => Instr::Jal {
+            rd: any_reg(rng),
+            offset: rng.range_i32(-512, 511) * 2,
+        },
+        3 => Instr::Branch {
+            kind: rng.pick(&BRANCH_KINDS),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: rng.range_i32(-512, 511) * 2,
+        },
+        4 => Instr::Load {
+            kind: rng.pick(&LOAD_KINDS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        5 => Instr::Store {
+            kind: rng.pick(&STORE_KINDS),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: i12(rng),
+        },
+        6 => Instr::OpImm {
+            kind: rng.pick(&OP_IMM_LOGIC),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: i12(rng),
+        },
+        7 => Instr::OpImm {
+            kind: rng.pick(&OP_IMM_SHIFT),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            imm: rng.range_i32(0, 31),
+        },
+        8 => Instr::Op {
+            kind: rng.pick(&OP_KINDS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        9 => Instr::PFc { rd: any_reg(rng) },
+        10 => Instr::PFn { rd: any_reg(rng) },
+        11 => Instr::PSet {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+        },
+        12 => Instr::PMerge {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        13 => Instr::PSyncm,
+        14 => Instr::PJalr {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        15 => Instr::PJal {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        16 => {
+            if rng.flip() {
+                Instr::PLwcv {
+                    rd: any_reg(rng),
+                    offset: i12(rng),
+                }
+            } else {
+                Instr::PSwcv {
+                    rs1: any_reg(rng),
+                    rs2: any_reg(rng),
+                    offset: i12(rng),
+                }
+            }
+        }
+        _ => {
+            if rng.flip() {
+                Instr::PLwre {
+                    rd: any_reg(rng),
+                    offset: i12(rng),
+                }
+            } else {
+                Instr::PSwre {
+                    rs1: any_reg(rng),
+                    rs2: any_reg(rng),
+                    offset: i12(rng),
+                }
+            }
+        }
     }
+}
+
+/// assemble(display(i)) == encode(i): the textual pipeline is
+/// faithful to the binary one.
+#[test]
+fn display_reassembles_to_the_same_word() {
+    check_cases(512, 0xa53, |rng, case| {
+        let instr = any_instr(rng);
+        let text = instr.to_string();
+        let image = assemble(&text).unwrap_or_else(|e| panic!("case {case}: `{text}` failed: {e}"));
+        assert_eq!(image.text.len(), 1, "`{text}` produced several words");
+        let expect = instr.encode().expect("generated instruction encodes");
+        assert_eq!(
+            image.text[0], expect,
+            "case {case}: `{text}`: {:#010x} != {expect:#010x}",
+            image.text[0]
+        );
+    });
 }
 
 #[test]

@@ -20,7 +20,7 @@ use crate::Estimate;
 
 /// Per-event energies (picojoules) and static power for an LBP-class
 /// embedded manycore.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LbpEnergyModel {
     /// Fetch + decode + rename + commit per retired instruction.
     pub pj_front_end: f64,
@@ -67,7 +67,7 @@ impl LbpEnergyModel {
 
 /// The activity counts of one LBP run (a plain-old-data mirror of the
 /// simulator's `Stats`, so this crate stays simulator-independent).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Activity {
     /// Machine cycles.
     pub cycles: u64,
@@ -84,7 +84,7 @@ pub struct Activity {
 }
 
 /// TDP-based energy for the Phi-class comparator.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhiEnergyModel {
     /// Package power, watts (KNL 7210 TDP).
     pub tdp_w: f64,

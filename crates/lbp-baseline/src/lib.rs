@@ -31,7 +31,7 @@ pub mod energy;
 pub use energy::{Activity, LbpEnergyModel, PhiEnergyModel};
 
 /// An estimate produced by the model.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Retired instructions (hardware-thread instructions, as PAPI
     /// counts them).
@@ -52,7 +52,7 @@ impl Estimate {
 }
 
 /// A Knights-Landing-class chip model.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PhiModel {
     /// Active cores (the paper pins 256 threads on 64 cores).
     pub cores: usize,

@@ -5,15 +5,11 @@
 //!   throughput rides on the interconnect design;
 //! - **multiplier latency**: the cacheless design hides functional-unit
 //!   latency with multithreading — the matmul cycle count should degrade
-//!   far less than linearly in the multiplier latency;
-//! - **multithreading**: a team of one member per core (no
-//!   hart-level parallelism) against four members per core on the same
-//!   core count isolates the latency-hiding contribution of the four
-//!   harts.
+//!   far less than linearly in the multiplier latency.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbp_kernels::matmul::{Matmul, Version};
 use lbp_sim::Machine;
+use std::time::Instant;
 
 fn run_with(mm: &Matmul, patch: impl Fn(&mut lbp_sim::LbpConfig)) -> u64 {
     let image = mm.build();
@@ -34,35 +30,33 @@ fn run_with(mm: &Matmul, patch: impl Fn(&mut lbp_sim::LbpConfig)) -> u64 {
     m.run(1_000_000_000).expect("run").stats.cycles
 }
 
-/// Simulated-cycle sensitivity to the inter-router hop cost.
-fn link_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_link_hop");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.sample_size(10);
+fn bench(label: &str, f: impl Fn() -> u64) {
+    const SAMPLES: usize = 3;
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        cycles = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "{label}: best {:.1} ms/run ({cycles} sim cycles)",
+        best * 1e3
+    );
+}
+
+fn main() {
     let mm = Matmul::new(16, Version::Base);
+    // Simulated-cycle sensitivity to the inter-router hop cost.
     for hop in [1u32, 2, 4] {
-        g.bench_with_input(BenchmarkId::from_parameter(hop), &hop, |b, &hop| {
-            b.iter(|| run_with(&mm, |cfg| cfg.latencies.link_hop = hop));
+        bench(&format!("ablation_link_hop/{hop}"), || {
+            run_with(&mm, |cfg| cfg.latencies.link_hop = hop)
         });
     }
-    g.finish();
-}
-
-/// Simulated-cycle sensitivity to multiplier latency (latency hiding).
-fn mul_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_mul_latency");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.sample_size(10);
-    let mm = Matmul::new(16, Version::Base);
+    // Simulated-cycle sensitivity to multiplier latency (latency hiding).
     for mul in [1u32, 3, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(mul), &mul, |b, &mul| {
-            b.iter(|| run_with(&mm, |cfg| cfg.latencies.mul = mul));
+        bench(&format!("ablation_mul_latency/{mul}"), || {
+            run_with(&mm, |cfg| cfg.latencies.mul = mul)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, link_latency, mul_latency);
-criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Claim C2 bench: team spawn/join overhead across team sizes, and the
-//! cost of consecutive barrier-separated regions.
+//! cost of consecutive barrier-separated regions (host-side timing; the
+//! simulated cycle numbers are deterministic and printed alongside).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbp_omp::DetOmp;
 use lbp_sim::{LbpConfig, Machine};
+use std::time::Instant;
 
 fn team_program(threads: usize, regions: usize) -> (DetOmp, usize) {
     let mut p = DetOmp::new(threads).function("empty", "p_ret");
@@ -13,43 +14,33 @@ fn team_program(threads: usize, regions: usize) -> (DetOmp, usize) {
     (p, threads.div_ceil(4))
 }
 
-/// Spawning and joining an empty team of n members.
-fn fork_join(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fork_join_overhead");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.sample_size(10);
+fn bench(label: &str, image: &lbp_asm::Image, cores: usize) {
+    const SAMPLES: usize = 5;
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let mut m = Machine::new(LbpConfig::cores(cores), image).expect("machine");
+        cycles = m.run(10_000_000).expect("run").stats.cycles;
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!(
+        "{label}: best {:.2} ms/run ({cycles} sim cycles)",
+        best * 1e3
+    );
+}
+
+fn main() {
+    // Spawning and joining an empty team of n members.
     for threads in [4usize, 16, 64] {
         let (p, cores) = team_program(threads, 1);
         let image = p.build().expect("assembles");
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new(LbpConfig::cores(cores), &image).expect("machine");
-                m.run(10_000_000).expect("run").stats.cycles
-            });
-        });
+        bench(&format!("fork_join_overhead/{threads}"), &image, cores);
     }
-    g.finish();
-}
-
-/// The hardware barrier between consecutive regions (re-spawn cost).
-fn barriers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("consecutive_regions");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    g.sample_size(10);
+    // The hardware barrier between consecutive regions (re-spawn cost).
     for regions in [1usize, 4, 16] {
         let (p, cores) = team_program(16, regions);
         let image = p.build().expect("assembles");
-        g.bench_with_input(BenchmarkId::from_parameter(regions), &regions, |b, _| {
-            b.iter(|| {
-                let mut m = Machine::new(LbpConfig::cores(cores), &image).expect("machine");
-                m.run(10_000_000).expect("run").stats.cycles
-            });
-        });
+        bench(&format!("consecutive_regions/{regions}"), &image, cores);
     }
-    g.finish();
 }
-
-criterion_group!(benches, fork_join, barriers);
-criterion_main!(benches);

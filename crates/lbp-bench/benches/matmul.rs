@@ -1,45 +1,37 @@
-//! Criterion benches over the paper's matmul versions.
+//! Host-side benches over the paper's matmul versions.
 //!
 //! The *simulated* cycle counts are deterministic and come from the
-//! `figures` binary; what Criterion measures here is the host-side cost
-//! of simulating each version — useful for tracking simulator
-//! performance regressions — while asserting result correctness on every
-//! sample. One bench per reproduced figure (19 and 20 at full size; the
-//! 64-core Fig. 21 point is benched at reduced sample count).
+//! `figures` binary; what this harness measures is the host-side cost of
+//! simulating each version — useful for tracking simulator performance
+//! regressions — while asserting result correctness on every sample.
+//! One bench per reproduced figure (19 and 20 at full size).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lbp_kernels::matmul::{Matmul, Version};
+use std::time::Instant;
 
-fn bench_size(c: &mut Criterion, group_name: &str, harts: usize, samples: usize) {
-    let mut g = c.benchmark_group(group_name);
-    g.sample_size(samples.max(10));
-    // A simulated run is deterministic; long measurement windows only
-    // re-measure host noise. Keep the wall-clock budget modest.
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
+fn bench_size(group_name: &str, harts: usize, samples: usize) {
     for version in Version::ALL {
         let mm = Matmul::new(harts, version);
-        g.bench_with_input(BenchmarkId::from_parameter(version.name()), &mm, |b, mm| {
-            b.iter(|| {
-                let mut m = mm.machine().expect("machine");
-                let report = m.run(1_000_000_000).expect("run");
-                assert!(mm.verify(&mut m).expect("peek"));
-                report.stats.cycles
-            });
-        });
+        let mut best = f64::INFINITY;
+        let mut cycles = 0;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            let mut m = mm.machine().expect("machine");
+            let report = m.run(1_000_000_000).expect("run");
+            assert!(mm.verify(&mut m).expect("peek"));
+            best = best.min(t0.elapsed().as_secs_f64());
+            cycles = report.stats.cycles;
+        }
+        println!(
+            "{group_name}/{}: best {:.1} ms/run over {samples} samples ({cycles} sim cycles)",
+            version.name(),
+            best * 1e3,
+        );
     }
-    g.finish();
 }
 
-/// Fig. 19: 4-core LBP, 16 harts.
-fn matmul_4core(c: &mut Criterion) {
-    bench_size(c, "matmul_4core", 16, 20);
+fn main() {
+    // Fig. 19: 4-core LBP, 16 harts.  Fig. 20: 16-core LBP, 64 harts.
+    bench_size("matmul_4core", 16, 5);
+    bench_size("matmul_16core", 64, 3);
 }
-
-/// Fig. 20: 16-core LBP, 64 harts.
-fn matmul_16core(c: &mut Criterion) {
-    bench_size(c, "matmul_16core", 64, 10);
-}
-
-criterion_group!(benches, matmul_4core, matmul_16core);
-criterion_main!(benches);

@@ -6,24 +6,37 @@
 //! cargo run -p lbp-bench --release --bin figures -- determinism overhead
 //! ```
 
+use std::path::Path;
 use std::time::Instant;
 
 use lbp_bench::{
-    determinism_check, energy_comparison, fork_join_overhead, reproduce_figure, single_core_ipc,
+    benchmark_json, determinism_check, energy_comparison, fork_join_overhead,
+    reproduce_figure_with_reports, single_core_ipc,
 };
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--csv] [fig19] [fig20] [fig21] [determinism] [overhead] [multithreading] [energy] [all]\n\
+        "usage: figures [--csv] [--stats-dir DIR] [fig19] [fig20] [fig21] [determinism] [overhead] [multithreading] [energy] [all]\n\
          Regenerates the paper's Figures 19-21 and the claim checks.\n\
-         --csv prints figures as CSV rows instead of tables."
+         --csv prints figures as CSV rows instead of tables.\n\
+         --stats-dir DIR writes one lbp-stats-v1 JSON per benchmark run into DIR."
     );
     std::process::exit(2)
 }
 
-fn run_figure(number: u32, csv: bool) {
+fn run_figure(number: u32, csv: bool, stats_dir: Option<&str>) {
     let t = Instant::now();
-    let fig = reproduce_figure(number);
+    let (fig, reports) = reproduce_figure_with_reports(number);
+    if let Some(dir) = stats_dir {
+        std::fs::create_dir_all(dir).expect("create stats dir");
+        for (name, report) in &reports {
+            let mut text = String::new();
+            benchmark_json(name, fig.harts, report).write_pretty(&mut text);
+            text.push('\n');
+            let path = Path::new(dir).join(format!("{name}.json"));
+            std::fs::write(&path, text).expect("write stats JSON");
+        }
+    }
     if csv {
         print!("{}", fig.to_csv());
         return;
@@ -110,22 +123,31 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     args.retain(|a| a != "--csv");
+    let mut stats_dir = None;
+    if let Some(i) = args.iter().position(|a| a == "--stats-dir") {
+        if i + 1 >= args.len() {
+            usage();
+        }
+        stats_dir = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let stats_dir = stats_dir.as_deref();
     if args.is_empty() {
         usage();
     }
     for arg in &args {
         match arg.as_str() {
-            "fig19" => run_figure(19, csv),
-            "fig20" => run_figure(20, csv),
-            "fig21" => run_figure(21, csv),
+            "fig19" => run_figure(19, csv, stats_dir),
+            "fig20" => run_figure(20, csv, stats_dir),
+            "fig21" => run_figure(21, csv, stats_dir),
             "determinism" => run_determinism(),
             "overhead" => run_overhead(),
             "multithreading" => run_multithreading(),
             "energy" => run_energy(),
             "all" => {
-                run_figure(19, csv);
-                run_figure(20, csv);
-                run_figure(21, csv);
+                run_figure(19, csv, stats_dir);
+                run_figure(20, csv, stats_dir);
+                run_figure(21, csv, stats_dir);
                 run_determinism();
                 run_overhead();
                 run_multithreading();

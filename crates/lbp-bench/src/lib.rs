@@ -25,7 +25,7 @@ use lbp_baseline::PhiModel;
 use lbp_kernels::matmul::{Matmul, Version};
 
 /// One measured row of a figure.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// The matmul version (or baseline) name.
     pub name: String,
@@ -40,7 +40,7 @@ pub struct Row {
 }
 
 /// A reproduced figure: the machine size and one row per version.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Paper figure number (19, 20 or 21).
     pub number: u32,
@@ -50,13 +50,15 @@ pub struct Figure {
     pub rows: Vec<Row>,
 }
 
-/// Runs one matmul version to completion and returns its row.
+/// Runs one matmul version to completion and returns its row plus the
+/// full run report, for callers that also want the machine-readable
+/// stats (schema `lbp-stats-v1`).
 ///
 /// # Panics
 ///
 /// Panics if the simulation faults or the result matrix is wrong —
 /// a figure must never be produced from an incorrect run.
-pub fn measure(harts: usize, version: Version) -> Row {
+pub fn measure_with_report(harts: usize, version: Version) -> (Row, lbp_sim::RunReport) {
     let mm = Matmul::new(harts, version);
     let mut m = mm.machine().expect("machine builds");
     let report = m
@@ -67,13 +69,37 @@ pub fn measure(harts: usize, version: Version) -> Row {
         "{} h={harts}: wrong result",
         version.name()
     );
-    Row {
+    let row = Row {
         name: version.name().to_owned(),
         cycles: report.stats.cycles,
         ipc: report.stats.ipc(),
         retired: report.stats.retired(),
         locality: report.stats.locality(),
+    };
+    (row, report)
+}
+
+/// Runs one matmul version to completion and returns its row.
+///
+/// # Panics
+///
+/// Panics if the simulation faults or the result matrix is wrong —
+/// a figure must never be produced from an incorrect run.
+pub fn measure(harts: usize, version: Version) -> Row {
+    measure_with_report(harts, version).0
+}
+
+/// Wraps a run report as the per-benchmark stats JSON: the
+/// `lbp-stats-v1` report with `benchmark` and `harts` fields inserted
+/// after the schema tag, so every benchmark emits the same shape.
+pub fn benchmark_json(name: &str, harts: usize, report: &lbp_sim::RunReport) -> lbp_sim::Json {
+    use lbp_sim::Json;
+    let mut json = report.to_json();
+    if let Json::Obj(fields) = &mut json {
+        fields.insert(1, ("benchmark".to_owned(), Json::Str(name.to_owned())));
+        fields.insert(2, ("harts".to_owned(), Json::U64(harts as u64)));
     }
+    json
 }
 
 /// Reproduces one of the paper's figures (19 → `h=16`, 20 → `h=64`,
@@ -83,13 +109,32 @@ pub fn measure(harts: usize, version: Version) -> Row {
 ///
 /// Panics on an unknown figure number or a failing run.
 pub fn reproduce_figure(number: u32) -> Figure {
+    reproduce_figure_with_reports(number).0
+}
+
+/// Like [`reproduce_figure`], but also returns the run report of every
+/// simulated version (the Phi model row has no simulated report), named
+/// `fig<N>_<version>`, for per-benchmark stats JSON emission.
+///
+/// # Panics
+///
+/// Panics on an unknown figure number or a failing run.
+pub fn reproduce_figure_with_reports(number: u32) -> (Figure, Vec<(String, lbp_sim::RunReport)>) {
     let harts = match number {
         19 => 16,
         20 => 64,
         21 => 256,
         other => panic!("the paper's evaluation figures are 19, 20 and 21, not {other}"),
     };
-    let mut rows: Vec<Row> = Version::ALL.iter().map(|&v| measure(harts, v)).collect();
+    let mut reports = Vec::new();
+    let mut rows: Vec<Row> = Version::ALL
+        .iter()
+        .map(|&v| {
+            let (row, report) = measure_with_report(harts, v);
+            reports.push((format!("fig{number}_{}", row.name), report));
+            row
+        })
+        .collect();
     if number == 21 {
         let phi = PhiModel::paper_calibrated();
         let e = phi.estimate_tiled_matmul(harts);
@@ -101,11 +146,12 @@ pub fn reproduce_figure(number: u32) -> Figure {
             locality: f64::NAN,
         });
     }
-    Figure {
+    let figure = Figure {
         number,
         harts,
         rows,
-    }
+    };
+    (figure, reports)
 }
 
 impl Figure {

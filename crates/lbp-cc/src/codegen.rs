@@ -231,12 +231,9 @@ impl Gen<'_> {
             self.asm.line(format!("sw   t0, {OFF_T0}(sp)"));
             self.asm.line("p_set t0");
         }
-        for i in 0..fx.n_locals {
-            self.asm.line(format!(
-                "sw   {}, {}(sp)",
-                LOCALS[i],
-                OFF_SREG + 4 * i as i32
-            ));
+        for (i, reg) in LOCALS.iter().enumerate().take(fx.n_locals) {
+            self.asm
+                .line(format!("sw   {}, {}(sp)", reg, OFF_SREG + 4 * i as i32));
         }
         // Parameters arrive in a0.. and move into their local registers.
         for (i, _p) in f.params.iter().enumerate() {
@@ -245,18 +242,15 @@ impl Gen<'_> {
         // Body.
         self.block(&f.body, &mut fx)?;
         // Epilogue.
-        self.asm.label(&fx.epilogue.clone());
+        self.asm.label(fx.epilogue.clone());
         self.asm.line("p_syncm");
         self.asm.line(format!("lw   ra, {OFF_RA}(sp)"));
         if kind == FnKind::Main {
             self.asm.line(format!("lw   t0, {OFF_T0}(sp)"));
         }
-        for i in 0..fx.n_locals {
-            self.asm.line(format!(
-                "lw   {}, {}(sp)",
-                LOCALS[i],
-                OFF_SREG + 4 * i as i32
-            ));
+        for (i, reg) in LOCALS.iter().enumerate().take(fx.n_locals) {
+            self.asm
+                .line(format!("lw   {}, {}(sp)", reg, OFF_SREG + 4 * i as i32));
         }
         // The register restores are loads from the frame this function's
         // own stores filled; a second p_syncm lets them land before the
@@ -903,6 +897,7 @@ impl Gen<'_> {
     // ----- value plumbing -----
 
     /// Materializes a value into some register (owned or local).
+    #[allow(clippy::wrong_self_convention)] // emits code; `self` is the generator
     fn to_reg(&mut self, v: Val, fx: &mut FnGen, line: usize) -> Result<Val, CcError> {
         match v {
             Val::Imm(i) => {
@@ -919,6 +914,7 @@ impl Gen<'_> {
 
     /// Materializes a value into an *owned scratch* register that may be
     /// overwritten.
+    #[allow(clippy::wrong_self_convention)] // emits code; `self` is the generator
     fn to_owned_reg(&mut self, v: Val, fx: &mut FnGen, line: usize) -> Result<Val, CcError> {
         match v {
             Val::Reg { owned: true, .. } => Ok(v),
@@ -1142,10 +1138,8 @@ fn collect_locals(f: &Function) -> Vec<String> {
     fn walk(stmts: &[Stmt], out: &mut Vec<String>) {
         for s in stmts {
             match s {
-                Stmt::Decl { name, .. } => {
-                    if !out.contains(name) {
-                        out.push(name.clone());
-                    }
+                Stmt::Decl { name, .. } if !out.contains(name) => {
+                    out.push(name.clone());
                 }
                 Stmt::If { then, els, .. } => {
                     walk(then, out);
@@ -1205,10 +1199,8 @@ fn stores_of(stmts: &[Stmt], cx: &Checked) -> Pending {
                 }
                 // Calls drain at their epilogue, but their writes are
                 // unknown to the caller (also when nested in expressions).
-                Stmt::Expr(e, _) => {
-                    if expr_calls(e) {
-                        p.unknown = true;
-                    }
+                Stmt::Expr(e, _) if expr_calls(e) => {
+                    p.unknown = true;
                 }
                 Stmt::If { then, els, .. } => {
                     walk(then, p, cx);

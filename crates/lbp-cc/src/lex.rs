@@ -123,7 +123,7 @@ fn lex_preprocessor(
     tokens: &mut Vec<Token>,
 ) -> Result<(), CcError> {
     if let Some(def) = rest.strip_prefix("define") {
-        let mut parts = def.trim().split_whitespace();
+        let mut parts = def.split_whitespace();
         let name = parts
             .next()
             .ok_or_else(|| CcError::new(line, "#define needs a name"))?;

@@ -19,6 +19,9 @@ struct Parser {
     pos: usize,
 }
 
+/// The three clauses of a `for (init; cond; step)` header, each optional.
+type ForHeader = (Option<Stmt>, Option<Expr>, Option<Stmt>);
+
 impl Parser {
     fn peek(&self) -> &Tok {
         &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
@@ -204,9 +207,7 @@ impl Parser {
                 Tok::Int(v) => v,
                 Tok::Sym("-") => match self.bump() {
                     Tok::Int(v) => -v,
-                    other => {
-                        return Err(self.err(format!("expected a constant, found {other}")))
-                    }
+                    other => return Err(self.err(format!("expected a constant, found {other}"))),
                 },
                 other => return Err(self.err(format!("expected a constant, found {other}"))),
             };
@@ -454,7 +455,7 @@ impl Parser {
         }
     }
 
-    fn for_header(&mut self) -> Result<(Option<Stmt>, Option<Expr>, Option<Stmt>), CcError> {
+    fn for_header(&mut self) -> Result<ForHeader, CcError> {
         self.eat_sym("(")?;
         let init = if self.at_sym(";") {
             None

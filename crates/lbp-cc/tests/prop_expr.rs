@@ -1,11 +1,12 @@
 //! Property test: random expression trees compiled by `lbp-cc` and
 //! executed on the LBP simulator produce the same values as a host-side
 //! reference evaluator (with RV32 semantics: wrapping `i32` arithmetic,
-//! masked shifts, RISC-V division-by-zero results).
+//! masked shifts, RISC-V division-by-zero results). Deterministic
+//! generation via `lbp-testutil`.
 
 use lbp_cc::compile;
 use lbp_sim::{LbpConfig, Machine};
-use proptest::prelude::*;
+use lbp_testutil::{check_cases, Rng};
 
 /// A random expression over three variables `a`, `b`, `c`.
 #[derive(Debug, Clone)]
@@ -89,52 +90,38 @@ impl E {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-64i32..64).prop_map(E::Const),
-        (0usize..3).prop_map(E::Var),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            (prop_oneof![Just("-"), Just("!"), Just("~")], inner.clone())
-                .prop_map(|(op, x)| E::Un(op, Box::new(x))),
-            (
-                prop_oneof![
-                    Just("+"),
-                    Just("-"),
-                    Just("*"),
-                    Just("/"),
-                    Just("%"),
-                    Just("&"),
-                    Just("|"),
-                    Just("^"),
-                    Just("<"),
-                    Just("<="),
-                    Just(">"),
-                    Just(">="),
-                    Just("=="),
-                    Just("!="),
-                    Just("&&"),
-                    Just("||"),
-                ],
-                inner.clone(),
-                inner
-            )
-                .prop_map(|(op, x, y)| E::Bin(op, Box::new(x), Box::new(y))),
-        ]
-    })
+const UN_OPS: [&str; 3] = ["-", "!", "~"];
+const BIN_OPS: [&str; 16] = [
+    "+", "-", "*", "/", "%", "&", "|", "^", "<", "<=", ">", ">=", "==", "!=", "&&", "||",
+];
+
+/// A random expression tree of at most `depth` operator levels.
+fn arb_expr(rng: &mut Rng, depth: u32) -> E {
+    // At depth 0, or with leaf probability 1/3, emit a leaf.
+    if depth == 0 || rng.index(3) == 0 {
+        if rng.flip() {
+            E::Const(rng.range_i32(-64, 63))
+        } else {
+            E::Var(rng.index(3))
+        }
+    } else if rng.index(4) == 0 {
+        E::Un(rng.pick(&UN_OPS), Box::new(arb_expr(rng, depth - 1)))
+    } else {
+        E::Bin(
+            rng.pick(&BIN_OPS),
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+        )
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn compiled_expressions_match_reference(
-        e in arb_expr(),
-        a in -100i32..100,
-        b in -100i32..100,
-        c in -100i32..100,
-    ) {
+#[test]
+fn compiled_expressions_match_reference() {
+    check_cases(48, 0xe4_9123, |rng, case| {
+        let e = arb_expr(rng, 3);
+        let a = rng.range_i32(-100, 99);
+        let b = rng.range_i32(-100, 99);
+        let c = rng.range_i32(-100, 99);
         let src = format!(
             "int out[1];
 void main(void) {{
@@ -144,13 +131,19 @@ void main(void) {{
 }}",
             e.to_c()
         );
-        let compiled = compile(&src).unwrap_or_else(|err| panic!("{err}\n{src}"));
+        let compiled = compile(&src).unwrap_or_else(|err| panic!("case {case}: {err}\n{src}"));
         let mut m = Machine::new(LbpConfig::cores(1), &compiled.image).expect("machine");
-        m.run(10_000_000).unwrap_or_else(|err| panic!("{err}\n{}", compiled.asm));
+        m.run(10_000_000)
+            .unwrap_or_else(|err| panic!("case {case}: {err}\n{}", compiled.asm));
         let got = m
             .peek_shared(compiled.image.symbol("out").expect("symbol"))
             .expect("peek") as i32;
         let want = e.eval([a, b, c]);
-        prop_assert_eq!(got, want, "expr {} with a={} b={} c={}", e.to_c(), a, b, c);
-    }
+        assert_eq!(
+            got,
+            want,
+            "case {case}: expr {} with a={a} b={b} c={c}",
+            e.to_c()
+        );
+    });
 }

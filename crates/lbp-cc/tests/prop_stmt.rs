@@ -2,11 +2,12 @@
 //! mini-C programs compiled by `lbp-cc` and executed on the LBP simulator
 //! produce the same final variable values as a host interpreter with RV32
 //! semantics. This exercises the code generator's control flow, register
-//! allocation and `p_syncm` fence inference together.
+//! allocation and `p_syncm` fence inference together. Deterministic
+//! generation via `lbp-testutil`.
 
 use lbp_cc::compile;
 use lbp_sim::{LbpConfig, Machine};
-use proptest::prelude::*;
+use lbp_testutil::{check_cases, Rng};
 
 /// The mutable program variables (`g` is a global array of 4 cells).
 const VARS: [&str; 3] = ["x", "y", "z"];
@@ -31,46 +32,48 @@ enum S {
     ForN(u8, Vec<S>),
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (-50i32..50).prop_map(E::Const),
-        (0usize..VARS.len()).prop_map(E::Var),
-        (0usize..4).prop_map(E::Cell),
-    ];
-    leaf.prop_recursive(2, 12, 2, |inner| {
-        (
-            prop_oneof![
-                Just("+"),
-                Just("-"),
-                Just("*"),
-                Just("/"),
-                Just("%"),
-                Just("<"),
-                Just("=="),
-                Just("&"),
-                Just("^"),
-            ],
-            inner.clone(),
-            inner,
+const BIN_OPS: [&str; 9] = ["+", "-", "*", "/", "%", "<", "==", "&", "^"];
+
+fn arb_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.index(3) == 0 {
+        match rng.index(3) {
+            0 => E::Const(rng.range_i32(-50, 49)),
+            1 => E::Var(rng.index(VARS.len())),
+            _ => E::Cell(rng.index(4)),
+        }
+    } else {
+        E::Bin(
+            rng.pick(&BIN_OPS),
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
         )
-            .prop_map(|(op, a, b)| E::Bin(op, Box::new(a), Box::new(b)))
-    })
+    }
 }
 
-fn arb_stmt(depth: u32) -> BoxedStrategy<S> {
-    let assign = (0..VARS.len(), arb_expr()).prop_map(|(v, e)| S::Assign(v, e));
-    let store = (0..4usize, arb_expr()).prop_map(|(k, e)| S::Store(k, e));
+fn arb_stmts(rng: &mut Rng, depth: u32, lo: usize, hi: usize) -> Vec<S> {
+    let n = lo + rng.index(hi - lo);
+    (0..n).map(|_| arb_stmt(rng, depth)).collect()
+}
+
+fn arb_stmt(rng: &mut Rng, depth: u32) -> S {
+    let assign = |rng: &mut Rng| S::Assign(rng.index(VARS.len()), arb_expr(rng, 2));
+    let store = |rng: &mut Rng| S::Store(rng.index(4), arb_expr(rng, 2));
     if depth == 0 {
-        prop_oneof![3 => assign, 2 => store].boxed()
+        match rng.weighted(&[3, 2]) {
+            0 => assign(rng),
+            _ => store(rng),
+        }
     } else {
-        let inner = move || prop::collection::vec(arb_stmt(depth - 1), 1..4);
-        prop_oneof![
-            3 => assign,
-            2 => store,
-            2 => (arb_expr(), inner(), inner()).prop_map(|(c, t, e)| S::If(c, t, e)),
-            2 => (1u8..5, inner()).prop_map(|(n, b)| S::ForN(n, b)),
-        ]
-        .boxed()
+        match rng.weighted(&[3, 2, 2, 2]) {
+            0 => assign(rng),
+            1 => store(rng),
+            2 => S::If(
+                arb_expr(rng, 2),
+                arb_stmts(rng, depth - 1, 1, 4),
+                arb_stmts(rng, depth - 1, 1, 4),
+            ),
+            _ => S::ForN(rng.range_u32(1, 4) as u8, arb_stmts(rng, depth - 1, 1, 4)),
+        }
     }
 }
 
@@ -201,19 +204,19 @@ fn run_s(s: &S, st: &mut HostState) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn compiled_programs_match_host_interpreter(
-        stmts in prop::collection::vec(arb_stmt(2), 1..10)
-    ) {
+#[test]
+fn compiled_programs_match_host_interpreter() {
+    check_cases(40, 0x57a7, |rng, case| {
+        let stmts = arb_stmts(rng, 2, 1, 10);
         let src = program_c(&stmts);
-        let compiled = compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let compiled = compile(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
         let mut m = Machine::new(LbpConfig::cores(1), &compiled.image).expect("machine");
         m.run(50_000_000)
-            .unwrap_or_else(|e| panic!("{e}\n{src}\n{}", compiled.asm));
-        let mut host = HostState { vars: [3, -5, 40], cells: [0; 4] };
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{src}\n{}", compiled.asm));
+        let mut host = HostState {
+            vars: [3, -5, 40],
+            cells: [0; 4],
+        };
         for s in &stmts {
             run_s(s, &mut host);
         }
@@ -229,7 +232,7 @@ proptest! {
         ];
         for (i, want) in expect.iter().enumerate() {
             let got = m.peek_shared(out + 4 * i as u32).unwrap() as i32;
-            prop_assert_eq!(got, *want, "slot {}\n{}", i, src);
+            assert_eq!(got, *want, "case {case} slot {i}\n{src}");
         }
-    }
+    });
 }

@@ -31,9 +31,7 @@ pub const HARTS_PER_CORE: usize = 4;
 /// assert_eq!(h.next(), HartId::from_parts(13, 3));
 /// assert_eq!(HartId::from_parts(13, 3).next(), HartId::from_parts(14, 0));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HartId(u32);
 
 impl HartId {

@@ -280,13 +280,7 @@ impl OpKind {
                     ((a as i32).wrapping_div(b as i32)) as u32
                 }
             }
-            OpKind::Divu => {
-                if b == 0 {
-                    u32::MAX
-                } else {
-                    a / b
-                }
-            }
+            OpKind::Divu => a.checked_div(b).unwrap_or(u32::MAX),
             OpKind::Rem => {
                 if b == 0 {
                     a

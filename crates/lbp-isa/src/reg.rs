@@ -17,9 +17,7 @@ use core::str::FromStr;
 /// assert_eq!("t0".parse::<Reg>().unwrap(), Reg::T0);
 /// assert_eq!(Reg::new(5).unwrap().abi_name(), "t0");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {

@@ -1,181 +1,221 @@
 //! Property tests: encode/decode is a bijection between the valid [`Instr`]
-//! space and its binary image, and disassembly is total.
+//! space and its binary image, and disassembly is total. Driven by the
+//! deterministic generator in `lbp-testutil` — every run replays the same
+//! instruction sample.
 
 use lbp_isa::{BranchKind, Instr, LoadKind, OpImmKind, OpKind, Reg, StoreKind};
-use proptest::prelude::*;
+use lbp_testutil::{check_cases, Rng};
 
-fn any_reg() -> impl Strategy<Value = Reg> {
-    (0u8..32).prop_map(|n| Reg::new(n).unwrap())
+fn any_reg(rng: &mut Rng) -> Reg {
+    Reg::new(rng.range_u32(0, 31) as u8).unwrap()
 }
 
-fn i12() -> impl Strategy<Value = i32> {
-    -2048i32..=2047
+fn i12(rng: &mut Rng) -> i32 {
+    rng.range_i32(-2048, 2047)
 }
 
-fn b_off() -> impl Strategy<Value = i32> {
-    (-2048i32..=2047).prop_map(|x| x * 2)
+fn b_off(rng: &mut Rng) -> i32 {
+    rng.range_i32(-2048, 2047) * 2
 }
 
-fn j_off() -> impl Strategy<Value = i32> {
-    (-(1i32 << 19)..=(1 << 19) - 1).prop_map(|x| x * 2)
+fn j_off(rng: &mut Rng) -> i32 {
+    rng.range_i32(-(1 << 19), (1 << 19) - 1) * 2
 }
 
-fn any_branch_kind() -> impl Strategy<Value = BranchKind> {
-    prop_oneof![
-        Just(BranchKind::Eq),
-        Just(BranchKind::Ne),
-        Just(BranchKind::Lt),
-        Just(BranchKind::Ge),
-        Just(BranchKind::Ltu),
-        Just(BranchKind::Geu),
-    ]
-}
+const BRANCH_KINDS: [BranchKind; 6] = [
+    BranchKind::Eq,
+    BranchKind::Ne,
+    BranchKind::Lt,
+    BranchKind::Ge,
+    BranchKind::Ltu,
+    BranchKind::Geu,
+];
 
-fn any_load_kind() -> impl Strategy<Value = LoadKind> {
-    prop_oneof![
-        Just(LoadKind::B),
-        Just(LoadKind::H),
-        Just(LoadKind::W),
-        Just(LoadKind::Bu),
-        Just(LoadKind::Hu),
-    ]
-}
+const LOAD_KINDS: [LoadKind; 5] = [
+    LoadKind::B,
+    LoadKind::H,
+    LoadKind::W,
+    LoadKind::Bu,
+    LoadKind::Hu,
+];
 
-fn any_store_kind() -> impl Strategy<Value = StoreKind> {
-    prop_oneof![Just(StoreKind::B), Just(StoreKind::H), Just(StoreKind::W)]
-}
+const STORE_KINDS: [StoreKind; 3] = [StoreKind::B, StoreKind::H, StoreKind::W];
 
-fn any_op_imm_kind() -> impl Strategy<Value = OpImmKind> {
-    prop_oneof![
-        Just(OpImmKind::Add),
-        Just(OpImmKind::Slt),
-        Just(OpImmKind::Sltu),
-        Just(OpImmKind::Xor),
-        Just(OpImmKind::Or),
-        Just(OpImmKind::And),
-        Just(OpImmKind::Sll),
-        Just(OpImmKind::Srl),
-        Just(OpImmKind::Sra),
-    ]
-}
+const OP_IMM_KINDS: [OpImmKind; 9] = [
+    OpImmKind::Add,
+    OpImmKind::Slt,
+    OpImmKind::Sltu,
+    OpImmKind::Xor,
+    OpImmKind::Or,
+    OpImmKind::And,
+    OpImmKind::Sll,
+    OpImmKind::Srl,
+    OpImmKind::Sra,
+];
 
-fn any_op_kind() -> impl Strategy<Value = OpKind> {
-    prop_oneof![
-        Just(OpKind::Add),
-        Just(OpKind::Sub),
-        Just(OpKind::Sll),
-        Just(OpKind::Slt),
-        Just(OpKind::Sltu),
-        Just(OpKind::Xor),
-        Just(OpKind::Srl),
-        Just(OpKind::Sra),
-        Just(OpKind::Or),
-        Just(OpKind::And),
-        Just(OpKind::Mul),
-        Just(OpKind::Mulh),
-        Just(OpKind::Mulhsu),
-        Just(OpKind::Mulhu),
-        Just(OpKind::Div),
-        Just(OpKind::Divu),
-        Just(OpKind::Rem),
-        Just(OpKind::Remu),
-    ]
-}
+const OP_KINDS: [OpKind; 18] = [
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Sll,
+    OpKind::Slt,
+    OpKind::Sltu,
+    OpKind::Xor,
+    OpKind::Srl,
+    OpKind::Sra,
+    OpKind::Or,
+    OpKind::And,
+    OpKind::Mul,
+    OpKind::Mulh,
+    OpKind::Mulhsu,
+    OpKind::Mulhu,
+    OpKind::Div,
+    OpKind::Divu,
+    OpKind::Rem,
+    OpKind::Remu,
+];
 
 /// Any encodable instruction.
-fn any_instr() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (any_reg(), 0u32..=0xfffff).prop_map(|(rd, v)| Instr::Lui { rd, imm: v << 12 }),
-        (any_reg(), 0u32..=0xfffff).prop_map(|(rd, v)| Instr::Auipc { rd, imm: v << 12 }),
-        (any_reg(), j_off()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (any_reg(), any_reg(), i12()).prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (any_branch_kind(), any_reg(), any_reg(), b_off()).prop_map(|(kind, rs1, rs2, offset)| {
-            Instr::Branch {
-                kind,
-                rs1,
-                rs2,
-                offset,
-            }
-        }),
-        (any_load_kind(), any_reg(), any_reg(), i12()).prop_map(|(kind, rd, rs1, offset)| {
-            Instr::Load {
-                kind,
-                rd,
-                rs1,
-                offset,
-            }
-        }),
-        (any_store_kind(), any_reg(), any_reg(), i12()).prop_map(|(kind, rs1, rs2, offset)| {
-            Instr::Store {
-                kind,
-                rs1,
-                rs2,
-                offset,
-            }
-        }),
-        (any_op_imm_kind(), any_reg(), any_reg(), i12()).prop_map(|(kind, rd, rs1, imm)| {
+fn any_instr(rng: &mut Rng) -> Instr {
+    match rng.index(20) {
+        0 => Instr::Lui {
+            rd: any_reg(rng),
+            imm: rng.range_u32(0, 0xfffff) << 12,
+        },
+        1 => Instr::Auipc {
+            rd: any_reg(rng),
+            imm: rng.range_u32(0, 0xfffff) << 12,
+        },
+        2 => Instr::Jal {
+            rd: any_reg(rng),
+            offset: j_off(rng),
+        },
+        3 => Instr::Jalr {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        4 => Instr::Branch {
+            kind: rng.pick(&BRANCH_KINDS),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: b_off(rng),
+        },
+        5 => Instr::Load {
+            kind: rng.pick(&LOAD_KINDS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        6 => Instr::Store {
+            kind: rng.pick(&STORE_KINDS),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: i12(rng),
+        },
+        7 => {
+            let kind = rng.pick(&OP_IMM_KINDS);
             let imm = match kind {
-                OpImmKind::Sll | OpImmKind::Srl | OpImmKind::Sra => imm.rem_euclid(32),
-                _ => imm,
+                OpImmKind::Sll | OpImmKind::Srl | OpImmKind::Sra => i12(rng).rem_euclid(32),
+                _ => i12(rng),
             };
-            Instr::OpImm { kind, rd, rs1, imm }
-        }),
-        (any_op_kind(), any_reg(), any_reg(), any_reg())
-            .prop_map(|(kind, rd, rs1, rs2)| Instr::Op { kind, rd, rs1, rs2 }),
-        any_reg().prop_map(|rd| Instr::PFc { rd }),
-        any_reg().prop_map(|rd| Instr::PFn { rd }),
-        (any_reg(), any_reg()).prop_map(|(rd, rs1)| Instr::PSet { rd, rs1 }),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::PMerge { rd, rs1, rs2 }),
-        Just(Instr::PSyncm),
-        (any_reg(), any_reg(), any_reg()).prop_map(|(rd, rs1, rs2)| Instr::PJalr { rd, rs1, rs2 }),
-        (any_reg(), any_reg(), i12()).prop_map(|(rd, rs1, offset)| Instr::PJal { rd, rs1, offset }),
-        (any_reg(), i12()).prop_map(|(rd, offset)| Instr::PLwcv { rd, offset }),
-        (any_reg(), any_reg(), i12()).prop_map(|(rs1, rs2, offset)| Instr::PSwcv {
-            rs1,
-            rs2,
-            offset
-        }),
-        (any_reg(), i12()).prop_map(|(rd, offset)| Instr::PLwre { rd, offset }),
-        (any_reg(), any_reg(), i12()).prop_map(|(rs1, rs2, offset)| Instr::PSwre {
-            rs1,
-            rs2,
-            offset
-        }),
-    ]
+            Instr::OpImm {
+                kind,
+                rd: any_reg(rng),
+                rs1: any_reg(rng),
+                imm,
+            }
+        }
+        8 => Instr::Op {
+            kind: rng.pick(&OP_KINDS),
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        9 => Instr::PFc { rd: any_reg(rng) },
+        10 => Instr::PFn { rd: any_reg(rng) },
+        11 => Instr::PSet {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+        },
+        12 => Instr::PMerge {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        13 => Instr::PSyncm,
+        14 => Instr::PJalr {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+        },
+        15 => Instr::PJal {
+            rd: any_reg(rng),
+            rs1: any_reg(rng),
+            offset: i12(rng),
+        },
+        16 => Instr::PLwcv {
+            rd: any_reg(rng),
+            offset: i12(rng),
+        },
+        17 => Instr::PSwcv {
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: i12(rng),
+        },
+        18 => Instr::PLwre {
+            rd: any_reg(rng),
+            offset: i12(rng),
+        },
+        _ => Instr::PSwre {
+            rs1: any_reg(rng),
+            rs2: any_reg(rng),
+            offset: i12(rng),
+        },
+    }
 }
 
-proptest! {
-    /// decode(encode(i)) == i for every valid instruction.
-    #[test]
-    fn encode_decode_round_trip(instr in any_instr()) {
+/// decode(encode(i)) == i for every valid instruction.
+#[test]
+fn encode_decode_round_trip() {
+    check_cases(512, 0x15a_c0de, |rng, case| {
+        let instr = any_instr(rng);
         let word = instr.encode().expect("generated instruction is encodable");
         let back = Instr::decode(word).expect("encoded word decodes");
-        prop_assert_eq!(back, instr);
-    }
+        assert_eq!(back, instr, "case {case}: {instr:?}");
+    });
+}
 
-    /// Every decodable word re-encodes to itself: decoding is injective and
-    /// the encoder is its inverse.
-    #[test]
-    fn decode_encode_round_trip(word in any::<u32>()) {
+/// Every decodable word re-encodes to itself: decoding is injective and
+/// the encoder is its inverse.
+#[test]
+fn decode_encode_round_trip() {
+    check_cases(4096, 0xdec0de, |rng, case| {
+        let word = rng.next_u32();
         if let Ok(instr) = Instr::decode(word) {
             let re = instr.encode().expect("decoded instruction re-encodes");
-            prop_assert_eq!(re, word);
+            assert_eq!(re, word, "case {case}: {instr:?}");
         }
-    }
+    });
+}
 
-    /// Disassembly never panics and is never empty.
-    #[test]
-    fn display_is_total(instr in any_instr()) {
-        prop_assert!(!instr.to_string().is_empty());
-    }
+/// Disassembly never panics and is never empty.
+#[test]
+fn display_is_total() {
+    check_cases(512, 0xd15, |rng, case| {
+        let instr = any_instr(rng);
+        assert!(!instr.to_string().is_empty(), "case {case}: {instr:?}");
+    });
+}
 
-    /// Operand accessors agree: a register reported as a source appears in
-    /// the instruction's encoding fields.
-    #[test]
-    fn sources_and_dest_exclude_x0(instr in any_instr()) {
-        prop_assert!(instr.dest() != Some(Reg::ZERO));
+/// Operand accessors agree: `x0` never appears as a live source or
+/// destination.
+#[test]
+fn sources_and_dest_exclude_x0() {
+    check_cases(512, 0x0, |rng, case| {
+        let instr = any_instr(rng);
+        assert!(instr.dest() != Some(Reg::ZERO), "case {case}: {instr:?}");
         for s in instr.sources().into_iter().flatten() {
-            prop_assert!(!s.is_zero());
+            assert!(!s.is_zero(), "case {case}: {instr:?}");
         }
-    }
+    });
 }

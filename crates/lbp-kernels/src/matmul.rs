@@ -174,7 +174,7 @@ impl Matmul {
     /// Panics if `harts` is not a power of four ≥ 16.
     pub fn new(harts: usize, version: Version) -> Matmul {
         assert!(
-            harts >= 16 && harts.is_power_of_two() && harts.trailing_zeros() % 2 == 0,
+            harts >= 16 && harts.is_power_of_two() && harts.trailing_zeros().is_multiple_of(2),
             "harts must be a power of four of at least 16, got {harts}"
         );
         assert!(

@@ -22,7 +22,7 @@ impl VectorParams {
     ///
     /// Panics unless `len` is a positive multiple of `harts`.
     pub fn new(harts: usize, len: usize) -> VectorParams {
-        assert!(harts >= 1 && len >= harts && len % harts == 0);
+        assert!(harts >= 1 && len >= harts && len.is_multiple_of(harts));
         VectorParams { harts, len }
     }
 

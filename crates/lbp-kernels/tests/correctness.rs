@@ -87,10 +87,10 @@ fn stencil_matches_host_reference() {
     m.run(10_000_000).unwrap();
     let out = image.symbol("st_out").unwrap();
     let expect = stencil_expected(p);
-    for i in 1..63usize {
+    for (i, &want) in expect.iter().enumerate().take(63).skip(1) {
         assert_eq!(
             m.peek_shared(out + 4 * i as u32).unwrap(),
-            expect[i],
+            want,
             "element {i}"
         );
     }
@@ -160,10 +160,10 @@ fn prefix_sum_matches_host_reference() {
     m.run(10_000_000).unwrap();
     let out = image.symbol("ps_out").unwrap();
     let expect = prefix_sum_expected(p);
-    for i in 0..64usize {
+    for (i, &want) in expect.iter().enumerate().take(64) {
         assert_eq!(
             m.peek_shared(out + 4 * i as u32).unwrap(),
-            expect[i],
+            want,
             "element {i}"
         );
     }
@@ -182,9 +182,9 @@ fn histogram_matches_host_reference() {
     let out = image.symbol("hg_out").unwrap();
     let expect = histogram_expected(p);
     let mut total = 0;
-    for b in 0..HISTOGRAM_BINS {
+    for (b, &want) in expect.iter().enumerate().take(HISTOGRAM_BINS) {
         let got = m.peek_shared(out + 4 * b as u32).unwrap();
-        assert_eq!(got, expect[b], "bin {b}");
+        assert_eq!(got, want, "bin {b}");
         total += got;
     }
     assert_eq!(total, 128, "every element lands in a bin");
@@ -202,10 +202,10 @@ fn odd_even_sort_orders_the_array() {
     m.run(50_000_000).unwrap();
     let a = image.symbol("oe_a").unwrap();
     let expect = odd_even_sort_expected(harts, 3);
-    for i in 0..harts {
+    for (i, &want) in expect.iter().enumerate().take(harts) {
         assert_eq!(
             m.peek_shared(a + 4 * i as u32).unwrap() as i32 as i64,
-            expect[i],
+            want,
             "element {i}"
         );
     }

@@ -82,7 +82,6 @@ impl Channel {
     }
 }
 
-
 /// A bounded streaming channel: `capacity` single-shot slots, addressed
 /// by an index register — a producer loop sends item `i` into slot `i`,
 /// a consumer loop receives them in order. The slot count bounds how far
@@ -103,7 +102,10 @@ impl StreamChannel {
     /// Panics on a zero capacity.
     pub fn new(name: impl Into<String>, capacity: u32) -> StreamChannel {
         assert!(capacity > 0, "a stream needs at least one slot");
-        StreamChannel { symbol: name.into(), capacity }
+        StreamChannel {
+            symbol: name.into(),
+            capacity,
+        }
     }
 
     /// Bytes of shared memory the stream needs (8 per slot).

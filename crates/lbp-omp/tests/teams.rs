@@ -312,7 +312,7 @@ fn ordered_channels_build_a_pipeline_across_concurrent_members() {
     use lbp_omp::Channel;
 
     let chans: Vec<Channel> = (0..3).map(|i| Channel::new(format!("ch{i}"))).collect();
-    let mut stage = |idx: usize| -> String {
+    let stage = |idx: usize| -> String {
         let mut a = Asm::new();
         if idx == 0 {
             a.line("li   a2, 7");

@@ -88,6 +88,10 @@ pub struct MemSys {
     pub local_served: u64,
     /// Count of accesses served by network ports.
     pub remote_served: u64,
+    /// Request-cycles spent waiting at a busy bank port: each cycle, every
+    /// ready request a port could not serve (because the port serves one
+    /// request per cycle) adds one. This measures bank conflicts.
+    pub conflicts: u64,
     /// The current cycle, updated by [`MemSys::tick`] (device timing).
     now: u64,
 }
@@ -114,6 +118,7 @@ impl MemSys {
             io: IoBus::new(),
             local_served: 0,
             remote_served: 0,
+            conflicts: 0,
             now: 0,
         };
         // Distribute the initialized data over the shared banks.
@@ -131,7 +136,7 @@ impl MemSys {
 
     /// Fetches a code word (used by the fetch stage; no contention).
     pub fn fetch(&self, pc: u32, hart: HartId) -> Result<u32, MemFault> {
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return Err(MemFault::Unaligned {
                 addr: pc,
                 size: 4,
@@ -198,6 +203,7 @@ impl MemSys {
                     self.local_served += 1;
                 }
             }
+            self.conflicts += Self::port_backlog(&self.local_q[core as usize], now);
             // Shared-slice local port.
             if let Some(p) = self.shared_q[core as usize].front().copied() {
                 if p.arrived < now {
@@ -207,14 +213,21 @@ impl MemSys {
                     self.local_served += 1;
                 }
             }
+            self.conflicts += Self::port_backlog(&self.shared_q[core as usize], now);
             // Network port of the shared bank.
             if let Some(msg) = self.net.bank_queue(core).pop_front() {
                 let resp = self.perform(core, msg, PortSide::Network)?;
                 self.net.send_from_bank(core, resp);
                 self.remote_served += 1;
             }
+            self.conflicts += self.net.bank_queue(core).len() as u64;
         }
         Ok(())
+    }
+
+    /// Requests at a port that were ready this cycle but not served.
+    fn port_backlog(q: &VecDeque<Ported>, now: u64) -> u64 {
+        q.iter().filter(|p| p.arrived < now).count() as u64
     }
 
     /// Performs a read/write at `bank_core` and builds the response.
@@ -260,7 +273,7 @@ impl MemSys {
     }
 
     fn check_align(addr: u32, size: u8, hart: HartId) -> Result<(), MemFault> {
-        if addr % size as u32 != 0 {
+        if !addr.is_multiple_of(size as u32) {
             Err(MemFault::Unaligned { addr, size, hart })
         } else {
             Ok(())

@@ -7,7 +7,7 @@ use lbp_isa::HARTS_PER_CORE;
 /// The defaults model the FPGA implementation the paper reports on: a
 /// single-cycle ALU, a short pipelined multiplier, an iterative divider,
 /// single-cycle link hops and single-cycle bank service.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Latencies {
     /// ALU operations (result available the next cycle).
     pub alu: u32,
@@ -43,7 +43,7 @@ impl Default for Latencies {
 /// assert_eq!(cfg.cores, 16);
 /// assert_eq!(cfg.harts(), 64);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LbpConfig {
     /// Number of cores (the paper evaluates 4, 16 and 64).
     pub cores: usize,
@@ -66,6 +66,9 @@ pub struct LbpConfig {
     /// Record a full event trace (costly; for determinism checks and
     /// debugging).
     pub trace: bool,
+    /// Record one [`crate::IntervalSample`] every this many cycles
+    /// (0 disables the interval time series).
+    pub sample_interval: u64,
 }
 
 impl LbpConfig {
@@ -86,6 +89,7 @@ impl LbpConfig {
             result_slots: 8,
             latencies: Latencies::default(),
             trace: false,
+            sample_interval: 0,
         }
     }
 
@@ -107,6 +111,12 @@ impl LbpConfig {
     /// Enables event tracing.
     pub fn with_trace(mut self) -> LbpConfig {
         self.trace = true;
+        self
+    }
+
+    /// Enables the interval sampler with the given period in cycles.
+    pub fn with_interval(mut self, cycles: u64) -> LbpConfig {
+        self.sample_interval = cycles;
         self
     }
 }

@@ -17,8 +17,8 @@ use crate::error::SimError;
 use crate::fabric::Fabric;
 use crate::hart::{Fetched, HartCtx, HartState, ItEntry, Rb, RbWait};
 use crate::msg::{CoreMsg, NetMsg};
-use crate::stats::Stats;
-use crate::trace::{EventKind, Trace};
+use crate::stats::{StallKind, Stats};
+use crate::trace::{Event, EventKind, Trace, TraceSink};
 
 /// Pipeline stage indices for the round-robin pointers.
 const ST_FETCH: usize = 0;
@@ -34,6 +34,7 @@ pub(crate) struct Env<'a> {
     pub stats: &'a mut Stats,
     pub trace: &'a mut Trace,
     pub trace_on: bool,
+    pub sink: Option<&'a mut dyn TraceSink>,
     pub lat: Latencies,
     pub now: u64,
     pub cores: usize,
@@ -42,8 +43,19 @@ pub(crate) struct Env<'a> {
 
 impl Env<'_> {
     fn emit(&mut self, hart: HartId, kind: EventKind) {
+        if !self.trace_on && self.sink.is_none() {
+            return;
+        }
+        let event = Event {
+            cycle: self.now,
+            hart,
+            kind,
+        };
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(&event);
+        }
         if self.trace_on {
-            self.trace.push(self.now, hart, kind);
+            self.trace.push(event.cycle, event.hart, event.kind);
         }
     }
 }
@@ -92,12 +104,90 @@ impl Core {
     pub fn tick(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
         self.process_alloc(env);
         self.release_syncm(env.now);
-        self.stage_commit(env)?;
+        let retired = self.stage_commit(env)?;
         self.stage_writeback(env);
         self.stage_issue(env)?;
         self.stage_rename(env);
         self.stage_fetch(env)?;
+        // Stall attribution: commit selects at most one hart per cycle, so
+        // a core cycle either retires one instruction or is a stall slot.
+        // Classifying each slot into exactly one bucket yields the exact
+        // partition `sum(stalls) + retired == cycles` per core.
+        if !retired {
+            let kind = self.classify_stall(env.now);
+            env.stats.stalls_per_core[self.index as usize].bump(kind);
+        }
         Ok(())
+    }
+
+    /// Attributes a non-retiring cycle to its dominant cause. The checks
+    /// run in a fixed priority order (synchronization before memory before
+    /// operands before structural hazards), so the classification is as
+    /// deterministic as the machine itself.
+    fn classify_stall(&self, now: u64) -> StallKind {
+        if self.harts.iter().all(|h| h.state == HartState::Free) {
+            return StallKind::Idle;
+        }
+        let running = |h: &&HartCtx| h.state == HartState::Running;
+        // Synchronization: a committing p_ret held by the barrier, or a
+        // draining p_syncm.
+        for h in self.harts.iter().filter(running) {
+            let pret_blocked = h
+                .rob
+                .front()
+                .is_some_and(|e| e.done && e.is_pret && !(h.end_signal && h.in_flight_mem == 0));
+            if pret_blocked || h.syncm_wait {
+                return StallKind::SyncWait;
+            }
+        }
+        // Outstanding memory traffic (load responses or store acks).
+        for h in self.harts.iter().filter(running) {
+            if matches!(
+                h.rb,
+                Some(Rb {
+                    wait: RbWait::Mem,
+                    ..
+                })
+            ) || h.in_flight_mem > 0
+            {
+                return StallKind::MemWait;
+            }
+        }
+        // A pending fork allocation is synchronization with the allocator.
+        for h in self.harts.iter().filter(running) {
+            if matches!(
+                h.rb,
+                Some(Rb {
+                    wait: RbWait::Fork,
+                    ..
+                })
+            ) {
+                return StallKind::SyncWait;
+            }
+        }
+        // Instructions waiting in the table with no ready operands.
+        for h in self.harts.iter().filter(running) {
+            if !h.it.is_empty() && h.oldest_ready().is_none() {
+                return StallKind::OperandWait;
+            }
+        }
+        // The single-entry result buffer is occupied (functional-unit
+        // latency not yet hidden): the structural throttle of one hart.
+        for h in self.harts.iter().filter(running) {
+            if h.rb.is_some() {
+                return StallKind::RbFull;
+            }
+        }
+        if !self.harts.iter().any(|h| h.state == HartState::Running) {
+            // Only Reserved/WaitingJoin harts: waiting for a start pc or a
+            // join message from another core.
+            return StallKind::SyncWait;
+        }
+        // Running harts with an empty back end: the front end has not
+        // produced a committable instruction (post-fetch suspension
+        // waiting for the next pc, or the pipeline is filling).
+        let _ = now;
+        StallKind::FetchStarved
     }
 
     /// Satisfies at most one pending fork request with the lowest-numbered
@@ -566,7 +656,8 @@ impl Core {
         h.rob_mark_done(rb.seq);
     }
 
-    fn stage_commit(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
+    /// Commits at most one instruction; returns whether one retired.
+    fn stage_commit(&mut self, env: &mut Env<'_>) -> Result<bool, SimError> {
         let Some(i) = self.select(ST_COMMIT, |h| {
             h.rob.front().is_some_and(|e| {
                 // A p_ret additionally needs the team predecessor's ending
@@ -577,7 +668,7 @@ impl Core {
                 e.done && (!e.is_pret || (h.end_signal && h.in_flight_mem == 0))
             })
         }) else {
-            return Ok(());
+            return Ok(false);
         };
         let h = &mut self.harts[i];
         let entry = h.rob.pop_front().expect("checked by predicate");
@@ -590,7 +681,7 @@ impl Core {
         if entry.is_pret {
             self.commit_p_ret(i, entry.pret.expect("p_ret resolved at issue"), env)?;
         }
-        Ok(())
+        Ok(true)
     }
 
     /// The four ending types of a committing `p_ret` (paper §4).

@@ -24,6 +24,9 @@ pub struct Fabric {
     inbox: Vec<Vec<CoreMsg>>,
     /// Total messages that crossed any segment (statistics).
     pub hops: u64,
+    /// Message-cycles lost to segment contention: each cycle, every
+    /// message left waiting behind the one a segment carried adds one.
+    pub contended: u64,
 }
 
 impl Fabric {
@@ -37,6 +40,7 @@ impl Fabric {
             bwd: (0..links).map(|_| VecDeque::new()).collect(),
             inbox: (0..cores).map(|_| Vec::new()).collect(),
             hops: 0,
+            contended: 0,
         }
     }
 
@@ -83,6 +87,7 @@ impl Fabric {
         for i in 0..self.fwd.len() {
             if let Some(msg) = self.fwd[i].pop_front() {
                 self.hops += 1;
+                self.contended += self.fwd[i].len() as u64;
                 self.inbox[i + 1].push(msg);
             }
         }
@@ -92,6 +97,7 @@ impl Fabric {
         for i in 0..self.bwd.len() {
             if let Some(msg) = self.bwd[i].pop_front() {
                 self.hops += 1;
+                self.contended += self.bwd[i].len() as u64;
                 if msg.dest_core() == i as u32 {
                     self.inbox[i].push(msg);
                 } else {

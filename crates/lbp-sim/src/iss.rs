@@ -134,7 +134,7 @@ impl Iss {
     }
 
     fn read(&self, addr: u32, size: u8, signed: bool) -> Result<u32, IssError> {
-        if addr % size as u32 != 0 {
+        if !addr.is_multiple_of(size as u32) {
             return Err(IssError::BadAccess { addr });
         }
         let mut raw = 0u32;
@@ -149,7 +149,7 @@ impl Iss {
     }
 
     fn write(&mut self, addr: u32, value: u32, size: u8) -> Result<(), IssError> {
-        if addr % size as u32 != 0 {
+        if !addr.is_multiple_of(size as u32) {
             return Err(IssError::BadAccess { addr });
         }
         for i in 0..size as u32 {
@@ -202,7 +202,7 @@ impl Iss {
         let word = *self
             .text
             .get((pc / 4) as usize)
-            .filter(|_| pc % 4 == 0)
+            .filter(|_| pc.is_multiple_of(4))
             .ok_or(IssError::BadFetch { pc })?;
         let instr = Instr::decode(word).map_err(|_| IssError::BadFetch { pc })?;
         let mut next = pc.wrapping_add(4);

@@ -70,6 +70,7 @@ mod fabric;
 mod hart;
 mod io;
 pub mod iss;
+pub mod json;
 mod machine;
 mod msg;
 mod network;
@@ -80,6 +81,7 @@ pub use bank::MemFault;
 pub use config::{Latencies, LbpConfig, CV_FRAME_BYTES};
 pub use error::SimError;
 pub use io::{InputDevice, IoBus, OutputDevice, DEVICE_STRIDE};
+pub use json::{Json, JsonError};
 pub use machine::{Machine, RunReport};
-pub use stats::Stats;
-pub use trace::{Event, EventKind, Trace};
+pub use stats::{CoreStalls, IntervalSample, StallKind, Stats};
+pub use trace::{ChromeSink, Event, EventKind, JsonlSink, TextSink, Trace, TraceSink};

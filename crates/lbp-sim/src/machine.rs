@@ -10,9 +10,10 @@ use crate::error::SimError;
 use crate::fabric::Fabric;
 use crate::hart::{HartCtx, HartState, RbWait};
 use crate::io::IoBus;
+use crate::json::Json;
 use crate::msg::{CoreMsg, NetMsg};
-use crate::stats::Stats;
-use crate::trace::{EventKind, Trace};
+use crate::stats::{CoreStalls, IntervalSample, Stats};
+use crate::trace::{Event, EventKind, Trace, TraceSink};
 
 /// The result of a completed run.
 #[derive(Debug, Clone)]
@@ -21,6 +22,29 @@ pub struct RunReport {
     pub stats: Stats,
     /// Whether the program exited (`p_ret` type 3) within the budget.
     pub exited: bool,
+}
+
+impl RunReport {
+    /// The machine-readable report: the stats JSON (schema
+    /// `lbp-stats-v1`) with the run's `exited` flag added.
+    pub fn to_json(&self) -> Json {
+        let mut v = self.stats.to_json();
+        if let Json::Obj(pairs) = &mut v {
+            // Keep `schema` first, then the exit state, then the counters.
+            pairs.insert(1, ("exited".to_owned(), Json::Bool(self.exited)));
+        }
+        v
+    }
+}
+
+/// Snapshot of the cumulative counters at the last interval boundary,
+/// used to turn cumulative stats into per-interval deltas.
+#[derive(Debug, Default, Clone, Copy)]
+struct SampleCursor {
+    cycle: u64,
+    retired: u64,
+    link_hops: u64,
+    stalls: CoreStalls,
 }
 
 /// A full LBP machine instance executing one loaded program.
@@ -41,7 +65,6 @@ pub struct RunReport {
 /// assert!(report.exited);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
 pub struct Machine {
     cfg: LbpConfig,
     cores: Vec<Core>,
@@ -49,8 +72,22 @@ pub struct Machine {
     fabric: Fabric,
     stats: Stats,
     trace: Trace,
+    sink: Option<Box<dyn TraceSink>>,
+    cursor: SampleCursor,
     cycle: u64,
     exited: bool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cfg", &self.cfg)
+            .field("cycle", &self.cycle)
+            .field("exited", &self.exited)
+            .field("stats", &self.stats)
+            .field("streaming", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Machine {
@@ -82,6 +119,8 @@ impl Machine {
             fabric: Fabric::new(cfg.cores),
             stats: Stats::new(cfg.harts()),
             trace: Trace::new(),
+            sink: None,
+            cursor: SampleCursor::default(),
             cycle: 0,
             exited: false,
             cores,
@@ -132,6 +171,27 @@ impl Machine {
         &self.trace
     }
 
+    /// Attaches a streaming trace sink. Every machine event is forwarded
+    /// to the sink as it happens — independent of the in-memory trace
+    /// toggle (`cfg.trace`), so multi-million-cycle runs can be traced in
+    /// O(1) memory. Call [`Machine::finish_trace`] after the run to flush.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Finalizes and flushes the attached streaming sink, if any (closes
+    /// the Chrome JSON array, reports buffered I/O errors).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the sink encountered during the run.
+    pub fn finish_trace(&mut self) -> std::io::Result<()> {
+        match self.sink.as_mut() {
+            Some(sink) => sink.finish(),
+            None => Ok(()),
+        }
+    }
+
     /// Runs until the program exits or the cycle budget is exhausted.
     ///
     /// # Errors
@@ -144,6 +204,11 @@ impl Machine {
                 return Err(SimError::Timeout { cycles: max_cycles });
             }
             self.tick()?;
+        }
+        // Close the time series with the final partial interval so the
+        // samples cover the whole run.
+        if self.cfg.sample_interval > 0 && self.cycle > self.cursor.cycle {
+            self.take_sample();
         }
         Ok(RunReport {
             stats: self.stats.clone(),
@@ -168,6 +233,7 @@ impl Machine {
                 stats: &mut self.stats,
                 trace: &mut self.trace,
                 trace_on: self.cfg.trace,
+                sink: self.sink.as_deref_mut().map(|s| s as &mut dyn TraceSink),
                 lat: self.cfg.latencies,
                 now,
                 cores: self.cfg.cores,
@@ -179,7 +245,34 @@ impl Machine {
         self.mem.tick(now)?;
         self.stats.cycles = self.cycle;
         self.stats.link_hops = self.mem.net.hops + self.fabric.hops;
+        self.stats.bank_conflicts = self.mem.conflicts;
+        self.stats.link_contention = self.mem.net.contended + self.fabric.contended;
+        // 5. Interval sampler.
+        let interval = self.cfg.sample_interval;
+        if interval > 0 && self.cycle.is_multiple_of(interval) {
+            self.take_sample();
+        }
         Ok(())
+    }
+
+    /// Appends one [`IntervalSample`] covering the cycles since the last
+    /// sample (or the start of the run).
+    fn take_sample(&mut self) {
+        let retired = self.stats.retired();
+        let stalls = self.stats.stalls_total();
+        self.stats.samples.push(IntervalSample {
+            cycle: self.cycle,
+            interval: self.cycle - self.cursor.cycle,
+            retired: retired - self.cursor.retired,
+            link_hops: self.stats.link_hops - self.cursor.link_hops,
+            stalls: stalls.since(&self.cursor.stalls),
+        });
+        self.cursor = SampleCursor {
+            cycle: self.cycle,
+            retired,
+            link_hops: self.stats.link_hops,
+            stalls,
+        };
     }
 
     /// Delivers network responses and fabric messages that completed their
@@ -207,8 +300,19 @@ impl Machine {
     }
 
     fn emit(&mut self, hart: HartId, kind: EventKind) {
+        if !self.cfg.trace && self.sink.is_none() {
+            return;
+        }
+        let event = Event {
+            cycle: self.cycle,
+            hart,
+            kind,
+        };
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.record(&event);
+        }
         if self.cfg.trace {
-            self.trace.push(self.cycle, hart, kind);
+            self.trace.push(event.cycle, event.hart, event.kind);
         }
     }
 

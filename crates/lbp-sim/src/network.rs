@@ -65,6 +65,9 @@ pub struct Network {
     core_inbox: Vec<Vec<NetMsg>>,
     /// Total link traversals (for utilization statistics).
     pub hops: u64,
+    /// Message-cycles lost to link contention: each cycle, every message
+    /// left waiting behind the one a link carried adds one.
+    pub contended: u64,
 }
 
 impl Network {
@@ -92,6 +95,7 @@ impl Network {
             bank_inbox: (0..cores).map(|_| VecDeque::new()).collect(),
             core_inbox: (0..cores).map(|_| Vec::new()).collect(),
             hops: 0,
+            contended: 0,
         };
         // Level-0 <-> level-1 edges: core up, core down, bank req, bank
         // resp — four per core, in core order.
@@ -212,6 +216,7 @@ impl Network {
         for e in &mut self.edges {
             if let Some(msg) = e.queue.pop_front() {
                 moved.push((e.dest, msg));
+                self.contended += e.queue.len() as u64;
             }
         }
         self.hops += moved.len() as u64;

@@ -1,15 +1,26 @@
-//! Cycle-by-cycle event traces.
+//! Cycle-by-cycle event traces and streaming trace sinks.
 //!
 //! The paper's headline property is *cycle determinism*: "at cycle 467171,
 //! core 55, hart 2 sends a memory request to load address 106688 from
 //! memory bank 13" holds for every run of the same program on the same
 //! data. The trace captures exactly such statements so tests can assert
 //! bit-identical replay.
+//!
+//! Events can either be buffered in memory ([`Trace`], used by the
+//! determinism tests) or streamed through a [`TraceSink`] in O(1) memory:
+//! [`TextSink`] writes one [`Event::describe`] line per event,
+//! [`JsonlSink`] one JSON object per line, and [`ChromeSink`] a Chrome
+//! `trace_event` JSON file that opens directly in `chrome://tracing` or
+//! [Perfetto](https://ui.perfetto.dev).
+
+use std::io::{self, Write};
 
 use lbp_isa::HartId;
 
+use crate::json::Json;
+
 /// One machine event, stamped with the cycle it occurred on.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// The cycle the event occurred on.
     pub cycle: u64,
@@ -20,7 +31,7 @@ pub struct Event {
 }
 
 /// The kinds of observable machine events.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EventKind {
     /// An instruction word was fetched at `pc`.
     Fetch {
@@ -83,6 +94,47 @@ pub enum EventKind {
     Exit,
 }
 
+impl EventKind {
+    /// The event's stable machine-readable name (the `kind` field of the
+    /// JSONL encoding and the Chrome event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Fetch { .. } => "fetch",
+            EventKind::Commit { .. } => "commit",
+            EventKind::MemRead { .. } => "mem_read",
+            EventKind::MemWrite { .. } => "mem_write",
+            EventKind::MemResp { .. } => "mem_resp",
+            EventKind::Fork { .. } => "fork",
+            EventKind::Start { .. } => "start",
+            EventKind::Join { .. } => "join",
+            EventKind::EndSignal => "end_signal",
+            EventKind::ResultDelivered { .. } => "result",
+            EventKind::HartEnd => "hart_end",
+            EventKind::Exit => "exit",
+        }
+    }
+
+    /// The kind-specific payload fields as `(key, value)` pairs.
+    fn payload(&self) -> Vec<(String, Json)> {
+        let pair = |k: &str, v: u32| (k.to_owned(), Json::U64(v as u64));
+        match *self {
+            EventKind::Fetch { pc } | EventKind::Commit { pc } => vec![pair("pc", pc)],
+            EventKind::MemRead { addr, bank } => vec![pair("addr", addr), pair("bank", bank)],
+            EventKind::MemWrite { addr, bank, value } => {
+                vec![pair("addr", addr), pair("bank", bank), pair("value", value)]
+            }
+            EventKind::MemResp { addr } => vec![pair("addr", addr)],
+            EventKind::Fork { child } => vec![pair("child", child.global())],
+            EventKind::Start { pc } => vec![pair("pc", pc)],
+            EventKind::Join { pc } => vec![pair("pc", pc)],
+            EventKind::EndSignal | EventKind::HartEnd | EventKind::Exit => vec![],
+            EventKind::ResultDelivered { slot, value } => {
+                vec![pair("slot", slot), pair("value", value)]
+            }
+        }
+    }
+}
+
 impl Event {
     /// Renders the event as one of the paper's invariant statements, e.g.
     /// "at cycle 467171, core 55, hart 2 sends a memory request to load
@@ -121,9 +173,86 @@ impl Event {
             EventKind::Exit => format!("{head} commits the exiting p_ret"),
         }
     }
+
+    /// The JSONL encoding: a flat object with `cycle`, `core`, `hart`,
+    /// `kind` and the kind-specific payload fields.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("cycle".to_owned(), Json::U64(self.cycle)),
+            ("core".to_owned(), Json::U64(self.hart.core() as u64)),
+            ("hart".to_owned(), Json::U64(self.hart.local() as u64)),
+            ("kind".to_owned(), Json::Str(self.kind.name().to_owned())),
+        ];
+        pairs.extend(self.kind.payload());
+        Json::Obj(pairs)
+    }
+
+    /// Decodes one JSONL object back into an event (the inverse of
+    /// [`Event::to_json`]); `None` on missing or mistyped fields.
+    pub fn from_json(v: &Json) -> Option<Event> {
+        let cycle = v.get("cycle")?.as_u64()?;
+        let core = u32::try_from(v.get("core")?.as_u64()?).ok()?;
+        let local = u32::try_from(v.get("hart")?.as_u64()?).ok()?;
+        let field = |k: &str| -> Option<u32> { v.get(k)?.as_u64()?.try_into().ok() };
+        let kind = match v.get("kind")?.as_str()? {
+            "fetch" => EventKind::Fetch { pc: field("pc")? },
+            "commit" => EventKind::Commit { pc: field("pc")? },
+            "mem_read" => EventKind::MemRead {
+                addr: field("addr")?,
+                bank: field("bank")?,
+            },
+            "mem_write" => EventKind::MemWrite {
+                addr: field("addr")?,
+                bank: field("bank")?,
+                value: field("value")?,
+            },
+            "mem_resp" => EventKind::MemResp {
+                addr: field("addr")?,
+            },
+            "fork" => EventKind::Fork {
+                child: HartId::new(field("child")?),
+            },
+            "start" => EventKind::Start { pc: field("pc")? },
+            "join" => EventKind::Join { pc: field("pc")? },
+            "end_signal" => EventKind::EndSignal,
+            "result" => EventKind::ResultDelivered {
+                slot: field("slot")?,
+                value: field("value")?,
+            },
+            "hart_end" => EventKind::HartEnd,
+            "exit" => EventKind::Exit,
+            _ => return None,
+        };
+        Some(Event {
+            cycle,
+            hart: HartId::from_parts(core, local),
+            kind,
+        })
+    }
 }
 
-/// An append-only trace buffer.
+/// A consumer of the machine's event stream.
+///
+/// The machine calls [`TraceSink::record`] once per event, in
+/// deterministic order, and [`TraceSink::finish`] exactly once at the end
+/// of the run. Streaming sinks buffer I/O errors internally and report
+/// them from `finish` so the simulation hot path stays infallible.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes and finalizes the output (e.g. closes the Chrome JSON
+    /// array).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error the sink encountered, if any.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An append-only in-memory trace buffer (also the memory [`TraceSink`]).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<Event>,
@@ -153,6 +282,153 @@ impl Trace {
     /// Whether no event has been recorded.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+impl TraceSink for Trace {
+    fn record(&mut self, event: &Event) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Shared state of the streaming sinks: the writer plus the first error.
+struct Stream<W: Write> {
+    out: W,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> Stream<W> {
+    fn new(out: W) -> Stream<W> {
+        Stream { out, err: None }
+    }
+
+    fn write(&mut self, text: &str) {
+        if self.err.is_none() {
+            if let Err(e) = self.out.write_all(text.as_bytes()) {
+                self.err = Some(e);
+            }
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+/// Streams one [`Event::describe`] line per event.
+pub struct TextSink<W: Write> {
+    stream: Stream<W>,
+}
+
+impl<W: Write> TextSink<W> {
+    /// Creates a sink writing to `out` (wrap files in a `BufWriter`).
+    pub fn new(out: W) -> TextSink<W> {
+        TextSink {
+            stream: Stream::new(out),
+        }
+    }
+}
+
+impl<W: Write> TraceSink for TextSink<W> {
+    fn record(&mut self, event: &Event) {
+        let mut line = event.describe();
+        line.push('\n');
+        self.stream.write(&line);
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.stream.finish()
+    }
+}
+
+/// Streams one JSON object per line (JSON Lines). The encoding is
+/// [`Event::to_json`]; [`Event::from_json`] parses it back.
+pub struct JsonlSink<W: Write> {
+    stream: Stream<W>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Creates a sink writing to `out` (wrap files in a `BufWriter`).
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink {
+            stream: Stream::new(out),
+        }
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        let mut line = String::new();
+        event.to_json().write(&mut line);
+        line.push('\n');
+        self.stream.write(&line);
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.stream.finish()
+    }
+}
+
+/// Streams a Chrome `trace_event` JSON file: every machine event becomes
+/// a thread-scoped instant event with the cycle number as its timestamp,
+/// `pid` = core and `tid` = hart. Open the file in `chrome://tracing` or
+/// [Perfetto](https://ui.perfetto.dev) to see the per-hart activity of a
+/// `parallel for` region on a timeline.
+pub struct ChromeSink<W: Write> {
+    stream: Stream<W>,
+    started: bool,
+    finished: bool,
+}
+
+impl<W: Write> ChromeSink<W> {
+    /// Creates a sink writing to `out` (wrap files in a `BufWriter`).
+    pub fn new(out: W) -> ChromeSink<W> {
+        ChromeSink {
+            stream: Stream::new(out),
+            started: false,
+            finished: false,
+        }
+    }
+}
+
+impl<W: Write> TraceSink for ChromeSink<W> {
+    fn record(&mut self, event: &Event) {
+        let mut line = String::new();
+        line.push_str(if self.started {
+            ",\n"
+        } else {
+            "{\"traceEvents\":[\n"
+        });
+        self.started = true;
+        let mut args = vec![("describe".to_owned(), Json::Str(event.describe()))];
+        args.extend(event.kind.payload());
+        Json::obj([
+            ("name", Json::Str(event.kind.name().to_owned())),
+            ("ph", Json::Str("i".to_owned())),
+            ("s", Json::Str("t".to_owned())),
+            ("ts", Json::U64(event.cycle)),
+            ("pid", Json::U64(event.hart.core() as u64)),
+            ("tid", Json::U64(event.hart.local() as u64)),
+            ("args", Json::Obj(args)),
+        ])
+        .write(&mut line);
+        self.stream.write(&line);
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if !self.finished {
+            self.finished = true;
+            if self.started {
+                self.stream.write("\n],\"displayTimeUnit\":\"ns\"}\n");
+            } else {
+                self.stream
+                    .write("{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}\n");
+            }
+        }
+        self.stream.finish()
     }
 }
 
@@ -186,5 +462,75 @@ mod tests {
         assert_eq!(a, b);
         b.push(2, HartId::new(0), EventKind::Exit);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn jsonl_roundtrips_an_event() {
+        let e = Event {
+            cycle: 9,
+            hart: HartId::from_parts(3, 1),
+            kind: EventKind::MemWrite {
+                addr: 0x2000_0004,
+                bank: 2,
+                value: 42,
+            },
+        };
+        let parsed = Json::parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(Event::from_json(&parsed), Some(e));
+    }
+
+    #[test]
+    fn chrome_sink_emits_valid_json() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = ChromeSink::new(&mut buf);
+            sink.record(&Event {
+                cycle: 1,
+                hart: HartId::new(0),
+                kind: EventKind::Fetch { pc: 0x40 },
+            });
+            sink.record(&Event {
+                cycle: 2,
+                hart: HartId::new(1),
+                kind: EventKind::Exit,
+            });
+            sink.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let v = Json::parse(&text).unwrap();
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").and_then(|p| p.as_str()), Some("i"));
+        assert_eq!(events[0].get("ts").and_then(|t| t.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_valid() {
+        let mut buf = Vec::new();
+        ChromeSink::new(&mut buf).finish().unwrap();
+        let v = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(
+            v.get("traceEvents").and_then(|e| e.as_arr()).unwrap().len(),
+            0
+        );
+    }
+
+    #[test]
+    fn text_sink_streams_describe_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = TextSink::new(&mut buf);
+            let e = Event {
+                cycle: 5,
+                hart: HartId::new(0),
+                kind: EventKind::HartEnd,
+            };
+            sink.record(&e);
+            sink.finish().unwrap();
+        }
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "at cycle 5, core 0, hart 0 ends and becomes free\n"
+        );
     }
 }

@@ -10,8 +10,7 @@ use lbp_sim::{LbpConfig, Machine, Trace};
 /// fork/join across cores, out-of-order memory, remote bank traffic,
 /// result transmission and multiplication latencies.
 fn busy_program() -> String {
-    format!(
-        "main:
+    "main:
     li    t0, -1
     addi  sp, sp, -8
     sw    ra, 0(sp)
@@ -57,7 +56,7 @@ wloop:
     p_ret
 .data
 table: .word 0, 0, 0, 0, 0, 0, 0, 0"
-    )
+        .to_string()
 }
 
 fn traced_run(cores: usize, src: &str) -> (Trace, u64, u64) {

@@ -1,7 +1,8 @@
 //! Differential property test: random single-hart programs executed on
 //! the out-of-order, unordered-memory pipeline must produce exactly the
 //! architectural state the sequential reference ISS produces — same
-//! registers, same memory, same retired-instruction count.
+//! registers, same memory, same retired-instruction count. Deterministic
+//! generation via `lbp-testutil`.
 //!
 //! Programs fence every store with `p_syncm` before dependent loads (the
 //! machine's contract for single-hart RAW through memory).
@@ -10,7 +11,7 @@ use lbp_asm::assemble;
 use lbp_isa::{Reg, LOCAL_BASE, SHARED_BASE};
 use lbp_sim::iss::Iss;
 use lbp_sim::{LbpConfig, Machine};
-use proptest::prelude::*;
+use lbp_testutil::{check_cases, Rng};
 
 /// Registers the generator may write (never `zero/ra/sp/t0/t1/s0/s1`,
 /// which carry program structure).
@@ -36,77 +37,74 @@ enum Op {
 
 const SCRATCH_WORDS: u32 = 16;
 
-fn arb_rrr() -> impl Strategy<Value = Op> {
-    (
-        prop_oneof![
-            Just("add"),
-            Just("sub"),
-            Just("sll"),
-            Just("slt"),
-            Just("sltu"),
-            Just("xor"),
-            Just("srl"),
-            Just("sra"),
-            Just("or"),
-            Just("and"),
-            Just("mul"),
-            Just("mulh"),
-            Just("mulhu"),
-            Just("mulhsu"),
-            Just("div"),
-            Just("divu"),
-            Just("rem"),
-            Just("remu"),
-        ],
-        0..POOL.len(),
-        0..POOL.len(),
-        0..POOL.len(),
+const RRR_MNEMONICS: [&str; 18] = [
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and", "mul", "mulh", "mulhu",
+    "mulhsu", "div", "divu", "rem", "remu",
+];
+
+const RRI_LOGIC: [&str; 6] = ["addi", "slti", "sltiu", "xori", "ori", "andi"];
+const RRI_SHIFT: [&str; 3] = ["slli", "srli", "srai"];
+const SIZES: [u8; 3] = [1, 2, 4];
+
+fn arb_rrr(rng: &mut Rng) -> Op {
+    Op::Rrr(
+        rng.pick(&RRR_MNEMONICS),
+        rng.index(POOL.len()),
+        rng.index(POOL.len()),
+        rng.index(POOL.len()),
     )
-        .prop_map(|(m, d, a, b)| Op::Rrr(m, d, a, b))
 }
 
-fn arb_rri() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (
-            prop_oneof![
-                Just("addi"),
-                Just("slti"),
-                Just("sltiu"),
-                Just("xori"),
-                Just("ori"),
-                Just("andi"),
-            ],
-            0..POOL.len(),
-            0..POOL.len(),
-            -2048i32..=2047,
+fn arb_rri(rng: &mut Rng) -> Op {
+    if rng.flip() {
+        Op::Rri(
+            rng.pick(&RRI_LOGIC),
+            rng.index(POOL.len()),
+            rng.index(POOL.len()),
+            rng.range_i32(-2048, 2047),
         )
-            .prop_map(|(m, d, a, i)| Op::Rri(m, d, a, i)),
-        (
-            prop_oneof![Just("slli"), Just("srli"), Just("srai")],
-            0..POOL.len(),
-            0..POOL.len(),
-            0i32..32,
+    } else {
+        Op::Rri(
+            rng.pick(&RRI_SHIFT),
+            rng.index(POOL.len()),
+            rng.index(POOL.len()),
+            rng.range_i32(0, 31),
         )
-            .prop_map(|(m, d, a, i)| Op::Rri(m, d, a, i)),
-    ]
+    }
 }
 
-fn arb_flat_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => arb_rrr(),
-        4 => arb_rri(),
-        1 => (0..POOL.len(), 0u32..0xfffff).prop_map(|(d, v)| Op::Lui(d, v)),
-        2 => (0..POOL.len(), prop_oneof![Just(1u8), Just(2), Just(4)], 0..SCRATCH_WORDS)
-            .prop_map(|(r, sz, i)| Op::Store(r, sz, i)),
-        2 => (0..POOL.len(), prop_oneof![Just(1u8), Just(2), Just(4)], any::<bool>(), 0..SCRATCH_WORDS)
-            .prop_map(|(r, sz, sg, i)| Op::Load(r, sz, sg, i)),
-    ]
+fn arb_flat_op(rng: &mut Rng) -> Op {
+    match rng.weighted(&[4, 4, 1, 2, 2]) {
+        0 => arb_rrr(rng),
+        1 => arb_rri(rng),
+        2 => Op::Lui(rng.index(POOL.len()), rng.range_u32(0, 0xfffff - 1)),
+        3 => Op::Store(
+            rng.index(POOL.len()),
+            rng.pick(&SIZES),
+            rng.range_u32(0, SCRATCH_WORDS - 1),
+        ),
+        _ => Op::Load(
+            rng.index(POOL.len()),
+            rng.pick(&SIZES),
+            rng.flip(),
+            rng.range_u32(0, SCRATCH_WORDS - 1),
+        ),
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = Vec<Op>> {
-    let looped =
-        (1u8..4, prop::collection::vec(arb_flat_op(), 1..8)).prop_map(|(n, ops)| Op::Loop(n, ops));
-    prop::collection::vec(prop_oneof![8 => arb_flat_op(), 1 => looped], 2..32)
+fn arb_program(rng: &mut Rng) -> Vec<Op> {
+    let n = 2 + rng.index(30);
+    (0..n)
+        .map(|_| {
+            if rng.weighted(&[8, 1]) == 0 {
+                arb_flat_op(rng)
+            } else {
+                let iters = rng.range_u32(1, 3) as u8;
+                let len = 1 + rng.index(7);
+                Op::Loop(iters, (0..len).map(|_| arb_flat_op(rng)).collect())
+            }
+        })
+        .collect()
 }
 
 fn emit(ops: &[Op], out: &mut String, label_n: &mut usize) {
@@ -181,45 +179,47 @@ scratch: .space 64
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pipeline_matches_sequential_reference(ops in arb_program()) {
+#[test]
+fn pipeline_matches_sequential_reference() {
+    check_cases(64, 0xd1ff, |rng, case| {
+        let ops = arb_program(rng);
         let src = program_text(&ops);
-        let image = assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let image = assemble(&src).unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
         // Pipelined machine.
         let cfg = LbpConfig::cores(1);
         let mut machine = Machine::new(cfg.clone(), &image).expect("machine");
-        machine.run(10_000_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        machine
+            .run(10_000_000)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
         // Sequential reference with the same memory geometry and the
         // same initial sp.
         let sp = LOCAL_BASE + cfg.stack_bytes() - lbp_sim::CV_FRAME_BYTES;
         let mut iss = Iss::new(&image, cfg.local_bank_bytes, cfg.shared_bank_bytes, sp);
-        iss.run(10_000_000).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        iss.run(10_000_000)
+            .unwrap_or_else(|e| panic!("case {case}: {e}\n{src}"));
         // Same retired count.
-        prop_assert_eq!(
+        assert_eq!(
             machine.stats().retired(),
             iss.retired,
-            "retired mismatch\n{}", src
+            "case {case}: retired mismatch\n{src}"
         );
         // Same registers (the pool plus the structural ones).
         for name in POOL.iter().chain(["s0", "s1"].iter()) {
             let r: Reg = name.parse().unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 machine.reg(lbp_isa::HartId::FIRST, r),
                 iss.reg(r),
-                "register {} mismatch\n{}", name, src
+                "case {case}: register {name} mismatch\n{src}"
             );
         }
         // Same scratch memory.
         for i in 0..SCRATCH_WORDS {
             let addr = SHARED_BASE + 4 * i;
-            prop_assert_eq!(
+            assert_eq!(
                 machine.peek_shared(addr).unwrap(),
                 iss.peek_shared(addr).unwrap(),
-                "scratch[{}] mismatch\n{}", i, src
+                "case {case}: scratch[{i}] mismatch\n{src}"
             );
         }
-    }
+    });
 }

@@ -3,25 +3,39 @@
 //!
 //! ```text
 //! lbp-run program.c  --cores 4 --dump v:8
-//! lbp-run program.s  --cores 16 --trace trace.txt
+//! lbp-run program.s  --cores 16 --trace trace.jsonl --trace-format jsonl
+//! lbp-run program.c  --stats-json - --interval 1000
 //! lbp-run program.c  --emit-asm
 //! ```
 //!
 //! `.c` inputs go through the Deterministic OpenMP translator
 //! (`lbp-cc`); `.s`/`.asm` inputs go straight to the assembler. After
 //! the run the tool prints the machine statistics and any requested
-//! memory dumps.
+//! memory dumps. `--stats-json` additionally emits the full
+//! machine-readable report (schema `lbp-stats-v1`), and `--trace`
+//! streams the cycle trace to disk as it is produced, so tracing
+//! multi-million-cycle runs needs O(1) memory.
 
-use std::fmt::Write as _;
+use std::io::Write as _;
 use std::process::ExitCode;
 
-use lbp::sim::{LbpConfig, Machine};
+use lbp::sim::{ChromeSink, JsonlSink, LbpConfig, Machine, TextSink, TraceSink};
+
+#[derive(Clone, Copy, PartialEq)]
+enum TraceFormat {
+    Text,
+    Jsonl,
+    Chrome,
+}
 
 struct Options {
     input: String,
     cores: usize,
     max_cycles: u64,
     trace: Option<String>,
+    trace_format: TraceFormat,
+    stats_json: Option<String>,
+    interval: u64,
     dumps: Vec<(String, u32)>,
     emit_asm: bool,
     disasm: bool,
@@ -35,7 +49,10 @@ fn usage() -> ! {
          options:\n\
            --cores N          machine size in cores (default 4)\n\
            --max-cycles N     cycle budget (default 100000000)\n\
-           --trace FILE       record the cycle trace to FILE ('-' = stdout)\n\
+           --trace FILE       stream the cycle trace to FILE ('-' = stdout)\n\
+           --trace-format F   trace format: text, jsonl or chrome (default text)\n\
+           --stats-json FILE  write the run report as JSON to FILE ('-' = stdout)\n\
+           --interval N       record an interval sample every N cycles\n\
            --dump SYM[:N]     print N words of memory at symbol SYM after the run\n\
            --emit-asm         print the generated assembly and exit\n\
            --disasm           print the assembled image's disassembly and exit\n\
@@ -51,6 +68,9 @@ fn parse_args() -> Options {
         cores: 4,
         max_cycles: 100_000_000,
         trace: None,
+        trace_format: TraceFormat::Text,
+        stats_json: None,
+        interval: 0,
         dumps: Vec::new(),
         emit_asm: false,
         disasm: false,
@@ -71,6 +91,21 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage());
             }
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-format" => {
+                opts.trace_format = match args.next().as_deref() {
+                    Some("text") => TraceFormat::Text,
+                    Some("jsonl") => TraceFormat::Jsonl,
+                    Some("chrome") => TraceFormat::Chrome,
+                    _ => usage(),
+                };
+            }
+            "--stats-json" => opts.stats_json = Some(args.next().unwrap_or_else(|| usage())),
+            "--interval" => {
+                opts.interval = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--dump" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 let (sym, n) = match spec.split_once(':') {
@@ -97,6 +132,16 @@ fn parse_args() -> Options {
         std::process::exit(2);
     }
     opts
+}
+
+/// Opens `path` for streaming output; `-` means stdout.
+fn open_out(path: &str) -> std::io::Result<Box<dyn std::io::Write>> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdout()))
+    } else {
+        let file = std::fs::File::create(path)?;
+        Ok(Box::new(std::io::BufWriter::new(file)))
+    }
 }
 
 fn main() -> ExitCode {
@@ -137,8 +182,11 @@ fn main() -> ExitCode {
     }
 
     let mut cfg = LbpConfig::cores(opts.cores);
-    if opts.trace.is_some() || opts.profile.is_some() {
+    if opts.profile.is_some() {
         cfg = cfg.with_trace();
+    }
+    if opts.interval > 0 {
+        cfg = cfg.with_interval(opts.interval);
     }
     let mut machine = match Machine::new(cfg, &image) {
         Ok(m) => m,
@@ -147,13 +195,38 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(path) = &opts.trace {
+        let out = match open_out(path) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("lbp-run: cannot open trace `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let sink: Box<dyn TraceSink> = match opts.trace_format {
+            TraceFormat::Text => Box::new(TextSink::new(out)),
+            TraceFormat::Jsonl => Box::new(JsonlSink::new(out)),
+            TraceFormat::Chrome => Box::new(ChromeSink::new(out)),
+        };
+        machine.set_sink(sink);
+    }
     let report = match machine.run(opts.max_cycles) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("lbp-run: {e}");
+            let _ = machine.finish_trace();
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = machine.finish_trace() {
+        eprintln!("lbp-run: cannot write trace: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = &opts.trace {
+        if path != "-" {
+            println!("trace:    streamed to {path}");
+        }
+    }
 
     println!("exited:   {}", report.exited);
     println!("cycles:   {}", report.stats.cycles);
@@ -165,6 +238,23 @@ fn main() -> ExitCode {
     );
     println!("forks:    {}", report.stats.forks);
     println!("locality: {:.2}", report.stats.locality());
+
+    if let Some(path) = &opts.stats_json {
+        let mut text = String::new();
+        report.to_json().write_pretty(&mut text);
+        text.push('\n');
+        let write_result = open_out(path).and_then(|mut out| {
+            out.write_all(text.as_bytes())?;
+            out.flush()
+        });
+        if let Err(e) = write_result {
+            eprintln!("lbp-run: cannot write stats JSON to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        if path != "-" {
+            println!("stats:    {path}");
+        }
+    }
 
     for (sym, n) in &opts.dumps {
         match image.symbol(sym) {
@@ -211,25 +301,5 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(path) = &opts.trace {
-        let mut text = String::new();
-        for e in machine.trace().events() {
-            let _ = writeln!(
-                text,
-                "{:>10}  {:<8} {:?}",
-                e.cycle,
-                e.hart.to_string(),
-                e.kind
-            );
-        }
-        if path == "-" {
-            print!("{text}");
-        } else if let Err(e) = std::fs::write(path, text) {
-            eprintln!("lbp-run: cannot write trace: {e}");
-            return ExitCode::FAILURE;
-        } else {
-            println!("trace:    {} events -> {path}", machine.trace().len());
-        }
-    }
     ExitCode::SUCCESS
 }

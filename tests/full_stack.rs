@@ -80,8 +80,7 @@ void main(void) {
 
 #[test]
 fn matmul_kernels_match_a_host_reference_with_random_inputs() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = lbp_testutil::Rng::new(7);
     for version in [Version::Base, Version::Tiled, Version::Distributed] {
         let mm = Matmul::new(16, version);
         let image = mm.build();
@@ -92,14 +91,14 @@ fn matmul_kernels_match_a_host_reference_with_random_inputs() {
         let mut y = vec![0i64; (l.m * l.n) as usize];
         for i in 0..l.n {
             for k in 0..l.m {
-                let v = rng.random_range(-9..9i64);
+                let v = rng.range_i64(-9, 8);
                 x[(i * l.m + k) as usize] = v;
                 m.poke_shared(l.x(i, k), v as u32).unwrap();
             }
         }
         for k in 0..l.m {
             for j in 0..l.n {
-                let v = rng.random_range(-9..9i64);
+                let v = rng.range_i64(-9, 8);
                 y[(k * l.n + j) as usize] = v;
                 m.poke_shared(l.y(k, j), v as u32).unwrap();
             }
