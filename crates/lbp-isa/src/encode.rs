@@ -257,7 +257,7 @@ impl Instr {
                         OpImmKind::Xor => 0b100,
                         OpImmKind::Or => 0b110,
                         OpImmKind::And => 0b111,
-                        _ => unreachable!(),
+                        _ => unreachable!("shift kinds are handled by the arm above"),
                     };
                     i_type(
                         check_i_imm(kind.mnemonic(), imm)?,

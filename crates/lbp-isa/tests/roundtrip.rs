@@ -198,6 +198,31 @@ fn decode_encode_round_trip() {
     });
 }
 
+/// `decode` is total: any 32-bit word either decodes or returns a
+/// structured error — it never panics. Beyond uniform random words,
+/// mutated near-valid encodings probe the edges of each format (bad
+/// funct fields next to good opcodes, reserved X_PAR subcodes, …).
+#[test]
+fn decode_never_panics() {
+    check_cases(65_536, 0xfeed, |rng, _| {
+        let _ = Instr::decode(rng.next_u32());
+    });
+    check_cases(8_192, 0xfeee, |rng, case| {
+        let valid = any_instr(rng)
+            .encode()
+            .expect("generated instruction is encodable");
+        let mutated = valid ^ (1 << rng.index(32));
+        if let Ok(instr) = Instr::decode(mutated) {
+            // If the mutant still decodes, the bijection must hold.
+            assert_eq!(
+                instr.encode().expect("decoded instruction re-encodes"),
+                mutated,
+                "case {case}: {instr:?}"
+            );
+        }
+    });
+}
+
 /// Disassembly never panics and is never empty.
 #[test]
 fn display_is_total() {

@@ -367,6 +367,45 @@ impl MemSys {
         let bank = self.shared_bank_of(addr);
         self.read(bank, addr, 4, false, HartId::FIRST)
     }
+
+    /// Whether every bank port is idle: no queued local request, no staged
+    /// response. Feeds the machine's quiescence-based deadlock detector
+    /// (the network's own queues are checked separately).
+    pub fn ports_quiet(&self) -> bool {
+        self.local_q.iter().all(VecDeque::is_empty)
+            && self.shared_q.iter().all(VecDeque::is_empty)
+            && self.staged.iter().all(Vec::is_empty)
+    }
+
+    /// Requests queued at a core's bank ports (crash dumps).
+    pub fn queued_at(&self, core: u32) -> usize {
+        self.local_q[core as usize].len()
+            + self.shared_q[core as usize].len()
+            + self.staged[core as usize].len()
+    }
+
+    /// XORs one bit of the shared-memory byte holding it (fault
+    /// injection). Out-of-range addresses are ignored — the plan was
+    /// validated up front.
+    pub fn flip_shared_bit(&mut self, addr: u32, bit: u32) {
+        let word = addr & !3;
+        let bank = self.shared_bank_of(word) as usize;
+        if bank >= self.cores {
+            return;
+        }
+        let off = ((word - SHARED_BASE) % self.shared_bank_bytes) as usize + (bit / 8) as usize;
+        if let Some(byte) = self.shared[bank].get_mut(off) {
+            *byte ^= 1 << (bit % 8);
+        }
+    }
+
+    /// XORs the code word at `pc` with `xor` (fault injection). Every
+    /// core's code bank is the same copy, so all cores see the corruption.
+    pub fn corrupt_code(&mut self, pc: u32, xor: u32) {
+        if let Some(word) = self.code.get_mut((pc / 4) as usize) {
+            *word ^= xor;
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -2,6 +2,8 @@
 
 use lbp_isa::HARTS_PER_CORE;
 
+use crate::fault::FaultPlan;
+
 /// Functional-unit and interconnect latencies, in cycles.
 ///
 /// The defaults model the FPGA implementation the paper reports on: a
@@ -69,6 +71,8 @@ pub struct LbpConfig {
     /// Record one [`crate::IntervalSample`] every this many cycles
     /// (0 disables the interval time series).
     pub sample_interval: u64,
+    /// Deterministic faults to inject into the run (empty by default).
+    pub faults: FaultPlan,
 }
 
 impl LbpConfig {
@@ -90,6 +94,7 @@ impl LbpConfig {
             latencies: Latencies::default(),
             trace: false,
             sample_interval: 0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -117,6 +122,12 @@ impl LbpConfig {
     /// Enables the interval sampler with the given period in cycles.
     pub fn with_interval(mut self, cycles: u64) -> LbpConfig {
         self.sample_interval = cycles;
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> LbpConfig {
+        self.faults = faults;
         self
     }
 }

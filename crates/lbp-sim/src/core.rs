@@ -102,7 +102,7 @@ impl Core {
     /// stage sees the state its predecessors left at the end of the
     /// previous cycle).
     pub fn tick(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
-        self.process_alloc(env);
+        self.process_alloc(env)?;
         self.release_syncm(env.now);
         let retired = self.stage_commit(env)?;
         self.stage_writeback(env);
@@ -192,12 +192,12 @@ impl Core {
 
     /// Satisfies at most one pending fork request with the lowest-numbered
     /// free hart.
-    fn process_alloc(&mut self, env: &mut Env<'_>) {
+    fn process_alloc(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
         let Some(&requester) = self.alloc_q.front() else {
-            return;
+            return Ok(());
         };
         let Some(child_local) = self.harts.iter().position(|h| h.state == HartState::Free) else {
-            return; // all four harts busy: the fork stalls, deterministically
+            return Ok(()); // all four harts busy: the fork stalls, deterministically
         };
         self.alloc_q.pop_front();
         let child = HartId::from_parts(self.index, child_local as u32);
@@ -210,7 +210,10 @@ impl Core {
             let rb = self.harts[requester.local() as usize]
                 .rb
                 .as_mut()
-                .expect("p_fc holds the result buffer");
+                .ok_or_else(|| SimError::Protocol {
+                    hart: requester,
+                    what: "a fork was allocated for a hart with no pending p_fc".to_owned(),
+                })?;
             debug_assert!(matches!(rb.wait, RbWait::Fork));
             rb.wait = RbWait::Done {
                 value: Some(child.global()),
@@ -225,6 +228,7 @@ impl Core {
                 },
             );
         }
+        Ok(())
     }
 
     /// Releases harts whose `p_syncm` drain condition is now met.
@@ -430,7 +434,7 @@ impl Core {
                         },
                     );
                     env.stats.local_accesses += 1;
-                } else if target.core() == self.index + 1 {
+                } else if target.core() == self.index + 1 && (target.core() as usize) < env.cores {
                     env.fabric.send(
                         self.index,
                         CoreMsg::CvWrite {
@@ -534,7 +538,9 @@ impl Core {
         pc: u32,
         env: &mut Env<'_>,
     ) -> Result<(), SimError> {
-        if to.core() != self.index && to.core() != self.index + 1 {
+        if (to.core() != self.index && to.core() != self.index + 1)
+            || to.core() as usize >= env.cores
+        {
             return Err(SimError::Protocol {
                 hart: from,
                 what: format!("start pc sent to hart {to}, which is neither local nor next-core"),

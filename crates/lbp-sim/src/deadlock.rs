@@ -1,0 +1,169 @@
+//! Quiescence-based deadlock detection.
+//!
+//! LBP has no traps: a protocol mistake (a join address never sent, a
+//! `p_swre` to the wrong slot, a fork that can never be satisfied) hangs
+//! the real hardware forever. The simulator can do better — it can *see*
+//! that nothing is in flight anywhere and that no hart can take another
+//! local step, which makes the hang a certainty, not a guess.
+//!
+//! The detector runs only once the machine has gone several cycles
+//! without retiring anything (see `QUIET_CYCLES` in the machine). It then
+//! checks, in order:
+//!
+//! 1. nothing in flight on the fork/join fabric, the memory network or
+//!    any bank port (a message could unblock a hart);
+//! 2. no pending fork request that a free hart could satisfy;
+//! 3. no hart that can make *local* progress (fetch, rename, issue,
+//!    write-back or commit could fire for it).
+//!
+//! If all three hold the machine state can never change again: the run is
+//! reported as [`SimError::Deadlock`](crate::SimError::Deadlock) with
+//! every blocked hart and the event it waits for. A busy-waiting program
+//! (e.g. `loop: j loop`) retires instructions forever, keeps the quiet
+//! counter at zero and still gets the honest
+//! [`SimError::Timeout`](crate::SimError::Timeout).
+
+use lbp_isa::Instr;
+
+use crate::error::BlockedHart;
+use crate::hart::{HartCtx, HartState, RbWait};
+use crate::machine::Machine;
+
+/// What one hart can do next, from its own state alone.
+pub(crate) enum HartProgress {
+    /// `Free`: not participating; never blocks the machine.
+    Inert,
+    /// Some pipeline stage can still fire for this hart.
+    Ready,
+    /// Stuck until an external event arrives — with a description of the
+    /// event, for the deadlock report and the crash dump.
+    Blocked(String),
+}
+
+/// Classifies one hart. `Blocked` reasons are ordered by root cause: the
+/// stage closest to retirement wins, because that is what actually holds
+/// the hart (everything younger queues behind it).
+pub(crate) fn classify(h: &HartCtx) -> HartProgress {
+    match h.state {
+        HartState::Free => return HartProgress::Inert,
+        HartState::Reserved => {
+            return HartProgress::Blocked("a start pc (p_jal/p_jalr) that never arrived".to_owned())
+        }
+        HartState::WaitingJoin => {
+            return HartProgress::Blocked("a join address that was never sent".to_owned())
+        }
+        HartState::Running => {}
+    }
+    // The result buffer: Until/Done complete on their own; Mem and Fork
+    // need a message that (the caller established) is not in flight.
+    if let Some(rb) = &h.rb {
+        match rb.wait {
+            RbWait::Until { .. } | RbWait::Done { .. } => return HartProgress::Ready,
+            RbWait::Mem => {
+                return HartProgress::Blocked("a memory response that was lost".to_owned())
+            }
+            RbWait::Fork => {
+                return HartProgress::Blocked(
+                    "a fork allocation (every hart of the target core stays busy)".to_owned(),
+                )
+            }
+        }
+    }
+    // Commit: a done ROB head retires — unless it is a p_ret gated on the
+    // team barrier.
+    if let Some(e) = h.rob.front() {
+        if e.done {
+            if !e.is_pret || (h.end_signal && h.in_flight_mem == 0) {
+                return HartProgress::Ready;
+            }
+            if !h.end_signal {
+                return HartProgress::Blocked(
+                    "its team predecessor's ending signal before committing p_ret".to_owned(),
+                );
+            }
+            return HartProgress::Blocked(
+                "outstanding memory acknowledgements to drain before committing p_ret".to_owned(),
+            );
+        }
+    }
+    // A draining p_syncm (release_syncm fires the moment the drain holds).
+    if h.syncm_wait {
+        if h.mem_drained() {
+            return HartProgress::Ready;
+        }
+        return HartProgress::Blocked(
+            "p_syncm: outstanding memory accesses that never completed".to_owned(),
+        );
+    }
+    // Issue: the instruction table holds work; is any entry eligible?
+    if !h.it.is_empty() {
+        if h.oldest_ready().is_some() {
+            return HartProgress::Ready;
+        }
+        // Name the first `p_lwre` gated on an empty receive slot — the
+        // classic "the producer never sent my result" deadlock.
+        for e in &h.it {
+            if let Instr::PLwre { offset, .. } = e.instr {
+                let slot = offset as usize;
+                if h.recv.get(slot).is_none_or(|q| q.is_empty()) {
+                    return HartProgress::Blocked(format!(
+                        "a p_swre result in slot {slot} that was never sent"
+                    ));
+                }
+            }
+        }
+        return HartProgress::Blocked("source operands that can never become ready".to_owned());
+    }
+    // Rename: a fetched instruction waits for capacity.
+    if let Some(f) = &h.ib {
+        if h.rename_capacity(f.instr.dest().is_some()) {
+            return HartProgress::Ready;
+        }
+        return HartProgress::Blocked(
+            "rename capacity (ROB/IT/physical registers) that will never free".to_owned(),
+        );
+    }
+    // Fetch: with a pc and no suspension the front end advances by itself
+    // (`resume_at` is always at most one cycle ahead).
+    if let Some(pc) = h.pc {
+        if !h.fetch_suspended {
+            return HartProgress::Ready;
+        }
+        return HartProgress::Blocked(format!("the next fetch address after {pc:#x} to resolve"));
+    }
+    // Running, empty pipeline, no pc: nothing can ever wake this hart.
+    HartProgress::Blocked("a next pc it has no way to obtain".to_owned())
+}
+
+/// Checks the whole machine for quiescent deadlock. Returns `None` while
+/// anything can still happen; otherwise the list of blocked harts (empty
+/// when every hart ended without the program executing its exit `p_ret`).
+pub(crate) fn check(m: &Machine) -> Option<Vec<BlockedHart>> {
+    if m.exited {
+        return None;
+    }
+    // Anything in flight can change hart state when it lands.
+    if !m.fabric.is_quiet() || !m.mem.net.is_quiet() || !m.mem.ports_quiet() {
+        return None;
+    }
+    // A queued fork request next to a free hart will be satisfied.
+    for core in &m.cores {
+        if !core.alloc_q.is_empty() && core.harts.iter().any(|h| h.state == HartState::Free) {
+            return None;
+        }
+    }
+    let mut blocked = Vec::new();
+    for core in &m.cores {
+        for h in &core.harts {
+            match classify(h) {
+                HartProgress::Inert => {}
+                HartProgress::Ready => return None,
+                HartProgress::Blocked(reason) => blocked.push(BlockedHart {
+                    hart: h.id,
+                    waiting_on: reason,
+                }),
+            }
+        }
+    }
+    Some(blocked)
+}

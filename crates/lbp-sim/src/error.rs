@@ -6,6 +6,21 @@ use lbp_isa::HartId;
 
 use crate::bank::MemFault;
 
+/// One hart of a deadlocked machine and the event it is stuck on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedHart {
+    /// The blocked hart.
+    pub hart: HartId,
+    /// Human-readable description of what the hart waits for.
+    pub waiting_on: String,
+}
+
+impl fmt::Display for BlockedHart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hart {} waiting for {}", self.hart, self.waiting_on)
+    }
+}
+
 /// A fatal simulation error. LBP has no traps or interrupts, so any of
 /// these conditions would hang or corrupt the real hardware; the simulator
 /// surfaces them as errors instead.
@@ -31,11 +46,38 @@ pub enum SimError {
         /// Description of the violation.
         what: String,
     },
+    /// The machine quiesced without exiting: every hart is blocked on an
+    /// event that can no longer happen (no message in flight, no bank
+    /// operation pending). On real LBP hardware this hangs forever; the
+    /// detector reports it the moment it becomes certain instead of
+    /// burning the remaining cycle budget.
+    Deadlock {
+        /// The cycle the deadlock was detected at.
+        cycle: u64,
+        /// Every blocked hart and what it waits on. Empty when all harts
+        /// ended without any of them executing the exit `p_ret`.
+        blocked: Vec<BlockedHart>,
+    },
     /// The run did not exit within the cycle budget.
     Timeout {
         /// The budget that was exhausted.
         cycles: u64,
     },
+}
+
+impl SimError {
+    /// A short machine-readable class name, stable across releases: used
+    /// for the `error_class` field of `lbp-dump-v1` dumps and to derive
+    /// `lbp-run`'s per-class process exit codes.
+    pub fn class(&self) -> &'static str {
+        match self {
+            SimError::Mem(_) => "mem",
+            SimError::Decode { .. } => "decode",
+            SimError::Protocol { .. } => "protocol",
+            SimError::Deadlock { .. } => "deadlock",
+            SimError::Timeout { .. } => "timeout",
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -48,6 +90,28 @@ impl fmt::Display for SimError {
             ),
             SimError::Protocol { hart, what } => {
                 write!(f, "hart {hart} violated the fork/join protocol: {what}")
+            }
+            SimError::Deadlock { cycle, blocked } => {
+                if blocked.is_empty() {
+                    write!(
+                        f,
+                        "deadlock at cycle {cycle}: every hart ended but the program never \
+                         executed its exit p_ret"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "deadlock at cycle {cycle}: {} hart(s) blocked: ",
+                        blocked.len()
+                    )?;
+                    for (i, b) in blocked.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "; ")?;
+                        }
+                        write!(f, "{b}")?;
+                    }
+                    Ok(())
+                }
             }
             SimError::Timeout { cycles } => {
                 write!(f, "run did not exit within {cycles} cycles")

@@ -27,6 +27,16 @@ pub struct Fabric {
     /// Message-cycles lost to segment contention: each cycle, every
     /// message left waiting behind the one a segment carried adds one.
     pub contended: u64,
+    /// Messages accepted so far (the ordinal the fault plan indexes).
+    sent: u64,
+    /// Ordinals of messages the fault plan discards.
+    drop_nth: Vec<u64>,
+    /// `(ordinal, extra cycles)` of messages the fault plan holds back.
+    delay_nth: Vec<(u64, u32)>,
+    /// Held-back messages: `(cycles left, from_core, message)`.
+    delayed: Vec<(u32, u32, CoreMsg)>,
+    /// Drop/delay faults that actually fired.
+    pub faults_applied: u64,
 }
 
 impl Fabric {
@@ -41,7 +51,19 @@ impl Fabric {
             inbox: (0..cores).map(|_| Vec::new()).collect(),
             hops: 0,
             contended: 0,
+            sent: 0,
+            drop_nth: Vec::new(),
+            delay_nth: Vec::new(),
+            delayed: Vec::new(),
+            faults_applied: 0,
         }
+    }
+
+    /// Installs the link-fault schedule (from the machine's fault plan):
+    /// message ordinals to drop and ordinals to hold back.
+    pub fn set_faults(&mut self, drop_nth: Vec<u64>, delay_nth: Vec<(u64, u32)>) {
+        self.drop_nth = drop_nth;
+        self.delay_nth = delay_nth;
     }
 
     /// Sends a message from `from_core`. Forward messages may only target
@@ -54,6 +76,23 @@ impl Fabric {
     /// Panics if a forward message skips past the immediate successor
     /// (LBP's forward links only connect neighbours).
     pub fn send(&mut self, from_core: u32, msg: CoreMsg) {
+        let nth = self.sent;
+        self.sent += 1;
+        if self.drop_nth.contains(&nth) {
+            self.faults_applied += 1;
+            return;
+        }
+        if let Some(&(_, cycles)) = self.delay_nth.iter().find(|&&(n, _)| n == nth) {
+            self.faults_applied += 1;
+            self.delayed.push((cycles, from_core, msg));
+            return;
+        }
+        self.enqueue(from_core, msg);
+    }
+
+    /// Places a message on its link (the fault-free path of `send`, also
+    /// used to release delayed messages without re-counting them).
+    fn enqueue(&mut self, from_core: u32, msg: CoreMsg) {
         let dest = msg.dest_core();
         assert!(
             dest < self.cores,
@@ -108,6 +147,57 @@ impl Fabric {
         for (seg, msg) in relay {
             self.bwd[seg].push_back(msg);
         }
+        // Release delayed messages whose hold expired onto their links.
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= 1 {
+                let (_, from_core, msg) = self.delayed.remove(i);
+                self.enqueue(from_core, msg);
+            } else {
+                self.delayed[i].0 -= 1;
+                i += 1;
+            }
+        }
+    }
+
+    /// Whether nothing is in flight: no message on any segment, in any
+    /// inbox, or held back by a delay fault.
+    pub fn is_quiet(&self) -> bool {
+        self.fwd.iter().all(VecDeque::is_empty)
+            && self.bwd.iter().all(VecDeque::is_empty)
+            && self.inbox.iter().all(Vec::is_empty)
+            && self.delayed.is_empty()
+    }
+
+    /// Describes every in-flight message with its location (crash dumps).
+    pub fn pending(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, q) in self.fwd.iter().enumerate() {
+            for msg in q {
+                out.push(format!("{} on forward link {i}->{}", msg.describe(), i + 1));
+            }
+        }
+        for (i, q) in self.bwd.iter().enumerate() {
+            for msg in q {
+                out.push(format!(
+                    "{} on backward segment {}->{i}",
+                    msg.describe(),
+                    i + 1
+                ));
+            }
+        }
+        for (core, inbox) in self.inbox.iter().enumerate() {
+            for msg in inbox {
+                out.push(format!("{} in core {core}'s inbox", msg.describe()));
+            }
+        }
+        for (left, _, msg) in &self.delayed {
+            out.push(format!(
+                "{} held by a delay fault ({left} cycles left)",
+                msg.describe()
+            ));
+        }
+        out
     }
 }
 

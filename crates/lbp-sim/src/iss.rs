@@ -99,6 +99,12 @@ impl Iss {
         self.exited
     }
 
+    /// The pc of the next instruction to execute (what a lockstep checker
+    /// compares against a committed pc).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
     /// Reads a register.
     pub fn reg(&self, r: Reg) -> u32 {
         self.regs[r.index()]

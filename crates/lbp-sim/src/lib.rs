@@ -65,12 +65,16 @@
 mod bank;
 mod config;
 mod core;
+mod deadlock;
+mod dump;
 mod error;
 mod fabric;
+mod fault;
 mod hart;
 mod io;
 pub mod iss;
 pub mod json;
+mod lockstep;
 mod machine;
 mod msg;
 mod network;
@@ -79,9 +83,12 @@ mod trace;
 
 pub use bank::MemFault;
 pub use config::{Latencies, LbpConfig, CV_FRAME_BYTES};
-pub use error::SimError;
+pub use dump::{HartDump, MachineDump, SimFailure, DUMP_SCHEMA};
+pub use error::{BlockedHart, SimError};
+pub use fault::{Fault, FaultPlan};
 pub use io::{InputDevice, IoBus, OutputDevice, DEVICE_STRIDE};
 pub use json::{Json, JsonError};
+pub use lockstep::{run_lockstep, Divergence, LockstepError, LockstepReport};
 pub use machine::{Machine, RunReport};
 pub use stats::{CoreStalls, IntervalSample, StallKind, Stats};
 pub use trace::{ChromeSink, Event, EventKind, JsonlSink, TextSink, Trace, TraceSink};

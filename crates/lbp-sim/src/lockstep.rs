@@ -1,0 +1,281 @@
+//! Lockstep differential checking: the pipelined machine vs the
+//! sequential ISS oracle.
+//!
+//! The paper's determinism claim cuts both ways: because the machine is
+//! deterministic, any architectural divergence from the sequential
+//! reference is a hard bug (or an injected fault doing its job), never a
+//! scheduling artifact. [`Lockstep`] runs a single-hart program on the
+//! full [`Machine`], collects its commit-order pc stream, then replays
+//! that stream one instruction at a time against the [`Iss`] oracle and
+//! reports the **first** architectural divergence: a mismatched commit
+//! pc, a final register difference, or a shared-memory difference.
+//!
+//! Only sequential (single-hart) programs can be checked — the ISS cannot
+//! fork — which is exactly the scope where instruction-level equivalence
+//! is well-defined. `lbp-run --lockstep` exposes the checker on the
+//! command line; fault-injection tests use it to prove a flipped bit
+//! surfaces as a divergence rather than silent corruption.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+use lbp_asm::Image;
+use lbp_isa::{HartId, Reg, SHARED_BASE};
+
+use crate::config::{LbpConfig, CV_FRAME_BYTES};
+use crate::dump::SimFailure;
+use crate::iss::{Iss, IssError};
+use crate::machine::{Machine, RunReport};
+use crate::trace::{Event, EventKind, TraceSink};
+
+/// A sink that collects the machine's commit stream: `(hart, pc)` in
+/// commit order.
+struct CommitCollector {
+    commits: Rc<RefCell<VecDeque<(HartId, u32)>>>,
+}
+
+impl TraceSink for CommitCollector {
+    fn record(&mut self, event: &Event) {
+        if let EventKind::Commit { pc } = event.kind {
+            self.commits.borrow_mut().push_back((event.hart, pc));
+        }
+    }
+}
+
+/// The first architectural difference between the machine and the oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// Commit number `commit` retired a different pc than the oracle was
+    /// about to execute.
+    Pc {
+        /// 0-based index into the commit stream.
+        commit: u64,
+        /// The pc the machine committed.
+        machine_pc: u32,
+        /// The pc the oracle expected.
+        oracle_pc: u32,
+    },
+    /// The machine kept committing after the oracle exited.
+    MachineRanLong {
+        /// 0-based index of the first surplus commit.
+        commit: u64,
+        /// Its pc.
+        machine_pc: u32,
+    },
+    /// The machine exited before the oracle finished the program.
+    MachineExitedEarly {
+        /// The pc the oracle still had to execute.
+        oracle_pc: u32,
+    },
+    /// A register differs after both finished.
+    Register {
+        /// The architectural register.
+        reg: Reg,
+        /// The machine's final value.
+        machine: u32,
+        /// The oracle's final value.
+        oracle: u32,
+    },
+    /// A shared-memory word differs after both finished.
+    Memory {
+        /// The word address.
+        addr: u32,
+        /// The machine's final value.
+        machine: u32,
+        /// The oracle's final value.
+        oracle: u32,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::Pc {
+                commit,
+                machine_pc,
+                oracle_pc,
+            } => write!(
+                f,
+                "commit #{commit}: machine retired pc {machine_pc:#x}, oracle expected \
+                 {oracle_pc:#x}"
+            ),
+            Divergence::MachineRanLong { commit, machine_pc } => write!(
+                f,
+                "commit #{commit}: machine retired pc {machine_pc:#x} after the oracle exited"
+            ),
+            Divergence::MachineExitedEarly { oracle_pc } => write!(
+                f,
+                "machine exited while the oracle still had pc {oracle_pc:#x} to execute"
+            ),
+            Divergence::Register {
+                reg,
+                machine,
+                oracle,
+            } => write!(
+                f,
+                "final value of {reg}: machine {machine:#x}, oracle {oracle:#x}"
+            ),
+            Divergence::Memory {
+                addr,
+                machine,
+                oracle,
+            } => write!(
+                f,
+                "final shared word at {addr:#x}: machine {machine:#x}, oracle {oracle:#x}"
+            ),
+        }
+    }
+}
+
+/// Why a lockstep check did not complete cleanly.
+#[derive(Debug)]
+pub enum LockstepError {
+    /// The machine could not even be built (bad image or fault plan).
+    Setup(crate::SimError),
+    /// The machine run itself failed (dump attached).
+    Machine(Box<SimFailure>),
+    /// The oracle faulted replaying a commit the machine retired fine.
+    Oracle {
+        /// 0-based index of the commit being replayed.
+        commit: u64,
+        /// The pc being replayed.
+        pc: u32,
+        /// The oracle's error.
+        error: IssError,
+    },
+    /// A hart other than hart 0 committed: the program forked, which the
+    /// sequential oracle cannot follow.
+    Parallel {
+        /// The offending hart.
+        hart: HartId,
+    },
+    /// The two models disagreed architecturally.
+    Diverged(Divergence),
+}
+
+impl fmt::Display for LockstepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockstepError::Setup(e) => write!(f, "could not build the machine: {e}"),
+            LockstepError::Machine(fail) => write!(f, "machine run failed: {fail}"),
+            LockstepError::Oracle { commit, pc, error } => write!(
+                f,
+                "oracle faulted at commit #{commit} (pc {pc:#x}): {error}"
+            ),
+            LockstepError::Parallel { hart } => write!(
+                f,
+                "hart {hart} committed instructions: lockstep checking needs a single-hart \
+                 (sequential) program"
+            ),
+            LockstepError::Diverged(d) => write!(f, "lockstep divergence: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for LockstepError {}
+
+/// The result of a clean (non-diverging) lockstep run.
+#[derive(Debug, Clone)]
+pub struct LockstepReport {
+    /// The machine's run report.
+    pub report: RunReport,
+    /// Instructions compared in lockstep.
+    pub commits: u64,
+}
+
+/// Runs `image` on a machine configured by `cfg` and checks it in
+/// lockstep against the sequential ISS oracle.
+///
+/// # Errors
+///
+/// [`LockstepError::Diverged`] carries the first architectural
+/// difference; the other variants mean one of the models could not
+/// finish (machine fault, oracle fault, or a parallel program).
+pub fn run_lockstep(
+    cfg: LbpConfig,
+    image: &Image,
+    max_cycles: u64,
+) -> Result<LockstepReport, LockstepError> {
+    let commits = Rc::new(RefCell::new(VecDeque::new()));
+    let shared_bytes = u32::try_from(cfg.shared_bytes()).unwrap_or(u32::MAX);
+    let sp = lbp_isa::LOCAL_BASE + cfg.stack_bytes() - CV_FRAME_BYTES;
+    let mut oracle = Iss::new(image, cfg.stack_bytes(), shared_bytes, sp);
+
+    let mut machine = Machine::new(cfg, image).map_err(LockstepError::Setup)?;
+    machine.set_sink(Box::new(CommitCollector {
+        commits: Rc::clone(&commits),
+    }));
+    let report = machine
+        .run_diagnosed(max_cycles)
+        .map_err(LockstepError::Machine)?;
+
+    // A commit from any hart but hart 0 means the program forked; report
+    // that up front rather than letting the oracle choke on the fork
+    // instruction mid-replay.
+    let stream = commits.borrow();
+    if let Some(&(hart, _)) = stream.iter().find(|(h, _)| *h != HartId::FIRST) {
+        return Err(LockstepError::Parallel { hart });
+    }
+
+    // Replay the commit stream against the oracle.
+    let mut replayed = 0u64;
+    for &(_, pc) in stream.iter() {
+        if oracle.exited() {
+            return Err(LockstepError::Diverged(Divergence::MachineRanLong {
+                commit: replayed,
+                machine_pc: pc,
+            }));
+        }
+        let oracle_pc = oracle.pc();
+        if oracle_pc != pc {
+            return Err(LockstepError::Diverged(Divergence::Pc {
+                commit: replayed,
+                machine_pc: pc,
+                oracle_pc,
+            }));
+        }
+        oracle.step().map_err(|error| LockstepError::Oracle {
+            commit: replayed,
+            pc,
+            error,
+        })?;
+        replayed += 1;
+    }
+    if !oracle.exited() {
+        return Err(LockstepError::Diverged(Divergence::MachineExitedEarly {
+            oracle_pc: oracle.pc(),
+        }));
+    }
+
+    // Final architectural state: registers (through the machine's
+    // renaming) and the whole shared space, word by word.
+    for reg in Reg::all().skip(1) {
+        let machine_v = machine.reg(HartId::FIRST, reg);
+        let oracle_v = oracle.reg(reg);
+        if machine_v != oracle_v {
+            return Err(LockstepError::Diverged(Divergence::Register {
+                reg,
+                machine: machine_v,
+                oracle: oracle_v,
+            }));
+        }
+    }
+    for word in 0..(shared_bytes / 4) {
+        let addr = SHARED_BASE + word * 4;
+        let machine_v = machine.peek_shared(addr).unwrap_or(0);
+        let oracle_v = oracle.peek_shared(addr).unwrap_or(0);
+        if machine_v != oracle_v {
+            return Err(LockstepError::Diverged(Divergence::Memory {
+                addr,
+                machine: machine_v,
+                oracle: oracle_v,
+            }));
+        }
+    }
+    Ok(LockstepReport {
+        report,
+        commits: replayed,
+    })
+}

@@ -6,8 +6,10 @@ use lbp_isa::HartId;
 use crate::bank::MemSys;
 use crate::config::LbpConfig;
 use crate::core::{Core, Env};
+use crate::dump::SimFailure;
 use crate::error::SimError;
 use crate::fabric::Fabric;
+use crate::fault::Fault;
 use crate::hart::{HartCtx, HartState, RbWait};
 use crate::io::IoBus;
 use crate::json::Json;
@@ -66,17 +68,29 @@ struct SampleCursor {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Machine {
-    cfg: LbpConfig,
-    cores: Vec<Core>,
-    mem: MemSys,
-    fabric: Fabric,
+    pub(crate) cfg: LbpConfig,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) mem: MemSys,
+    pub(crate) fabric: Fabric,
     stats: Stats,
     trace: Trace,
     sink: Option<Box<dyn TraceSink>>,
     cursor: SampleCursor,
-    cycle: u64,
-    exited: bool,
+    pub(crate) cycle: u64,
+    pub(crate) exited: bool,
+    /// Cycle-triggered faults from the plan, not yet applied.
+    pending_faults: Vec<Fault>,
+    /// Cycle-triggered faults that fired (the fabric counts its own).
+    pub(crate) faults_applied: u64,
+    /// Consecutive cycles without a retirement anywhere; once it reaches
+    /// [`QUIET_CYCLES`] the deadlock detector starts checking.
+    quiet_cycles: u64,
 }
+
+/// Cycles without any retirement before the deadlock detector runs. The
+/// value only delays detection — the quiescence check itself is exact —
+/// but skipping the busiest cycles keeps the common case free.
+const QUIET_CYCLES: u64 = 8;
 
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -97,8 +111,24 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Fails if the initialized data exceeds the configured shared space.
+    /// Fails if the initialized data exceeds the configured shared space,
+    /// or if the configuration's fault plan targets something outside the
+    /// machine (a hart, register, address or code word that does not
+    /// exist).
     pub fn new(cfg: LbpConfig, image: &Image) -> Result<Machine, SimError> {
+        validate_fault_plan(&cfg, image)?;
+        let mut drop_nth = Vec::new();
+        let mut delay_nth = Vec::new();
+        let mut pending_faults = Vec::new();
+        for &fault in &cfg.faults.faults {
+            match fault {
+                Fault::DropMsg { nth } => drop_nth.push(nth),
+                Fault::DelayMsg { nth, cycles } => delay_nth.push((nth, cycles)),
+                _ => pending_faults.push(fault),
+            }
+        }
+        let mut fabric = Fabric::new(cfg.cores);
+        fabric.set_faults(drop_nth, delay_nth);
         let mem = MemSys::new(&cfg, &image.text, &image.data)?;
         let mut cores: Vec<Core> = (0..cfg.cores as u32)
             .map(|c| {
@@ -116,17 +146,25 @@ impl Machine {
         let boot_sp = mem.cv_base(HartId::FIRST);
         cores[0].harts[0].boot(image.entry, boot_sp);
         Ok(Machine {
-            fabric: Fabric::new(cfg.cores),
+            fabric,
             stats: Stats::new(cfg.harts()),
             trace: Trace::new(),
             sink: None,
             cursor: SampleCursor::default(),
             cycle: 0,
             exited: false,
+            pending_faults,
+            faults_applied: 0,
+            quiet_cycles: 0,
             cores,
             mem,
             cfg,
         })
+    }
+
+    /// Whether the program has executed its exit `p_ret`.
+    pub fn exited(&self) -> bool {
+        self.exited
     }
 
     /// The machine's configuration.
@@ -196,14 +234,50 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Timeout`] if the budget runs out, or any fatal
-    /// fault raised by the program.
+    /// Returns [`SimError::Timeout`] if the budget runs out,
+    /// [`SimError::Deadlock`] the moment the machine quiesces without
+    /// exiting, or any fatal fault raised by the program.
     pub fn run(&mut self, max_cycles: u64) -> Result<RunReport, SimError> {
+        self.run_diagnosed(max_cycles).map_err(|f| f.error)
+    }
+
+    /// Like [`Machine::run`], but every error arrives packaged with a
+    /// [`MachineDump`](crate::MachineDump) snapshot taken at the moment
+    /// it was raised (what `lbp-run --dump-on-error` writes out).
+    ///
+    /// Includes the deadlock detector: once a few quiet cycles pass with no
+    /// retirement anywhere, each further quiet cycle checks whether the
+    /// machine can ever make progress again, and reports
+    /// [`SimError::Deadlock`] with every blocked hart the moment it
+    /// cannot — typically orders of magnitude before the timeout budget
+    /// would expire.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`], boxed with the crash dump.
+    pub fn run_diagnosed(&mut self, max_cycles: u64) -> Result<RunReport, Box<SimFailure>> {
         while !self.exited {
             if self.cycle >= max_cycles {
-                return Err(SimError::Timeout { cycles: max_cycles });
+                return Err(self.failure(SimError::Timeout { cycles: max_cycles }));
             }
-            self.tick()?;
+            let retired_before = self.stats.retired();
+            if let Err(e) = self.tick() {
+                return Err(self.failure(e));
+            }
+            if self.stats.retired() > retired_before {
+                self.quiet_cycles = 0;
+            } else {
+                self.quiet_cycles += 1;
+                if self.quiet_cycles >= QUIET_CYCLES && !self.exited {
+                    if let Some(blocked) = crate::deadlock::check(self) {
+                        let err = SimError::Deadlock {
+                            cycle: self.cycle,
+                            blocked,
+                        };
+                        return Err(self.failure(err));
+                    }
+                }
+            }
         }
         // Close the time series with the final partial interval so the
         // samples cover the whole run.
@@ -220,6 +294,10 @@ impl Machine {
     pub fn tick(&mut self) -> Result<(), SimError> {
         self.cycle += 1;
         let now = self.cycle;
+        // 0. Cycle-triggered fault injection (validated at construction).
+        if !self.pending_faults.is_empty() {
+            self.apply_due_faults();
+        }
         // 1. Links move one hop.
         self.fabric.tick();
         self.mem.net.tick();
@@ -253,6 +331,36 @@ impl Machine {
             self.take_sample();
         }
         Ok(())
+    }
+
+    /// Applies every pending fault whose trigger cycle has arrived.
+    fn apply_due_faults(&mut self) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.pending_faults.len() {
+            if self.pending_faults[i].cycle().is_some_and(|c| c <= now) {
+                let fault = self.pending_faults.remove(i);
+                self.apply_fault(fault);
+                self.faults_applied += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn apply_fault(&mut self, fault: Fault) {
+        match fault {
+            Fault::FlipReg { hart, reg, bit, .. } => {
+                let h = self.hart_mut(hart);
+                let phys = h.rat[reg.index()] as usize;
+                h.prf[phys].value ^= 1 << bit;
+            }
+            Fault::FlipMem { addr, bit, .. } => self.mem.flip_shared_bit(addr, bit),
+            Fault::CorruptInstr { pc, xor, .. } => self.mem.corrupt_code(pc, xor),
+            Fault::DropMsg { .. } | Fault::DelayMsg { .. } => {
+                unreachable!("message faults are handled inside the fabric")
+            }
+        }
     }
 
     /// Appends one [`IntervalSample`] covering the cycles since the last
@@ -316,11 +424,26 @@ impl Machine {
         }
     }
 
+    /// Decrements a hart's outstanding-memory counter, turning underflow
+    /// (a response nobody waits for, e.g. after a fault scrambled the
+    /// protocol) into a structured error instead of a panic.
+    fn mem_completion(&mut self, hart: HartId, what: &str) -> Result<(), SimError> {
+        let h = self.hart_mut(hart);
+        h.in_flight_mem = h
+            .in_flight_mem
+            .checked_sub(1)
+            .ok_or_else(|| SimError::Protocol {
+                hart,
+                what: format!("{what} arrived with no outstanding memory access"),
+            })?;
+        Ok(())
+    }
+
     fn deliver_mem(&mut self, _core: u32, msg: NetMsg) -> Result<(), SimError> {
         match msg {
             NetMsg::ReadResp { addr, value, hart } => {
+                self.mem_completion(hart, "a load response")?;
                 let h = self.hart_mut(hart);
-                h.in_flight_mem -= 1;
                 let rb = h.rb.as_mut().ok_or_else(|| SimError::Protocol {
                     hart,
                     what: format!("load response for {addr:#010x} with no result buffer"),
@@ -330,7 +453,7 @@ impl Machine {
                 self.emit(hart, EventKind::MemResp { addr });
             }
             NetMsg::WriteAck { addr, hart } => {
-                self.hart_mut(hart).in_flight_mem -= 1;
+                self.mem_completion(hart, "a store acknowledgement")?;
                 self.emit(hart, EventKind::MemResp { addr });
             }
             other => {
@@ -389,7 +512,7 @@ impl Machine {
                 self.fabric.send(core, CoreMsg::CvAck { to: from });
             }
             CoreMsg::CvAck { to } => {
-                self.hart_mut(to).in_flight_mem -= 1;
+                self.mem_completion(to, "a cv-write acknowledgement")?;
             }
             CoreMsg::EndSignal { to } => {
                 self.hart_mut(to).end_signal = true;
@@ -436,4 +559,52 @@ impl Machine {
         let h = &self.cores[hart.core() as usize].harts[hart.local() as usize];
         h.prf[h.rat[reg.index()] as usize].value
     }
+}
+
+/// Rejects fault plans that target something outside the machine, so the
+/// injectors themselves never need bounds checks.
+fn validate_fault_plan(cfg: &LbpConfig, image: &Image) -> Result<(), SimError> {
+    let bad = |fault: &Fault, why: &str| -> SimError {
+        SimError::Protocol {
+            hart: HartId::FIRST,
+            what: format!("invalid fault plan: `{fault}`: {why}"),
+        }
+    };
+    for fault in &cfg.faults.faults {
+        match *fault {
+            Fault::FlipReg { hart, reg, bit, .. } => {
+                if hart.global() as usize >= cfg.harts() {
+                    return Err(bad(fault, "no such hart in this configuration"));
+                }
+                if reg.is_zero() {
+                    return Err(bad(fault, "x0 is hard-wired to zero"));
+                }
+                if bit >= 32 {
+                    return Err(bad(fault, "registers have 32 bits"));
+                }
+            }
+            Fault::FlipMem { addr, bit, .. } => {
+                if bit >= 32 {
+                    return Err(bad(fault, "memory words have 32 bits"));
+                }
+                if lbp_isa::Region::of(addr) != lbp_isa::Region::Shared
+                    || ((addr - lbp_isa::SHARED_BASE) as u64) >= cfg.shared_bytes()
+                {
+                    return Err(bad(fault, "address is outside the shared space"));
+                }
+            }
+            Fault::CorruptInstr { pc, .. } => {
+                if !pc.is_multiple_of(4) || (pc / 4) as usize >= image.text.len() {
+                    return Err(bad(fault, "pc is not a code word of the image"));
+                }
+            }
+            Fault::DropMsg { .. } => {}
+            Fault::DelayMsg { cycles, .. } => {
+                if cycles == 0 {
+                    return Err(bad(fault, "a delay of 0 cycles injects nothing"));
+                }
+            }
+        }
+    }
+    Ok(())
 }

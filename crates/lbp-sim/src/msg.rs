@@ -136,6 +136,28 @@ pub enum CoreMsg {
 }
 
 impl CoreMsg {
+    /// A compact human-readable description (crash dumps).
+    pub fn describe(&self) -> String {
+        match self {
+            CoreMsg::ForkReq { from } => format!("ForkReq from hart {from}"),
+            CoreMsg::ForkReply { to, child } => {
+                format!("ForkReply(child {child}) to hart {to}")
+            }
+            CoreMsg::Start { to, pc } => format!("Start(pc {pc:#x}) to hart {to}"),
+            CoreMsg::CvWrite {
+                to, offset, from, ..
+            } => {
+                format!("CvWrite(offset {offset}) from hart {from} to hart {to}")
+            }
+            CoreMsg::CvAck { to } => format!("CvAck to hart {to}"),
+            CoreMsg::EndSignal { to } => format!("EndSignal to hart {to}"),
+            CoreMsg::Join { to, pc } => format!("Join(pc {pc:#x}) to hart {to}"),
+            CoreMsg::Result { to, slot, value } => {
+                format!("Result(slot {slot}, value {value:#x}) to hart {to}")
+            }
+        }
+    }
+
     /// The core this message is addressed to.
     pub fn dest_core(&self) -> u32 {
         match self {

@@ -208,6 +208,23 @@ impl Network {
         std::mem::take(&mut self.core_inbox[core as usize])
     }
 
+    /// Whether nothing is in flight: every link queue, bank port and core
+    /// inbox is empty. Feeds the machine's quiescence-based deadlock
+    /// detector.
+    pub fn is_quiet(&self) -> bool {
+        self.edges.iter().all(|e| e.queue.is_empty())
+            && self.bank_inbox.iter().all(VecDeque::is_empty)
+            && self.core_inbox.iter().all(Vec::is_empty)
+    }
+
+    /// Messages currently travelling or queued anywhere in the hierarchy
+    /// (crash dumps).
+    pub fn in_flight(&self) -> usize {
+        self.edges.iter().map(|e| e.queue.len()).sum::<usize>()
+            + self.bank_inbox.iter().map(VecDeque::len).sum::<usize>()
+            + self.core_inbox.iter().map(Vec::len).sum::<usize>()
+    }
+
     /// Advances every link by one cycle: each edge delivers at most one
     /// message one hop onward.
     pub fn tick(&mut self) {
@@ -269,6 +286,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SimError;
     use lbp_isa::{HartId, SHARED_BASE};
 
     fn read_req(addr: u32, hart: u32) -> NetMsg {
@@ -281,7 +299,9 @@ mod tests {
     }
 
     /// Ticks until the request reaches the bank inbox; returns the cycle.
-    fn cycles_to_bank(cores: usize, from_core: u32, to_bank: u32) -> u32 {
+    /// A lost message surfaces as a structured `SimError` (the network
+    /// going quiet before delivery is exactly a deadlock), not a panic.
+    fn cycles_to_bank(cores: usize, from_core: u32, to_bank: u32) -> Result<u32, SimError> {
         let bank_bytes = 0x10000;
         let mut net = Network::new(cores, bank_bytes);
         let addr = SHARED_BASE + to_bank * bank_bytes;
@@ -289,10 +309,16 @@ mod tests {
         for cycle in 1..100 {
             net.tick();
             if !net.bank_queue(to_bank).is_empty() {
-                return cycle;
+                return Ok(cycle);
+            }
+            if net.is_quiet() {
+                return Err(SimError::Deadlock {
+                    cycle: cycle as u64,
+                    blocked: Vec::new(),
+                });
             }
         }
-        panic!("message never arrived");
+        Err(SimError::Timeout { cycles: 100 })
     }
 
     #[test]
@@ -306,24 +332,24 @@ mod tests {
 
     #[test]
     fn same_group_takes_two_hops() {
-        assert_eq!(cycles_to_bank(16, 0, 1), 2);
+        assert_eq!(cycles_to_bank(16, 0, 1).unwrap(), 2);
     }
 
     #[test]
     fn cross_r1_takes_four_hops() {
-        assert_eq!(cycles_to_bank(16, 0, 12), 4);
+        assert_eq!(cycles_to_bank(16, 0, 12).unwrap(), 4);
     }
 
     #[test]
     fn cross_r2_takes_six_hops() {
-        assert_eq!(cycles_to_bank(64, 0, 63), 6);
+        assert_eq!(cycles_to_bank(64, 0, 63).unwrap(), 6);
     }
 
     #[test]
     fn multi_chip_cross_r3_takes_eight_hops() {
         // 256 cores = four 64-core chips (Fig. 15): core 0 to the last
         // bank crosses the whole four-level hierarchy.
-        assert_eq!(cycles_to_bank(256, 0, 255), 8);
+        assert_eq!(cycles_to_bank(256, 0, 255).unwrap(), 8);
     }
 
     #[test]
@@ -394,7 +420,7 @@ mod tests {
     fn odd_core_counts_work() {
         // Non-power-of-four machines still route correctly.
         for cores in [3usize, 5, 7, 12, 20, 100] {
-            let hops = cycles_to_bank(cores, 0, cores as u32 - 1);
+            let hops = cycles_to_bank(cores, 0, cores as u32 - 1).unwrap();
             assert!(hops >= 2, "{cores} cores: {hops} hops");
         }
     }

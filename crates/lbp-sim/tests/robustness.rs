@@ -1,0 +1,470 @@
+//! Robustness tests: deadlock diagnosis, fault injection, crash dumps,
+//! and lockstep differential checking.
+//!
+//! Protocol-violating programs hang real LBP hardware — the simulator
+//! must instead diagnose them quickly ([`SimError::Deadlock`] with the
+//! blocked harts and their wait reasons) or reject them outright
+//! ([`SimError::Protocol`]). Injected faults must surface as structured
+//! errors with a valid `lbp-dump-v1` crash dump, never as a panic.
+
+use lbp_asm::assemble;
+use lbp_isa::HartId;
+use lbp_sim::{
+    run_lockstep, Divergence, Fault, FaultPlan, Json, LbpConfig, LockstepError, Machine, SimError,
+    DUMP_SCHEMA,
+};
+use lbp_testutil::check_cases;
+
+/// The exit idiom: 0 in `ra`, the exit sentinel in `t0`.
+const EXIT: &str = "li t0, -1\n    li ra, 0\n    p_ret\n";
+
+/// The cycle budget a pre-deadlock-detector run would have burned before
+/// reporting `Timeout`. The acceptance bar is diagnosis in < 1% of this.
+const OLD_TIMEOUT_BUDGET: u64 = 1_000_000;
+
+fn machine(cores: usize, src: &str) -> Machine {
+    let image = assemble(src).expect("test program assembles");
+    Machine::new(LbpConfig::cores(cores), &image).expect("machine builds")
+}
+
+fn machine_with_faults(cores: usize, src: &str, faults: &[Fault]) -> Result<Machine, SimError> {
+    let image = assemble(src).expect("test program assembles");
+    let cfg = LbpConfig::cores(cores).with_faults(faults.iter().copied().collect::<FaultPlan>());
+    Machine::new(cfg, &image)
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection
+// ---------------------------------------------------------------------------
+
+#[test]
+fn never_sent_recv_slot_deadlocks_fast_and_blames_the_hart() {
+    // p_lwre on slot 3, but no hart ever p_swre's into it.
+    let src = "main:
+    p_lwre a0, 3
+    li t0, -1
+    li ra, 0
+    p_ret";
+    let err = machine(1, src).run(OLD_TIMEOUT_BUDGET).unwrap_err();
+    let SimError::Deadlock { cycle, blocked } = err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert!(
+        cycle < OLD_TIMEOUT_BUDGET / 100,
+        "diagnosed at cycle {cycle}, want < 1% of the {OLD_TIMEOUT_BUDGET}-cycle budget"
+    );
+    assert_eq!(blocked.len(), 1);
+    assert_eq!(blocked[0].hart, HartId::FIRST);
+    assert!(
+        blocked[0].waiting_on.contains("slot 3"),
+        "wait reason should name the empty slot: {:?}",
+        blocked[0].waiting_on
+    );
+}
+
+#[test]
+fn self_wait_join_deadlocks_with_join_reason() {
+    // Type-2 ending on the only hart: waits for a join address that no
+    // other hart will ever send.
+    let src = "main:
+    li t0, 0
+    li ra, 0
+    p_ret";
+    let err = machine(1, src).run(OLD_TIMEOUT_BUDGET).unwrap_err();
+    let SimError::Deadlock { cycle, blocked } = err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert!(
+        cycle < OLD_TIMEOUT_BUDGET / 100,
+        "diagnosed at cycle {cycle}"
+    );
+    assert_eq!(blocked.len(), 1);
+    assert_eq!(blocked[0].hart, HartId::FIRST);
+    assert!(
+        blocked[0].waiting_on.contains("join"),
+        "wait reason should mention the missing join: {:?}",
+        blocked[0].waiting_on
+    );
+}
+
+#[test]
+fn fork_exhaustion_deadlocks_with_fork_reason() {
+    // A single core has 4 harts; the 4th p_fc can never be satisfied
+    // because no allocated hart ever ends.
+    let src = "main:
+    p_fc t1
+    p_fc t2
+    p_fc t3
+    p_fc t4
+    li t0, -1
+    li ra, 0
+    p_ret";
+    let err = machine(1, src).run(OLD_TIMEOUT_BUDGET).unwrap_err();
+    let SimError::Deadlock { cycle, blocked } = err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert!(
+        cycle < OLD_TIMEOUT_BUDGET / 100,
+        "diagnosed at cycle {cycle}"
+    );
+    assert!(
+        blocked
+            .iter()
+            .any(|b| b.hart == HartId::FIRST && b.waiting_on.contains("fork")),
+        "hart 0 should be blocked on its fork: {blocked:?}"
+    );
+}
+
+#[test]
+fn busy_wait_still_times_out() {
+    // An infinite loop retires instructions forever: that is livelock,
+    // not quiescence, and must stay a Timeout.
+    let err = machine(1, "main:\n  j main").run(1_000).unwrap_err();
+    assert_eq!(err, SimError::Timeout { cycles: 1_000 });
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// A fork program whose start message crosses the core 0 → core 1 link;
+/// dropping any fabric message deadlocks it.
+const FORK_NEXT_CORE: &str = "main:
+    li    t0, -1
+    addi  sp, sp, -8
+    sw    ra, 0(sp)
+    sw    t0, 4(sp)
+    p_set t0
+    la    ra, rp
+    p_fn   t6
+    p_swcv ra, t6, 0
+    p_swcv t0, t6, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la    a0, thread
+    p_jalr ra, t0, a0
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    p_set t0
+    la    a0, thread
+    jalr  a0
+    lw    ra, 0(sp)
+    lw    t0, 4(sp)
+    addi  sp, sp, 8
+    p_ret
+rp:
+    lw    ra, 0(sp)
+    lw    t0, 4(sp)
+    addi  sp, sp, 8
+    li    t0, -1
+    li    ra, 0
+    p_ret
+thread:
+    p_ret";
+
+#[test]
+fn dropped_fabric_message_turns_success_into_deadlock() {
+    // Baseline: the program exits.
+    let report = machine_with_faults(2, FORK_NEXT_CORE, &[])
+        .unwrap()
+        .run(OLD_TIMEOUT_BUDGET)
+        .unwrap();
+    assert!(report.exited);
+
+    // Drop the first fabric message (the fork request): the machine must
+    // diagnose the hang as a deadlock, not spin to timeout.
+    let err = machine_with_faults(2, FORK_NEXT_CORE, &[Fault::DropMsg { nth: 0 }])
+        .unwrap()
+        .run(OLD_TIMEOUT_BUDGET)
+        .unwrap_err();
+    let SimError::Deadlock { cycle, .. } = err else {
+        panic!("expected Deadlock, got {err:?}");
+    };
+    assert!(
+        cycle < OLD_TIMEOUT_BUDGET / 100,
+        "diagnosed at cycle {cycle}"
+    );
+}
+
+#[test]
+fn delayed_fabric_message_preserves_the_result() {
+    // Delaying (not dropping) a message only shifts timing; the
+    // deterministic protocol still completes.
+    let report = machine_with_faults(2, FORK_NEXT_CORE, &[Fault::DelayMsg { nth: 0, cycles: 37 }])
+        .unwrap()
+        .run(OLD_TIMEOUT_BUDGET)
+        .unwrap();
+    assert!(report.exited, "delayed message must still arrive");
+}
+
+#[test]
+fn corrupted_instruction_is_a_decode_error() {
+    let src = format!("main:\n  li a0, 1\n  li a1, 2\n  add a2, a0, a1\n  {EXIT}");
+    // XOR the third word (pc 0x8) into garbage at cycle 1.
+    let fault = Fault::CorruptInstr {
+        pc: 0x8,
+        xor: 0xffff_ffff,
+        cycle: 1,
+    };
+    let err = machine_with_faults(1, &src, &[fault])
+        .unwrap()
+        .run(10_000)
+        .unwrap_err();
+    assert!(
+        matches!(err, SimError::Decode { pc: 0x8, .. }),
+        "expected a decode error at pc 0x8, got {err:?}"
+    );
+}
+
+#[test]
+fn invalid_fault_plans_are_rejected_at_build_time() {
+    let src = format!("main:\n  {EXIT}");
+    for fault in [
+        // Hart out of range for one core.
+        Fault::FlipReg {
+            hart: HartId::from_parts(99, 0),
+            reg: lbp_isa::Reg::A0,
+            bit: 0,
+            cycle: 1,
+        },
+        // Bit out of range.
+        Fault::FlipMem {
+            addr: lbp_isa::SHARED_BASE,
+            bit: 40,
+            cycle: 1,
+        },
+        // Misaligned pc.
+        Fault::CorruptInstr {
+            pc: 2,
+            xor: 1,
+            cycle: 1,
+        },
+        // Zero-cycle delay.
+        Fault::DelayMsg { nth: 0, cycles: 0 },
+    ] {
+        let err = machine_with_faults(1, &src, &[fault]).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Protocol { what, .. } if what.contains("invalid fault plan")),
+            "fault {fault} should be rejected, got {err:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash dumps
+// ---------------------------------------------------------------------------
+
+#[test]
+fn deadlock_dump_names_the_schema_and_blocked_hart() {
+    let src = "main:
+    p_lwre a0, 5
+    li t0, -1
+    li ra, 0
+    p_ret";
+    let failure = machine(1, src)
+        .run_diagnosed(OLD_TIMEOUT_BUDGET)
+        .unwrap_err();
+    assert_eq!(failure.error.class(), "deadlock");
+
+    let mut out = String::new();
+    failure.dump.to_json().write_pretty(&mut out);
+    let json = Json::parse(&out).expect("dump serializes to valid JSON");
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some(DUMP_SCHEMA),
+        "dump must carry the {DUMP_SCHEMA} schema tag"
+    );
+    assert_eq!(
+        json.get("error_class").and_then(Json::as_str),
+        Some("deadlock")
+    );
+    let harts = json
+        .get("harts")
+        .and_then(Json::as_arr)
+        .expect("harts array");
+    assert_eq!(harts.len(), 1, "only the blocked hart is dumped");
+    assert_eq!(harts[0].get("hart").and_then(Json::as_str), Some("c0h0"));
+    assert!(harts[0]
+        .get("waiting_on")
+        .and_then(Json::as_str)
+        .is_some_and(|w| w.contains("slot 5")));
+}
+
+#[test]
+fn fault_dump_counts_applied_faults() {
+    let src = format!("main:\n  li a0, 1\n  {EXIT}");
+    let fault = Fault::CorruptInstr {
+        pc: 0x4,
+        xor: 0xffff_ffff,
+        cycle: 1,
+    };
+    let failure = machine_with_faults(1, &src, &[fault])
+        .unwrap()
+        .run_diagnosed(10_000)
+        .unwrap_err();
+    let mut out = String::new();
+    failure.dump.to_json().write_pretty(&mut out);
+    let json = Json::parse(&out).unwrap();
+    assert_eq!(json.get("faults_applied").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        json.get("error_class").and_then(Json::as_str),
+        Some("decode")
+    );
+}
+
+#[test]
+fn random_fault_plans_never_panic_and_dumps_stay_valid() {
+    // Whatever a (valid) random fault plan does to this program — wrong
+    // answer, deadlock, decode fault, protocol violation — the simulator
+    // must return a structured result and a parseable dump, never panic.
+    let src = format!(
+        "main:
+    li   a0, 0
+    li   a1, 1
+    li   a2, 30
+loop:
+    add  a0, a0, a1
+    addi a1, a1, 1
+    bne  a1, a2, loop
+    {EXIT}"
+    );
+    let image = assemble(&src).unwrap();
+    let text_words = image.text.len() as u32;
+    check_cases(40, 0xfau64, |rng, _| {
+        let fault = match rng.below(4) {
+            0 => Fault::FlipReg {
+                hart: HartId::FIRST,
+                reg: rng.pick(&[lbp_isa::Reg::A0, lbp_isa::Reg::A1, lbp_isa::Reg::A2]),
+                bit: rng.below(32) as u32,
+                cycle: rng.below(400),
+            },
+            1 => Fault::FlipMem {
+                addr: lbp_isa::SHARED_BASE + (rng.below(16) as u32) * 4,
+                bit: rng.below(32) as u32,
+                cycle: rng.below(400),
+            },
+            2 => Fault::CorruptInstr {
+                pc: (rng.below(text_words as u64) as u32) * 4,
+                xor: rng.next_u32(),
+                cycle: rng.below(400),
+            },
+            _ => Fault::DelayMsg {
+                nth: rng.below(4),
+                cycles: 1 + rng.below(50) as u32,
+            },
+        };
+        let cfg = LbpConfig::cores(1).with_faults([fault].into_iter().collect::<FaultPlan>());
+        let mut m = Machine::new(cfg, &image).expect("validated plan builds");
+        if let Err(failure) = m.run_diagnosed(50_000) {
+            let mut out = String::new();
+            failure.dump.to_json().write_pretty(&mut out);
+            let json = Json::parse(&out).expect("dump parses");
+            assert_eq!(json.get("schema").and_then(Json::as_str), Some(DUMP_SCHEMA));
+            assert_eq!(
+                json.get("error_class").and_then(Json::as_str),
+                Some(failure.error.class())
+            );
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep differential checking
+// ---------------------------------------------------------------------------
+
+const MUL_PROGRAM: &str = "main:
+    li   a0, 6
+    li   a1, 7
+    mul  a2, a0, a1
+    li   t0, -1
+    li   ra, 0
+    p_ret";
+
+#[test]
+fn clean_program_passes_lockstep() {
+    let image = assemble(MUL_PROGRAM).unwrap();
+    let report = run_lockstep(LbpConfig::cores(1), &image, 100_000).expect("lockstep passes");
+    assert_eq!(report.commits, 6);
+    assert!(report.report.exited);
+}
+
+#[test]
+fn late_register_flip_surfaces_as_divergence() {
+    // Flip a2 bit 4 after `mul` wrote it back: the machine finishes with
+    // a wrong a2 that only the differential check can see.
+    let image = assemble(MUL_PROGRAM).unwrap();
+    let cfg = LbpConfig::cores(1).with_faults(
+        [Fault::FlipReg {
+            hart: HartId::FIRST,
+            reg: lbp_isa::Reg::A2,
+            bit: 4,
+            cycle: 14,
+        }]
+        .into_iter()
+        .collect::<FaultPlan>(),
+    );
+    let err = run_lockstep(cfg, &image, 100_000).unwrap_err();
+    let LockstepError::Diverged(Divergence::Register {
+        reg,
+        machine,
+        oracle,
+    }) = err
+    else {
+        panic!("expected a register divergence, got {err}");
+    };
+    assert_eq!(reg, lbp_isa::Reg::A2);
+    assert_eq!(oracle, 42);
+    assert_eq!(machine, 42 ^ (1 << 4));
+}
+
+#[test]
+fn shared_memory_flip_surfaces_as_divergence() {
+    let src = format!(
+        "main:
+    la   a0, cell
+    li   a1, 77
+    sw   a1, 0(a0)
+    p_syncm
+    li   a2, 40          # spin so the program is still live at cycle 60
+delay:
+    addi a2, a2, -1
+    bnez a2, delay
+    {EXIT}
+.data
+cell: .word 0"
+    );
+    let image = assemble(&src).unwrap();
+    // Flip the stored word after the store retires (p_syncm guarantees it
+    // is in the bank) but while the delay loop keeps the machine running.
+    let cfg = LbpConfig::cores(1).with_faults(
+        [Fault::FlipMem {
+            addr: lbp_isa::SHARED_BASE,
+            bit: 0,
+            cycle: 60,
+        }]
+        .into_iter()
+        .collect::<FaultPlan>(),
+    );
+    let err = run_lockstep(cfg, &image, 100_000).unwrap_err();
+    let LockstepError::Diverged(Divergence::Memory {
+        addr,
+        machine,
+        oracle,
+    }) = err
+    else {
+        panic!("expected a memory divergence, got {err}");
+    };
+    assert_eq!(addr, lbp_isa::SHARED_BASE);
+    assert_eq!(oracle, 77);
+    assert_eq!(machine, 77 ^ 1);
+}
+
+#[test]
+fn parallel_programs_are_rejected_by_lockstep() {
+    let image = assemble(FORK_NEXT_CORE).unwrap();
+    let err = run_lockstep(LbpConfig::cores(2), &image, 100_000).unwrap_err();
+    assert!(
+        matches!(err, LockstepError::Parallel { .. }),
+        "expected Parallel, got {err}"
+    );
+}

@@ -1,0 +1,35 @@
+# Forks one hart onto the next core with the paper's Fig. 8 protocol.
+# Needs --cores 2. Dropping its first fabric message (drop-msg:0)
+# deadlocks it; delaying the message only shifts timing.
+main:
+    li    t0, -1
+    addi  sp, sp, -8
+    sw    ra, 0(sp)
+    sw    t0, 4(sp)
+    p_set t0
+    la    ra, rp
+    p_fn   t6
+    p_swcv ra, t6, 0
+    p_swcv t0, t6, 4
+    p_merge t0, t0, t6
+    p_syncm
+    la    a0, thread
+    p_jalr ra, t0, a0
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    p_set t0
+    la    a0, thread
+    jalr  a0
+    lw    ra, 0(sp)
+    lw    t0, 4(sp)
+    addi  sp, sp, 8
+    p_ret
+rp:
+    lw    ra, 0(sp)
+    lw    t0, 4(sp)
+    addi  sp, sp, 8
+    li    t0, -1
+    li    ra, 0
+    p_ret
+thread:
+    p_ret

@@ -1,0 +1,8 @@
+# A protocol-violating program: p_lwre waits on a receive slot that
+# no hart ever writes. On real LBP hardware this hangs silently; the
+# simulator diagnoses it as a deadlock (exit code 5) within cycles.
+main:
+    p_lwre a0, 3
+    li t0, -1
+    li ra, 0
+    p_ret

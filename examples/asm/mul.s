@@ -1,0 +1,9 @@
+# A clean single-hart program (6 * 7 = 42 in a2). Used as the baseline
+# for fault-injection and lockstep smoke tests.
+main:
+    li   a0, 6
+    li   a1, 7
+    mul  a2, a0, a1
+    li   t0, -1
+    li   ra, 0
+    p_ret

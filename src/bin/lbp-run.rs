@@ -15,11 +15,27 @@
 //! machine-readable report (schema `lbp-stats-v1`), and `--trace`
 //! streams the cycle trace to disk as it is produced, so tracing
 //! multi-million-cycle runs needs O(1) memory.
+//!
+//! Robustness tooling:
+//!
+//! - `--fault SPEC` (repeatable) injects a deterministic fault
+//!   (`flip-reg:HART:REG:BIT:CYCLE`, `flip-mem:ADDR:BIT:CYCLE`,
+//!   `corrupt-instr:PC:XOR:CYCLE`, `drop-msg:NTH`, `delay-msg:NTH:CYCLES`);
+//! - `--dump-on-error FILE` writes an `lbp-dump-v1` crash dump when the
+//!   run fails;
+//! - `--lockstep` checks the run instruction-by-instruction against the
+//!   sequential ISS oracle (single-hart programs only);
+//! - the exit code encodes the error class: 0 ok, 2 usage, 1 front-end or
+//!   I/O failure, 4 timeout, 5 deadlock, 6 protocol violation, 7 decode
+//!   fault, 8 memory fault, 9 lockstep divergence.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use lbp::sim::{ChromeSink, JsonlSink, LbpConfig, Machine, TextSink, TraceSink};
+use lbp::sim::{
+    ChromeSink, Fault, FaultPlan, JsonlSink, LbpConfig, LockstepError, Machine, MachineDump,
+    SimError, TextSink, TraceSink,
+};
 
 #[derive(Clone, Copy, PartialEq)]
 enum TraceFormat {
@@ -40,6 +56,9 @@ struct Options {
     emit_asm: bool,
     disasm: bool,
     profile: Option<usize>,
+    dump_on_error: Option<String>,
+    faults: Vec<Fault>,
+    lockstep: bool,
 }
 
 fn usage() -> ! {
@@ -56,7 +75,16 @@ fn usage() -> ! {
            --dump SYM[:N]     print N words of memory at symbol SYM after the run\n\
            --emit-asm         print the generated assembly and exit\n\
            --disasm           print the assembled image's disassembly and exit\n\
-           --profile [N]      print the N hottest instructions after the run (default 15)"
+           --profile [N]      print the N hottest instructions after the run (default 15)\n\
+           --fault SPEC       inject a deterministic fault (repeatable); specs:\n\
+                              flip-reg:HART:REG:BIT:CYCLE  flip-mem:ADDR:BIT:CYCLE\n\
+                              corrupt-instr:PC:XOR:CYCLE   drop-msg:NTH\n\
+                              delay-msg:NTH:CYCLES\n\
+           --dump-on-error F  write an lbp-dump-v1 crash dump to F if the run fails\n\
+           --lockstep         check against the sequential ISS oracle (1 hart)\n\
+         \n\
+         exit codes: 0 ok, 2 usage, 1 front-end/I/O, 4 timeout, 5 deadlock,\n\
+         6 protocol, 7 decode, 8 memory fault, 9 lockstep divergence"
     );
     std::process::exit(2)
 }
@@ -75,6 +103,9 @@ fn parse_args() -> Options {
         emit_asm: false,
         disasm: false,
         profile: None,
+        dump_on_error: None,
+        faults: Vec::new(),
+        lockstep: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -117,6 +148,20 @@ fn parse_args() -> Options {
             "--emit-asm" => opts.emit_asm = true,
             "--disasm" => opts.disasm = true,
             "--profile" => opts.profile = Some(15),
+            "--fault" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match Fault::parse(&spec) {
+                    Ok(fault) => opts.faults.push(fault),
+                    Err(e) => {
+                        eprintln!("lbp-run: bad fault spec `{spec}`: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--dump-on-error" => {
+                opts.dump_on_error = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--lockstep" => opts.lockstep = true,
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {
                 opts.input = other.to_owned();
@@ -141,6 +186,70 @@ fn open_out(path: &str) -> std::io::Result<Box<dyn std::io::Write>> {
     } else {
         let file = std::fs::File::create(path)?;
         Ok(Box::new(std::io::BufWriter::new(file)))
+    }
+}
+
+/// Maps an error class to the process exit code documented in `usage`.
+fn sim_exit_code(e: &SimError) -> u8 {
+    match e {
+        SimError::Timeout { .. } => 4,
+        SimError::Deadlock { .. } => 5,
+        SimError::Protocol { .. } => 6,
+        SimError::Decode { .. } => 7,
+        SimError::Mem(_) => 8,
+    }
+}
+
+/// Writes the `lbp-dump-v1` crash dump as pretty JSON (`-` = stdout).
+fn write_dump(path: &str, dump: &MachineDump) {
+    let mut text = String::new();
+    dump.to_json().write_pretty(&mut text);
+    text.push('\n');
+    let result = open_out(path).and_then(|mut out| {
+        out.write_all(text.as_bytes())?;
+        out.flush()
+    });
+    match result {
+        Ok(()) => {
+            if path != "-" {
+                eprintln!("lbp-run: crash dump written to {path}");
+            }
+        }
+        Err(e) => eprintln!("lbp-run: cannot write crash dump to `{path}`: {e}"),
+    }
+}
+
+/// `--lockstep`: run the machine and verify it commit-by-commit against
+/// the sequential ISS oracle.
+fn run_lockstep_mode(cfg: LbpConfig, image: &lbp::asm::Image, opts: &Options) -> ExitCode {
+    match lbp::sim::run_lockstep(cfg, image, opts.max_cycles) {
+        Ok(ls) => {
+            println!("lockstep: OK ({} commits verified)", ls.commits);
+            println!("exited:   {}", ls.report.exited);
+            println!("cycles:   {}", ls.report.stats.cycles);
+            println!("retired:  {}", ls.report.stats.retired());
+            ExitCode::SUCCESS
+        }
+        Err(LockstepError::Setup(e)) => {
+            eprintln!("lbp-run: {e}");
+            ExitCode::from(sim_exit_code(&e))
+        }
+        Err(LockstepError::Machine(fail)) => {
+            eprintln!("lbp-run: {}", fail.error);
+            if let Some(path) = &opts.dump_on_error {
+                write_dump(path, &fail.dump);
+            }
+            ExitCode::from(sim_exit_code(&fail.error))
+        }
+        Err(e @ LockstepError::Parallel { .. }) => {
+            eprintln!("lbp-run: {e}");
+            ExitCode::from(2)
+        }
+        Err(e) => {
+            // An oracle fault or an architectural divergence.
+            eprintln!("lbp-run: {e}");
+            ExitCode::from(9)
+        }
     }
 }
 
@@ -188,11 +297,17 @@ fn main() -> ExitCode {
     if opts.interval > 0 {
         cfg = cfg.with_interval(opts.interval);
     }
+    if !opts.faults.is_empty() {
+        cfg = cfg.with_faults(opts.faults.iter().copied().collect::<FaultPlan>());
+    }
+    if opts.lockstep {
+        return run_lockstep_mode(cfg, &image, &opts);
+    }
     let mut machine = match Machine::new(cfg, &image) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("lbp-run: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(sim_exit_code(&e));
         }
     };
     if let Some(path) = &opts.trace {
@@ -210,12 +325,15 @@ fn main() -> ExitCode {
         };
         machine.set_sink(sink);
     }
-    let report = match machine.run(opts.max_cycles) {
+    let report = match machine.run_diagnosed(opts.max_cycles) {
         Ok(r) => r,
-        Err(e) => {
-            eprintln!("lbp-run: {e}");
+        Err(fail) => {
+            eprintln!("lbp-run: {}", fail.error);
+            if let Some(path) = &opts.dump_on_error {
+                write_dump(path, &fail.dump);
+            }
             let _ = machine.finish_trace();
-            return ExitCode::FAILURE;
+            return ExitCode::from(sim_exit_code(&fail.error));
         }
     };
     if let Err(e) = machine.finish_trace() {
