@@ -41,6 +41,17 @@ impl Image {
         self.symbols.get(name).copied()
     }
 
+    /// The source line of the text word at `addr` (None when out of
+    /// range or unaligned, Some(0) for generated code). This is how the
+    /// static verifier maps findings back to assembly source.
+    pub fn line_of(&self, addr: u32) -> Option<usize> {
+        if !addr.is_multiple_of(4) {
+            return None;
+        }
+        let off = addr.checked_sub(CODE_BASE)?;
+        self.lines.get((off / 4) as usize).copied()
+    }
+
     /// The instruction word at a text address, if in range and aligned.
     pub fn text_word(&self, addr: u32) -> Option<u32> {
         if !addr.is_multiple_of(4) {

@@ -31,6 +31,7 @@
 //! # Ok::<(), lbp_asm::AsmError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod assemble;

@@ -1,0 +1,102 @@
+//! Error-path coverage for the assembler front end: malformed operands,
+//! out-of-range immediates, duplicate labels/symbols, bad directives and
+//! expression syntax. Each case asserts both the message and the 1-based
+//! source line the error is attributed to.
+
+use lbp_asm::assemble;
+
+/// Asserts `src` is rejected with a message containing `needle`,
+/// attributed to `line`.
+fn rejected(src: &str, needle: &str, line: usize) {
+    let err = assemble(src).expect_err(&format!("must reject: {src:?}"));
+    assert!(
+        err.message.contains(needle),
+        "message `{}` does not contain `{needle}`",
+        err.message
+    );
+    assert_eq!(err.line, line, "wrong line for `{}`", err.message);
+}
+
+#[test]
+fn unknown_mnemonic_rejected() {
+    rejected(
+        "start:\n    frobnicate a0, a1\n",
+        "unknown mnemonic `frobnicate`",
+        2,
+    );
+}
+
+#[test]
+fn wrong_operand_count_rejected() {
+    rejected("    add a0, a1\n", "`add` expects 3 operands, got 2", 1);
+    rejected("    jal a0, a1, a2\n", "`jal` expects 1 or 2 operands", 1);
+    rejected("    jalr a0, a1, a2\n", "`jalr` expects 1 or 2 operands", 1);
+    rejected("    p_ret a0\n", "`p_ret` expects 0 or 2 operands", 1);
+}
+
+#[test]
+fn malformed_memory_operand_rejected() {
+    rejected("    lw a0, a1\n", "expected `offset(base)`, got `a1`", 1);
+    rejected("    lw a0, 4(sp\n", "unclosed `(`", 1);
+    rejected("    sw a0, 4(99)\n", "unknown register name", 1);
+}
+
+#[test]
+fn unknown_register_rejected() {
+    rejected("    add a0, a1, q7\n", "unknown register name `q7`", 1);
+}
+
+#[test]
+fn out_of_range_immediates_rejected() {
+    // addi's I-immediate is 12 bits: [-2048, 2047].
+    rejected(
+        "    addi a0, a0, 5000\n",
+        "immediate 5000 of `addi` outside [-2048, 2047]",
+        1,
+    );
+    // Store offsets share the 12-bit range via the S-format.
+    rejected("    sw a0, 99999(sp)\n", "outside [-2048, 2047]", 1);
+    // `li` materializes any 32-bit constant but nothing wider.
+    rejected(
+        "    li a0, 0x1ffffffff\n",
+        "`li` value 8589934591 exceeds 32 bits",
+        1,
+    );
+}
+
+#[test]
+fn duplicate_labels_and_symbols_rejected() {
+    rejected("a:\n    nop\na:\n    nop\n", "duplicate label `a`", 3);
+    rejected(".equ N, 4\n.equ N, 5\n", "duplicate symbol `N`", 2);
+    // A label clashing with an .equ is the same namespace.
+    rejected(".equ a, 4\na:\n    nop\n", "duplicate label `a`", 2);
+}
+
+#[test]
+fn undefined_symbol_rejected() {
+    rejected("    la a0, missing\n", "undefined symbol `missing`", 1);
+}
+
+#[test]
+fn malformed_directives_rejected() {
+    rejected(".word\n", ".word needs at least one value", 1);
+    rejected(".equ N\n", ".equ needs `name, value`", 1);
+    rejected(".frobnicate 3\n", "unknown directive `.frobnicate`", 1);
+    rejected(".space -8\n", "bad .space count -8", 1);
+}
+
+#[test]
+fn expression_syntax_rejected() {
+    rejected("    li a0, %mid(x)\n", "unknown operator %mid", 1);
+    rejected("x:\n    li a0, %hi x\n", "expected `(` after %hi", 2);
+    rejected("    li a0, 1 + 0zz\n", "bad number", 1);
+    rejected("    li a0, (1 + 2) 3\n", "trailing text in expression", 1);
+}
+
+#[test]
+fn error_lines_skip_comments_and_blanks() {
+    // The reported line must be the physical source line, counting
+    // comments and blank lines.
+    let src = "# header comment\n\n    nop\n    bogus a0\n";
+    rejected(src, "unknown mnemonic `bogus`", 4);
+}

@@ -24,6 +24,7 @@
 //! the interesting output is how the *shape* extrapolates across sizes
 //! next to the LBP simulator's measurements.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod energy;

@@ -17,6 +17,7 @@
 //! simulated numbers come from the `figures` binary
 //! (`cargo run -p lbp-bench --release --bin figures -- all`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;

@@ -47,6 +47,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
@@ -54,6 +55,7 @@ use std::fmt;
 pub mod ast;
 mod codegen;
 mod lex;
+mod lint;
 mod parse;
 mod sema;
 
@@ -116,4 +118,37 @@ pub fn compile(source: &str) -> Result<Compiled, CcError> {
         )
     })?;
     Ok(Compiled { asm, image })
+}
+
+/// Runs the determinism lint over a mini-C translation unit without
+/// generating code: every parallel region is checked for races (see the
+/// `lint` module docs) and the result is a batch of `lbp-diag-v1`
+/// diagnostics. Semantic errors are reported — **all** of them, not just
+/// the first — as `LBP-C001` diagnostics; the race analysis needs a
+/// well-formed unit and is skipped when sema fails.
+///
+/// The program is acceptable iff [`lbp_verify::accepted`] holds on the
+/// result.
+///
+/// # Errors
+///
+/// Returns an error only when the source cannot be parsed at all
+/// (lexical or syntactic failure); everything later is a diagnostic.
+pub fn lint(source: &str) -> Result<Vec<lbp_verify::Diag>, CcError> {
+    let tokens = lex::lex(source)?;
+    let unit = parse::parse(tokens)?;
+    match sema::check_all(unit) {
+        Err(errs) => Ok(errs
+            .into_iter()
+            .map(|e| {
+                lbp_verify::Diag::new(
+                    lbp_verify::DiagCode::CSema,
+                    lbp_verify::Severity::Error,
+                    e.line,
+                    e.message,
+                )
+            })
+            .collect()),
+        Ok(checked) => Ok(lint::lint_unit(&checked)),
+    }
 }

@@ -1,5 +1,10 @@
 //! Semantic checks: name resolution, arity, and the Deterministic OpenMP
 //! region restrictions.
+//!
+//! The walker collects *every* diagnosable problem instead of stopping at
+//! the first ([`check_all`]); [`check`] keeps the original first-error
+//! contract for the compile pipeline. Collecting everything is what the
+//! `--lint` surface batches into one `lbp-diag-v1` report.
 
 use std::collections::HashMap;
 
@@ -33,13 +38,26 @@ pub const MAX_ARGS: usize = 6;
 ///
 /// Returns the first semantic error with its source line.
 pub fn check(unit: Unit) -> Result<Checked, CcError> {
+    check_all(unit).map_err(|mut errs| errs.remove(0))
+}
+
+/// Checks a parsed unit, collecting **all** semantic errors in source
+/// order rather than stopping at the first.
+///
+/// # Errors
+///
+/// Returns the (non-empty) list of every semantic error found.
+pub fn check_all(unit: Unit) -> Result<Checked, Vec<CcError>> {
+    let mut errs = Vec::new();
     let mut globals = HashMap::new();
     for g in &unit.globals {
-        if globals.insert(g.name.clone(), g.is_array).is_some() {
-            return Err(CcError::new(
+        if globals.contains_key(&g.name) {
+            errs.push(CcError::new(
                 g.line,
                 format!("duplicate global `{}`", g.name),
             ));
+        } else {
+            globals.insert(g.name.clone(), g.is_array);
         }
     }
     let mut signatures: HashMap<String, (usize, bool)> = BUILTINS
@@ -48,23 +66,22 @@ pub fn check(unit: Unit) -> Result<Checked, CcError> {
         .collect();
     for f in &unit.functions {
         if globals.contains_key(&f.name) {
-            return Err(CcError::new(
+            errs.push(CcError::new(
                 f.line,
                 format!("`{}` is both a global and a function", f.name),
             ));
         }
-        if signatures
-            .insert(f.name.clone(), (f.params.len(), f.returns_value))
-            .is_some()
-        {
-            return Err(CcError::new(
+        if signatures.contains_key(&f.name) {
+            errs.push(CcError::new(
                 f.line,
                 format!("duplicate function `{}`", f.name),
             ));
+        } else {
+            signatures.insert(f.name.clone(), (f.params.len(), f.returns_value));
         }
     }
     if !signatures.contains_key("main") {
-        return Err(CcError::new(1, "a program needs a `main` function"));
+        errs.push(CcError::new(1, "a program needs a `main` function"));
     }
     let checked = Checked {
         unit,
@@ -72,22 +89,26 @@ pub fn check(unit: Unit) -> Result<Checked, CcError> {
         signatures,
     };
     for f in &checked.unit.functions {
-        check_function(f, &checked)?;
+        check_function(f, &checked, &mut errs);
     }
-    Ok(checked)
+    if errs.is_empty() {
+        Ok(checked)
+    } else {
+        Err(errs)
+    }
 }
 
-fn check_function(f: &Function, cx: &Checked) -> Result<(), CcError> {
+fn check_function(f: &Function, cx: &Checked, errs: &mut Vec<CcError>) {
     let mut scope: HashMap<String, bool> = HashMap::new();
     for p in &f.params {
         if scope.insert(p.clone(), false).is_some() {
-            return Err(CcError::new(f.line, format!("duplicate parameter `{p}`")));
+            errs.push(CcError::new(f.line, format!("duplicate parameter `{p}`")));
         }
     }
     let mut counter = f.params.len();
-    check_block(&f.body, f, cx, &mut scope, &mut counter, false)?;
+    check_block(&f.body, f, cx, &mut scope, &mut counter, false, errs);
     if counter > MAX_LOCALS {
-        return Err(CcError::new(
+        errs.push(CcError::new(
             f.line,
             format!(
                 "function `{}` needs {counter} register locals; the compiler supports {MAX_LOCALS}",
@@ -95,9 +116,9 @@ fn check_function(f: &Function, cx: &Checked) -> Result<(), CcError> {
             ),
         ));
     }
-    Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_block(
     stmts: &[Stmt],
     f: &Function,
@@ -105,10 +126,12 @@ fn check_block(
     scope: &mut HashMap<String, bool>,
     counter: &mut usize,
     in_region: bool,
-) -> Result<(), CcError> {
-    check_block_depth(stmts, f, cx, scope, counter, in_region, 0)
+    errs: &mut Vec<CcError>,
+) {
+    check_block_depth(stmts, f, cx, scope, counter, in_region, 0, errs);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_block_depth(
     stmts: &[Stmt],
     f: &Function,
@@ -117,13 +140,14 @@ fn check_block_depth(
     counter: &mut usize,
     in_region: bool,
     loops: usize,
-) -> Result<(), CcError> {
+    errs: &mut Vec<CcError>,
+) {
     for s in stmts {
-        check_stmt_depth(s, f, cx, scope, counter, in_region, loops)?;
+        check_stmt_depth(s, f, cx, scope, counter, in_region, loops, errs);
     }
-    Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn check_stmt_depth(
     s: &Stmt,
     f: &Function,
@@ -132,56 +156,57 @@ fn check_stmt_depth(
     counter: &mut usize,
     in_region: bool,
     loops: usize,
-) -> Result<(), CcError> {
+    errs: &mut Vec<CcError>,
+) {
     match s {
         Stmt::Break(line) | Stmt::Continue(line) => {
             if loops == 0 {
-                return Err(CcError::new(*line, "`break`/`continue` outside a loop"));
+                errs.push(CcError::new(*line, "`break`/`continue` outside a loop"));
             }
         }
         Stmt::Decl { name, init, line } => {
             if let Some(e) = init {
-                check_expr(e, *line, cx, scope)?;
+                check_expr(e, *line, cx, scope, errs);
             }
             if cx.globals.contains_key(name) {
                 // Shadowing a global is allowed; it resolves to the local.
             }
             if scope.insert(name.clone(), false).is_some() {
-                return Err(CcError::new(*line, format!("duplicate local `{name}`")));
+                errs.push(CcError::new(*line, format!("duplicate local `{name}`")));
             }
             *counter += 1;
         }
         Stmt::DeclArray { name, elems, line } => {
             if *elems == 0 {
-                return Err(CcError::new(
+                errs.push(CcError::new(
                     *line,
                     format!("array `{name}` has zero elements"),
                 ));
             }
             if *elems * 4 > 8192 {
-                return Err(CcError::new(
+                errs.push(CcError::new(
                     *line,
                     format!("local array `{name}` exceeds the 8 KiB frame budget"),
                 ));
             }
             if scope.insert(name.clone(), true).is_some() {
-                return Err(CcError::new(*line, format!("duplicate local `{name}`")));
+                errs.push(CcError::new(*line, format!("duplicate local `{name}`")));
             }
             // Arrays live in the frame, not in the register-local budget.
         }
         Stmt::Assign { lhs, rhs, line } => {
-            check_place(lhs, *line, cx, scope)?;
-            check_expr(rhs, *line, cx, scope)?;
+            check_place(lhs, *line, cx, scope, errs);
+            check_expr(rhs, *line, cx, scope, errs);
         }
-        Stmt::Expr(e, line) => check_expr(e, *line, cx, scope)?,
+        Stmt::Expr(e, line) => check_expr(e, *line, cx, scope, errs),
         Stmt::If { cond, then, els } => {
-            check_expr(cond, f.line, cx, scope)?;
-            check_block_depth(then, f, cx, scope, counter, in_region, loops)?;
-            check_block_depth(els, f, cx, scope, counter, in_region, loops)?;
+            check_expr(cond, f.line, cx, scope, errs);
+            check_block_depth(then, f, cx, scope, counter, in_region, loops, errs);
+            check_block_depth(els, f, cx, scope, counter, in_region, loops, errs);
         }
         Stmt::While { cond, body } => {
-            check_expr(cond, f.line, cx, scope)?;
-            check_block_depth(body, f, cx, scope, counter, in_region, loops + 1)?;
+            check_expr(cond, f.line, cx, scope, errs);
+            check_block_depth(body, f, cx, scope, counter, in_region, loops + 1, errs);
         }
         Stmt::For {
             init,
@@ -190,30 +215,30 @@ fn check_stmt_depth(
             body,
         } => {
             if let Some(i) = init.as_ref() {
-                check_stmt_depth(i, f, cx, scope, counter, in_region, loops)?;
+                check_stmt_depth(i, f, cx, scope, counter, in_region, loops, errs);
             }
             if let Some(c) = cond {
-                check_expr(c, f.line, cx, scope)?;
+                check_expr(c, f.line, cx, scope, errs);
             }
-            check_block_depth(body, f, cx, scope, counter, in_region, loops + 1)?;
+            check_block_depth(body, f, cx, scope, counter, in_region, loops + 1, errs);
             if let Some(st) = step.as_ref() {
-                check_stmt_depth(st, f, cx, scope, counter, in_region, loops + 1)?;
+                check_stmt_depth(st, f, cx, scope, counter, in_region, loops + 1, errs);
             }
         }
         Stmt::Return(value, line) => {
             if in_region {
-                return Err(CcError::new(*line, "`return` inside a parallel region"));
+                errs.push(CcError::new(*line, "`return` inside a parallel region"));
             }
             match (value, f.returns_value) {
-                (Some(e), true) => check_expr(e, *line, cx, scope)?,
+                (Some(e), true) => check_expr(e, *line, cx, scope, errs),
                 (None, false) => {}
                 (Some(_), false) => {
-                    return Err(CcError::new(
+                    errs.push(CcError::new(
                         *line,
                         "returning a value from a void function",
-                    ))
+                    ));
                 }
-                (None, true) => return Err(CcError::new(*line, "missing return value")),
+                (None, true) => errs.push(CcError::new(*line, "missing return value")),
             }
         }
         Stmt::ParallelFor {
@@ -223,19 +248,19 @@ fn check_stmt_depth(
             count,
         } => {
             if f.name != "main" {
-                return Err(CcError::new(
+                errs.push(CcError::new(
                     *line,
                     "parallel regions are only supported in `main` (the paper's program shape)",
                 ));
             }
             if in_region {
-                return Err(CcError::new(
+                errs.push(CcError::new(
                     *line,
                     "nested parallel regions are not supported",
                 ));
             }
             if *count > 256 {
-                return Err(CcError::new(
+                errs.push(CcError::new(
                     *line,
                     format!("team of {count} exceeds 256 harts"),
                 ));
@@ -245,9 +270,17 @@ fn check_stmt_depth(
             let mut region_scope: HashMap<String, bool> = HashMap::new();
             region_scope.insert(var.clone(), false);
             let mut region_locals = 1usize;
-            check_block(body, f, cx, &mut region_scope, &mut region_locals, true)?;
+            check_block(
+                body,
+                f,
+                cx,
+                &mut region_scope,
+                &mut region_locals,
+                true,
+                errs,
+            );
             if region_locals > MAX_LOCALS {
-                return Err(CcError::new(
+                errs.push(CcError::new(
                     *line,
                     format!(
                         "parallel body needs {region_locals} register locals; max {MAX_LOCALS}"
@@ -257,13 +290,13 @@ fn check_stmt_depth(
         }
         Stmt::ParallelSections { sections, line } => {
             if f.name != "main" {
-                return Err(CcError::new(
+                errs.push(CcError::new(
                     *line,
                     "parallel regions are only supported in `main`",
                 ));
             }
             if in_region {
-                return Err(CcError::new(
+                errs.push(CcError::new(
                     *line,
                     "nested parallel regions are not supported",
                 ));
@@ -271,9 +304,17 @@ fn check_stmt_depth(
             for body in sections {
                 let mut region_scope = HashMap::new();
                 let mut region_locals = 0usize;
-                check_block(body, f, cx, &mut region_scope, &mut region_locals, true)?;
+                check_block(
+                    body,
+                    f,
+                    cx,
+                    &mut region_scope,
+                    &mut region_locals,
+                    true,
+                    errs,
+                );
                 if region_locals > MAX_LOCALS {
-                    return Err(CcError::new(
+                    errs.push(CcError::new(
                         *line,
                         "section needs too many register locals",
                     ));
@@ -281,7 +322,6 @@ fn check_stmt_depth(
             }
         }
     }
-    Ok(())
 }
 
 fn check_place(
@@ -289,34 +329,35 @@ fn check_place(
     line: usize,
     cx: &Checked,
     scope: &HashMap<String, bool>,
-) -> Result<(), CcError> {
+    errs: &mut Vec<CcError>,
+) {
     match p {
         Place::Var(name) => {
             if let Some(&is_array) = scope.get(name) {
                 if is_array {
-                    return Err(CcError::new(
+                    errs.push(CcError::new(
                         line,
                         format!("cannot assign to array `{name}`"),
                     ));
                 }
-                return Ok(());
+                return;
             }
             match cx.globals.get(name) {
-                Some(false) => Ok(()),
-                Some(true) => Err(CcError::new(
+                Some(false) => {}
+                Some(true) => errs.push(CcError::new(
                     line,
                     format!("cannot assign to array `{name}`"),
                 )),
-                None => Err(CcError::new(line, format!("undefined variable `{name}`"))),
+                None => errs.push(CcError::new(line, format!("undefined variable `{name}`"))),
             }
         }
         Place::Index(name, idx) => {
             if !scope.contains_key(name) && !cx.globals.contains_key(name) {
-                return Err(CcError::new(line, format!("undefined variable `{name}`")));
+                errs.push(CcError::new(line, format!("undefined variable `{name}`")));
             }
-            check_expr(idx, line, cx, scope)
+            check_expr(idx, line, cx, scope, errs);
         }
-        Place::Deref(e) => check_expr(e, line, cx, scope),
+        Place::Deref(e) => check_expr(e, line, cx, scope, errs),
     }
 }
 
@@ -325,55 +366,60 @@ fn check_expr(
     line: usize,
     cx: &Checked,
     scope: &HashMap<String, bool>,
-) -> Result<(), CcError> {
+    errs: &mut Vec<CcError>,
+) {
     match e {
-        Expr::Int(_) => Ok(()),
+        Expr::Int(_) => {}
         Expr::Var(name) => {
-            if scope.contains_key(name) || cx.globals.contains_key(name) {
-                Ok(())
-            } else {
-                Err(CcError::new(line, format!("undefined variable `{name}`")))
+            if !scope.contains_key(name) && !cx.globals.contains_key(name) {
+                errs.push(CcError::new(line, format!("undefined variable `{name}`")));
             }
         }
         Expr::Index(name, idx) => {
             if !scope.contains_key(name) && !cx.globals.contains_key(name) {
-                return Err(CcError::new(line, format!("undefined variable `{name}`")));
+                errs.push(CcError::new(line, format!("undefined variable `{name}`")));
             }
-            check_expr(idx, line, cx, scope)
+            check_expr(idx, line, cx, scope, errs);
         }
-        Expr::Deref(inner) => check_expr(inner, line, cx, scope),
+        Expr::Deref(inner) => check_expr(inner, line, cx, scope, errs),
         Expr::AddrOf(place) => match place.as_ref() {
-            Place::Var(name) if scope.get(name) == Some(&false) => Err(CcError::new(
-                line,
-                format!("cannot take the address of register local `{name}`"),
-            )),
-            p => check_place(p, line, cx, scope),
+            Place::Var(name) if scope.get(name) == Some(&false) => {
+                errs.push(CcError::new(
+                    line,
+                    format!("cannot take the address of register local `{name}`"),
+                ));
+            }
+            p => check_place(p, line, cx, scope, errs),
         },
-        Expr::Unary(_, inner) => check_expr(inner, line, cx, scope),
+        Expr::Unary(_, inner) => check_expr(inner, line, cx, scope, errs),
         Expr::Binary(_, a, b) => {
-            check_expr(a, line, cx, scope)?;
-            check_expr(b, line, cx, scope)
+            check_expr(a, line, cx, scope, errs);
+            check_expr(b, line, cx, scope, errs);
         }
         Expr::Call(name, args) => {
-            let (arity, _ret) = cx.signatures.get(name).ok_or_else(|| {
-                CcError::new(line, format!("call to undefined function `{name}`"))
-            })?;
-            if args.len() != *arity {
-                return Err(CcError::new(
+            match cx.signatures.get(name) {
+                None => errs.push(CcError::new(
                     line,
-                    format!("`{name}` takes {arity} argument(s), got {}", args.len()),
-                ));
-            }
-            if args.len() > MAX_ARGS {
-                return Err(CcError::new(
-                    line,
-                    format!("calls support at most {MAX_ARGS} arguments"),
-                ));
+                    format!("call to undefined function `{name}`"),
+                )),
+                Some((arity, _ret)) => {
+                    if args.len() != *arity {
+                        errs.push(CcError::new(
+                            line,
+                            format!("`{name}` takes {arity} argument(s), got {}", args.len()),
+                        ));
+                    }
+                    if args.len() > MAX_ARGS {
+                        errs.push(CcError::new(
+                            line,
+                            format!("calls support at most {MAX_ARGS} arguments"),
+                        ));
+                    }
+                }
             }
             for a in args {
-                check_expr(a, line, cx, scope)?;
+                check_expr(a, line, cx, scope, errs);
             }
-            Ok(())
         }
     }
 }
@@ -386,6 +432,10 @@ mod tests {
 
     fn check_src(src: &str) -> Result<Checked, CcError> {
         check(parse(lex(src).unwrap())?)
+    }
+
+    fn check_all_src(src: &str) -> Result<Checked, Vec<CcError>> {
+        check_all(parse(lex(src).unwrap()).map_err(|e| vec![e])?)
     }
 
     #[test]
@@ -468,5 +518,35 @@ void main(void) { }",
     fn assigning_to_array_rejected() {
         let e = check_src("int v[4]; void main(void) { v = 1; }").unwrap_err();
         assert!(e.to_string().contains("cannot assign to array"));
+    }
+
+    #[test]
+    fn all_errors_are_collected_in_source_order() {
+        let errs = check_all_src(
+            "void main(void) {
+    x = 1;
+    y = 2;
+    f();
+}",
+        )
+        .unwrap_err();
+        assert_eq!(errs.len(), 3, "{errs:?}");
+        assert!(errs[0].to_string().contains("`x`"));
+        assert!(errs[1].to_string().contains("`y`"));
+        assert!(errs[2].to_string().contains("`f`"));
+    }
+
+    #[test]
+    fn first_collected_error_matches_check() {
+        let src = "void main(void) { x = 1; y = 2; }";
+        let first = check_src(src).unwrap_err();
+        let all = check_all_src(src).unwrap_err();
+        assert_eq!(first.to_string(), all[0].to_string());
+    }
+
+    #[test]
+    fn errors_after_an_undefined_call_are_still_reported() {
+        let errs = check_all_src("void main(void) { f(undefined_arg); }").unwrap_err();
+        assert_eq!(errs.len(), 2, "{errs:?}");
     }
 }

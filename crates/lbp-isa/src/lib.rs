@@ -28,6 +28,7 @@
 //!
 //! [`lbp-asm`]: https://example.org/lbp
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod decode;

@@ -10,6 +10,7 @@
 //! its generator with `seed ^ i`-derived state, so a failing case can be
 //! replayed in isolation by seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// A deterministic 64-bit PRNG (SplitMix64).

@@ -1,0 +1,756 @@
+//! Binary-level verification of the PISC fork/join protocol.
+//!
+//! Two cooperating passes over an assembled [`Image`]:
+//!
+//! 1. **Slot liveness** (flow-insensitive): every `p_lwre` receive slot
+//!    must have a `p_swre` sender somewhere in the image, and every
+//!    `p_lwcv` continuation-value slot a `p_swcv` writer. A receive with
+//!    no possible sender blocks its hart forever on real hardware; the
+//!    dynamic detector of `lbp-sim` can only report it after simulating
+//!    one input — this pass rejects it before any cycle is spent.
+//!
+//! 2. **Fork-protocol abstract interpretation** (flow-sensitive): a
+//!    worklist fixpoint over per-instruction abstract states tracking,
+//!    for each register, whether it definitely holds a fork result
+//!    (`p_fc`/`p_fn`), a stamped or merged identity word (`p_set` /
+//!    `p_merge`), or a known constant — plus which continuation-value
+//!    slots have been transmitted since the last fork and whether a
+//!    `p_syncm` has drained them. The pass flags transmissions to
+//!    registers that cannot name an allocated hart, parallel starts
+//!    without a merged identity or without an intervening `p_syncm`,
+//!    continuations that read untransmitted cv slots, malformed `p_ret`
+//!    identity words, and control flow that runs off the text section.
+//!
+//! The interpretation is *witness-directed*: a diagnostic is emitted
+//! only when the abstract state proves the violation on some path
+//! (`Unknown` operands always pass), so every hand-written or generated
+//! program in the repository verifies clean while each seeded protocol
+//! mistake is rejected with a precise wait-reason. See DESIGN.md for the
+//! lattice and the soundness/completeness trade-off.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use lbp_asm::Image;
+use lbp_isa::{Instr, Reg, CODE_BASE};
+
+use crate::diag::{Diag, DiagCode, Severity};
+
+/// Safety bound on fixpoint steps (the lattice guarantees termination;
+/// this guards against a bug turning verification into a hang).
+const MAX_STEPS: usize = 4_000_000;
+
+/// Verifies an assembled image against the PISC fork/join protocol.
+///
+/// Returns all findings; the program is acceptable iff
+/// [`crate::accepted`] holds on the result.
+pub fn verify_image(image: &Image) -> Vec<Diag> {
+    let mut diags = slot_liveness(image);
+    diags.extend(Interp::new(image).run());
+    diags.sort_by_key(|d| (d.line, d.code.as_str()));
+    diags
+}
+
+/// The source line of a text address, for diagnostics (0 = generated).
+fn line_of(image: &Image, pc: u32) -> usize {
+    image.line_of(pc).unwrap_or(0)
+}
+
+/// Pass 1: flow-insensitive result-buffer and cv-frame slot liveness.
+fn slot_liveness(image: &Image) -> Vec<Diag> {
+    // slot -> first pc that reads it
+    let mut lwre: BTreeMap<i32, u32> = BTreeMap::new();
+    let mut lwcv: BTreeMap<i32, u32> = BTreeMap::new();
+    let mut swre: BTreeSet<i32> = BTreeSet::new();
+    let mut swcv: BTreeSet<i32> = BTreeSet::new();
+    for (i, &word) in image.text.iter().enumerate() {
+        let pc = CODE_BASE + 4 * i as u32;
+        match Instr::decode(word) {
+            Ok(Instr::PLwre { offset, .. }) => {
+                lwre.entry(offset).or_insert(pc);
+            }
+            Ok(Instr::PSwre { offset, .. }) => {
+                swre.insert(offset);
+            }
+            Ok(Instr::PLwcv { offset, .. }) => {
+                lwcv.entry(offset).or_insert(pc);
+            }
+            Ok(Instr::PSwcv { offset, .. }) => {
+                swcv.insert(offset);
+            }
+            _ => {}
+        }
+    }
+    let mut diags = Vec::new();
+    for (&slot, &pc) in &lwre {
+        if !swre.contains(&slot) {
+            diags.push(
+                Diag::new(
+                    DiagCode::BRecvNoSender,
+                    Severity::Error,
+                    line_of(image, pc),
+                    format!(
+                        "p_lwre at {pc:#x} receives from result-buffer slot {slot}, \
+                         but no p_swre in the image ever sends to slot {slot}: \
+                         the hart blocks forever"
+                    ),
+                )
+                .with_wait_reason(format!("a p_swre result in slot {slot} that is never sent"))
+                .with_hint(format!(
+                    "add a matching `p_swre <value>, <join-hart>, {slot}` on the \
+                     producing hart, or drop the receive"
+                )),
+            );
+        }
+    }
+    for (&slot, &pc) in &lwcv {
+        if !swcv.contains(&slot) {
+            diags.push(
+                Diag::new(
+                    DiagCode::BCvNeverSent,
+                    Severity::Error,
+                    line_of(image, pc),
+                    format!(
+                        "p_lwcv at {pc:#x} loads continuation-value slot {slot}, \
+                         but no p_swcv in the image ever writes slot {slot}"
+                    ),
+                )
+                .with_wait_reason(format!(
+                    "a continuation value in cv slot {slot} that is never transmitted"
+                ))
+                .with_hint(format!(
+                    "transmit the slot with `p_swcv <value>, <allocated-hart>, {slot}` \
+                     before starting the hart"
+                )),
+            );
+        }
+    }
+    diags
+}
+
+/// What a register definitely holds on the abstract path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// Anything: always passes every check.
+    Unknown,
+    /// A known 32-bit constant (from `li`/`lui`/ALU chains).
+    Const(i32),
+    /// The result of `p_fc`/`p_fn`: an allocated hart id.
+    Fork,
+    /// The result of `p_set`: identity word, valid flag set, stale low half.
+    Stamped,
+    /// The result of `p_merge`: join + allocated identity word.
+    Merged,
+}
+
+impl AbsVal {
+    fn meet(self, other: AbsVal) -> AbsVal {
+        if self == other {
+            self
+        } else {
+            AbsVal::Unknown
+        }
+    }
+}
+
+/// Which cv-frame slots this hart's forker definitely transmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CvAvail {
+    /// Not known to be a fork continuation: `p_lwcv` always passes.
+    Any,
+    /// Fork continuation with exactly this transmitted-slot bitmask.
+    Known(u32),
+}
+
+impl CvAvail {
+    fn meet(self, other: CvAvail) -> CvAvail {
+        match (self, other) {
+            // The permissive union: a slot is "available" if any path
+            // transmitted it, so a miss is definite on every path.
+            (CvAvail::Known(a), CvAvail::Known(b)) => CvAvail::Known(a | b),
+            _ => CvAvail::Any,
+        }
+    }
+}
+
+/// Whether transmitted continuation values have drained (`p_syncm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sync {
+    /// No un-drained `p_swcv` outstanding.
+    Clean,
+    /// A `p_swcv` happened since the last `p_syncm`.
+    Dirty,
+    /// Differs between paths.
+    Maybe,
+}
+
+impl Sync {
+    fn meet(self, other: Sync) -> Sync {
+        if self == other {
+            self
+        } else {
+            Sync::Maybe
+        }
+    }
+}
+
+/// The per-program-point abstract state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    regs: [AbsVal; 32],
+    /// Bitmask of cv slots written since the last fork (to its target).
+    cv_sent: u32,
+    cv_avail: CvAvail,
+    sync: Sync,
+}
+
+impl AbsState {
+    /// The state a root (entry point or label) starts in: no assumptions.
+    fn root() -> AbsState {
+        AbsState {
+            regs: [AbsVal::Unknown; 32],
+            cv_sent: 0,
+            cv_avail: CvAvail::Any,
+            sync: Sync::Maybe,
+        }
+    }
+
+    fn get(&self, r: Reg) -> AbsVal {
+        if r.is_zero() {
+            AbsVal::Const(0)
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn set(&mut self, r: Reg, v: AbsVal) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Meets `other` into `self`; true if `self` changed.
+    fn meet(&mut self, other: &AbsState) -> bool {
+        let mut changed = false;
+        for i in 0..32 {
+            let m = self.regs[i].meet(other.regs[i]);
+            changed |= m != self.regs[i];
+            self.regs[i] = m;
+        }
+        let cv = self.cv_avail.meet(other.cv_avail);
+        changed |= cv != self.cv_avail;
+        self.cv_avail = cv;
+        let sent = self.cv_sent | other.cv_sent;
+        changed |= sent != self.cv_sent;
+        self.cv_sent = sent;
+        let s = self.sync.meet(other.sync);
+        changed |= s != self.sync;
+        self.sync = s;
+        changed
+    }
+
+    /// Call effects: caller-saved registers are clobbered. `t0`/`t1` are
+    /// preserved — by convention they carry the X_PAR identity words and
+    /// no generated or protocol-following function touches them.
+    fn havoc_call(&mut self) {
+        for r in [
+            Reg::RA,
+            Reg::T2,
+            Reg::T3,
+            Reg::T4,
+            Reg::T5,
+            Reg::T6,
+            Reg::A0,
+            Reg::A1,
+            Reg::A2,
+            Reg::A3,
+            Reg::A4,
+            Reg::A5,
+            Reg::A6,
+            Reg::A7,
+        ] {
+            self.set(r, AbsVal::Unknown);
+        }
+        self.sync = Sync::Maybe;
+    }
+
+    /// The state a fork continuation starts in at `pc + 4`: a fresh hart
+    /// whose only guaranteed context is the transmitted cv frame.
+    fn continuation(&self) -> AbsState {
+        AbsState {
+            regs: [AbsVal::Unknown; 32],
+            cv_sent: 0,
+            cv_avail: CvAvail::Known(self.cv_sent),
+            sync: Sync::Clean,
+        }
+    }
+}
+
+/// The fixpoint engine for pass 2.
+struct Interp<'a> {
+    image: &'a Image,
+    states: HashMap<u32, AbsState>,
+    worklist: VecDeque<u32>,
+    diags: Vec<Diag>,
+    /// Dedup: (code, pc) pairs already reported.
+    seen: BTreeSet<(&'static str, u32)>,
+}
+
+impl<'a> Interp<'a> {
+    fn new(image: &'a Image) -> Interp<'a> {
+        Interp {
+            image,
+            states: HashMap::new(),
+            worklist: VecDeque::new(),
+            diags: Vec::new(),
+            seen: BTreeSet::new(),
+        }
+    }
+
+    fn run(mut self) -> Vec<Diag> {
+        // Roots: the entry point and every text symbol that decodes as an
+        // instruction (function labels, branch targets; `.word` tables
+        // embedded in text are skipped). All start with no assumptions,
+        // so extra roots can only mask findings, never invent them.
+        let mut roots: Vec<u32> = vec![self.image.entry];
+        let mut symbols: Vec<u32> = self.image.symbols.values().copied().collect();
+        symbols.sort_unstable();
+        roots.extend(symbols);
+        for pc in roots {
+            if self.decodable(pc) {
+                self.push(pc, AbsState::root(), None);
+            }
+        }
+        let mut steps = 0usize;
+        while let Some(pc) = self.worklist.pop_front() {
+            steps += 1;
+            if steps > MAX_STEPS {
+                break;
+            }
+            let state = self.states[&pc].clone();
+            self.step(pc, state);
+        }
+        self.diags
+    }
+
+    fn decodable(&self, pc: u32) -> bool {
+        self.image
+            .text_word(pc)
+            .is_some_and(|w| Instr::decode(w).is_ok())
+    }
+
+    /// Meets `state` into the stored state at `pc`, queueing on change.
+    /// `from` is the predecessor, used to attribute out-of-text targets.
+    fn push(&mut self, pc: u32, state: AbsState, from: Option<u32>) {
+        if self.image.text_word(pc).is_none() {
+            if let Some(src) = from {
+                self.report(
+                    Diag::new(
+                        DiagCode::BFallsOffText,
+                        Severity::Error,
+                        line_of(self.image, src),
+                        format!(
+                            "control flow at {src:#x} continues to {pc:#x}, \
+                             outside the text section"
+                        ),
+                    )
+                    .with_hint("end the path with p_ret (t0 = -1 and ra = 0 exit the program)"),
+                    src,
+                );
+            }
+            return;
+        }
+        match self.states.get_mut(&pc) {
+            None => {
+                self.states.insert(pc, state);
+                self.worklist.push_back(pc);
+            }
+            Some(existing) => {
+                if existing.meet(&state) {
+                    self.worklist.push_back(pc);
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, diag: Diag, pc: u32) {
+        if self.seen.insert((diag.code.as_str(), pc)) {
+            self.diags.push(diag);
+        }
+    }
+
+    /// Interprets the instruction at `pc` and pushes successor states.
+    fn step(&mut self, pc: u32, mut st: AbsState) {
+        let word = self.image.text_word(pc).expect("pushed pcs are in text");
+        let instr = match Instr::decode(word) {
+            Ok(i) => i,
+            Err(_) => {
+                self.report(
+                    Diag::new(
+                        DiagCode::BFallsOffText,
+                        Severity::Error,
+                        line_of(self.image, pc),
+                        format!(
+                            "control flow reaches {pc:#x}, which holds the \
+                             undecodable word {word:#010x}"
+                        ),
+                    )
+                    .with_hint("keep data out of executed paths; end code with p_ret"),
+                    pc,
+                );
+                return;
+            }
+        };
+        let next = pc.wrapping_add(4);
+        match instr {
+            Instr::Lui { rd, imm } => {
+                st.set(rd, AbsVal::Const(imm as i32));
+                self.push(next, st, Some(pc));
+            }
+            Instr::Auipc { rd, imm } => {
+                st.set(rd, AbsVal::Const(pc.wrapping_add(imm) as i32));
+                self.push(next, st, Some(pc));
+            }
+            Instr::OpImm { kind, rd, rs1, imm } => {
+                let v = match st.get(rs1) {
+                    AbsVal::Const(a) => AbsVal::Const(kind.eval(a as u32, imm) as i32),
+                    _ => AbsVal::Unknown,
+                };
+                st.set(rd, v);
+                self.push(next, st, Some(pc));
+            }
+            Instr::Op { kind, rd, rs1, rs2 } => {
+                let v = match (st.get(rs1), st.get(rs2)) {
+                    (AbsVal::Const(a), AbsVal::Const(b)) => {
+                        AbsVal::Const(kind.eval(a as u32, b as u32) as i32)
+                    }
+                    _ => AbsVal::Unknown,
+                };
+                st.set(rd, v);
+                self.push(next, st, Some(pc));
+            }
+            Instr::Load { rd, .. } => {
+                st.set(rd, AbsVal::Unknown);
+                self.push(next, st, Some(pc));
+            }
+            Instr::Store { .. } => {
+                self.push(next, st, Some(pc));
+            }
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let target = pc.wrapping_add(offset as u32);
+                match (st.get(rs1), st.get(rs2)) {
+                    (AbsVal::Const(a), AbsVal::Const(b)) => {
+                        // Decidable: explore only the real side.
+                        if kind.taken(a as u32, b as u32) {
+                            self.push(target, st, Some(pc));
+                        } else {
+                            self.push(next, st, Some(pc));
+                        }
+                    }
+                    _ => {
+                        self.push(target, st.clone(), Some(pc));
+                        self.push(next, st, Some(pc));
+                    }
+                }
+            }
+            Instr::Jal { rd, offset } => {
+                let target = pc.wrapping_add(offset as u32);
+                if rd.is_zero() {
+                    self.push(target, st, Some(pc));
+                } else {
+                    // A call: the callee is analyzed from its own root;
+                    // model only its register effects here.
+                    st.havoc_call();
+                    self.push(next, st, Some(pc));
+                }
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                if rd.is_zero() {
+                    // An indirect jump or return: follow it only when the
+                    // target is known; otherwise the path ends here.
+                    if let AbsVal::Const(base) = st.get(rs1) {
+                        let target = (base as u32).wrapping_add(offset as u32) & !1;
+                        self.push(target, st, Some(pc));
+                    }
+                } else {
+                    st.havoc_call();
+                    self.push(next, st, Some(pc));
+                }
+            }
+            Instr::PFc { rd } | Instr::PFn { rd } => {
+                st.set(rd, AbsVal::Fork);
+                st.cv_sent = 0;
+                self.push(next, st, Some(pc));
+            }
+            Instr::PSet { rd, .. } => {
+                st.set(rd, AbsVal::Stamped);
+                self.push(next, st, Some(pc));
+            }
+            Instr::PMerge { rd, .. } => {
+                st.set(rd, AbsVal::Merged);
+                self.push(next, st, Some(pc));
+            }
+            Instr::PSyncm => {
+                st.sync = Sync::Clean;
+                self.push(next, st, Some(pc));
+            }
+            Instr::PSwcv { rs1, offset, .. } => {
+                // rs1 names the allocated hart whose cv frame is written.
+                match st.get(rs1) {
+                    AbsVal::Fork | AbsVal::Unknown => {}
+                    held => {
+                        self.report(
+                            Diag::new(
+                                DiagCode::BSwcvNoFork,
+                                Severity::Error,
+                                line_of(self.image, pc),
+                                format!(
+                                    "p_swcv at {pc:#x} transmits to the hart named by \
+                                     `{rs1}`, which holds {} — not the result of a \
+                                     p_fc/p_fn fork",
+                                    describe(held)
+                                ),
+                            )
+                            .with_wait_reason(
+                                "a continuation value delivered to a hart that was \
+                                 never allocated",
+                            )
+                            .with_hint("fork first (p_fc/p_fn) and pass its result register"),
+                            pc,
+                        );
+                    }
+                }
+                if (0..128).contains(&offset) {
+                    st.cv_sent |= 1 << (offset / 4);
+                }
+                st.sync = Sync::Dirty;
+                self.push(next, st, Some(pc));
+            }
+            Instr::PLwcv { rd, offset } => {
+                if let CvAvail::Known(mask) = st.cv_avail {
+                    let bit = if (0..128).contains(&offset) {
+                        1u32 << (offset / 4)
+                    } else {
+                        0
+                    };
+                    if mask & bit == 0 {
+                        self.report(
+                            Diag::new(
+                                DiagCode::BContinuationSlot,
+                                Severity::Error,
+                                line_of(self.image, pc),
+                                format!(
+                                    "p_lwcv at {pc:#x} reads cv slot {offset}, but the \
+                                     forking hart only transmitted slots {}",
+                                    mask_slots(mask)
+                                ),
+                            )
+                            .with_wait_reason(format!(
+                                "a continuation value in cv slot {offset} that its \
+                                 forker never transmitted"
+                            ))
+                            .with_hint(format!(
+                                "add `p_swcv <value>, <allocated-hart>, {offset}` \
+                                 before the p_jalr/p_jal start"
+                            )),
+                            pc,
+                        );
+                    }
+                }
+                st.set(rd, AbsVal::Unknown);
+                self.push(next, st, Some(pc));
+            }
+            Instr::PLwre { rd, .. } => {
+                st.set(rd, AbsVal::Unknown);
+                self.push(next, st, Some(pc));
+            }
+            Instr::PSwre { .. } => {
+                self.push(next, st, Some(pc));
+            }
+            Instr::PJalr { rd, rs1, rs2 } => {
+                if rd.is_zero() {
+                    self.check_p_ret(pc, &st, rs1, rs2);
+                    // The hart ends, waits for a join, or exits: in every
+                    // case this static path is over.
+                } else {
+                    self.check_start(pc, &st, rs1);
+                    // pc+4 is the continuation on the freshly started
+                    // hart; the local hart continues inside the callee,
+                    // which is analyzed from its own root.
+                    self.push(next, st.continuation(), Some(pc));
+                }
+            }
+            Instr::PJal { rd, rs1, offset } => {
+                self.check_start(pc, &st, rs1);
+                self.push(next, st.continuation(), Some(pc));
+                let target = pc.wrapping_add(offset as u32);
+                let mut local = st;
+                local.set(rd, AbsVal::Const(0));
+                self.push(target, local, Some(pc));
+            }
+        }
+    }
+
+    /// Checks a parallel start (`p_jalr rd != x0` / `p_jal`): the
+    /// identity operand and the `p_syncm` drain.
+    fn check_start(&mut self, pc: u32, st: &AbsState, rs1: Reg) {
+        match st.get(rs1) {
+            AbsVal::Merged | AbsVal::Unknown => {}
+            AbsVal::Fork => {
+                self.report(
+                    Diag::new(
+                        DiagCode::BStartNoIdentity,
+                        Severity::Error,
+                        line_of(self.image, pc),
+                        format!(
+                            "parallel start at {pc:#x}: `{rs1}` holds a raw p_fc/p_fn \
+                             fork result; the join half of the identity word is missing"
+                        ),
+                    )
+                    .with_wait_reason(
+                        "a join address that would be sent to hart 0 instead of the \
+                         team's join hart",
+                    )
+                    .with_hint("merge it first: `p_merge t0, t0, <fork-result>`"),
+                    pc,
+                );
+            }
+            held @ (AbsVal::Stamped | AbsVal::Const(_)) => {
+                let what = match held {
+                    AbsVal::Stamped => "a stamped identity whose allocated (low) half \
+                                        was never merged with a fork result"
+                        .to_owned(),
+                    held => format!("{} — not an identity word", describe(held)),
+                };
+                self.report(
+                    Diag::new(
+                        DiagCode::BStartNoIdentity,
+                        Severity::Error,
+                        line_of(self.image, pc),
+                        format!("parallel start at {pc:#x}: `{rs1}` holds {what}"),
+                    )
+                    .with_wait_reason("a start pc delivered to a hart that was never allocated")
+                    .with_hint(
+                        "build the identity word with p_set + p_fc/p_fn + p_merge \
+                         (paper Fig. 8) before p_jalr/p_jal",
+                    ),
+                    pc,
+                );
+            }
+        }
+        if st.sync == Sync::Dirty {
+            self.report(
+                Diag::new(
+                    DiagCode::BMissingSyncm,
+                    Severity::Error,
+                    line_of(self.image, pc),
+                    format!(
+                        "parallel start at {pc:#x} launches the hart while \
+                         continuation-value stores are still in flight \
+                         (no p_syncm since the last p_swcv)"
+                    ),
+                )
+                .with_wait_reason("the started hart may read its cv frame before the values land")
+                .with_hint("insert `p_syncm` between the last p_swcv and the start"),
+                pc,
+            );
+        }
+    }
+
+    /// Checks a `p_ret` (`p_jalr x0, ra, t0`): the identity word must be
+    /// the exit sentinel, a protocol identity, or unknown.
+    fn check_p_ret(&mut self, pc: u32, st: &AbsState, ra: Reg, t0: Reg) {
+        match st.get(t0) {
+            AbsVal::Const(-1) => {
+                // Exit: ra must be 0 (or unknown) for the sentinel to
+                // mean "exit" rather than "join forward".
+                if let AbsVal::Const(r) = st.get(ra) {
+                    if r != 0 {
+                        self.report(
+                            Diag::new(
+                                DiagCode::BMalformedRet,
+                                Severity::Error,
+                                line_of(self.image, pc),
+                                format!(
+                                    "p_ret at {pc:#x} has the exit sentinel in `{t0}` \
+                                     but a nonzero return address {r:#x} in `{ra}`: \
+                                     the join would be sent to hart 0x7fff"
+                                ),
+                            )
+                            .with_hint("load `ra` with 0 (`li ra, 0`) before the exit p_ret"),
+                            pc,
+                        );
+                    }
+                }
+            }
+            AbsVal::Const(c) => {
+                self.report(
+                    Diag::new(
+                        DiagCode::BMalformedRet,
+                        Severity::Error,
+                        line_of(self.image, pc),
+                        format!(
+                            "p_ret at {pc:#x} commits with `{t0}` = {c} ({:#x}): \
+                             neither the exit sentinel (-1) nor a stamped/merged \
+                             identity word",
+                            c as u32
+                        ),
+                    )
+                    .with_wait_reason(
+                        "a join that would target whatever hart the constant happens \
+                         to name",
+                    )
+                    .with_hint(
+                        "end the program with `li t0, -1; li ra, 0; p_ret`, or carry \
+                         the team's identity word in t0",
+                    ),
+                    pc,
+                );
+            }
+            AbsVal::Fork => {
+                self.report(
+                    Diag::new(
+                        DiagCode::BMalformedRet,
+                        Severity::Error,
+                        line_of(self.image, pc),
+                        format!(
+                            "p_ret at {pc:#x} commits with `{t0}` holding a raw fork \
+                             result instead of an identity word"
+                        ),
+                    )
+                    .with_hint("p_merge the fork result into the identity word first"),
+                    pc,
+                );
+            }
+            AbsVal::Unknown | AbsVal::Stamped | AbsVal::Merged => {}
+        }
+    }
+}
+
+/// Human description of an abstract value, for messages.
+fn describe(v: AbsVal) -> String {
+    match v {
+        AbsVal::Unknown => "an unknown value".to_owned(),
+        AbsVal::Const(c) => format!("the constant {c}"),
+        AbsVal::Fork => "a fork result".to_owned(),
+        AbsVal::Stamped => "a stamped identity word".to_owned(),
+        AbsVal::Merged => "a merged identity word".to_owned(),
+    }
+}
+
+/// Formats a transmitted-slot bitmask as byte offsets, e.g. `{0, 4}`.
+fn mask_slots(mask: u32) -> String {
+    let slots: Vec<String> = (0..32)
+        .filter(|i| mask & (1 << i) != 0)
+        .map(|i| (i * 4).to_string())
+        .collect();
+    if slots.is_empty() {
+        "{} (none)".to_owned()
+    } else {
+        format!("{{{}}}", slots.join(", "))
+    }
+}

@@ -1,0 +1,6 @@
+# Ill-formed: commits p_ret with t0 = 5 — neither the exit sentinel (-1)
+# nor an identity word built by p_set/p_merge. Expected: LBP-B007.
+main:
+    li    t0, 5
+    li    ra, 0
+    p_ret

@@ -1,0 +1,7 @@
+/* Ill-formed: three independent semantic errors; the lint surface must
+ * report all of them, not just the first. Expected: 3 × LBP-C001. */
+void main(void) {
+    x = 1;
+    y = 2;
+    f();
+}

@@ -1,0 +1,30 @@
+# Ill-formed: the fork transmits only cv slot 0, but the continuation on
+# the forked hart also reads slot 8. (The unreachable `helper` writes
+# slot 8 so the flow-insensitive liveness pass stays quiet — only the
+# per-fork abstract interpretation can see this one.) Expected: LBP-B006.
+main:
+    li    t0, -1
+    p_set t0
+    la    ra, rp
+    p_fn   t6
+    p_swcv ra, t6, 0
+    p_merge t0, t0, t6
+    p_syncm
+    la    a0, thread
+    p_jalr ra, t0, a0
+    p_lwcv ra, 0
+    p_lwcv a0, 8
+    li    t0, -1
+    li    ra, 0
+    p_ret
+rp:
+    li    t0, -1
+    li    ra, 0
+    p_ret
+thread:
+    p_ret
+helper:
+    p_fc   t6
+    p_swcv a0, t6, 8
+    p_syncm
+    p_ret

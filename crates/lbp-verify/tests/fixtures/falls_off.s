@@ -1,0 +1,5 @@
+# Ill-formed: no p_ret — control falls off the end of the text section.
+# Expected: LBP-B008.
+main:
+    li    a0, 1
+    addi  a0, a0, 1

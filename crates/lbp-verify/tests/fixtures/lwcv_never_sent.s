@@ -1,0 +1,7 @@
+# Ill-formed: loads continuation-value slot 0, but no p_swcv anywhere in
+# the image ever transmits slot 0. Expected: LBP-B002.
+main:
+    p_lwcv a0, 0
+    li    t0, -1
+    li    ra, 0
+    p_ret

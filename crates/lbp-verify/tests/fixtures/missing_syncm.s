@@ -1,0 +1,24 @@
+# Ill-formed Fig. 8: the continuation values are still in flight when
+# the forked hart starts — the p_syncm drain between the last p_swcv and
+# the p_jalr is missing. Expected: LBP-B005.
+main:
+    li    t0, -1
+    p_set t0
+    la    ra, rp
+    p_fn   t6
+    p_swcv ra, t6, 0
+    p_swcv t0, t6, 4
+    p_merge t0, t0, t6
+    la    a0, thread
+    p_jalr ra, t0, a0
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    li    t0, -1
+    li    ra, 0
+    p_ret
+rp:
+    li    t0, -1
+    li    ra, 0
+    p_ret
+thread:
+    p_ret

@@ -1,0 +1,10 @@
+/* Racy: hart t reads v[t+1] while hart t+1 writes it — a loop-carried
+ * dependence across team members running concurrently.
+ * Expected: LBP-S003 (error, write/read hart-pair witness). */
+int v[8];
+void main(void) {
+    int t;
+    omp_set_num_threads(4);
+#pragma omp parallel for
+    for (t = 0; t < 4; t++) v[t] = v[t + 1] + 1;
+}

@@ -1,0 +1,9 @@
+/* Racy: every hart writes the same element v[0].
+ * Expected: LBP-S002 (error, hart-pair witness naming the element). */
+int v[8];
+void main(void) {
+    int t;
+    omp_set_num_threads(4);
+#pragma omp parallel for
+    for (t = 0; t < 4; t++) v[0] = t;
+}

@@ -1,0 +1,10 @@
+/* Unprovable: the subscript t*t is not affine in the member index, so
+ * hart-disjointness cannot be decided statically.
+ * Expected: LBP-S004 (warning; the program is accepted). */
+int v[64];
+void main(void) {
+    int t;
+    omp_set_num_threads(4);
+#pragma omp parallel for
+    for (t = 0; t < 4; t++) v[t * t] = t;
+}

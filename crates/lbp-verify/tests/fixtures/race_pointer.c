@@ -1,0 +1,10 @@
+/* Unprovable: a store through a pointer defeats the independence
+ * analysis entirely. Expected: LBP-S005 (warning). */
+int v[8];
+void scatter(int *p) { *p = 7; }
+void main(void) {
+    int t;
+    omp_set_num_threads(4);
+#pragma omp parallel for
+    for (t = 0; t < 4; t++) scatter(&v[t]);
+}

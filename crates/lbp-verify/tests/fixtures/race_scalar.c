@@ -1,0 +1,9 @@
+/* Racy: every hart of the team writes the shared scalar g.
+ * Expected: LBP-S001 (error, hart-pair witness). */
+int g;
+void main(void) {
+    int t;
+    omp_set_num_threads(4);
+#pragma omp parallel for
+    for (t = 0; t < 4; t++) g = t;
+}

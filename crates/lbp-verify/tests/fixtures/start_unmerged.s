@@ -1,0 +1,24 @@
+# Ill-formed Fig. 8: the p_jalr start passes the raw p_fn fork result
+# instead of the merged identity word, so the join half is missing.
+# Expected: LBP-B004.
+main:
+    li    t0, -1
+    p_set t0
+    la    ra, rp
+    p_fn   t6
+    p_swcv ra, t6, 0
+    p_swcv t0, t6, 4
+    p_syncm
+    la    a0, thread
+    p_jalr ra, t6, a0
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    li    t0, -1
+    li    ra, 0
+    p_ret
+rp:
+    li    t0, -1
+    li    ra, 0
+    p_ret
+thread:
+    p_ret

@@ -1,0 +1,9 @@
+# Ill-formed: transmits a continuation value to "hart 3" — a plain
+# constant, not the result of a p_fc/p_fn fork. Expected: LBP-B003.
+main:
+    li    t6, 3
+    p_swcv ra, t6, 0
+    p_syncm
+    li    t0, -1
+    li    ra, 0
+    p_ret

@@ -1,0 +1,153 @@
+//! `lbp-cc` — the Deterministic OpenMP front end as a standalone tool.
+//!
+//! ```text
+//! lbp-cc program.c                  # compile, print PISC assembly
+//! lbp-cc program.c -o program.s     # compile to a file
+//! lbp-cc program.c --lint           # static determinism lint, no codegen
+//! lbp-cc program.c --lint --diag-json report.json
+//! ```
+//!
+//! `--lint` runs the source-level determinism analysis: every variable
+//! in a parallel region is classified private / shared / reduction, and
+//! shared writes that two harts can both reach are rejected with a
+//! hart-pair witness and a fix hint. Diagnostics print to stdout;
+//! `--diag-json FILE` additionally writes the machine-readable
+//! `lbp-diag-v1` report. A lint rejection exits with code 10, the same
+//! verification exit class as `lbp-run --verify`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+struct Options {
+    input: String,
+    output: Option<String>,
+    lint: bool,
+    diag_json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lbp-cc <program.c> [options]\n\
+         \n\
+         options:\n\
+           -o FILE            write the generated assembly to FILE ('-' = stdout)\n\
+           --lint             run the static determinism lint instead of compiling\n\
+           --diag-json FILE   with --lint, write the lbp-diag-v1 report ('-' = stdout)\n\
+         \n\
+         exit codes: 0 ok, 1 front-end/I/O, 2 usage, 10 lint rejection"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        input: String::new(),
+        output: None,
+        lint: false,
+        diag_json: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => opts.output = Some(args.next().unwrap_or_else(|| usage())),
+            "--lint" => opts.lint = true,
+            "--diag-json" => opts.diag_json = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if opts.input.is_empty() && !other.starts_with('-') => {
+                opts.input = other.to_owned();
+            }
+            _ => usage(),
+        }
+    }
+    if opts.input.is_empty() {
+        usage();
+    }
+    opts
+}
+
+/// Opens `path` for output; `-` means stdout.
+fn open_out(path: &str) -> std::io::Result<Box<dyn std::io::Write>> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdout()))
+    } else {
+        let file = std::fs::File::create(path)?;
+        Ok(Box::new(std::io::BufWriter::new(file)))
+    }
+}
+
+fn write_out(path: &str, text: &str) -> std::io::Result<()> {
+    let mut out = open_out(path)?;
+    out.write_all(text.as_bytes())?;
+    out.flush()
+}
+
+fn run_lint(opts: &Options, source: &str) -> ExitCode {
+    let diags = match lbp::cc::lint(source) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lbp-cc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // `--diag-json -` owns stdout: the JSON must stay parseable, so the
+    // human-readable rendering is suppressed.
+    let json_to_stdout = opts.diag_json.as_deref() == Some("-");
+    let ok = lbp::verify::accepted(&diags);
+    if !json_to_stdout {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "lint:     {} ({} diagnostic{})",
+            if ok { "accepted" } else { "rejected" },
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+    }
+    if let Some(path) = &opts.diag_json {
+        let text = lbp::verify::report_json(&opts.input, &diags);
+        if let Err(e) = write_out(path, &text) {
+            eprintln!("lbp-cc: cannot write diag JSON to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        if path != "-" {
+            println!("diags:    {path}");
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(10)
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    if !opts.input.ends_with(".c") {
+        eprintln!("lbp-cc: input must be a `.c` file, got `{}`", opts.input);
+        return ExitCode::from(2);
+    }
+    let source = match std::fs::read_to_string(&opts.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lbp-cc: cannot read `{}`: {e}", opts.input);
+            return ExitCode::from(2);
+        }
+    };
+    if opts.lint {
+        return run_lint(&opts, &source);
+    }
+    let compiled = match lbp::cc::compile(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lbp-cc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let dest = opts.output.as_deref().unwrap_or("-");
+    if let Err(e) = write_out(dest, &compiled.asm) {
+        eprintln!("lbp-cc: cannot write assembly to `{dest}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -25,9 +25,15 @@
 //!   run fails;
 //! - `--lockstep` checks the run instruction-by-instruction against the
 //!   sequential ISS oracle (single-hart programs only);
+//! - `--verify` statically checks the program instead of running it:
+//!   `.c` inputs go through the source-level determinism lint and the
+//!   binary fork-protocol verifier, `.s` inputs through the binary
+//!   verifier alone. Diagnostics print to stdout; `--diag-json FILE`
+//!   additionally writes the machine-readable `lbp-diag-v1` report.
 //! - the exit code encodes the error class: 0 ok, 2 usage, 1 front-end or
 //!   I/O failure, 4 timeout, 5 deadlock, 6 protocol violation, 7 decode
-//!   fault, 8 memory fault, 9 lockstep divergence.
+//!   fault, 8 memory fault, 9 lockstep divergence, 10 verification
+//!   rejection.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -59,6 +65,8 @@ struct Options {
     dump_on_error: Option<String>,
     faults: Vec<Fault>,
     lockstep: bool,
+    verify: bool,
+    diag_json: Option<String>,
 }
 
 fn usage() -> ! {
@@ -82,9 +90,12 @@ fn usage() -> ! {
                               delay-msg:NTH:CYCLES\n\
            --dump-on-error F  write an lbp-dump-v1 crash dump to F if the run fails\n\
            --lockstep         check against the sequential ISS oracle (1 hart)\n\
+           --verify           statically verify the program instead of running it\n\
+           --diag-json FILE   with --verify, write the lbp-diag-v1 report ('-' = stdout)\n\
          \n\
          exit codes: 0 ok, 2 usage, 1 front-end/I/O, 4 timeout, 5 deadlock,\n\
-         6 protocol, 7 decode, 8 memory fault, 9 lockstep divergence"
+         6 protocol, 7 decode, 8 memory fault, 9 lockstep divergence,\n\
+         10 verification rejection"
     );
     std::process::exit(2)
 }
@@ -106,6 +117,8 @@ fn parse_args() -> Options {
         dump_on_error: None,
         faults: Vec::new(),
         lockstep: false,
+        verify: false,
+        diag_json: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -162,6 +175,8 @@ fn parse_args() -> Options {
                 opts.dump_on_error = Some(args.next().unwrap_or_else(|| usage()));
             }
             "--lockstep" => opts.lockstep = true,
+            "--verify" => opts.verify = true,
+            "--diag-json" => opts.diag_json = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {
                 opts.input = other.to_owned();
@@ -253,6 +268,74 @@ fn run_lockstep_mode(cfg: LbpConfig, image: &lbp::asm::Image, opts: &Options) ->
     }
 }
 
+/// `--verify`: statically verify the program and report the verdict
+/// instead of running it. Exit code 10 on rejection.
+fn run_verify_mode(opts: &Options, source: &str) -> ExitCode {
+    let mut diags = Vec::new();
+    if opts.input.ends_with(".c") {
+        match lbp::cc::lint(source) {
+            Ok(d) => diags.extend(d),
+            Err(e) => {
+                eprintln!("lbp-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        // Only a source-accepted program compiles to an image worth
+        // checking at the binary layer.
+        if lbp::verify::accepted(&diags) {
+            match lbp::cc::compile(source) {
+                Ok(c) => diags.extend(lbp::verify::verify_image(&c.image)),
+                Err(e) => {
+                    eprintln!("lbp-run: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    } else {
+        match lbp::asm::assemble(source) {
+            Ok(image) => diags.extend(lbp::verify::verify_image(&image)),
+            Err(e) => {
+                eprintln!("lbp-run: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    // `--diag-json -` owns stdout: the JSON must stay parseable, so the
+    // human-readable rendering is suppressed.
+    let json_to_stdout = opts.diag_json.as_deref() == Some("-");
+    let ok = lbp::verify::accepted(&diags);
+    if !json_to_stdout {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!(
+            "verify:   {} ({} diagnostic{})",
+            if ok { "accepted" } else { "rejected" },
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" }
+        );
+    }
+    if let Some(path) = &opts.diag_json {
+        let text = lbp::verify::report_json(&opts.input, &diags);
+        let result = open_out(path).and_then(|mut out| {
+            out.write_all(text.as_bytes())?;
+            out.flush()
+        });
+        if let Err(e) = result {
+            eprintln!("lbp-run: cannot write diag JSON to `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        if path != "-" {
+            println!("diags:    {path}");
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(10)
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     let source = match std::fs::read_to_string(&opts.input) {
@@ -262,6 +345,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if opts.verify {
+        return run_verify_mode(&opts, &source);
+    }
 
     // Front end by extension.
     let (asm_text, image) = if opts.input.ends_with(".c") {

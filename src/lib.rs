@@ -1,4 +1,7 @@
 //! Umbrella crate re-exporting the LBP stack.
+
+#![forbid(unsafe_code)]
+
 pub use lbp_asm as asm;
 pub use lbp_baseline as baseline;
 pub use lbp_cc as cc;
@@ -6,3 +9,4 @@ pub use lbp_isa as isa;
 pub use lbp_kernels as kernels;
 pub use lbp_omp as omp;
 pub use lbp_sim as sim;
+pub use lbp_verify as verify;
