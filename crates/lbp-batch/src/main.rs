@@ -1,0 +1,112 @@
+//! `lbp-batch` — run a manifest of LBP simulation jobs on a worker pool.
+//!
+//! ```text
+//! lbp-batch MANIFEST.json [--workers N] [--out FILE]
+//! ```
+//!
+//! Results stream to `--out` (default stdout) as `lbp-batch-v1` JSONL,
+//! one line per manifest job; a human summary goes to stderr. Exit code
+//! 0 when every job ran (even if some simulations failed — their lines
+//! say so), 1 on manifest/front-end/I/O problems, 2 on usage errors.
+
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lbp-batch MANIFEST.json [--workers N] [--out FILE]\n\
+         \n\
+         Runs every job in an lbp-batch-manifest-v1 file across a worker\n\
+         pool, streaming one lbp-batch-v1 JSONL result line per job.\n\
+         \n\
+         --workers N   worker threads (default: available parallelism)\n\
+         --out FILE    write results to FILE instead of stdout"
+    );
+    std::process::exit(2);
+}
+
+struct Options {
+    manifest: PathBuf,
+    workers: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut manifest = None;
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ if manifest.is_none() => manifest = Some(PathBuf::from(arg)),
+            _ => usage(),
+        }
+    }
+    let Some(manifest) = manifest else { usage() };
+    Options {
+        manifest,
+        workers,
+        out,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let text = match std::fs::read_to_string(&opts.manifest) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("lbp-batch: cannot read {}: {e}", opts.manifest.display());
+            std::process::exit(1);
+        }
+    };
+    let base = opts
+        .manifest
+        .parent()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let jobs = match lbp_batch::load_manifest(&text, &base) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("lbp-batch: {e}");
+            std::process::exit(1);
+        }
+    };
+    let started = std::time::Instant::now();
+    let summary = match &opts.out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => lbp_batch::run_batch(&jobs, opts.workers, std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("lbp-batch: cannot create {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => lbp_batch::run_batch(&jobs, opts.workers, std::io::stdout()),
+    };
+    match summary {
+        Ok(s) => {
+            eprintln!(
+                "lbp-batch: {} jobs ({} unique, {} failed) on {} workers in {:.2?}",
+                s.jobs,
+                s.unique,
+                s.failed,
+                opts.workers,
+                started.elapsed()
+            );
+        }
+        Err(e) => {
+            eprintln!("lbp-batch: writing results failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Checkpoint bench: snapshot serialize / container encode / restore
+//! throughput on a mid-run machine, across machine sizes. Checkpointing
+//! is only useful if it is much cheaper than re-simulating, so the
+//! numbers here are the cost side of the `--checkpoint-every` trade-off.
+
+use lbp_omp::DetOmp;
+use lbp_sim::{LbpConfig, Machine};
+use std::time::Instant;
+
+/// A machine that is genuinely mid-flight: a live team, queued network
+/// traffic, partially-filled reorder buffers.
+fn mid_run_machine(cores: usize) -> Machine {
+    let image = DetOmp::new(cores * 4)
+        .function(
+            "spin",
+            "li a4, 0\nli a5, 200\nloop:\nmul a6, a5, a5\nadd a4, a4, a6\naddi a5, a5, -1\nbnez a5, loop\np_ret",
+        )
+        .parallel_for("spin")
+        .build()
+        .expect("assembles");
+    let mut m = Machine::new(LbpConfig::cores(cores), &image).expect("machine");
+    let exited = m.run_to(400).expect("runs");
+    assert!(!exited, "the team must still be live at the snapshot point");
+    m
+}
+
+fn throughput(label: &str, bytes: usize, secs: f64) {
+    println!(
+        "{label}: {:.2} us/op, {:.1} MiB/s ({bytes} bytes)",
+        secs * 1e6,
+        bytes as f64 / secs / (1024.0 * 1024.0)
+    );
+}
+
+fn bench(cores: usize) {
+    const SAMPLES: usize = 20;
+    let machine = mid_run_machine(cores);
+
+    let mut best = f64::INFINITY;
+    let mut state = machine.snapshot();
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        state = machine.snapshot();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    let payload = state.as_bytes().len();
+    throughput(&format!("snapshot_serialize/{cores}c"), payload, best);
+
+    let mut best = f64::INFINITY;
+    let mut container = Vec::new();
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        container = lbp_snap::encode(&state);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    throughput(&format!("container_encode/{cores}c"), container.len(), best);
+
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let restored = Machine::restore(&state).expect("restores");
+        best = best.min(t0.elapsed().as_secs_f64());
+        assert_eq!(restored.stats().cycles, 400);
+    }
+    throughput(&format!("restore/{cores}c"), payload, best);
+}
+
+fn main() {
+    for cores in [1usize, 4, 16, 64] {
+        bench(cores);
+    }
+}

@@ -15,6 +15,7 @@ use crate::config::{LbpConfig, CV_FRAME_BYTES};
 use crate::io::IoBus;
 use crate::msg::NetMsg;
 use crate::network::Network;
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// A fatal memory fault. LBP has no traps: a bad access ends the
 /// simulation with an error describing the offending access.
@@ -397,6 +398,121 @@ impl MemSys {
         if let Some(byte) = self.shared[bank].get_mut(off) {
             *byte ^= 1 << (bit % 8);
         }
+    }
+
+    /// Serializes the full memory system: bank contents, the code image,
+    /// every queued/staged request, the network and the I/O bus.
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.cores as u64);
+        w.u32(self.local_bank_bytes);
+        w.u32(self.shared_bank_bytes);
+        for bank in &self.local {
+            w.bytes(bank);
+        }
+        for bank in &self.shared {
+            w.bytes(bank);
+        }
+        w.seq(self.code.len());
+        for &word in &self.code {
+            w.u32(word);
+        }
+        let put_ports = |w: &mut SnapWriter, qs: &[VecDeque<Ported>]| {
+            for q in qs {
+                w.seq(q.len());
+                for p in q {
+                    p.msg.snap(w);
+                    w.u64(p.arrived);
+                }
+            }
+        };
+        put_ports(w, &self.local_q);
+        put_ports(w, &self.shared_q);
+        for staged in &self.staged {
+            w.seq(staged.len());
+            for msg in staged {
+                msg.snap(w);
+            }
+        }
+        self.net.snap(w);
+        self.io.snap(w);
+        w.u64(self.local_served);
+        w.u64(self.remote_served);
+        w.u64(self.conflicts);
+        w.u64(self.now);
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<MemSys, SnapError> {
+        let cores = r.u64()? as usize;
+        if cores == 0 {
+            return Err(SnapError::Corrupt(
+                "memory system has zero cores".to_owned(),
+            ));
+        }
+        let local_bank_bytes = r.u32()?;
+        let shared_bank_bytes = r.u32()?;
+        let get_banks = |r: &mut SnapReader<'_>, expect: u32| -> Result<Vec<Vec<u8>>, SnapError> {
+            (0..cores)
+                .map(|_| {
+                    let bank = r.bytes()?;
+                    if bank.len() != expect as usize {
+                        return Err(SnapError::Corrupt(format!(
+                            "bank holds {} bytes, configured for {expect}",
+                            bank.len()
+                        )));
+                    }
+                    Ok(bank)
+                })
+                .collect()
+        };
+        let local = get_banks(r, local_bank_bytes)?;
+        let shared = get_banks(r, shared_bank_bytes)?;
+        let mut code = Vec::new();
+        for _ in 0..r.seq()? {
+            code.push(r.u32()?);
+        }
+        let get_ports = |r: &mut SnapReader<'_>| -> Result<Vec<VecDeque<Ported>>, SnapError> {
+            (0..cores)
+                .map(|_| {
+                    let mut q = VecDeque::new();
+                    for _ in 0..r.seq()? {
+                        q.push_back(Ported {
+                            msg: NetMsg::unsnap(r)?,
+                            arrived: r.u64()?,
+                        });
+                    }
+                    Ok(q)
+                })
+                .collect()
+        };
+        let local_q = get_ports(r)?;
+        let shared_q = get_ports(r)?;
+        let mut staged = Vec::with_capacity(cores);
+        for _ in 0..cores {
+            let mut v = Vec::new();
+            for _ in 0..r.seq()? {
+                v.push(NetMsg::unsnap(r)?);
+            }
+            staged.push(v);
+        }
+        let net = Network::unsnap(r)?;
+        let io = IoBus::unsnap(r)?;
+        Ok(MemSys {
+            cores,
+            local_bank_bytes,
+            shared_bank_bytes,
+            local,
+            shared,
+            code,
+            local_q,
+            shared_q,
+            staged,
+            net,
+            io,
+            local_served: r.u64()?,
+            remote_served: r.u64()?,
+            conflicts: r.u64()?,
+            now: r.u64()?,
+        })
     }
 
     /// XORs the code word at `pc` with `xor` (fault injection). Every

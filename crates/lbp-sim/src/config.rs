@@ -2,7 +2,8 @@
 
 use lbp_isa::HARTS_PER_CORE;
 
-use crate::fault::FaultPlan;
+use crate::fault::{Fault, FaultPlan};
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// Functional-unit and interconnect latencies, in cycles.
 ///
@@ -129,6 +130,82 @@ impl LbpConfig {
     pub fn with_faults(mut self, faults: FaultPlan) -> LbpConfig {
         self.faults = faults;
         self
+    }
+}
+
+impl Latencies {
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u32(self.alu);
+        w.u32(self.mul);
+        w.u32(self.div);
+        w.u32(self.link_hop);
+        w.u32(self.bank);
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<Latencies, SnapError> {
+        Ok(Latencies {
+            alu: r.u32()?,
+            mul: r.u32()?,
+            div: r.u32()?,
+            link_hop: r.u32()?,
+            bank: r.u32()?,
+        })
+    }
+}
+
+impl LbpConfig {
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.cores as u64);
+        w.u32(self.local_bank_bytes);
+        w.u32(self.shared_bank_bytes);
+        w.u64(self.phys_regs as u64);
+        w.u64(self.rob_entries as u64);
+        w.u64(self.it_entries as u64);
+        w.u64(self.result_slots as u64);
+        self.latencies.snap(w);
+        w.bool(self.trace);
+        w.u64(self.sample_interval);
+        // Faults serialize as their (round-tripping) spec strings.
+        w.seq(self.faults.faults.len());
+        for f in &self.faults.faults {
+            w.str(&f.to_string());
+        }
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<LbpConfig, SnapError> {
+        let cores = r.u64()? as usize;
+        if cores == 0 {
+            return Err(SnapError::Corrupt(
+                "configuration has zero cores".to_owned(),
+            ));
+        }
+        let local_bank_bytes = r.u32()?;
+        let shared_bank_bytes = r.u32()?;
+        let phys_regs = r.u64()? as usize;
+        let rob_entries = r.u64()? as usize;
+        let it_entries = r.u64()? as usize;
+        let result_slots = r.u64()? as usize;
+        let latencies = Latencies::unsnap(r)?;
+        let trace = r.bool()?;
+        let sample_interval = r.u64()?;
+        let mut faults = FaultPlan::none();
+        for _ in 0..r.seq()? {
+            let spec = r.str()?;
+            faults.push(Fault::parse(&spec).map_err(SnapError::Corrupt)?);
+        }
+        Ok(LbpConfig {
+            cores,
+            local_bank_bytes,
+            shared_bank_bytes,
+            phys_regs,
+            rob_entries,
+            it_entries,
+            result_slots,
+            latencies,
+            trace,
+            sample_interval,
+            faults,
+        })
     }
 }
 

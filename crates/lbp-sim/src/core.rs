@@ -84,6 +84,45 @@ impl Core {
         }
     }
 
+    pub(crate) fn snap(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.u32(self.index);
+        w.seq(self.harts.len());
+        for h in &self.harts {
+            h.snap(w);
+        }
+        for &p in &self.rr {
+            w.u64(p as u64);
+        }
+        w.seq(self.alloc_q.len());
+        for &h in &self.alloc_q {
+            crate::snapshot::put_hart(w, h);
+        }
+    }
+
+    pub(crate) fn unsnap(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Core, crate::snapshot::SnapError> {
+        let index = r.u32()?;
+        let mut harts = Vec::new();
+        for _ in 0..r.seq()? {
+            harts.push(HartCtx::unsnap(r)?);
+        }
+        let mut rr = [0usize; 5];
+        for p in &mut rr {
+            *p = r.u64()? as usize;
+        }
+        let mut alloc_q = VecDeque::new();
+        for _ in 0..r.seq()? {
+            alloc_q.push_back(crate::snapshot::get_hart(r)?);
+        }
+        Ok(Core {
+            index,
+            harts,
+            rr,
+            alloc_q,
+        })
+    }
+
     /// Round-robin selection of one hart satisfying `pred`, advancing the
     /// stage pointer past the chosen hart.
     fn select(&mut self, stage: usize, pred: impl Fn(&HartCtx) -> bool) -> Option<usize> {

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 
 use crate::msg::CoreMsg;
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// The forward links and backward line of a `cores`-core machine.
 #[derive(Debug)]
@@ -158,6 +159,140 @@ impl Fabric {
                 i += 1;
             }
         }
+    }
+
+    /// Serializes the fault schedule and its bookkeeping (snapshot
+    /// *static* section: part of the plan, not of the execution state).
+    pub(crate) fn snap_static(&self, w: &mut SnapWriter) {
+        w.seq(self.drop_nth.len());
+        for &n in &self.drop_nth {
+            w.u64(n);
+        }
+        w.seq(self.delay_nth.len());
+        for &(n, cycles) in &self.delay_nth {
+            w.u64(n);
+            w.u32(cycles);
+        }
+        w.u64(self.faults_applied);
+    }
+
+    /// Reads back what [`Fabric::snap_static`] wrote.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn unsnap_static(
+        r: &mut SnapReader<'_>,
+    ) -> Result<(Vec<u64>, Vec<(u64, u32)>, u64), SnapError> {
+        let mut drop_nth = Vec::new();
+        for _ in 0..r.seq()? {
+            drop_nth.push(r.u64()?);
+        }
+        let mut delay_nth = Vec::new();
+        for _ in 0..r.seq()? {
+            delay_nth.push((r.u64()?, r.u32()?));
+        }
+        let faults_applied = r.u64()?;
+        Ok((drop_nth, delay_nth, faults_applied))
+    }
+
+    /// Serializes the execution-determined state: every queued, delivered
+    /// and delayed message plus the traffic counters (snapshot *dynamic*
+    /// section).
+    pub(crate) fn snap_dyn(&self, w: &mut SnapWriter) {
+        w.u32(self.cores);
+        w.seq(self.fwd.len());
+        for q in &self.fwd {
+            w.seq(q.len());
+            for msg in q {
+                msg.snap(w);
+            }
+        }
+        w.seq(self.bwd.len());
+        for q in &self.bwd {
+            w.seq(q.len());
+            for msg in q {
+                msg.snap(w);
+            }
+        }
+        w.seq(self.inbox.len());
+        for inbox in &self.inbox {
+            w.seq(inbox.len());
+            for msg in inbox {
+                msg.snap(w);
+            }
+        }
+        w.u64(self.hops);
+        w.u64(self.contended);
+        w.u64(self.sent);
+        w.seq(self.delayed.len());
+        for &(left, from, msg) in &self.delayed {
+            w.u32(left);
+            w.u32(from);
+            msg.snap(w);
+        }
+    }
+
+    /// Rebuilds the fabric from its dynamic section plus the fault
+    /// schedule recovered by [`Fabric::unsnap_static`].
+    pub(crate) fn unsnap_dyn(
+        r: &mut SnapReader<'_>,
+        drop_nth: Vec<u64>,
+        delay_nth: Vec<(u64, u32)>,
+        faults_applied: u64,
+    ) -> Result<Fabric, SnapError> {
+        let cores = r.u32()?;
+        let links = cores.saturating_sub(1) as usize;
+        let read_queues = |r: &mut SnapReader<'_>, expect: usize, what: &str| {
+            let n = r.seq()?;
+            if n != expect {
+                return Err(SnapError::Corrupt(format!(
+                    "fabric has {n} {what} queues, expected {expect}"
+                )));
+            }
+            let mut queues = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut q = VecDeque::new();
+                for _ in 0..r.seq()? {
+                    q.push_back(CoreMsg::unsnap(r)?);
+                }
+                queues.push(q);
+            }
+            Ok(queues)
+        };
+        let fwd = read_queues(r, links, "forward")?;
+        let bwd = read_queues(r, links, "backward")?;
+        let inboxes = r.seq()?;
+        if inboxes != cores as usize {
+            return Err(SnapError::Corrupt(format!(
+                "fabric has {inboxes} inboxes, expected {cores}"
+            )));
+        }
+        let mut inbox = Vec::with_capacity(inboxes);
+        for _ in 0..inboxes {
+            let mut msgs = Vec::new();
+            for _ in 0..r.seq()? {
+                msgs.push(CoreMsg::unsnap(r)?);
+            }
+            inbox.push(msgs);
+        }
+        let hops = r.u64()?;
+        let contended = r.u64()?;
+        let sent = r.u64()?;
+        let mut delayed = Vec::new();
+        for _ in 0..r.seq()? {
+            delayed.push((r.u32()?, r.u32()?, CoreMsg::unsnap(r)?));
+        }
+        Ok(Fabric {
+            cores,
+            fwd,
+            bwd,
+            inbox,
+            hops,
+            contended,
+            sent,
+            drop_nth,
+            delay_nth,
+            delayed,
+            faults_applied,
+        })
     }
 
     /// Whether nothing is in flight: no message on any segment, in any

@@ -7,6 +7,10 @@ use std::collections::VecDeque;
 
 use lbp_isa::{HartId, Instr, Reg};
 
+use crate::snapshot::{
+    get_hart, get_instr, put_hart, put_instr, SnapError, SnapReader, SnapWriter,
+};
+
 /// Index into a hart's renaming (physical) register file.
 pub(crate) type PhysReg = u16;
 
@@ -344,6 +348,228 @@ impl HartCtx {
     /// (the `p_syncm` drain condition).
     pub fn mem_drained(&self) -> bool {
         self.mem_in_it == 0 && self.in_flight_mem == 0
+    }
+
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        put_hart(w, self.id);
+        w.u8(match self.state {
+            HartState::Free => 0,
+            HartState::Reserved => 1,
+            HartState::Running => 2,
+            HartState::WaitingJoin => 3,
+        });
+        w.opt(&self.pc, |w, &pc| w.u32(pc));
+        w.bool(self.fetch_suspended);
+        w.u64(self.resume_at);
+        w.bool(self.syncm_wait);
+        w.opt(&self.ib, |w, f| {
+            w.u32(f.pc);
+            put_instr(w, &f.instr);
+        });
+        for &p in &self.rat {
+            w.u16(p);
+        }
+        w.seq(self.prf.len());
+        for e in &self.prf {
+            w.u32(e.value);
+            w.bool(e.ready);
+        }
+        w.seq(self.free_phys.len());
+        for &p in &self.free_phys {
+            w.u16(p);
+        }
+        w.seq(self.it.len());
+        for e in &self.it {
+            w.u64(e.seq);
+            w.u32(e.pc);
+            put_instr(w, &e.instr);
+            for s in &e.srcs {
+                w.opt(s, |w, &p| w.u16(p));
+            }
+            w.opt(&e.dest, |w, &p| w.u16(p));
+        }
+        w.seq(self.rob.len());
+        for e in &self.rob {
+            w.u64(e.seq);
+            w.u32(e.pc);
+            w.bool(e.done);
+            w.opt(&e.dest, |w, &(new, old)| {
+                w.u16(new);
+                w.opt(&old, |w, &p| w.u16(p));
+            });
+            w.opt(&e.pret, |w, &(ra, t0)| {
+                w.u32(ra);
+                w.u32(t0);
+            });
+            w.bool(e.is_pret);
+        }
+        w.opt(&self.rb, |w, rb| {
+            w.u64(rb.seq);
+            w.opt(&rb.dest, |w, &p| w.u16(p));
+            match rb.wait {
+                RbWait::Until { at, value } => {
+                    w.u8(0);
+                    w.u64(at);
+                    w.opt(&value, |w, &v| w.u32(v));
+                }
+                RbWait::Mem => w.u8(1),
+                RbWait::Fork => w.u8(2),
+                RbWait::Done { value } => {
+                    w.u8(3);
+                    w.opt(&value, |w, &v| w.u32(v));
+                }
+            }
+        });
+        w.u64(self.next_seq);
+        w.u32(self.mem_in_it);
+        w.u32(self.in_flight_mem);
+        w.seq(self.recv.len());
+        for q in &self.recv {
+            w.seq(q.len());
+            for &v in q {
+                w.u32(v);
+            }
+        }
+        w.bool(self.end_signal);
+        w.opt(&self.team_succ, |w, &h| put_hart(w, h));
+        w.u64(self.it_capacity as u64);
+        w.u64(self.rob_capacity as u64);
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<HartCtx, SnapError> {
+        let id = get_hart(r)?;
+        let state = match r.u8()? {
+            0 => HartState::Free,
+            1 => HartState::Reserved,
+            2 => HartState::Running,
+            3 => HartState::WaitingJoin,
+            other => return Err(SnapError::Corrupt(format!("bad hart state tag {other}"))),
+        };
+        let pc = r.opt(|r| r.u32())?;
+        let fetch_suspended = r.bool()?;
+        let resume_at = r.u64()?;
+        let syncm_wait = r.bool()?;
+        let ib = r.opt(|r| {
+            Ok(Fetched {
+                pc: r.u32()?,
+                instr: get_instr(r)?,
+            })
+        })?;
+        let mut rat = [0 as PhysReg; 32];
+        for slot in &mut rat {
+            *slot = r.u16()?;
+        }
+        let mut prf = Vec::new();
+        for _ in 0..r.seq()? {
+            prf.push(PrfEntry {
+                value: r.u32()?,
+                ready: r.bool()?,
+            });
+        }
+        let mut free_phys = VecDeque::new();
+        for _ in 0..r.seq()? {
+            free_phys.push_back(r.u16()?);
+        }
+        let mut it = Vec::new();
+        for _ in 0..r.seq()? {
+            let seq = r.u64()?;
+            let pc = r.u32()?;
+            let instr = get_instr(r)?;
+            let srcs = [r.opt(|r| r.u16())?, r.opt(|r| r.u16())?];
+            let dest = r.opt(|r| r.u16())?;
+            it.push(ItEntry {
+                seq,
+                pc,
+                instr,
+                srcs,
+                dest,
+            });
+        }
+        let mut rob = VecDeque::new();
+        for _ in 0..r.seq()? {
+            let seq = r.u64()?;
+            let pc = r.u32()?;
+            let done = r.bool()?;
+            let dest = r.opt(|r| {
+                let new = r.u16()?;
+                let old = r.opt(|r| r.u16())?;
+                Ok((new, old))
+            })?;
+            let pret = r.opt(|r| Ok((r.u32()?, r.u32()?)))?;
+            let is_pret = r.bool()?;
+            rob.push_back(RobEntry {
+                seq,
+                pc,
+                done,
+                dest,
+                pret,
+                is_pret,
+            });
+        }
+        let rb = r.opt(|r| {
+            let seq = r.u64()?;
+            let dest = r.opt(|r| r.u16())?;
+            let wait = match r.u8()? {
+                0 => RbWait::Until {
+                    at: r.u64()?,
+                    value: r.opt(|r| r.u32())?,
+                },
+                1 => RbWait::Mem,
+                2 => RbWait::Fork,
+                3 => RbWait::Done {
+                    value: r.opt(|r| r.u32())?,
+                },
+                other => return Err(SnapError::Corrupt(format!("bad RbWait tag {other}"))),
+            };
+            Ok(Rb { seq, dest, wait })
+        })?;
+        let next_seq = r.u64()?;
+        let mem_in_it = r.u32()?;
+        let in_flight_mem = r.u32()?;
+        let mut recv = Vec::new();
+        for _ in 0..r.seq()? {
+            let mut q = VecDeque::new();
+            for _ in 0..r.seq()? {
+                q.push_back(r.u32()?);
+            }
+            recv.push(q);
+        }
+        let end_signal = r.bool()?;
+        let team_succ = r.opt(get_hart)?;
+        let it_capacity = r.u64()? as usize;
+        let rob_capacity = r.u64()? as usize;
+        // Sanity: every renamed physical register must exist.
+        let bound = prf.len() as u64;
+        let bad_phys =
+            rat.iter().any(|&p| p as u64 >= bound) || free_phys.iter().any(|&p| p as u64 >= bound);
+        if bad_phys {
+            return Err(SnapError::Corrupt(format!(
+                "hart {id}: physical register index beyond the {bound}-entry file"
+            )));
+        }
+        Ok(HartCtx {
+            id,
+            state,
+            pc,
+            fetch_suspended,
+            resume_at,
+            syncm_wait,
+            ib,
+            rat,
+            prf,
+            free_phys,
+            it,
+            rob,
+            rb,
+            next_seq,
+            mem_in_it,
+            in_flight_mem,
+            recv,
+            end_signal,
+            team_succ,
+            it_capacity,
+            rob_capacity,
+        })
     }
 }
 

@@ -16,6 +16,8 @@ use std::collections::VecDeque;
 
 use lbp_isa::IO_BASE;
 
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
+
 /// Bytes of address space per device.
 pub const DEVICE_STRIDE: u32 = 16;
 
@@ -124,6 +126,44 @@ impl IoBus {
             0 => Some(self.inputs.get_mut(dev)?.poll(now)),
             _ => None,
         }
+    }
+
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.seq(self.inputs.len());
+        for dev in &self.inputs {
+            w.seq(dev.schedule.len());
+            for &(at, value) in &dev.schedule {
+                w.u64(at);
+                w.u32(value);
+            }
+        }
+        w.seq(self.outputs.len());
+        for dev in &self.outputs {
+            w.seq(dev.received.len());
+            for &(at, value) in &dev.received {
+                w.u64(at);
+                w.u32(value);
+            }
+        }
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<IoBus, SnapError> {
+        let mut bus = IoBus::new();
+        for _ in 0..r.seq()? {
+            let mut schedule = VecDeque::new();
+            for _ in 0..r.seq()? {
+                schedule.push_back((r.u64()?, r.u32()?));
+            }
+            bus.inputs.push(InputDevice { schedule });
+        }
+        for _ in 0..r.seq()? {
+            let mut received = Vec::new();
+            for _ in 0..r.seq()? {
+                received.push((r.u64()?, r.u32()?));
+            }
+            bus.outputs.push(OutputDevice { received });
+        }
+        Ok(bus)
     }
 
     /// Serves a store to the I/O region. Returns `None` for an unmapped

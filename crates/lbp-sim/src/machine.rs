@@ -14,6 +14,7 @@ use crate::hart::{HartCtx, HartState, RbWait};
 use crate::io::IoBus;
 use crate::json::Json;
 use crate::msg::{CoreMsg, NetMsg};
+use crate::snapshot::{MachineState, SnapError, SnapReader, SnapWriter};
 use crate::stats::{CoreStalls, IntervalSample, Stats};
 use crate::trace::{Event, EventKind, Trace, TraceSink};
 
@@ -256,9 +257,29 @@ impl Machine {
     ///
     /// As [`Machine::run`], boxed with the crash dump.
     pub fn run_diagnosed(&mut self, max_cycles: u64) -> Result<RunReport, Box<SimFailure>> {
+        if !self.run_to(max_cycles)? {
+            return Err(self.failure(SimError::Timeout { cycles: max_cycles }));
+        }
+        Ok(self.report())
+    }
+
+    /// Runs until the program exits or the machine reaches cycle `target`,
+    /// whichever comes first — the checkpointing primitive: stopping at a
+    /// cycle boundary is not an error, so a run can be resumed (or a
+    /// snapshot taken) and continued to the same final state a single
+    /// uninterrupted run would reach.
+    ///
+    /// Returns whether the program has exited.
+    ///
+    /// # Errors
+    ///
+    /// Any fatal fault or deadlock, packaged with a crash dump. Unlike
+    /// [`Machine::run`], reaching `target` is a normal return, not a
+    /// timeout.
+    pub fn run_to(&mut self, target: u64) -> Result<bool, Box<SimFailure>> {
         while !self.exited {
-            if self.cycle >= max_cycles {
-                return Err(self.failure(SimError::Timeout { cycles: max_cycles }));
+            if self.cycle >= target {
+                return Ok(false);
             }
             let retired_before = self.stats.retired();
             if let Err(e) = self.tick() {
@@ -284,9 +305,137 @@ impl Machine {
         if self.cfg.sample_interval > 0 && self.cycle > self.cursor.cycle {
             self.take_sample();
         }
-        Ok(RunReport {
+        Ok(true)
+    }
+
+    /// The report a completed [`Machine::run`] would return right now.
+    pub fn report(&self) -> RunReport {
+        RunReport {
             stats: self.stats.clone(),
             exited: self.exited,
+        }
+    }
+
+    /// Toggles in-memory event tracing (the `cfg.trace` flag) on a live
+    /// machine — used by the divergence bisector to capture events only
+    /// around the cycle under inspection.
+    pub fn set_trace(&mut self, on: bool) {
+        self.cfg.trace = on;
+    }
+
+    /// Serializes the complete simulation state into a [`MachineState`].
+    ///
+    /// The snapshot captures everything the machine's evolution depends
+    /// on: architectural and micro-architectural hart state, memory banks,
+    /// every in-flight message, statistics, and the fault plan. It does
+    /// *not* capture the in-memory trace or an attached streaming sink — a
+    /// restored machine starts with an empty trace and no sink, but emits
+    /// exactly the events the original would emit from this cycle on.
+    ///
+    /// The payload has two sections: a *static* one (configuration and
+    /// fault plan — fixed at construction) and a *dynamic* one (everything
+    /// execution-determined). [`MachineState::dynamic_bytes`] exposes the
+    /// latter so two machines that differ only in their fault plan can be
+    /// compared state-for-state.
+    pub fn snapshot(&self) -> MachineState {
+        let mut w = SnapWriter::new();
+        w.u64(self.cycle);
+        w.u64(self.cfg.cores as u64);
+        let dyn_patch = w.position();
+        w.u64(0); // dyn_offset, patched once the static section is written
+                  // Static section.
+        self.cfg.snap(&mut w);
+        w.seq(self.pending_faults.len());
+        for fault in &self.pending_faults {
+            w.str(&fault.to_string());
+        }
+        w.u64(self.faults_applied);
+        self.fabric.snap_static(&mut w);
+        let dyn_offset = w.position() as u64;
+        w.patch_u64(dyn_patch, dyn_offset);
+        // Dynamic section.
+        w.bool(self.exited);
+        w.u64(self.quiet_cycles);
+        w.u64(self.cursor.cycle);
+        w.u64(self.cursor.retired);
+        w.u64(self.cursor.link_hops);
+        self.cursor.stalls.snap(&mut w);
+        self.stats.snap(&mut w);
+        w.seq(self.cores.len());
+        for core in &self.cores {
+            core.snap(&mut w);
+        }
+        self.mem.snap(&mut w);
+        self.fabric.snap_dyn(&mut w);
+        MachineState::from_bytes(w.into_bytes()).expect("a freshly written snapshot parses")
+    }
+
+    /// Reconstructs a machine from a [`MachineState`], bit-identical to
+    /// the one that produced it: `restore(m.snapshot())` then running `M`
+    /// cycles yields the same stats, trace events and memory as running
+    /// the original `M` more cycles.
+    ///
+    /// # Errors
+    ///
+    /// Rejects truncated or internally inconsistent state with
+    /// [`SnapError`]; a valid snapshot never fails.
+    pub fn restore(state: &MachineState) -> Result<Machine, SnapError> {
+        let mut r = SnapReader::new(state.as_bytes());
+        let cycle = r.u64()?;
+        let header_cores = r.u64()?;
+        let _dyn_offset = r.u64()?;
+        // Static section.
+        let cfg = LbpConfig::unsnap(&mut r)?;
+        if cfg.cores as u64 != header_cores {
+            return Err(SnapError::Corrupt(format!(
+                "header says {header_cores} cores, configuration says {}",
+                cfg.cores
+            )));
+        }
+        let mut pending_faults = Vec::new();
+        for _ in 0..r.seq()? {
+            let spec = r.str()?;
+            pending_faults.push(Fault::parse(&spec).map_err(SnapError::Corrupt)?);
+        }
+        let faults_applied = r.u64()?;
+        let (drop_nth, delay_nth, fabric_faults) = Fabric::unsnap_static(&mut r)?;
+        // Dynamic section.
+        let exited = r.bool()?;
+        let quiet_cycles = r.u64()?;
+        let cursor = SampleCursor {
+            cycle: r.u64()?,
+            retired: r.u64()?,
+            link_hops: r.u64()?,
+            stalls: CoreStalls::unsnap(&mut r)?,
+        };
+        let stats = Stats::unsnap(&mut r)?;
+        let ncores = r.seq()?;
+        if ncores != cfg.cores {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot holds {ncores} cores, configuration says {}",
+                cfg.cores
+            )));
+        }
+        let cores = (0..ncores)
+            .map(|_| Core::unsnap(&mut r))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mem = MemSys::unsnap(&mut r)?;
+        let fabric = Fabric::unsnap_dyn(&mut r, drop_nth, delay_nth, fabric_faults)?;
+        r.finish()?;
+        Ok(Machine {
+            cfg,
+            cores,
+            mem,
+            fabric,
+            stats,
+            trace: Trace::new(),
+            sink: None,
+            cursor,
+            cycle,
+            exited,
+            pending_faults,
+            faults_applied,
+            quiet_cycles,
         })
     }
 

@@ -2,6 +2,8 @@
 
 use lbp_isa::HartId;
 
+use crate::snapshot::{get_hart, put_hart, SnapError, SnapReader, SnapWriter};
+
 /// A memory-network message (requests toward shared banks, responses back).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetMsg {
@@ -64,6 +66,73 @@ impl NetMsg {
         match self {
             NetMsg::ReadResp { hart, .. } | NetMsg::WriteAck { hart, .. } => Some(hart.core()),
             _ => None,
+        }
+    }
+
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            NetMsg::ReadReq {
+                addr,
+                hart,
+                size,
+                signed,
+            } => {
+                w.u8(0);
+                w.u32(addr);
+                put_hart(w, hart);
+                w.u8(size);
+                w.bool(signed);
+            }
+            NetMsg::WriteReq {
+                addr,
+                value,
+                size,
+                hart,
+            } => {
+                w.u8(1);
+                w.u32(addr);
+                w.u32(value);
+                w.u8(size);
+                put_hart(w, hart);
+            }
+            NetMsg::ReadResp { addr, value, hart } => {
+                w.u8(2);
+                w.u32(addr);
+                w.u32(value);
+                put_hart(w, hart);
+            }
+            NetMsg::WriteAck { addr, hart } => {
+                w.u8(3);
+                w.u32(addr);
+                put_hart(w, hart);
+            }
+        }
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<NetMsg, SnapError> {
+        match r.u8()? {
+            0 => Ok(NetMsg::ReadReq {
+                addr: r.u32()?,
+                hart: get_hart(r)?,
+                size: r.u8()?,
+                signed: r.bool()?,
+            }),
+            1 => Ok(NetMsg::WriteReq {
+                addr: r.u32()?,
+                value: r.u32()?,
+                size: r.u8()?,
+                hart: get_hart(r)?,
+            }),
+            2 => Ok(NetMsg::ReadResp {
+                addr: r.u32()?,
+                value: r.u32()?,
+                hart: get_hart(r)?,
+            }),
+            3 => Ok(NetMsg::WriteAck {
+                addr: r.u32()?,
+                hart: get_hart(r)?,
+            }),
+            other => Err(SnapError::Corrupt(format!("bad NetMsg tag {other}"))),
         }
     }
 }
@@ -169,6 +238,88 @@ impl CoreMsg {
             | CoreMsg::EndSignal { to }
             | CoreMsg::Join { to, .. }
             | CoreMsg::Result { to, .. } => to.core(),
+        }
+    }
+
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            CoreMsg::ForkReq { from } => {
+                w.u8(0);
+                put_hart(w, from);
+            }
+            CoreMsg::ForkReply { to, child } => {
+                w.u8(1);
+                put_hart(w, to);
+                put_hart(w, child);
+            }
+            CoreMsg::Start { to, pc } => {
+                w.u8(2);
+                put_hart(w, to);
+                w.u32(pc);
+            }
+            CoreMsg::CvWrite {
+                to,
+                offset,
+                value,
+                from,
+            } => {
+                w.u8(3);
+                put_hart(w, to);
+                w.u32(offset);
+                w.u32(value);
+                put_hart(w, from);
+            }
+            CoreMsg::CvAck { to } => {
+                w.u8(4);
+                put_hart(w, to);
+            }
+            CoreMsg::EndSignal { to } => {
+                w.u8(5);
+                put_hart(w, to);
+            }
+            CoreMsg::Join { to, pc } => {
+                w.u8(6);
+                put_hart(w, to);
+                w.u32(pc);
+            }
+            CoreMsg::Result { to, slot, value } => {
+                w.u8(7);
+                put_hart(w, to);
+                w.u32(slot);
+                w.u32(value);
+            }
+        }
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<CoreMsg, SnapError> {
+        match r.u8()? {
+            0 => Ok(CoreMsg::ForkReq { from: get_hart(r)? }),
+            1 => Ok(CoreMsg::ForkReply {
+                to: get_hart(r)?,
+                child: get_hart(r)?,
+            }),
+            2 => Ok(CoreMsg::Start {
+                to: get_hart(r)?,
+                pc: r.u32()?,
+            }),
+            3 => Ok(CoreMsg::CvWrite {
+                to: get_hart(r)?,
+                offset: r.u32()?,
+                value: r.u32()?,
+                from: get_hart(r)?,
+            }),
+            4 => Ok(CoreMsg::CvAck { to: get_hart(r)? }),
+            5 => Ok(CoreMsg::EndSignal { to: get_hart(r)? }),
+            6 => Ok(CoreMsg::Join {
+                to: get_hart(r)?,
+                pc: r.u32()?,
+            }),
+            7 => Ok(CoreMsg::Result {
+                to: get_hart(r)?,
+                slot: r.u32()?,
+                value: r.u32()?,
+            }),
+            other => Err(SnapError::Corrupt(format!("bad CoreMsg tag {other}"))),
         }
     }
 }

@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 
 use crate::msg::NetMsg;
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// Children per router at every level (cores per r1, r1s per r2, ...).
 const FANOUT: u32 = 4;
@@ -245,6 +246,84 @@ impl Network {
                 Dest::Router(node) => self.route(node, msg),
             }
         }
+    }
+
+    /// Serializes the routing parameters and every in-flight message.
+    /// The topology itself is not serialized — it is a pure function of
+    /// `(cores, shared_bank_bytes)` and is rebuilt on restore, with the
+    /// per-edge queues refilled in edge-index order.
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u32(self.cores);
+        w.u32(self.shared_bank_bytes);
+        w.seq(self.edges.len());
+        for e in &self.edges {
+            w.seq(e.queue.len());
+            for msg in &e.queue {
+                msg.snap(w);
+            }
+        }
+        w.seq(self.bank_inbox.len());
+        for q in &self.bank_inbox {
+            w.seq(q.len());
+            for msg in q {
+                msg.snap(w);
+            }
+        }
+        w.seq(self.core_inbox.len());
+        for inbox in &self.core_inbox {
+            w.seq(inbox.len());
+            for msg in inbox {
+                msg.snap(w);
+            }
+        }
+        w.u64(self.hops);
+        w.u64(self.contended);
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<Network, SnapError> {
+        let cores = r.u32()?;
+        let shared_bank_bytes = r.u32()?;
+        if cores == 0 {
+            return Err(SnapError::Corrupt("network has zero cores".to_owned()));
+        }
+        let mut net = Network::new(cores as usize, shared_bank_bytes);
+        let edges = r.seq()?;
+        if edges != net.edges.len() {
+            return Err(SnapError::Corrupt(format!(
+                "network has {edges} edges, topology for {cores} cores has {}",
+                net.edges.len()
+            )));
+        }
+        for e in &mut net.edges {
+            for _ in 0..r.seq()? {
+                e.queue.push_back(NetMsg::unsnap(r)?);
+            }
+        }
+        let banks = r.seq()?;
+        if banks != net.bank_inbox.len() {
+            return Err(SnapError::Corrupt(format!(
+                "{banks} bank inboxes for {cores} cores"
+            )));
+        }
+        for q in &mut net.bank_inbox {
+            for _ in 0..r.seq()? {
+                q.push_back(NetMsg::unsnap(r)?);
+            }
+        }
+        let inboxes = r.seq()?;
+        if inboxes != net.core_inbox.len() {
+            return Err(SnapError::Corrupt(format!(
+                "{inboxes} core inboxes for {cores} cores"
+            )));
+        }
+        for inbox in &mut net.core_inbox {
+            for _ in 0..r.seq()? {
+                inbox.push(NetMsg::unsnap(r)?);
+            }
+        }
+        net.hops = r.u64()?;
+        net.contended = r.u64()?;
+        Ok(net)
     }
 
     /// The level-0 endpoint index a message is heading to.

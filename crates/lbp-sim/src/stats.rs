@@ -5,6 +5,7 @@
 use lbp_isa::HARTS_PER_CORE;
 
 use crate::json::Json;
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// Why a core cycle did not retire an instruction.
 ///
@@ -103,6 +104,26 @@ impl CoreStalls {
         }
     }
 
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.fetch_starved);
+        w.u64(self.mem_wait);
+        w.u64(self.operand_wait);
+        w.u64(self.rb_full);
+        w.u64(self.sync_wait);
+        w.u64(self.idle);
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<CoreStalls, SnapError> {
+        Ok(CoreStalls {
+            fetch_starved: r.u64()?,
+            mem_wait: r.u64()?,
+            operand_wait: r.u64()?,
+            rb_full: r.u64()?,
+            sync_wait: r.u64()?,
+            idle: r.u64()?,
+        })
+    }
+
     /// JSON object with one key per bucket (stable key order).
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -134,6 +155,24 @@ pub struct IntervalSample {
 }
 
 impl IntervalSample {
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.cycle);
+        w.u64(self.interval);
+        w.u64(self.retired);
+        w.u64(self.link_hops);
+        self.stalls.snap(w);
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<IntervalSample, SnapError> {
+        Ok(IntervalSample {
+            cycle: r.u64()?,
+            interval: r.u64()?,
+            retired: r.u64()?,
+            link_hops: r.u64()?,
+            stalls: CoreStalls::unsnap(r)?,
+        })
+    }
+
     /// Machine-wide IPC over the interval.
     pub fn ipc(&self) -> f64 {
         if self.interval == 0 {
@@ -200,6 +239,68 @@ impl Stats {
             stalls_per_core: vec![CoreStalls::default(); harts.div_ceil(HARTS_PER_CORE)],
             ..Stats::default()
         }
+    }
+
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.cycles);
+        w.seq(self.retired_per_hart.len());
+        for &n in &self.retired_per_hart {
+            w.u64(n);
+        }
+        w.u64(self.local_accesses);
+        w.u64(self.remote_accesses);
+        w.u64(self.link_hops);
+        w.u64(self.forks);
+        w.u64(self.joins);
+        w.u64(self.muldiv_ops);
+        w.seq(self.stalls_per_core.len());
+        for s in &self.stalls_per_core {
+            s.snap(w);
+        }
+        w.u64(self.bank_conflicts);
+        w.u64(self.link_contention);
+        w.seq(self.samples.len());
+        for s in &self.samples {
+            s.snap(w);
+        }
+    }
+
+    pub(crate) fn unsnap(r: &mut SnapReader<'_>) -> Result<Stats, SnapError> {
+        let cycles = r.u64()?;
+        let mut retired_per_hart = Vec::new();
+        for _ in 0..r.seq()? {
+            retired_per_hart.push(r.u64()?);
+        }
+        let local_accesses = r.u64()?;
+        let remote_accesses = r.u64()?;
+        let link_hops = r.u64()?;
+        let forks = r.u64()?;
+        let joins = r.u64()?;
+        let muldiv_ops = r.u64()?;
+        let mut stalls_per_core = Vec::new();
+        for _ in 0..r.seq()? {
+            stalls_per_core.push(CoreStalls::unsnap(r)?);
+        }
+        let bank_conflicts = r.u64()?;
+        let link_contention = r.u64()?;
+        let mut samples = Vec::new();
+        for _ in 0..r.seq()? {
+            samples.push(IntervalSample::unsnap(r)?);
+        }
+        Ok(Stats {
+            cycles,
+            retired_per_hart,
+            local_accesses,
+            remote_accesses,
+            link_hops,
+            forks,
+            joins,
+            muldiv_ops,
+            stalls_per_core,
+            bank_conflicts,
+            link_contention,
+            samples,
+        })
     }
 
     /// Total instructions retired across all harts.

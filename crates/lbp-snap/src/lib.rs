@@ -1,0 +1,268 @@
+//! # lbp-snap — deterministic checkpoint/restore for LBP machines
+//!
+//! A versioned, content-hashed file container (`lbp-snap-v1`) around
+//! [`lbp_sim::MachineState`], plus a divergence bisector that
+//! binary-searches two runs for the first cycle — and the first traced
+//! event — where their evolutions part ways.
+//!
+//! The container prepends a fixed header to the raw machine payload:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"LBPSNAP1"
+//!      8     2  format version (little-endian u16, currently 1)
+//!     10     8  snapshot cycle
+//!     18     8  core count
+//!     26     8  payload length in bytes
+//!     34     8  FNV-1a-64 hash of the payload
+//!     42     …  payload (the `MachineState` bytes)
+//! ```
+//!
+//! The hash makes snapshots *content-addressed*: two machines in the same
+//! state produce byte-identical files with the same
+//! [`content_hash`], which `lbp-batch` exploits to deduplicate jobs.
+//!
+//! # Examples
+//!
+//! ```
+//! use lbp_sim::{LbpConfig, Machine};
+//!
+//! let image = lbp_asm::assemble(
+//!     "main:
+//!         li   t0, -1
+//!         li   a0, 0
+//!         p_ret a0, t0",
+//! )?;
+//! let mut m = Machine::new(LbpConfig::cores(1), &image)?;
+//! m.run_to(2)?;
+//! let bytes = lbp_snap::encode(&m.snapshot());
+//! let restored = Machine::restore(&lbp_snap::decode(&bytes)?)?;
+//! assert_eq!(restored.snapshot().as_bytes(), m.snapshot().as_bytes());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use lbp_sim::{MachineState, SnapError};
+
+mod bisect;
+
+pub use bisect::{first_divergence, DivergencePoint};
+
+/// The container magic, spelling the format name.
+pub const MAGIC: [u8; 8] = *b"LBPSNAP1";
+
+/// The current container format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Bytes of container header before the payload.
+pub const CONTAINER_HEADER_BYTES: usize = 42;
+
+/// A failure to read or write a snapshot container.
+#[derive(Debug)]
+pub enum SnapFileError {
+    /// The underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The bytes are not a well-formed `lbp-snap-v1` container (bad
+    /// magic, unsupported version, length mismatch, hash mismatch).
+    Format(String),
+    /// The payload does not describe a valid machine.
+    Snap(SnapError),
+}
+
+impl std::fmt::Display for SnapFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapFileError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapFileError::Format(what) => write!(f, "not an lbp-snap-v1 container: {what}"),
+            SnapFileError::Snap(e) => write!(f, "snapshot payload rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapFileError::Io(e) => Some(e),
+            SnapFileError::Format(_) => None,
+            SnapFileError::Snap(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapFileError {
+    fn from(e: std::io::Error) -> SnapFileError {
+        SnapFileError::Io(e)
+    }
+}
+
+impl From<SnapError> for SnapFileError {
+    fn from(e: SnapError) -> SnapFileError {
+        SnapFileError::Snap(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the format's (non-cryptographic)
+/// integrity and content-addressing hash. Stable across platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The content hash of a machine state — equal for machines in equal
+/// states, whatever run produced them.
+pub fn content_hash(state: &MachineState) -> u64 {
+    fnv1a64(state.as_bytes())
+}
+
+/// Serializes a machine state into an `lbp-snap-v1` container.
+pub fn encode(state: &MachineState) -> Vec<u8> {
+    let payload = state.as_bytes();
+    let mut out = Vec::with_capacity(CONTAINER_HEADER_BYTES + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&state.cycle().to_le_bytes());
+    out.extend_from_slice(&(state.cores() as u64).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses an `lbp-snap-v1` container back into a [`MachineState`],
+/// verifying the magic, version, length and integrity hash.
+///
+/// # Errors
+///
+/// [`SnapFileError::Format`] on any container-level violation,
+/// [`SnapFileError::Snap`] if the verified payload still fails machine
+/// validation.
+pub fn decode(bytes: &[u8]) -> Result<MachineState, SnapFileError> {
+    let bad = |what: String| Err(SnapFileError::Format(what));
+    if bytes.len() < CONTAINER_HEADER_BYTES {
+        return bad(format!("{} bytes is shorter than the header", bytes.len()));
+    }
+    if bytes[..8] != MAGIC {
+        return bad("bad magic".to_owned());
+    }
+    let u16_at = |at: usize| u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap());
+    let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+    let version = u16_at(8);
+    if version != FORMAT_VERSION {
+        return bad(format!("unsupported format version {version}"));
+    }
+    let (cycle, cores, len, hash) = (u64_at(10), u64_at(18), u64_at(26), u64_at(34));
+    let payload = &bytes[CONTAINER_HEADER_BYTES..];
+    if payload.len() as u64 != len {
+        return bad(format!(
+            "header declares {len} payload bytes, container holds {}",
+            payload.len()
+        ));
+    }
+    if fnv1a64(payload) != hash {
+        return bad("integrity hash mismatch — the snapshot is damaged".to_owned());
+    }
+    let state = MachineState::from_bytes(payload.to_vec())?;
+    if state.cycle() != cycle || state.cores() as u64 != cores {
+        return bad(format!(
+            "container header (cycle {cycle}, {cores} cores) disagrees with the payload \
+             (cycle {}, {} cores)",
+            state.cycle(),
+            state.cores()
+        ));
+    }
+    Ok(state)
+}
+
+/// Writes a machine state to `path` as an `lbp-snap-v1` container.
+///
+/// # Errors
+///
+/// Any I/O failure creating or writing the file.
+pub fn save(state: &MachineState, path: impl AsRef<Path>) -> Result<(), SnapFileError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode(state))?;
+    Ok(())
+}
+
+/// Reads and verifies an `lbp-snap-v1` container from `path`.
+///
+/// # Errors
+///
+/// I/O failures, container-format violations, or payload rejection.
+pub fn load(path: impl AsRef<Path>) -> Result<MachineState, SnapFileError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbp_sim::{LbpConfig, Machine};
+
+    fn snapped() -> MachineState {
+        let image = lbp_asm::assemble(
+            "main:
+                li   t0, -1
+                li   a0, 0
+                p_ret a0, t0",
+        )
+        .unwrap();
+        let mut m = Machine::new(LbpConfig::cores(1), &image).unwrap();
+        m.run_to(2).unwrap();
+        m.snapshot()
+    }
+
+    #[test]
+    fn container_round_trips() {
+        let state = snapped();
+        let bytes = encode(&state);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.as_bytes(), state.as_bytes());
+        assert_eq!(back.cycle(), 2);
+    }
+
+    #[test]
+    fn equal_states_hash_equal() {
+        let a = snapped();
+        let b = snapped();
+        assert_eq!(content_hash(&a), content_hash(&b));
+        assert_eq!(encode(&a), encode(&b));
+    }
+
+    #[test]
+    fn damage_is_detected() {
+        let mut bytes = encode(&snapped());
+        assert!(matches!(
+            decode(&bytes[..CONTAINER_HEADER_BYTES - 1]),
+            Err(SnapFileError::Format(_))
+        ));
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(matches!(decode(&bytes), Err(SnapFileError::Format(_))));
+        bytes[last] ^= 1;
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(SnapFileError::Format(_))));
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("lbp-snap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t-{}.lbpsnap", std::process::id()));
+        let state = snapped();
+        save(&state, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.as_bytes(), state.as_bytes());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

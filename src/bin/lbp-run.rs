@@ -40,7 +40,7 @@ use std::process::ExitCode;
 
 use lbp::sim::{
     ChromeSink, Fault, FaultPlan, JsonlSink, LbpConfig, LockstepError, Machine, MachineDump,
-    SimError, TextSink, TraceSink,
+    RunReport, SimError, SimFailure, TextSink, TraceSink,
 };
 
 #[derive(Clone, Copy, PartialEq)]
@@ -67,6 +67,10 @@ struct Options {
     lockstep: bool,
     verify: bool,
     diag_json: Option<String>,
+    checkpoint_every: u64,
+    checkpoint_prefix: String,
+    resume_from: Option<String>,
+    bisect: bool,
 }
 
 fn usage() -> ! {
@@ -92,6 +96,12 @@ fn usage() -> ! {
            --lockstep         check against the sequential ISS oracle (1 hart)\n\
            --verify           statically verify the program instead of running it\n\
            --diag-json FILE   with --verify, write the lbp-diag-v1 report ('-' = stdout)\n\
+           --checkpoint-every N  write an lbp-snap-v1 snapshot every N cycles\n\
+           --checkpoint-prefix P checkpoint files are P<cycle>.lbpsnap (default ckpt-)\n\
+           --resume-from FILE continue a run from a checkpoint (the snapshot's\n\
+                              configuration wins; the program may be omitted)\n\
+           --bisect           with --fault: binary-search the clean and faulted\n\
+                              runs for the first divergent cycle and event\n\
          \n\
          exit codes: 0 ok, 2 usage, 1 front-end/I/O, 4 timeout, 5 deadlock,\n\
          6 protocol, 7 decode, 8 memory fault, 9 lockstep divergence,\n\
@@ -119,6 +129,10 @@ fn parse_args() -> Options {
         lockstep: false,
         verify: false,
         diag_json: None,
+        checkpoint_every: 0,
+        checkpoint_prefix: "ckpt-".to_owned(),
+        resume_from: None,
+        bisect: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -177,6 +191,18 @@ fn parse_args() -> Options {
             "--lockstep" => opts.lockstep = true,
             "--verify" => opts.verify = true,
             "--diag-json" => opts.diag_json = Some(args.next().unwrap_or_else(|| usage())),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--checkpoint-prefix" => {
+                opts.checkpoint_prefix = args.next().unwrap_or_else(|| usage());
+            }
+            "--resume-from" => opts.resume_from = Some(args.next().unwrap_or_else(|| usage())),
+            "--bisect" => opts.bisect = true,
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {
                 opts.input = other.to_owned();
@@ -184,8 +210,19 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
-    if opts.input.is_empty() {
+    if opts.input.is_empty() && opts.resume_from.is_none() {
         usage();
+    }
+    // Every mode that compiles or statically inspects the program needs
+    // one; only a plain resumed run can do without.
+    if opts.input.is_empty()
+        && (opts.verify || opts.lockstep || opts.bisect || opts.emit_asm || opts.disasm)
+    {
+        usage();
+    }
+    if opts.bisect && opts.faults.is_empty() {
+        eprintln!("lbp-run: --bisect needs at least one --fault to diverge from the clean run");
+        std::process::exit(2);
     }
     if opts.cores == 0 || opts.cores > 4096 {
         eprintln!("lbp-run: --cores must be between 1 and 4096");
@@ -336,44 +373,123 @@ fn run_verify_mode(opts: &Options, source: &str) -> ExitCode {
     }
 }
 
-fn main() -> ExitCode {
-    let opts = parse_args();
-    let source = match std::fs::read_to_string(&opts.input) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("lbp-run: cannot read `{}`: {e}", opts.input);
-            return ExitCode::from(2);
+/// `--checkpoint-every N`: run in N-cycle legs, writing an `lbp-snap-v1`
+/// snapshot after each one. Checkpointing never changes the run — the
+/// machine is cycle-deterministic and `run_to` stops on exact cycle
+/// boundaries — so the final report equals an uncheckpointed run's.
+fn run_with_checkpoints(
+    machine: &mut Machine,
+    opts: &Options,
+) -> Result<RunReport, Box<SimFailure>> {
+    loop {
+        let cur = machine.stats().cycles;
+        if cur >= opts.max_cycles {
+            // Out of budget: let run_diagnosed raise the timeout with its
+            // crash dump attached.
+            return machine.run_diagnosed(opts.max_cycles);
+        }
+        let target = cur
+            .saturating_add(opts.checkpoint_every)
+            .min(opts.max_cycles);
+        if machine.run_to(target)? {
+            return Ok(machine.report());
+        }
+        let state = machine.snapshot();
+        let path = format!("{}{}.lbpsnap", opts.checkpoint_prefix, state.cycle());
+        match lbp::snap::save(&state, &path) {
+            Ok(()) => eprintln!("lbp-run: checkpoint written to {path}"),
+            Err(e) => eprintln!("lbp-run: cannot write checkpoint `{path}`: {e}"),
+        }
+    }
+}
+
+/// `--bisect`: build a clean machine and one with the `--fault` plan,
+/// then binary-search their runs (over snapshots) for the first cycle —
+/// and the first traced event — where they diverge.
+fn run_bisect_mode(opts: &Options, image: &lbp::asm::Image) -> ExitCode {
+    let mut base = LbpConfig::cores(opts.cores);
+    if opts.interval > 0 {
+        base = base.with_interval(opts.interval);
+    }
+    let faulted_cfg = base
+        .clone()
+        .with_faults(opts.faults.iter().copied().collect::<FaultPlan>());
+    let (clean, faulted) = match (Machine::new(base, image), Machine::new(faulted_cfg, image)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("lbp-run: {e}");
+            return ExitCode::from(sim_exit_code(&e));
         }
     };
-
-    if opts.verify {
-        return run_verify_mode(&opts, &source);
-    }
-
-    // Front end by extension.
-    let (asm_text, image) = if opts.input.ends_with(".c") {
-        match lbp::cc::compile(&source) {
-            Ok(c) => (c.asm, c.image),
-            Err(e) => {
-                eprintln!("lbp-run: {e}");
-                return ExitCode::FAILURE;
-            }
+    let stride = (opts.max_cycles / 100).clamp(16, 65_536);
+    match lbp::snap::first_divergence(
+        &clean.snapshot(),
+        &faulted.snapshot(),
+        opts.max_cycles,
+        stride,
+    ) {
+        Ok(Some(d)) => {
+            println!("{d}");
+            ExitCode::SUCCESS
         }
+        Ok(None) => {
+            println!(
+                "no divergence: the faulted run stayed state-identical to the clean run \
+                 for {} cycles",
+                opts.max_cycles
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lbp-run: bisection failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    // With --resume-from the program is optional — the snapshot carries
+    // the whole machine. When given anyway, it still feeds --dump and
+    // --profile symbol lookups.
+    let front = if opts.input.is_empty() {
+        None
     } else {
-        match lbp::asm::assemble(&source) {
-            Ok(img) => (source, img),
+        let source = match std::fs::read_to_string(&opts.input) {
+            Ok(s) => s,
             Err(e) => {
-                eprintln!("lbp-run: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("lbp-run: cannot read `{}`: {e}", opts.input);
+                return ExitCode::from(2);
+            }
+        };
+        if opts.verify {
+            return run_verify_mode(&opts, &source);
+        }
+        // Front end by extension.
+        if opts.input.ends_with(".c") {
+            match lbp::cc::compile(&source) {
+                Ok(c) => Some((c.asm, c.image)),
+                Err(e) => {
+                    eprintln!("lbp-run: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            match lbp::asm::assemble(&source) {
+                Ok(img) => Some((source, img)),
+                Err(e) => {
+                    eprintln!("lbp-run: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     };
     if opts.emit_asm {
-        print!("{asm_text}");
+        print!("{}", front.expect("checked by parse_args").0);
         return ExitCode::SUCCESS;
     }
     if opts.disasm {
-        print!("{}", image.disassemble());
+        print!("{}", front.expect("checked by parse_args").1.disassemble());
         return ExitCode::SUCCESS;
     }
 
@@ -387,14 +503,46 @@ fn main() -> ExitCode {
     if !opts.faults.is_empty() {
         cfg = cfg.with_faults(opts.faults.iter().copied().collect::<FaultPlan>());
     }
-    if opts.lockstep {
-        return run_lockstep_mode(cfg, &image, &opts);
+    if opts.bisect {
+        let image = &front.as_ref().expect("checked by parse_args").1;
+        return run_bisect_mode(&opts, image);
     }
-    let mut machine = match Machine::new(cfg, &image) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("lbp-run: {e}");
-            return ExitCode::from(sim_exit_code(&e));
+    if opts.lockstep {
+        let image = &front.as_ref().expect("checked by parse_args").1;
+        return run_lockstep_mode(cfg, image, &opts);
+    }
+    let mut machine = match &opts.resume_from {
+        Some(path) => {
+            let state = match lbp::snap::load(path) {
+                Ok(state) => state,
+                Err(e) => {
+                    eprintln!("lbp-run: cannot load checkpoint `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Machine::restore(&state) {
+                Ok(m) => {
+                    eprintln!("lbp-run: resumed from {path} at cycle {}", state.cycle());
+                    m
+                }
+                Err(e) => {
+                    eprintln!("lbp-run: cannot restore `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            let image = &front
+                .as_ref()
+                .expect("a program or --resume-from is required")
+                .1;
+            match Machine::new(cfg, image) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("lbp-run: {e}");
+                    return ExitCode::from(sim_exit_code(&e));
+                }
+            }
         }
     };
     if let Some(path) = &opts.trace {
@@ -412,7 +560,12 @@ fn main() -> ExitCode {
         };
         machine.set_sink(sink);
     }
-    let report = match machine.run_diagnosed(opts.max_cycles) {
+    let run_result = if opts.checkpoint_every > 0 {
+        run_with_checkpoints(&mut machine, &opts)
+    } else {
+        machine.run_diagnosed(opts.max_cycles)
+    };
+    let report = match run_result {
         Ok(r) => r,
         Err(fail) => {
             eprintln!("lbp-run: {}", fail.error);
@@ -439,7 +592,7 @@ fn main() -> ExitCode {
     println!(
         "IPC:      {:.3} (peak {}.0)",
         report.stats.ipc(),
-        opts.cores
+        machine.config().cores
     );
     println!("forks:    {}", report.stats.forks);
     println!("locality: {:.2}", report.stats.locality());
@@ -461,7 +614,11 @@ fn main() -> ExitCode {
         }
     }
 
+    if !opts.dumps.is_empty() && front.is_none() {
+        eprintln!("lbp-run: --dump needs the program for its symbols; none was given");
+    }
     for (sym, n) in &opts.dumps {
+        let Some((_, image)) = &front else { break };
         match image.symbol(sym) {
             None => eprintln!("lbp-run: no symbol `{sym}`"),
             Some(addr) => {
@@ -480,7 +637,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if let Some(top_n) = opts.profile {
+    if let (Some(top_n), Some((_, image))) = (opts.profile, &front) {
         use std::collections::HashMap;
         let mut by_pc: HashMap<u32, u64> = HashMap::new();
         let mut total = 0u64;

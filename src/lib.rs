@@ -9,4 +9,5 @@ pub use lbp_isa as isa;
 pub use lbp_kernels as kernels;
 pub use lbp_omp as omp;
 pub use lbp_sim as sim;
+pub use lbp_snap as snap;
 pub use lbp_verify as verify;

@@ -1,0 +1,189 @@
+//! Pins `lbp-run`'s documented exit-code contract: 0 ok, 2 usage,
+//! 1 front-end/I-O, 4 timeout, 5 deadlock, 6 protocol, 7 decode,
+//! 8 memory fault, 9 lockstep divergence, 10 verification rejection.
+//! Scripts and CI match on these numbers, so they are load-bearing API.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lbp_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lbp-run"))
+}
+
+fn example(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/asm")
+        .join(name)
+}
+
+/// Writes a scratch program and returns its path.
+fn scratch(name: &str, text: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lbp-exit-codes-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn code(cmd: &mut Command) -> i32 {
+    cmd.output().expect("lbp-run spawns").status.code().unwrap()
+}
+
+#[test]
+fn exit_0_clean_run() {
+    assert_eq!(
+        code(lbp_run().arg(example("mul.s")).args(["--cores", "1"])),
+        0
+    );
+}
+
+#[test]
+fn exit_2_usage_errors() {
+    assert_eq!(code(&mut lbp_run()), 2, "no arguments");
+    assert_eq!(code(lbp_run().arg("--no-such-flag")), 2, "unknown flag");
+    assert_eq!(
+        code(lbp_run().arg(example("mul.s")).args(["--cores", "0"])),
+        2,
+        "zero cores"
+    );
+    assert_eq!(
+        code(lbp_run().arg(example("mul.s")).arg("--bisect")),
+        2,
+        "--bisect without --fault"
+    );
+}
+
+#[test]
+fn exit_1_front_end_failure() {
+    let bad = scratch("bad.c", "int main( { this is not C }\n");
+    assert_eq!(code(lbp_run().arg(bad)), 1);
+}
+
+#[test]
+fn exit_4_timeout() {
+    assert_eq!(
+        code(
+            lbp_run()
+                .arg(example("mul.s"))
+                .args(["--cores", "1", "--max-cycles", "5"])
+        ),
+        4
+    );
+}
+
+#[test]
+fn exit_5_deadlock() {
+    assert_eq!(
+        code(lbp_run().arg(example("hung.s")).args(["--cores", "1"])),
+        5
+    );
+}
+
+#[test]
+fn exit_6_protocol_violation() {
+    // p_fn on the last core: the forward line does not wrap.
+    let p = scratch("proto.s", "main:\n  p_fn t6\n  p_ret\n");
+    assert_eq!(code(lbp_run().arg(p).args(["--cores", "1"])), 6);
+}
+
+#[test]
+fn exit_7_decode_fault() {
+    // Corrupt the first code word into something undecodable.
+    assert_eq!(
+        code(lbp_run().arg(example("mul.s")).args([
+            "--cores",
+            "1",
+            "--fault",
+            "corrupt-instr:0x0:0xffffffff:1"
+        ])),
+        7
+    );
+}
+
+#[test]
+fn exit_8_memory_fault() {
+    let p = scratch(
+        "memf.s",
+        "main:
+  li a0, 0x40000002
+  lw a1, 0(a0)      # misaligned word load
+  li t0, -1
+  li a0, 0
+  p_ret a0, t0
+",
+    );
+    assert_eq!(code(lbp_run().arg(p).args(["--cores", "1"])), 8);
+}
+
+#[test]
+fn exit_9_lockstep_divergence() {
+    // Flip a2 after `mul` wrote it: only the differential check sees it.
+    assert_eq!(
+        code(lbp_run().arg(example("mul.s")).args([
+            "--cores",
+            "1",
+            "--lockstep",
+            "--fault",
+            "flip-reg:0:a2:4:14"
+        ])),
+        9
+    );
+}
+
+#[test]
+fn exit_10_verification_rejection() {
+    assert_eq!(code(lbp_run().arg(example("hung.s")).arg("--verify")), 10);
+}
+
+#[test]
+fn checkpoint_resume_reaches_the_same_state() {
+    // End-to-end over the CLI: checkpoint a run, resume it, and compare
+    // the printed stats line-for-line with the uninterrupted run.
+    let dir = std::env::temp_dir().join(format!("lbp-ckpt-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = dir.join("ck-");
+    let full = lbp_run()
+        .arg(example("mul.s"))
+        .args(["--cores", "1"])
+        .output()
+        .unwrap();
+    assert!(full.status.success());
+    let ckpt = lbp_run()
+        .arg(example("mul.s"))
+        .args(["--cores", "1", "--checkpoint-every", "10"])
+        .args(["--checkpoint-prefix", prefix.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(ckpt.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&full.stdout),
+        String::from_utf8_lossy(&ckpt.stdout),
+        "checkpointing must not change the run"
+    );
+    let resumed = lbp_run()
+        .args(["--resume-from", &format!("{}10.lbpsnap", prefix.display())])
+        .output()
+        .unwrap();
+    assert!(resumed.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&full.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "a resumed run must report the same stats as the original"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bisect_reports_the_divergent_cycle() {
+    let out = lbp_run()
+        .arg(example("mul.s"))
+        .args(["--cores", "1", "--fault", "flip-reg:0:a2:4:14", "--bisect"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("first divergence at cycle 14"),
+        "bisect must name the fault's trigger cycle, got:\n{text}"
+    );
+}

@@ -1,0 +1,109 @@
+//! Snapshot round-trip smoke over every shipped example program:
+//! for each `examples/asm/*.s` and `examples/c/*.c`, checkpoint the run
+//! at two cycles through the `lbp-snap-v1` container, resume, and demand
+//! the resumed run is bit-identical to the uninterrupted one — run
+//! report, spliced trace events, and the machine's entire final state
+//! (compared as snapshot bytes, which cover all memory and statistics).
+
+use lbp::sim::{Event, LbpConfig, Machine, RunReport, SimError};
+use lbp::snap;
+
+/// How a run ended, in a form we can compare across the two executions.
+#[derive(PartialEq, Debug)]
+struct Outcome {
+    /// Report JSON for clean exits, error text otherwise (hung.s deadlocks).
+    result: String,
+    /// Full machine state: every register, queue, bank and counter.
+    state: Vec<u8>,
+}
+
+fn finish(m: &mut Machine, outcome: Result<RunReport, SimError>) -> Outcome {
+    Outcome {
+        result: match outcome {
+            Ok(report) => report.to_json().to_string(),
+            Err(e) => e.to_string(),
+        },
+        state: m.snapshot().as_bytes().to_vec(),
+    }
+}
+
+fn build(image: &lbp::asm::Image, cores: usize) -> Machine {
+    Machine::new(LbpConfig::cores(cores).with_trace(), image).expect("machine")
+}
+
+const MAX_CYCLES: u64 = 2_000_000;
+
+/// Runs `image` from reset and split at `at`, asserting both paths agree.
+fn check_round_trip(name: &str, image: &lbp::asm::Image, cores: usize) {
+    let mut full = build(image, cores);
+    let outcome = full.run(MAX_CYCLES);
+    let total = full.stats().cycles;
+    assert!(total > 4, "{name}: too short to checkpoint meaningfully");
+    let reference = finish(&mut full, outcome);
+    let events: Vec<Event> = full.trace().events().to_vec();
+
+    for at in [total / 3, (2 * total) / 3] {
+        let at = at.max(1).min(total - 1);
+        let mut prefix = build(image, cores);
+        let exited = prefix
+            .run_to(at)
+            .unwrap_or_else(|e| panic!("{name}: prefix run failed: {e}"));
+        assert!(!exited, "{name}: program exited before checkpoint {at}");
+
+        // Through the file container: encode, verify content hash, decode.
+        let state = prefix.snapshot();
+        let bytes = snap::encode(&state);
+        let decoded = snap::decode(&bytes).unwrap_or_else(|e| panic!("{name}@{at}: {e}"));
+        assert_eq!(snap::content_hash(&decoded), snap::content_hash(&state));
+
+        let mut resumed = Machine::restore(&decoded).unwrap();
+        let outcome = resumed.run(MAX_CYCLES);
+        let replay = finish(&mut resumed, outcome);
+        assert_eq!(
+            reference.result, replay.result,
+            "{name}: outcome diverged across a checkpoint at cycle {at}"
+        );
+        assert_eq!(
+            reference.state, replay.state,
+            "{name}: final machine state diverged across a checkpoint at cycle {at}"
+        );
+        let mut spliced = prefix.trace().events().to_vec();
+        spliced.extend_from_slice(resumed.trace().events());
+        assert_eq!(
+            events, spliced,
+            "{name}: trace diverged across a checkpoint at cycle {at}"
+        );
+    }
+}
+
+fn examples(subdir: &str, ext: &str) -> Vec<(String, String)> {
+    let dir = format!("{}/examples/{subdir}", env!("CARGO_MANIFEST_DIR"));
+    let mut programs: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{dir}: {e}"))
+        .filter_map(|entry| {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            name.ends_with(ext)
+                .then(|| (name, std::fs::read_to_string(&path).unwrap()))
+        })
+        .collect();
+    programs.sort();
+    assert!(!programs.is_empty(), "no {ext} programs under {dir}");
+    programs
+}
+
+#[test]
+fn every_asm_example_round_trips() {
+    for (name, source) in examples("asm", ".s") {
+        let image = lbp::asm::assemble(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_round_trip(&name, &image, 4);
+    }
+}
+
+#[test]
+fn every_c_example_round_trips() {
+    for (name, source) in examples("c", ".c") {
+        let compiled = lbp::cc::compile(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        check_round_trip(&name, &compiled.image, 4);
+    }
+}
