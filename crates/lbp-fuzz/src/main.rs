@@ -1,0 +1,142 @@
+//! `lbp-fuzz` — seeded conformance fuzzing of the LBP stack.
+//!
+//! ```text
+//! lbp-fuzz --seed N [--count N] [--skip N] [--corpus DIR]
+//!          [--kinds seq,mem,fork,c] [--max-team N] [--max-cores N]
+//!          [--sabotage wild-store|hang] [--shrink-attempts N]
+//!          [--out FILE]
+//! ```
+//!
+//! Verdicts stream to `--out` (default stdout) as `lbp-fuzz-v1` JSONL;
+//! a human summary goes to stderr. The stream and any corpus written
+//! are byte-identical for identical arguments. Exit code 0 when every
+//! case passed, 3 when any oracle tripped, 2 on usage errors, 1 on I/O
+//! problems.
+
+use std::path::PathBuf;
+
+use lbp_fuzz::gen::{Kind, Sabotage};
+use lbp_fuzz::FuzzOptions;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lbp-fuzz --seed N [--count N] [--skip N] [--corpus DIR]\n\
+         \x20                [--kinds LIST] [--max-team N] [--max-cores N]\n\
+         \x20                [--sabotage KIND] [--shrink-attempts N] [--out FILE]\n\
+         \n\
+         Generates seeded PISC/Deterministic-OpenMP programs and checks each\n\
+         against the oracle battery (build, verify, run, determinism,\n\
+         snapshot round-trip, ISS lockstep), shrinking and persisting any\n\
+         failure. Identical arguments produce byte-identical output.\n\
+         \n\
+         --seed N             master seed (required)\n\
+         --count N            cases to run (default 20)\n\
+         --skip N             first case index (replay: --skip I --count 1)\n\
+         --corpus DIR         persist failing cases under DIR\n\
+         --kinds LIST         comma list of seq,mem,fork,c (default: all)\n\
+         --max-team N         fork-tree team-size cap (default 32)\n\
+         --max-cores N        machine-size cap in cores (default 8)\n\
+         --sabotage KIND      plant a known bug: wild-store | hang\n\
+         --shrink-attempts N  shrink budget per failure, 0 = off (default 200)\n\
+         --out FILE           write the JSONL stream to FILE instead of stdout"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (FuzzOptions, Option<PathBuf>) {
+    let mut seed = None;
+    let mut opts = FuzzOptions::default();
+    let mut out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = Some(v),
+                None => usage(),
+            },
+            "--count" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.count = v,
+                None => usage(),
+            },
+            "--skip" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.skip = v,
+                None => usage(),
+            },
+            "--corpus" => match args.next() {
+                Some(p) => opts.corpus = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--kinds" => match args.next() {
+                Some(list) => {
+                    let kinds: Option<Vec<Kind>> = list.split(',').map(Kind::parse).collect();
+                    match kinds {
+                        Some(kinds) if !kinds.is_empty() => opts.config.kinds = kinds,
+                        _ => usage(),
+                    }
+                }
+                None => usage(),
+            },
+            "--max-team" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if (2..=256).contains(&v) => opts.config.max_team = v,
+                _ => usage(),
+            },
+            "--max-cores" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if (1..=64).contains(&v) => opts.config.max_cores = v,
+                _ => usage(),
+            },
+            "--sabotage" => match args.next().as_deref().and_then(Sabotage::parse) {
+                Some(s) => opts.config.sabotage = Some(s),
+                None => usage(),
+            },
+            "--shrink-attempts" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => opts.shrink_attempts = v,
+                None => usage(),
+            },
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let Some(seed) = seed else { usage() };
+    opts.seed = seed;
+    (opts, out)
+}
+
+fn main() {
+    let (opts, out) = parse_args();
+    let summary = match &out {
+        Some(path) => match std::fs::File::create(path) {
+            Ok(f) => lbp_fuzz::run_fuzz(&opts, std::io::BufWriter::new(f)),
+            Err(e) => {
+                eprintln!("lbp-fuzz: cannot create {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        },
+        None => lbp_fuzz::run_fuzz(&opts, std::io::stdout().lock()),
+    };
+    match summary {
+        Ok(s) => {
+            eprintln!(
+                "lbp-fuzz: seed {} -> {} case(s), {} passed, {} failed",
+                opts.seed,
+                s.cases,
+                s.passed,
+                s.failures.len()
+            );
+            for (case, class) in &s.failures {
+                eprintln!(
+                    "lbp-fuzz:   case {case}: {class} (replay: --seed {} --skip {case} --count 1)",
+                    opts.seed
+                );
+            }
+            std::process::exit(if s.clean() { 0 } else { 3 });
+        }
+        Err(e) => {
+            eprintln!("lbp-fuzz: writing output failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The oracle battery.
+//!
+//! Every generated program runs through the same ordered gauntlet;
+//! the first oracle that trips ends the case with a classified
+//! [`Failure`]:
+//!
+//! 1. **build** — the source must assemble (`lbp-asm`) or compile
+//!    (`lbp-cc`, lint first). The generators aim for well-formed
+//!    programs, so a front-end rejection is a finding against one side
+//!    or the other.
+//! 2. **verify** — the static fork-protocol verifier must accept the
+//!    image (diagnostic codes `LBP-B*`) and, for C sources, the
+//!    determinism lint must accept the program (`LBP-C*`/`LBP-S*`).
+//! 3. **run** — the machine must exit cleanly (`p_ret` type 3) within
+//!    the cycle budget. Combined with oracle 2 this checks the paper's
+//!    central static claim: *verifier-accepted implies deadlock-free*.
+//! 4. **determinism** — a second run from reset must produce a
+//!    bit-identical machine-readable report and an identical
+//!    content-hashed final state. (The machine is deterministic by
+//!    construction; this is the metamorphic check that the
+//!    implementation actually is.)
+//! 5. **snapshot** — snapshot at the mid-cycle of the reference run,
+//!    round-trip the state through the `lbp-snap` codec, resume, and
+//!    demand the spliced run end bit-identical to the straight run.
+//! 6. **lockstep** — replay the commit stream against the sequential
+//!    ISS and demand architectural agreement. Parallel programs are
+//!    skipped (the sequential oracle cannot follow a fork), which the
+//!    battery reports rather than hides.
+//!
+//! Every step runs under `catch_unwind`: a panic anywhere in the stack
+//! is itself a verdict (`class = "panic"`) — the simulator must never
+//! panic on generated input.
+
+use std::panic::{self, AssertUnwindSafe};
+
+use lbp_asm::Image;
+use lbp_sim::{run_lockstep, LbpConfig, LockstepError, Machine, RunReport, SimFailure};
+use lbp_verify::Severity;
+
+use crate::gen::{GenProgram, Kind};
+
+/// Names of the oracles, in battery order (stable strings: they appear
+/// in the JSONL verdicts and corpus metadata).
+pub const ORACLES: [&str; 6] = [
+    "build",
+    "verify",
+    "run",
+    "determinism",
+    "snapshot",
+    "lockstep",
+];
+
+/// A classified oracle failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Which oracle tripped (one of [`ORACLES`]).
+    pub oracle: &'static str,
+    /// Machine-matchable class: a simulator error class (`mem`,
+    /// `decode`, `protocol`, `deadlock`, `timeout`), a diagnostic code
+    /// (`LBP-B003`, …), `divergence`, or `panic`.
+    pub class: String,
+    /// Human-readable detail.
+    pub detail: String,
+    /// The `lbp-dump-v1` crash dump, when the failing oracle produced
+    /// one.
+    pub dump: Option<String>,
+}
+
+impl Failure {
+    fn new(oracle: &'static str, class: impl Into<String>, detail: impl Into<String>) -> Failure {
+        Failure {
+            oracle,
+            class: class.into(),
+            detail: detail.into(),
+            dump: None,
+        }
+    }
+
+    fn from_sim(oracle: &'static str, fail: &SimFailure) -> Failure {
+        Failure {
+            oracle,
+            class: fail.error.class().to_owned(),
+            detail: fail.error.to_string(),
+            dump: Some(fail.dump.to_json().to_string()),
+        }
+    }
+
+    /// Whether `other` reproduces this failure (same oracle, same
+    /// class) — the shrinker's preservation predicate. Matching on
+    /// detail would over-constrain: a shrunk program faults at a
+    /// different pc but through the same mechanism.
+    pub fn same_bug(&self, other: &Failure) -> bool {
+        self.oracle == other.oracle && self.class == other.class
+    }
+}
+
+/// The result of a clean pass through the whole battery.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// Cycles of the reference run.
+    pub cycles: u64,
+    /// Instructions retired by the reference run.
+    pub retired: u64,
+    /// Commits compared in lockstep (`None` when the program forked and
+    /// the lockstep oracle was skipped).
+    pub lockstep_commits: Option<u64>,
+}
+
+/// Runs `f` trapping panics into a classified [`Failure`].
+fn guarded<T>(oracle: &'static str, f: impl FnOnce() -> Result<T, Failure>) -> Result<T, Failure> {
+    match panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_owned());
+            Err(Failure::new(oracle, "panic", msg))
+        }
+    }
+}
+
+/// Oracle 1+2: front end and static verification. Returns the image.
+pub fn build_and_verify(program: &GenProgram) -> Result<Image, Failure> {
+    let src = program.render();
+    let image = if program.is_c() {
+        // Determinism lint first: it sees the source-level parallel
+        // structure the binary verifier cannot reconstruct.
+        let diags = guarded("verify", || {
+            lbp_cc::lint(&src).map_err(|e| Failure::new("build", "frontend", e.to_string()))
+        })?;
+        if let Some(d) = diags.iter().find(|d| d.severity == Severity::Error) {
+            return Err(Failure::new(
+                "verify",
+                d.code.as_str(),
+                format!("line {}: {}", d.line, d.message),
+            ));
+        }
+        guarded("build", || {
+            lbp_cc::compile(&src)
+                .map(|c| c.image)
+                .map_err(|e| Failure::new("build", "frontend", e.to_string()))
+        })?
+    } else {
+        guarded("build", || {
+            lbp_asm::assemble(&src).map_err(|e| Failure::new("build", "frontend", e.to_string()))
+        })?
+    };
+    let diags = guarded("verify", || Ok(lbp_verify::verify_image(&image)))?;
+    if let Some(d) = diags.iter().find(|d| d.severity == Severity::Error) {
+        return Err(Failure::new(
+            "verify",
+            d.code.as_str(),
+            format!("{} (pc line {})", d.message, d.line),
+        ));
+    }
+    Ok(image)
+}
+
+fn cfg_for(program: &GenProgram) -> LbpConfig {
+    LbpConfig::cores(program.cores)
+}
+
+/// One full run from reset; `Err` carries the dump.
+fn reference_run(program: &GenProgram, image: &Image) -> Result<(RunReport, u64), Failure> {
+    guarded("run", || {
+        let mut m = Machine::new(cfg_for(program), image)
+            .map_err(|e| Failure::new("run", e.class(), e.to_string()))?;
+        let report = m
+            .run_diagnosed(program.max_cycles)
+            .map_err(|f| Failure::from_sim("run", &f))?;
+        let hash = lbp_snap::content_hash(&m.snapshot());
+        Ok((report, hash))
+    })
+}
+
+/// The full battery. The first failing oracle wins.
+pub fn check(program: &GenProgram) -> Result<PassReport, Failure> {
+    let image = build_and_verify(program)?;
+
+    // Oracle 3: the reference run.
+    let (report, final_hash) = reference_run(program, &image)?;
+
+    // Oracle 4: bit-identical repetition.
+    let (report2, final_hash2) = reference_run(program, &image).map_err(|mut f| {
+        // A *second* run failing after the first passed is itself a
+        // determinism bug, whatever the underlying error said.
+        f.oracle = "determinism";
+        f
+    })?;
+    let (a, b) = (report.to_json().to_string(), report2.to_json().to_string());
+    if a != b {
+        return Err(Failure::new(
+            "determinism",
+            "divergence",
+            format!("reports differ between identical runs:\n  first:  {a}\n  second: {b}"),
+        ));
+    }
+    if final_hash != final_hash2 {
+        return Err(Failure::new(
+            "determinism",
+            "divergence",
+            format!(
+                "final state content hash differs between identical runs: \
+                 {final_hash:#018x} vs {final_hash2:#018x}"
+            ),
+        ));
+    }
+
+    // Oracle 5: snapshot round-trip at the reference run's mid-cycle.
+    if report.stats.cycles >= 2 {
+        let cut = report.stats.cycles / 2;
+        snapshot_roundtrip(program, &image, cut, &a, final_hash)?;
+    }
+
+    // Oracle 6: differential lockstep against the ISS.
+    let lockstep_commits = match program.kind {
+        // Fork trees always fork; skip the doomed attempt.
+        Kind::Fork => None,
+        _ => guarded("lockstep", || {
+            match run_lockstep(cfg_for(program), &image, program.max_cycles) {
+                Ok(r) => Ok(Some(r.commits)),
+                Err(LockstepError::Parallel { .. }) => Ok(None),
+                Err(LockstepError::Diverged(d)) => {
+                    Err(Failure::new("lockstep", "divergence", d.to_string()))
+                }
+                Err(LockstepError::Machine(f)) => Err(Failure::from_sim("lockstep", &f)),
+                Err(e) => Err(Failure::new("lockstep", "oracle", e.to_string())),
+            }
+        })?,
+    };
+
+    Ok(PassReport {
+        cycles: report.stats.cycles,
+        retired: report.stats.retired(),
+        lockstep_commits,
+    })
+}
+
+/// Oracle 5 body: pause at `cut`, round-trip the state through the
+/// `lbp-snap` codec, resume, and compare against the straight run.
+fn snapshot_roundtrip(
+    program: &GenProgram,
+    image: &Image,
+    cut: u64,
+    straight_report: &str,
+    straight_hash: u64,
+) -> Result<(), Failure> {
+    guarded("snapshot", || {
+        let mut prefix = Machine::new(cfg_for(program), image)
+            .map_err(|e| Failure::new("snapshot", e.class(), e.to_string()))?;
+        let exited = prefix
+            .run_to(cut)
+            .map_err(|f| Failure::from_sim("snapshot", &f))?;
+        if exited {
+            // The cut is below the straight run's cycle count, so the
+            // program cannot have exited yet on a deterministic machine.
+            return Err(Failure::new(
+                "snapshot",
+                "divergence",
+                format!("program exited before cycle {cut}, earlier than the straight run"),
+            ));
+        }
+        let state = prefix.snapshot();
+        let decoded = lbp_snap::decode(&lbp_snap::encode(&state)).map_err(|e| {
+            Failure::new(
+                "snapshot",
+                "codec",
+                format!("round-trip decode failed: {e}"),
+            )
+        })?;
+        if decoded.as_bytes() != state.as_bytes() {
+            return Err(Failure::new(
+                "snapshot",
+                "codec",
+                "state bytes changed across an encode/decode round trip".to_owned(),
+            ));
+        }
+        let mut resumed = Machine::restore(&decoded)
+            .map_err(|e| Failure::new("snapshot", "codec", format!("restore failed: {e}")))?;
+        let report = resumed
+            .run_diagnosed(program.max_cycles)
+            .map_err(|f| Failure::from_sim("snapshot", &f))?;
+        let resumed_json = report.to_json().to_string();
+        if resumed_json != straight_report {
+            return Err(Failure::new(
+                "snapshot",
+                "divergence",
+                format!(
+                    "snapshot-at-{cut} run report differs from the straight run:\n  \
+                     straight: {straight_report}\n  resumed:  {resumed_json}"
+                ),
+            ));
+        }
+        let resumed_hash = lbp_snap::content_hash(&resumed.snapshot());
+        if resumed_hash != straight_hash {
+            return Err(Failure::new(
+                "snapshot",
+                "divergence",
+                format!(
+                    "final state content hash differs after a snapshot-at-{cut} resume: \
+                     {straight_hash:#018x} vs {resumed_hash:#018x}"
+                ),
+            ));
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use lbp_testutil::Rng;
+
+    #[test]
+    fn battery_passes_a_known_good_program() {
+        let mut rng = Rng::new(7);
+        let p = generate(&mut rng, &GenConfig::default(), 0); // kind 0 = seq
+        let report = check(&p).unwrap_or_else(|f| {
+            panic!(
+                "oracle {} tripped ({}): {}\n---\n{}",
+                f.oracle,
+                f.class,
+                f.detail,
+                p.render()
+            )
+        });
+        assert!(report.cycles > 0);
+        assert!(report.retired > 0);
+        assert!(
+            report.lockstep_commits.is_some(),
+            "a seq program is lockstep-checkable"
+        );
+    }
+
+    #[test]
+    fn failures_classify_a_wild_store() {
+        // A minimal hand-written wild store: the run oracle must trip
+        // with a mem class and attach a dump.
+        let p = GenProgram {
+            kind: Kind::Seq,
+            cores: 1,
+            max_cycles: 10_000,
+            segments: vec![crate::gen::Segment::Fixed(
+                "main:\n    li t6, 0x8f000000\n    sw t6, 0(t6)\n    li t0, -1\n    li ra, 0\n    p_ret\n"
+                    .to_owned(),
+            )],
+        };
+        let f = check(&p).unwrap_err();
+        assert_eq!(f.oracle, "run");
+        assert_eq!(f.class, "mem");
+        assert!(f.dump.is_some(), "run failures carry a dump");
+    }
+}

@@ -1,0 +1,142 @@
+//! Delta-debugging shrinker.
+//!
+//! A failing case is reduced with ddmin (Zeller & Hildebrandt, TSE
+//! 2002) over the program's *removable units* — the generator
+//! guarantees any subset of units still renders a well-formed program,
+//! so the shrinker never has to reason about syntax. A candidate is
+//! kept when the oracle battery fails the **same way** (same oracle,
+//! same class — see [`Failure::same_bug`]); a candidate that passes, or
+//! fails differently, is discarded.
+//!
+//! The attempt budget bounds worst-case work on pathological programs:
+//! shrinking is a debugging aid, not a soundness requirement, so the
+//! minimizer stops early rather than stall a fuzz run.
+
+use crate::gen::GenProgram;
+use crate::oracle::{check, Failure};
+
+/// The result of a shrink pass.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized program (original if no unit could be removed).
+    pub program: GenProgram,
+    /// Units in the original program.
+    pub units_before: usize,
+    /// Units remaining after minimization.
+    pub units_after: usize,
+    /// Oracle-battery evaluations spent.
+    pub attempts: usize,
+}
+
+/// Minimizes `program` while preserving `failure`'s (oracle, class)
+/// signature, evaluating the battery at most `max_attempts` times.
+pub fn shrink(program: &GenProgram, failure: &Failure, max_attempts: usize) -> Shrunk {
+    let units_before = program.unit_count();
+    let mut keep = vec![true; units_before];
+    let mut attempts = 0usize;
+
+    // Does the program restricted to `mask` still exhibit the bug?
+    let still_fails = |mask: &[bool], attempts: &mut usize| -> bool {
+        *attempts += 1;
+        match check(&program.with_units(mask)) {
+            Err(f) => f.same_bug(failure),
+            Ok(_) => false,
+        }
+    };
+
+    // ddmin: try removing chunks of the currently-kept units, halving
+    // the chunk size until single units; restart the sweep whenever a
+    // removal sticks.
+    let mut chunk = units_before.div_ceil(2).max(1);
+    while chunk >= 1 && attempts < max_attempts {
+        let mut removed_any = false;
+        let live: Vec<usize> = (0..units_before).filter(|&i| keep[i]).collect();
+        for window in live.chunks(chunk) {
+            if attempts >= max_attempts {
+                break;
+            }
+            let mut candidate = keep.clone();
+            for &i in window {
+                candidate[i] = false;
+            }
+            if still_fails(&candidate, &mut attempts) {
+                keep = candidate;
+                removed_any = true;
+            }
+        }
+        if !removed_any {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        // On success keep the same granularity: the live set shrank, so
+        // the same chunk size now covers proportionally more of it.
+    }
+
+    let units_after = keep.iter().filter(|&&k| k).count();
+    Shrunk {
+        program: program.with_units(&keep),
+        units_before,
+        units_after,
+        attempts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig, Kind, Sabotage};
+    use lbp_testutil::Rng;
+
+    /// The red fixture: a seeded known-bad program must be found by the
+    /// battery and shrunk to (essentially) the planted unit.
+    #[test]
+    fn shrinks_a_planted_wild_store_to_the_minimal_program() {
+        let cfg = GenConfig {
+            kinds: vec![Kind::Seq],
+            sabotage: Some(Sabotage::WildStore),
+            ..GenConfig::default()
+        };
+        let mut rng = Rng::new(20260806);
+        let program = generate(&mut rng, &cfg, 0);
+        let failure = check(&program).expect_err("the planted wild store must be found");
+        assert_eq!(failure.oracle, "run");
+        assert_eq!(failure.class, "mem");
+
+        let shrunk = shrink(&program, &failure, 400);
+        assert!(
+            shrunk.units_after < shrunk.units_before,
+            "shrinking must remove innocent units ({} -> {})",
+            shrunk.units_before,
+            shrunk.units_after
+        );
+        assert_eq!(
+            shrunk.units_after,
+            1,
+            "only the planted unit survives:\n{}",
+            shrunk.program.render()
+        );
+        // The minimized program still exhibits the same bug...
+        let again = check(&shrunk.program).expect_err("shrunk program still fails");
+        assert!(again.same_bug(&failure));
+        // ...and it is literally the planted store.
+        assert!(shrunk.program.render().contains("sw t6, 0(t6)"));
+    }
+
+    #[test]
+    fn passing_programs_cannot_lose_their_bug_signature() {
+        // Shrinking with a signature the program does not exhibit keeps
+        // everything: no candidate reproduces, so no unit is removed.
+        let mut rng = Rng::new(3);
+        let program = generate(&mut rng, &GenConfig::default(), 0);
+        let phantom = Failure {
+            oracle: "run",
+            class: "deadlock".to_owned(),
+            detail: String::new(),
+            dump: None,
+        };
+        let shrunk = shrink(&program, &phantom, 16);
+        assert_eq!(shrunk.units_after, shrunk.units_before);
+    }
+}

@@ -22,6 +22,18 @@ pub enum BranchKind {
 }
 
 impl BranchKind {
+    /// Every branch comparison, in encoding order. Generators (such as
+    /// `lbp-fuzz`) sample from this table instead of hard-coding the
+    /// variant list, so a new comparison is automatically fuzzed.
+    pub const ALL: [BranchKind; 6] = [
+        BranchKind::Eq,
+        BranchKind::Ne,
+        BranchKind::Lt,
+        BranchKind::Ge,
+        BranchKind::Ltu,
+        BranchKind::Geu,
+    ];
+
     /// The assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -63,6 +75,15 @@ pub enum LoadKind {
 }
 
 impl LoadKind {
+    /// Every load width/sign combination, in encoding order.
+    pub const ALL: [LoadKind; 5] = [
+        LoadKind::B,
+        LoadKind::H,
+        LoadKind::W,
+        LoadKind::Bu,
+        LoadKind::Hu,
+    ];
+
     /// The assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -96,6 +117,9 @@ pub enum StoreKind {
 }
 
 impl StoreKind {
+    /// Every store width, in encoding order.
+    pub const ALL: [StoreKind; 3] = [StoreKind::B, StoreKind::H, StoreKind::W];
+
     /// The assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -139,6 +163,25 @@ pub enum OpImmKind {
 }
 
 impl OpImmKind {
+    /// Every register-immediate operation, in encoding order.
+    pub const ALL: [OpImmKind; 9] = [
+        OpImmKind::Add,
+        OpImmKind::Slt,
+        OpImmKind::Sltu,
+        OpImmKind::Xor,
+        OpImmKind::Or,
+        OpImmKind::And,
+        OpImmKind::Sll,
+        OpImmKind::Srl,
+        OpImmKind::Sra,
+    ];
+
+    /// Whether the immediate operand is a 5-bit shift amount rather than
+    /// a sign-extended 12-bit value.
+    pub fn is_shift(self) -> bool {
+        matches!(self, OpImmKind::Sll | OpImmKind::Srl | OpImmKind::Sra)
+    }
+
     /// The assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -213,6 +256,29 @@ pub enum OpKind {
 }
 
 impl OpKind {
+    /// Every register-register operation, in encoding order (RV32I then
+    /// RV32M).
+    pub const ALL: [OpKind; 18] = [
+        OpKind::Add,
+        OpKind::Sub,
+        OpKind::Sll,
+        OpKind::Slt,
+        OpKind::Sltu,
+        OpKind::Xor,
+        OpKind::Srl,
+        OpKind::Sra,
+        OpKind::Or,
+        OpKind::And,
+        OpKind::Mul,
+        OpKind::Mulh,
+        OpKind::Mulhsu,
+        OpKind::Mulhu,
+        OpKind::Div,
+        OpKind::Divu,
+        OpKind::Rem,
+        OpKind::Remu,
+    ];
+
     /// The assembly mnemonic.
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -659,6 +725,33 @@ mod tests {
             offset: 0
         }
         .is_mem());
+    }
+
+    #[test]
+    fn metadata_tables_are_complete_and_distinct() {
+        // Each ALL table must enumerate every variant exactly once; the
+        // mnemonics double as a uniqueness witness.
+        fn distinct(names: &[&str]) {
+            let mut seen = names.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), names.len(), "duplicate mnemonic in {names:?}");
+        }
+        distinct(&OpKind::ALL.map(OpKind::mnemonic));
+        distinct(&OpImmKind::ALL.map(OpImmKind::mnemonic));
+        distinct(&BranchKind::ALL.map(BranchKind::mnemonic));
+        distinct(&LoadKind::ALL.map(LoadKind::mnemonic));
+        distinct(&StoreKind::ALL.map(StoreKind::mnemonic));
+        assert_eq!(
+            OpKind::ALL.iter().filter(|k| k.is_muldiv()).count(),
+            8,
+            "RV32M is eight operations"
+        );
+        assert_eq!(
+            OpImmKind::ALL.iter().filter(|k| k.is_shift()).count(),
+            3,
+            "three immediate shifts"
+        );
     }
 
     #[test]

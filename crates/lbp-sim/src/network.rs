@@ -503,4 +503,140 @@ mod tests {
             assert!(hops >= 2, "{cores} cores: {hops} hops");
         }
     }
+
+    /// An r1-boundary crossing to the *adjacent* group costs exactly the
+    /// up-and-over path: core 3 (last of group 0) to bank 4 (first of
+    /// group 1) is 4 hops, same as any other cross-group pair.
+    #[test]
+    fn adjacent_group_boundary_still_pays_the_full_climb() {
+        assert_eq!(cycles_to_bank(16, 3, 4).unwrap(), 4);
+        assert_eq!(cycles_to_bank(16, 4, 3).unwrap(), 4);
+    }
+
+    /// A core's request to its own bank still takes the network (two
+    /// hops through r1) — the local fast path is the bank port, not a
+    /// zero-hop network route.
+    #[test]
+    fn own_bank_via_network_takes_two_hops() {
+        assert_eq!(cycles_to_bank(4, 2, 2).unwrap(), 2);
+    }
+
+    /// Converging traffic across an r1/r2 boundary, cycle by cycle: all
+    /// four r1 groups of a 16-core machine target bank 0, so the single
+    /// down-link from r1#0 into bank 0 is the bottleneck. Deliveries
+    /// must serialize at one per cycle with deterministic order: the
+    /// in-group request first (it skips r2), then the cross-group
+    /// requests in core order (FIFO at every merge point).
+    #[test]
+    fn r2_convergence_serializes_on_the_last_link() {
+        let bank_bytes = 0x10000;
+        let mut net = Network::new(16, bank_bytes);
+        for c in [0u32, 4, 8, 12] {
+            net.send_from_core(c, read_req(SHARED_BASE, c * 4));
+        }
+        let mut deliveries: Vec<(u32, u32)> = Vec::new(); // (cycle, hart)
+        for cycle in 1..=12 {
+            net.tick();
+            while let Some(m) = net.bank_queue(0).pop_front() {
+                if let NetMsg::ReadReq { hart, .. } = m {
+                    deliveries.push((cycle, hart.global()));
+                }
+            }
+        }
+        assert_eq!(
+            deliveries,
+            vec![(2, 0), (4, 16), (5, 32), (6, 48)],
+            "in-group first, then one cross-group arrival per cycle"
+        );
+        assert!(net.is_quiet());
+    }
+
+    /// The network's contention counter charges message-cycles at the
+    /// shared link, and only there: two same-cycle requests from one
+    /// core contend, requests from different cores on disjoint paths do
+    /// not.
+    #[test]
+    fn contention_charges_only_shared_links() {
+        let bank_bytes = 0x10000;
+        // Same core, same up-link: the second request waits one cycle.
+        let mut net = Network::new(4, bank_bytes);
+        net.send_from_core(0, read_req(SHARED_BASE + bank_bytes, 0));
+        net.send_from_core(0, read_req(SHARED_BASE + bank_bytes, 1));
+        for _ in 0..4 {
+            net.tick();
+        }
+        assert_eq!(net.contended, 1);
+
+        // Different cores, disjoint paths to their own groups' banks:
+        // no contention at all.
+        let mut net = Network::new(8, bank_bytes);
+        net.send_from_core(0, read_req(SHARED_BASE + bank_bytes, 0)); // bank 1, group 0
+        net.send_from_core(4, read_req(SHARED_BASE + 5 * bank_bytes, 16)); // bank 5, group 1
+        for _ in 0..4 {
+            net.tick();
+        }
+        assert_eq!(net.contended, 0);
+        assert_eq!(net.bank_queue(1).len(), 1);
+        assert_eq!(net.bank_queue(5).len(), 1);
+    }
+
+    /// Requests and responses ride separate links: a read request into a
+    /// bank and the response leaving it in the same cycles never queue
+    /// behind each other (full duplex between a core/bank pair).
+    #[test]
+    fn request_and_response_links_are_full_duplex() {
+        let bank_bytes = 0x10000;
+        let mut net = Network::new(4, bank_bytes);
+        net.send_from_core(0, read_req(SHARED_BASE + bank_bytes, 0));
+        net.send_from_bank(
+            1,
+            NetMsg::ReadResp {
+                addr: SHARED_BASE + bank_bytes,
+                value: 9,
+                hart: HartId::new(0),
+            },
+        );
+        net.tick();
+        net.tick();
+        assert_eq!(net.bank_queue(1).len(), 1, "request arrived");
+        assert_eq!(net.take_core_inbox(0).len(), 1, "response arrived");
+        assert_eq!(net.contended, 0, "opposite directions never contend");
+    }
+
+    /// Two-core machines (the smallest with remote traffic) keep exact
+    /// cycle accounting: request out on cycle 2, response back on
+    /// cycle 4 after a same-cycle bank turnaround.
+    #[test]
+    fn two_core_round_trip_is_four_hops() {
+        let bank_bytes = 0x10000;
+        let mut net = Network::new(2, bank_bytes);
+        net.send_from_core(0, read_req(SHARED_BASE + bank_bytes, 0));
+        net.tick();
+        net.tick();
+        let req = net
+            .bank_queue(1)
+            .pop_front()
+            .expect("request after 2 cycles");
+        let addr = match req {
+            NetMsg::ReadReq { addr, .. } => addr,
+            _ => panic!("expected a read request"),
+        };
+        net.send_from_bank(
+            1,
+            NetMsg::ReadResp {
+                addr,
+                value: 1,
+                hart: HartId::new(0),
+            },
+        );
+        net.tick();
+        assert!(net.take_core_inbox(0).is_empty());
+        net.tick();
+        assert_eq!(
+            net.take_core_inbox(0).len(),
+            1,
+            "response after 2 more cycles"
+        );
+        assert_eq!(net.hops, 4);
+    }
 }

@@ -14,6 +14,7 @@ use lbp_sim::{
     DUMP_SCHEMA,
 };
 use lbp_testutil::check_cases;
+use lbp_testutil::harness::{machine, machine_with_faults};
 
 /// The exit idiom: 0 in `ra`, the exit sentinel in `t0`.
 const EXIT: &str = "li t0, -1\n    li ra, 0\n    p_ret\n";
@@ -21,17 +22,6 @@ const EXIT: &str = "li t0, -1\n    li ra, 0\n    p_ret\n";
 /// The cycle budget a pre-deadlock-detector run would have burned before
 /// reporting `Timeout`. The acceptance bar is diagnosis in < 1% of this.
 const OLD_TIMEOUT_BUDGET: u64 = 1_000_000;
-
-fn machine(cores: usize, src: &str) -> Machine {
-    let image = assemble(src).expect("test program assembles");
-    Machine::new(LbpConfig::cores(cores), &image).expect("machine builds")
-}
-
-fn machine_with_faults(cores: usize, src: &str, faults: &[Fault]) -> Result<Machine, SimError> {
-    let image = assemble(src).expect("test program assembles");
-    let cfg = LbpConfig::cores(cores).with_faults(faults.iter().copied().collect::<FaultPlan>());
-    Machine::new(cfg, &image)
-}
 
 // ---------------------------------------------------------------------------
 // Deadlock detection

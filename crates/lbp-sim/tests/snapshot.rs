@@ -5,6 +5,7 @@
 use lbp_asm::assemble;
 use lbp_isa::SHARED_BASE;
 use lbp_sim::{Event, Fault, FaultPlan, LbpConfig, Machine, MachineState, RunReport, SnapError};
+use lbp_testutil::harness::machine_traced as machine;
 
 fn plan(specs: &[&str]) -> FaultPlan {
     specs.iter().map(|s| Fault::parse(s).unwrap()).collect()
@@ -60,11 +61,6 @@ wloop:
 .data
 table: .word 0, 0, 0, 0, 0, 0, 0, 0"
         .to_string()
-}
-
-fn machine(cores: usize, src: &str) -> Machine {
-    let image = assemble(src).unwrap();
-    Machine::new(LbpConfig::cores(cores).with_trace(), &image).unwrap()
 }
 
 /// Runs to completion from reset, returning the report, the full event

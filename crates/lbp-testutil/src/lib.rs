@@ -1,4 +1,4 @@
-//! # lbp-testutil — dependency-free deterministic test helpers
+//! # lbp-testutil — deterministic test helpers
 //!
 //! The repository's property tests need a stream of reproducible pseudo-
 //! random choices. This crate provides a tiny, seedable, splittable PRNG
@@ -6,12 +6,21 @@
 //! helpers the generators use — no external crates, identical sequences
 //! on every platform, every run.
 //!
+//! With the `harness` cargo feature it additionally exposes the shared
+//! integration-test harness ([`harness`]): machine builders and
+//! scratch-directory program writers used by the `tests/*.rs` suites and
+//! the `lbp-fuzz` conformance fuzzer. The default feature set stays
+//! dependency-free so the simulator's own dev-dependencies don't cycle.
+//!
 //! Each property test drives a fixed number of *cases*; case `i` seeds
 //! its generator with `seed ^ i`-derived state, so a failing case can be
 //! replayed in isolation by seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+#[cfg(feature = "harness")]
+pub mod harness;
 
 /// A deterministic 64-bit PRNG (SplitMix64).
 ///

@@ -6,6 +6,8 @@
 use std::path::PathBuf;
 use std::process::Command;
 
+use lbp_testutil::harness;
+
 fn lbp_run() -> Command {
     Command::new(env!("CARGO_BIN_EXE_lbp-run"))
 }
@@ -18,11 +20,7 @@ fn example(name: &str) -> PathBuf {
 
 /// Writes a scratch program and returns its path.
 fn scratch(name: &str, text: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("lbp-exit-codes-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join(name);
-    std::fs::write(&path, text).unwrap();
-    path
+    harness::scratch_file("exit-codes", name, text)
 }
 
 fn code(cmd: &mut Command) -> i32 {
@@ -139,8 +137,7 @@ fn exit_10_verification_rejection() {
 fn checkpoint_resume_reaches_the_same_state() {
     // End-to-end over the CLI: checkpoint a run, resume it, and compare
     // the printed stats line-for-line with the uninterrupted run.
-    let dir = std::env::temp_dir().join(format!("lbp-ckpt-cli-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = harness::scratch_dir("ckpt-cli");
     let prefix = dir.join("ck-");
     let full = lbp_run()
         .arg(example("mul.s"))
@@ -170,7 +167,7 @@ fn checkpoint_resume_reaches_the_same_state() {
         String::from_utf8_lossy(&resumed.stdout),
         "a resumed run must report the same stats as the original"
     );
-    std::fs::remove_dir_all(&dir).unwrap();
+    harness::scratch_cleanup(&dir);
 }
 
 #[test]

@@ -5,8 +5,9 @@
 //! report, spliced trace events, and the machine's entire final state
 //! (compared as snapshot bytes, which cover all memory and statistics).
 
-use lbp::sim::{Event, LbpConfig, Machine, RunReport, SimError};
+use lbp::sim::{Event, Machine, RunReport, SimError};
 use lbp::snap;
+use lbp_testutil::harness;
 
 /// How a run ended, in a form we can compare across the two executions.
 #[derive(PartialEq, Debug)]
@@ -27,15 +28,11 @@ fn finish(m: &mut Machine, outcome: Result<RunReport, SimError>) -> Outcome {
     }
 }
 
-fn build(image: &lbp::asm::Image, cores: usize) -> Machine {
-    Machine::new(LbpConfig::cores(cores).with_trace(), image).expect("machine")
-}
-
 const MAX_CYCLES: u64 = 2_000_000;
 
 /// Runs `image` from reset and split at `at`, asserting both paths agree.
 fn check_round_trip(name: &str, image: &lbp::asm::Image, cores: usize) {
-    let mut full = build(image, cores);
+    let mut full = harness::machine_from_image(image, cores);
     let outcome = full.run(MAX_CYCLES);
     let total = full.stats().cycles;
     assert!(total > 4, "{name}: too short to checkpoint meaningfully");
@@ -44,7 +41,7 @@ fn check_round_trip(name: &str, image: &lbp::asm::Image, cores: usize) {
 
     for at in [total / 3, (2 * total) / 3] {
         let at = at.max(1).min(total - 1);
-        let mut prefix = build(image, cores);
+        let mut prefix = harness::machine_from_image(image, cores);
         let exited = prefix
             .run_to(at)
             .unwrap_or_else(|e| panic!("{name}: prefix run failed: {e}"));
