@@ -27,7 +27,12 @@
 //! `program` paths are resolved relative to the manifest file. `id`
 //! defaults to `job-<index>`; `cores` to 1; `max_cycles` to 1,000,000;
 //! `faults` to none. Programs ending in `.c` go through the `lbp-cc`
-//! front end, everything else through the assembler.
+//! front end, everything else through the assembler. A job may opt into
+//! profiling with `"profile": true` (default false): the run then
+//! carries the `lbp-prof` collectors and its result line gains a
+//! hot-function summary. Profiling is part of the job's content hash —
+//! a profiled job never dedups against an unprofiled twin — but an
+//! unprofiled job's hash is unchanged from earlier schema revisions.
 //!
 //! ## Result lines (`lbp-batch-v1`)
 //!
@@ -35,7 +40,9 @@
 //! job's FNV-1a-64 content hash), `dedup_of` (the id of the job that
 //! actually ran, or `null`), `status` (`"ok"` or an error class), and on
 //! success the run `report` (the `lbp-stats-v1` stats with `exited`), on
-//! failure a human-readable `error`.
+//! failure a human-readable `error`. Profiled jobs additionally carry
+//! `profile`: the top five functions by attributed cycles, each with
+//! `name`, `retired`, and `cycles`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -89,6 +96,9 @@ pub struct BatchJob {
     pub max_cycles: u64,
     /// Fault specs (`lbp_sim::Fault` syntax) injected into the run.
     pub faults: Vec<String>,
+    /// Whether the run carries the `lbp-prof` collectors and the result
+    /// line a hot-function summary.
+    pub profile: bool,
 }
 
 /// The job's content hash: equal hashes mean byte-equal work, so one
@@ -105,6 +115,11 @@ pub fn job_hash(job: &BatchJob) -> u64 {
     for f in &job.faults {
         key.push_str(f);
         key.push('\0');
+    }
+    // Appended only when set so unprofiled jobs keep their historical
+    // hashes (the CI smoke fixtures pin them).
+    if job.profile {
+        key.push_str("profile\0");
     }
     lbp_snap::fnv1a64(key.as_bytes())
 }
@@ -173,6 +188,12 @@ pub fn load_manifest(text: &str, base_dir: &Path) -> Result<Vec<BatchJob>, Batch
         if cores == 0 {
             return Err(bad(format!("job `{id}`: cores must be at least 1")));
         }
+        let profile = match j.get("profile") {
+            None => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| bad(format!("job `{id}`: profile must be a boolean")))?,
+        };
         out.push(BatchJob {
             id,
             source,
@@ -180,6 +201,7 @@ pub fn load_manifest(text: &str, base_dir: &Path) -> Result<Vec<BatchJob>, Batch
             cores,
             max_cycles,
             faults,
+            profile,
         });
     }
     Ok(out)
@@ -188,13 +210,33 @@ pub fn load_manifest(text: &str, base_dir: &Path) -> Result<Vec<BatchJob>, Batch
 /// What one simulated job produced (shared by its whole dedup group).
 #[derive(Debug, Clone)]
 enum JobOutcome {
-    /// The run completed (possibly by timeout) with a report.
-    Ok(Json),
+    /// The run completed (possibly by timeout) with a report and, for
+    /// profiled jobs, a hot-function summary.
+    Ok { report: Json, profile: Option<Json> },
     /// The front end or the machine rejected the job.
     Err {
         class: &'static str,
         message: String,
     },
+}
+
+/// The top `top` functions by attributed cycles, as a JSON array.
+fn profile_summary(image: &lbp_asm::Image, machine: &Machine, top: usize) -> Json {
+    let sym = lbp_prof::SymTab::from_image(image);
+    let prof = machine.profile().expect("job ran with profiling enabled");
+    let rows = lbp_prof::function_rows(prof, &sym);
+    Json::Arr(
+        rows.iter()
+            .take(top)
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::Str(r.name.clone())),
+                    ("retired", Json::U64(r.retired)),
+                    ("cycles", Json::U64(r.cycles())),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Simulates one job to completion. Infallible: every failure becomes an
@@ -221,8 +263,14 @@ fn simulate(job: &BatchJob) -> JobOutcome {
         Ok(m) => m,
         Err(e) => return err("config", e.to_string()),
     };
+    if job.profile {
+        machine.enable_profiling();
+    }
     match machine.run(job.max_cycles) {
-        Ok(report) => JobOutcome::Ok(report.to_json()),
+        Ok(report) => JobOutcome::Ok {
+            report: report.to_json(),
+            profile: job.profile.then(|| profile_summary(&image, &machine, 5)),
+        },
         Err(e) => err(sim_error_class(&e), e.to_string()),
     }
 }
@@ -253,9 +301,12 @@ fn result_line(job: &BatchJob, hash: u64, dedup_of: Option<&str>, outcome: &JobO
         ),
     ];
     match outcome {
-        JobOutcome::Ok(report) => {
+        JobOutcome::Ok { report, profile } => {
             pairs.push(("status".to_owned(), Json::Str("ok".to_owned())));
             pairs.push(("report".to_owned(), report.clone()));
+            if let Some(p) = profile {
+                pairs.push(("profile".to_owned(), p.clone()));
+            }
         }
         JobOutcome::Err { class, message } => {
             pairs.push(("status".to_owned(), Json::Str((*class).to_owned())));
@@ -323,7 +374,7 @@ pub fn run_batch<W: Write + Send>(
                 };
                 let rep = &jobs[group[0]];
                 let outcome = simulate(rep);
-                if !matches!(outcome, JobOutcome::Ok(_)) {
+                if !matches!(outcome, JobOutcome::Ok { .. }) {
                     *failed.lock().unwrap() += group.len();
                 }
                 // Emit the whole dedup group in one locked section so a
@@ -368,6 +419,7 @@ mod tests {
             cores,
             max_cycles: 10_000,
             faults: Vec::new(),
+            profile: false,
         }
     }
 
@@ -423,6 +475,39 @@ mod tests {
     }
 
     #[test]
+    fn profiled_jobs_summarize_and_hash_apart() {
+        let plain = job("p", 1);
+        let mut profiled = job("q", 1);
+        profiled.profile = true;
+        // The profile flag is part of the job identity: a profiled job
+        // must not dedup against (or collide with) its unprofiled twin,
+        // while the unprofiled hash stays what it always was.
+        assert_ne!(job_hash(&plain), job_hash(&profiled));
+        let mut unflagged = profiled.clone();
+        unflagged.profile = false;
+        assert_eq!(job_hash(&plain), job_hash(&unflagged));
+        let mut out = Vec::new();
+        let summary = run_batch(&[plain, profiled], 1, &mut out).unwrap();
+        assert_eq!(summary.unique, 2);
+        let lines = lines(&out);
+        for l in &lines {
+            let v = Json::parse(l).unwrap();
+            let id = v.get("id").and_then(Json::as_str).unwrap();
+            let prof = v.get("profile");
+            if id == "q" {
+                let funcs = prof.and_then(Json::as_arr).expect("profiled job summary");
+                assert!(!funcs.is_empty() && funcs.len() <= 5);
+                for f in funcs {
+                    assert!(f.get("name").and_then(Json::as_str).is_some());
+                    assert!(f.get("cycles").and_then(Json::as_u64).is_some());
+                }
+            } else {
+                assert!(prof.is_none(), "unprofiled line must not grow fields");
+            }
+        }
+    }
+
+    #[test]
     fn failures_land_in_the_result_line() {
         let mut bad = job("x", 1);
         bad.source = "main:\n  not_an_instruction".to_owned();
@@ -448,7 +533,7 @@ mod tests {
             "jobs": [
                 {"program": "p.s"},
                 {"id": "two", "program": "p.s", "cores": 2, "max_cycles": 77,
-                 "faults": ["drop-msg:0"]}
+                 "faults": ["drop-msg:0"], "profile": true}
             ]
         }"#;
         let jobs = load_manifest(manifest, &dir).unwrap();
@@ -457,6 +542,11 @@ mod tests {
         assert_eq!(jobs[1].cores, 2);
         assert_eq!(jobs[1].max_cycles, 77);
         assert_eq!(jobs[1].faults, vec!["drop-msg:0".to_owned()]);
+        assert!(!jobs[0].profile, "profile defaults to off");
+        assert!(jobs[1].profile);
+        // A non-boolean profile flag is rejected up front.
+        let bad_profile = manifest.replace("\"profile\": true", "\"profile\": \"yes\"");
+        assert!(load_manifest(&bad_profile, &dir).is_err());
         // Bad fault spec fails the whole manifest up front.
         let bad = manifest.replace("drop-msg:0", "warp-core:9");
         assert!(load_manifest(&bad, &dir).is_err());

@@ -6,12 +6,16 @@
 //! - **multiplier latency**: the cacheless design hides functional-unit
 //!   latency with multithreading — the matmul cycle count should degrade
 //!   far less than linearly in the multiplier latency.
+//!
+//! Output: one `lbp-prof-v1` record of kind `"bench"` per line (the
+//! best-of-N sample).
 
 use lbp_kernels::matmul::{Matmul, Version};
+use lbp_prof::BenchRow;
 use lbp_sim::Machine;
 use std::time::Instant;
 
-fn run_with(mm: &Matmul, patch: impl Fn(&mut lbp_sim::LbpConfig)) -> u64 {
+fn run_with(mm: &Matmul, patch: impl Fn(&mut lbp_sim::LbpConfig)) -> (lbp_sim::RunReport, u64) {
     let image = mm.build();
     let mut cfg = mm.config();
     patch(&mut cfg);
@@ -27,35 +31,51 @@ fn run_with(mm: &Matmul, patch: impl Fn(&mut lbp_sim::LbpConfig)) -> u64 {
             m.poke_shared(l.y(k, j), 1).expect("poke");
         }
     }
-    m.run(1_000_000_000).expect("run").stats.cycles
+    let report = m.run(1_000_000_000).expect("run");
+    let state_bytes = m.snapshot().as_bytes().len() as u64;
+    (report, state_bytes)
 }
 
-fn bench(label: &str, f: impl Fn() -> u64) {
+fn bench(label: &str, mm: &Matmul, f: impl Fn() -> (lbp_sim::RunReport, u64)) {
     const SAMPLES: usize = 3;
-    let mut best = f64::INFINITY;
-    let mut cycles = 0;
+    let mut best: Option<BenchRow> = None;
     for _ in 0..SAMPLES {
         let t0 = Instant::now();
-        cycles = f();
-        best = best.min(t0.elapsed().as_secs_f64());
+        let (report, state_bytes) = f();
+        let host_ns = t0.elapsed().as_nanos() as u64;
+        let row = BenchRow {
+            name: label.to_owned(),
+            harts: 16,
+            cores: mm.cores() as u32,
+            sim_cycles: report.stats.cycles,
+            retired: report.stats.retired(),
+            events: BenchRow::events_of(&report.stats),
+            host_ns,
+            state_bytes,
+            peak_rss_kb: lbp_prof::peak_rss_kb(),
+        };
+        if best.as_ref().is_none_or(|b| row.host_ns < b.host_ns) {
+            best = Some(row);
+        }
     }
-    println!(
-        "{label}: best {:.1} ms/run ({cycles} sim cycles)",
-        best * 1e3
-    );
+    let mut line = String::new();
+    best.expect("at least one sample")
+        .to_json()
+        .write(&mut line);
+    println!("{line}");
 }
 
 fn main() {
     let mm = Matmul::new(16, Version::Base);
     // Simulated-cycle sensitivity to the inter-router hop cost.
     for hop in [1u32, 2, 4] {
-        bench(&format!("ablation_link_hop/{hop}"), || {
+        bench(&format!("ablation_link_hop/{hop}"), &mm, || {
             run_with(&mm, |cfg| cfg.latencies.link_hop = hop)
         });
     }
     // Simulated-cycle sensitivity to multiplier latency (latency hiding).
     for mul in [1u32, 3, 8] {
-        bench(&format!("ablation_mul_latency/{mul}"), || {
+        bench(&format!("ablation_mul_latency/{mul}"), &mm, || {
             run_with(&mm, |cfg| cfg.latencies.mul = mul)
         });
     }

@@ -1,8 +1,12 @@
 //! Claim C2 bench: team spawn/join overhead across team sizes, and the
 //! cost of consecutive barrier-separated regions (host-side timing; the
-//! simulated cycle numbers are deterministic and printed alongside).
+//! simulated cycle numbers are deterministic and carried in the rows).
+//!
+//! Output: one `lbp-prof-v1` record of kind `"bench"` per line (the
+//! best-of-N sample).
 
 use lbp_omp::DetOmp;
+use lbp_prof::BenchRow;
 use lbp_sim::{LbpConfig, Machine};
 use std::time::Instant;
 
@@ -14,20 +18,34 @@ fn team_program(threads: usize, regions: usize) -> (DetOmp, usize) {
     (p, threads.div_ceil(4))
 }
 
-fn bench(label: &str, image: &lbp_asm::Image, cores: usize) {
+fn bench(label: &str, harts: usize, image: &lbp_asm::Image, cores: usize) {
     const SAMPLES: usize = 5;
-    let mut best = f64::INFINITY;
-    let mut cycles = 0;
+    let mut best: Option<BenchRow> = None;
     for _ in 0..SAMPLES {
         let t0 = Instant::now();
         let mut m = Machine::new(LbpConfig::cores(cores), image).expect("machine");
-        cycles = m.run(10_000_000).expect("run").stats.cycles;
-        best = best.min(t0.elapsed().as_secs_f64());
+        let report = m.run(10_000_000).expect("run");
+        let host_ns = t0.elapsed().as_nanos() as u64;
+        let row = BenchRow {
+            name: label.to_owned(),
+            harts: harts as u32,
+            cores: cores as u32,
+            sim_cycles: report.stats.cycles,
+            retired: report.stats.retired(),
+            events: BenchRow::events_of(&report.stats),
+            host_ns,
+            state_bytes: m.snapshot().as_bytes().len() as u64,
+            peak_rss_kb: lbp_prof::peak_rss_kb(),
+        };
+        if best.as_ref().is_none_or(|b| row.host_ns < b.host_ns) {
+            best = Some(row);
+        }
     }
-    println!(
-        "{label}: best {:.2} ms/run ({cycles} sim cycles)",
-        best * 1e3
-    );
+    let mut line = String::new();
+    best.expect("at least one sample")
+        .to_json()
+        .write(&mut line);
+    println!("{line}");
 }
 
 fn main() {
@@ -35,12 +53,17 @@ fn main() {
     for threads in [4usize, 16, 64] {
         let (p, cores) = team_program(threads, 1);
         let image = p.build().expect("assembles");
-        bench(&format!("fork_join_overhead/{threads}"), &image, cores);
+        bench(
+            &format!("fork_join_overhead/{threads}"),
+            threads,
+            &image,
+            cores,
+        );
     }
     // The hardware barrier between consecutive regions (re-spawn cost).
     for regions in [1usize, 4, 16] {
         let (p, cores) = team_program(16, regions);
         let image = p.build().expect("assembles");
-        bench(&format!("consecutive_regions/{regions}"), &image, cores);
+        bench(&format!("consecutive_regions/{regions}"), 16, &image, cores);
     }
 }

@@ -5,28 +5,45 @@
 //! simulating each version — useful for tracking simulator performance
 //! regressions — while asserting result correctness on every sample.
 //! One bench per reproduced figure (19 and 20 at full size).
+//!
+//! Output: one `lbp-prof-v1` record of kind `"bench"` per line (the
+//! best-of-N sample), machine-readable by the same tooling that checks
+//! the committed `BENCH_*.json` trajectory.
 
 use lbp_kernels::matmul::{Matmul, Version};
+use lbp_prof::BenchRow;
 use std::time::Instant;
 
 fn bench_size(group_name: &str, harts: usize, samples: usize) {
     for version in Version::ALL {
         let mm = Matmul::new(harts, version);
-        let mut best = f64::INFINITY;
-        let mut cycles = 0;
+        let mut best: Option<BenchRow> = None;
         for _ in 0..samples {
             let t0 = Instant::now();
             let mut m = mm.machine().expect("machine");
             let report = m.run(1_000_000_000).expect("run");
+            let host_ns = t0.elapsed().as_nanos() as u64;
             assert!(mm.verify(&mut m).expect("peek"));
-            best = best.min(t0.elapsed().as_secs_f64());
-            cycles = report.stats.cycles;
+            let row = BenchRow {
+                name: format!("{group_name}/{}", version.name()),
+                harts: harts as u32,
+                cores: mm.cores() as u32,
+                sim_cycles: report.stats.cycles,
+                retired: report.stats.retired(),
+                events: BenchRow::events_of(&report.stats),
+                host_ns,
+                state_bytes: m.snapshot().as_bytes().len() as u64,
+                peak_rss_kb: lbp_prof::peak_rss_kb(),
+            };
+            if best.as_ref().is_none_or(|b| row.host_ns < b.host_ns) {
+                best = Some(row);
+            }
         }
-        println!(
-            "{group_name}/{}: best {:.1} ms/run over {samples} samples ({cycles} sim cycles)",
-            version.name(),
-            best * 1e3,
-        );
+        let mut line = String::new();
+        best.expect("at least one sample")
+            .to_json()
+            .write(&mut line);
+        println!("{line}");
     }
 }
 

@@ -25,6 +25,8 @@ use std::fmt::Write as _;
 use lbp_baseline::PhiModel;
 use lbp_kernels::matmul::{Matmul, Version};
 
+pub mod throughput;
+
 /// One measured row of a figure.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Row {

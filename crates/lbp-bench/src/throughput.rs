@@ -1,0 +1,268 @@
+//! The simulator self-metrics throughput suite.
+//!
+//! Where the rest of `lbp-bench` measures the *guest* (cycles, IPC —
+//! the paper's Figs. 19-21), this module measures the *host*: how fast
+//! the simulator itself chews through guest cycles and events, in
+//! [`BenchRow`] records (schema `lbp-prof-v1`, kind `"bench"`). A full
+//! suite run writes the committed `BENCH_*.json` trajectory
+//! (kind `"bench-suite"`) through the `throughput` binary:
+//!
+//! ```text
+//! cargo run -p lbp-bench --release --bin throughput -- --out BENCH_006.json
+//! ```
+//!
+//! The suite also proves the zero-cost-when-disabled claim the hard
+//! way: it reruns a subset of the corpus with profiling enabled and
+//! checks that the `lbp-stats-v1` report bytes and the final-state
+//! content hash are bit-identical to the plain run, reporting the
+//! wall-clock ratio alongside ([`overhead_check`]).
+
+use std::time::Instant;
+
+use lbp_kernels::matmul::{Matmul, Version};
+use lbp_prof::BenchRow;
+use lbp_sim::{Json, LbpConfig, Machine};
+
+/// One workload of the throughput corpus: a named recipe for building a
+/// fresh, input-loaded machine.
+pub struct Workload {
+    /// Suite-unique name, e.g. `matmul/tiled/h16`.
+    pub name: String,
+    /// Harts the guest program uses.
+    pub harts: u32,
+    /// Cycle budget (every corpus workload finishes well under it).
+    pub max_cycles: u64,
+    kind: Kind,
+}
+
+enum Kind {
+    Matmul { harts: usize, version: Version },
+    ForkJoin { threads: usize },
+    Spin { members: usize },
+}
+
+/// One measured run of a workload: the self-metrics row plus the
+/// determinism evidence the overhead check compares.
+pub struct Measured {
+    /// The self-metrics record.
+    pub row: BenchRow,
+    /// The run's `lbp-stats-v1` report, serialized (bit-comparable).
+    pub report_json: String,
+    /// FNV-1a-64 over the final machine state's dynamic bytes.
+    pub state_hash: u64,
+}
+
+impl Workload {
+    fn matmul(harts: usize, version: Version) -> Workload {
+        Workload {
+            name: format!("matmul/{}/h{harts}", version.name()),
+            harts: harts as u32,
+            max_cycles: 1_000_000_000,
+            kind: Kind::Matmul { harts, version },
+        }
+    }
+
+    fn fork_join(threads: usize) -> Workload {
+        Workload {
+            name: format!("fork_join/x{threads}"),
+            harts: threads as u32,
+            max_cycles: 10_000_000,
+            kind: Kind::ForkJoin { threads },
+        }
+    }
+
+    fn spin(members: usize) -> Workload {
+        Workload {
+            name: format!("spin_alu/m{members}"),
+            harts: members as u32,
+            max_cycles: 10_000_000,
+            kind: Kind::Spin { members },
+        }
+    }
+
+    /// The suite corpus. `quick` drops the largest workload (the
+    /// `h=64` matmul) so CI smoke runs stay fast; both shapes keep at
+    /// least six workloads (the committed-trajectory floor).
+    pub fn corpus(quick: bool) -> Vec<Workload> {
+        let mut ws = vec![
+            Workload::matmul(16, Version::Base),
+            Workload::matmul(16, Version::Distributed),
+            Workload::matmul(16, Version::Tiled),
+            Workload::fork_join(16),
+            Workload::fork_join(64),
+            Workload::spin(4),
+        ];
+        if !quick {
+            ws.push(Workload::matmul(64, Version::Tiled));
+        }
+        ws
+    }
+
+    /// Builds a fresh machine with the workload's inputs loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to assemble or the machine to build —
+    /// the corpus is fixed and known-good.
+    pub fn machine(&self) -> Machine {
+        match &self.kind {
+            Kind::Matmul { harts, version } => Matmul::new(*harts, *version)
+                .machine()
+                .expect("matmul machine builds"),
+            Kind::ForkJoin { threads } => {
+                let p = lbp_omp::DetOmp::new(*threads)
+                    .function("empty", "p_ret")
+                    .parallel_for("empty");
+                let image = p.build().expect("fork-join program assembles");
+                let cores = threads.div_ceil(4);
+                Machine::new(LbpConfig::cores(cores), &image).expect("machine builds")
+            }
+            Kind::Spin { members } => {
+                let p = lbp_omp::DetOmp::new(*members)
+                    .function(
+                        "spin",
+                        "li   a2, 2000
+                         li   a3, 0
+spin_loop:
+                         addi a3, a3, 1
+                         xori a3, a3, 5
+                         addi a2, a2, -1
+                         bnez a2, spin_loop
+                         p_ret",
+                    )
+                    .parallel_for("spin");
+                let image = p.build().expect("spin program assembles");
+                Machine::new(LbpConfig::cores(1), &image).expect("machine builds")
+            }
+        }
+    }
+
+    /// Runs the workload once, wall-clocked, optionally with profiling
+    /// enabled (for the overhead check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run faults or exhausts the budget.
+    pub fn run(&self, profiled: bool) -> Measured {
+        let mut m = self.machine();
+        if profiled {
+            m.enable_profiling();
+        }
+        let start = Instant::now();
+        let report = m
+            .run(self.max_cycles)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        let host_ns = start.elapsed().as_nanos() as u64;
+        assert!(report.exited, "{}: did not exit within budget", self.name);
+        let state = m.snapshot();
+        let row = BenchRow {
+            name: self.name.clone(),
+            harts: self.harts,
+            cores: m.config().cores as u32,
+            sim_cycles: report.stats.cycles,
+            retired: report.stats.retired(),
+            events: BenchRow::events_of(&report.stats),
+            host_ns,
+            state_bytes: state.as_bytes().len() as u64,
+            peak_rss_kb: lbp_prof::peak_rss_kb(),
+        };
+        let mut report_json = String::new();
+        report.to_json().write(&mut report_json);
+        Measured {
+            row,
+            report_json,
+            state_hash: lbp_snap::fnv1a64(state.dynamic_bytes()),
+        }
+    }
+}
+
+/// The result of the zero-cost-instrumentation check on one workload.
+pub struct Overhead {
+    /// The workload name.
+    pub name: String,
+    /// Whether the profiled run's stats report and final-state hash are
+    /// bit-identical to the plain run's (they must be).
+    pub bit_identical: bool,
+    /// Profiled wall-clock over plain wall-clock.
+    pub ratio: f64,
+}
+
+impl Overhead {
+    /// Serializes as a JSON fragment of the bench-suite record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("bit_identical", Json::Bool(self.bit_identical)),
+            ("profiled_over_plain", Json::F64(self.ratio)),
+        ])
+    }
+}
+
+/// Reruns one workload with profiling enabled and compares against a
+/// plain measurement: reports bit-identity of the stats report and the
+/// final-state hash, plus the wall-clock ratio.
+pub fn overhead_check(workload: &Workload, plain: &Measured) -> Overhead {
+    let profiled = workload.run(true);
+    Overhead {
+        name: workload.name.clone(),
+        bit_identical: profiled.report_json == plain.report_json
+            && profiled.state_hash == plain.state_hash,
+        ratio: profiled.row.host_ns as f64 / plain.row.host_ns.max(1) as f64,
+    }
+}
+
+/// Assembles the committed `lbp-prof-v1` bench-suite record from the
+/// measured rows and overhead checks.
+pub fn suite_json(bench_id: &str, rows: &[BenchRow], overhead: &[Overhead]) -> Json {
+    Json::obj([
+        ("schema", Json::Str(lbp_prof::PROF_SCHEMA.to_owned())),
+        ("kind", Json::Str("bench-suite".to_owned())),
+        ("bench_id", Json::Str(bench_id.to_owned())),
+        (
+            "invocation",
+            Json::Str(
+                "cargo run -p lbp-bench --release --bin throughput -- --out BENCH_006.json"
+                    .to_owned(),
+            ),
+        ),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(BenchRow::to_json).collect()),
+        ),
+        (
+            "overhead",
+            Json::Arr(overhead.iter().map(Overhead::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_corpus_has_six_workloads_with_unique_names() {
+        let corpus = Workload::corpus(true);
+        assert!(corpus.len() >= 6);
+        let names: std::collections::HashSet<&str> =
+            corpus.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names.len(), corpus.len());
+    }
+
+    #[test]
+    fn spin_workload_measures_and_validates() {
+        let w = Workload::spin(4);
+        let m = w.run(false);
+        assert!(m.row.sim_cycles > 0);
+        assert!(m.row.events >= m.row.retired);
+        assert_eq!(lbp_prof::validate(&m.row.to_json()).unwrap(), "bench");
+    }
+
+    #[test]
+    fn profiling_is_bit_identical_on_fork_join() {
+        let w = Workload::fork_join(16);
+        let plain = w.run(false);
+        let check = overhead_check(&w, &plain);
+        assert!(check.bit_identical, "profiling changed the run");
+    }
+}

@@ -1,0 +1,78 @@
+//! Acceptance check for the profiler: a *profiled* Figure-19 matmul run
+//! must land on exactly the golden cycle counts in
+//! `results_reference.txt` (profiling is observationally free), and the
+//! per-function hot-spot attribution must reconcile with the run's
+//! stats — function cycles plus unattributed stalls partition the full
+//! `cycles x cores` budget, function retired counts sum to the retired
+//! total.
+
+use lbp_kernels::matmul::{Matmul, Version};
+use lbp_prof::{function_rows, SymTab};
+
+/// The golden Figure-19 cycle count for `version`, parsed from the row's
+/// first numeric field.
+fn golden_cycles(version: Version) -> u64 {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results_reference.txt");
+    let text = std::fs::read_to_string(path).expect("results_reference.txt is checked in");
+    let mut in_figure = false;
+    for line in text.lines() {
+        if line.starts_with("Figure 19") {
+            in_figure = true;
+            continue;
+        }
+        if in_figure && line.starts_with(version.name()) {
+            let cycles = line
+                .split_whitespace()
+                .nth(1)
+                .expect("row has a cycles column");
+            return cycles.parse().expect("cycles parse");
+        }
+    }
+    panic!("Figure 19 row for {:?} not found", version.name());
+}
+
+#[test]
+fn profiled_figure19_reconciles_with_the_reference() {
+    for version in [Version::Base, Version::Tiled] {
+        let mm = Matmul::new(16, version);
+        let image = mm.build();
+        let mut m = mm.machine().expect("machine builds");
+        m.enable_profiling();
+        let report = m.run(1_000_000_000).expect("run completes");
+        assert!(mm.verify(&mut m).expect("peek"), "wrong result");
+
+        // Identity with the golden trajectory: the profiled run's cycle
+        // count is the unprofiled one, which is the committed reference.
+        let golden = golden_cycles(version);
+        assert_eq!(
+            report.stats.cycles,
+            golden,
+            "{}: profiled cycle count diverges from results_reference.txt",
+            version.name()
+        );
+
+        // Reconciliation: the hot-spot table is a *partition* of the
+        // machine's time, not an estimate of it.
+        let prof = m.profile().expect("profiling enabled");
+        let sym = SymTab::from_image(&image);
+        let rows = function_rows(prof, &sym);
+        assert!(!rows.is_empty(), "matmul has attributable functions");
+        let func_cycles: u64 = rows.iter().map(|r| r.cycles()).sum();
+        let unattributed: u64 = (0..prof.cores())
+            .map(|c| prof.unattributed(c).total())
+            .sum();
+        assert_eq!(
+            func_cycles + unattributed,
+            report.stats.cycles * prof.cores() as u64,
+            "{}: function cycles + unattributed != cycles x cores",
+            version.name()
+        );
+        let func_retired: u64 = rows.iter().map(|r| r.retired).sum();
+        assert_eq!(
+            func_retired,
+            report.stats.retired(),
+            "{}: function retired counts do not sum to the stats total",
+            version.name()
+        );
+    }
+}

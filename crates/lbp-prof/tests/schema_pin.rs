@@ -1,0 +1,77 @@
+//! Schema pin for `lbp-prof-v1`, in the style of the `lbp-diag-v1`
+//! fixtures: every `fixtures/red-*.json` file must be rejected with the
+//! exact diagnostic code its filename carries, and the records the
+//! toolchain actually produces must validate clean.
+
+use lbp_prof::{build_report, validate, BenchRow, SymTab};
+use lbp_sim::{Json, LbpConfig, Machine};
+
+/// `red-p003-missing-field.json` → `LBP-P003`.
+fn expected_code(filename: &str) -> String {
+    let tag = filename
+        .strip_prefix("red-")
+        .and_then(|s| s.get(..4))
+        .unwrap_or_else(|| panic!("red fixture `{filename}` does not name a code"));
+    format!("LBP-{}", tag.to_uppercase())
+}
+
+#[test]
+fn every_red_fixture_is_rejected_with_its_code() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("fixtures directory is checked in")
+        .map(|e| e.expect("readable entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_str().unwrap();
+        if !name.starts_with("red-") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("fixture reads");
+        let record = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: not JSON: {e}"));
+        let err = validate(&record)
+            .err()
+            .unwrap_or_else(|| panic!("{name}: validated clean, expected a rejection"));
+        assert_eq!(err.code, expected_code(name), "{name}: {err}");
+        // The rendered diagnostic is machine-greppable, lbp-diag style.
+        assert!(
+            err.to_string()
+                .starts_with(&format!("error [{}]: ", err.code)),
+            "{name}: diagnostic format drifted: {err}"
+        );
+    }
+    assert!(seen >= 5, "red fixture corpus shrank to {seen} files");
+}
+
+/// The records the toolchain emits must pass their own validator: a
+/// profile report from a real (tiny) run, and a bench row.
+#[test]
+fn produced_records_validate_clean() {
+    let image =
+        lbp_asm::assemble("main:\n  li t0, -1\n  li a0, 0\n  mul a1, a0, a0\n  p_ret a0, t0\n")
+            .expect("assembles");
+    let mut m = Machine::new(LbpConfig::cores(1), &image).expect("machine");
+    m.enable_profiling();
+    let report = m.run(100_000).expect("runs");
+    assert!(report.exited);
+    let sym = SymTab::from_image(&image);
+    let prof = m.profile().expect("profiling enabled");
+    let record = build_report("pin.s", &report.stats, prof, &sym);
+    assert_eq!(validate(&record), Ok("profile"));
+
+    let row = BenchRow {
+        name: "pin/h4".to_owned(),
+        harts: 4,
+        cores: 1,
+        sim_cycles: report.stats.cycles,
+        retired: report.stats.retired(),
+        events: BenchRow::events_of(&report.stats),
+        host_ns: 12_345,
+        state_bytes: 1024,
+        peak_rss_kb: None,
+    };
+    assert_eq!(validate(&row.to_json()), Ok("bench"));
+}

@@ -15,6 +15,7 @@ use crate::config::{LbpConfig, CV_FRAME_BYTES};
 use crate::io::IoBus;
 use crate::msg::NetMsg;
 use crate::network::Network;
+use crate::prof::ProfData;
 use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// A fatal memory fault. LBP has no traps: a bad access ends the
@@ -191,8 +192,12 @@ impl MemSys {
     }
 
     /// One cycle of bank service: each local port and each network port
-    /// serves one request that arrived on an earlier cycle.
-    pub fn tick(&mut self, now: u64) -> Result<(), MemFault> {
+    /// serves one request that arrived on an earlier cycle. With profiling
+    /// enabled the shared-bank backlog (local shared-slice port plus
+    /// network port) is also attributed to the requester's core in the
+    /// bank-conflict matrix; local-bank (private) backlog stays out of the
+    /// matrix, so the matrix totals at most `conflicts`.
+    pub fn tick(&mut self, now: u64, mut prof: Option<&mut ProfData>) -> Result<(), MemFault> {
         self.now = now;
         for core in 0..self.cores as u32 {
             // Local-bank port.
@@ -215,6 +220,13 @@ impl MemSys {
                 }
             }
             self.conflicts += Self::port_backlog(&self.shared_q[core as usize], now);
+            if let Some(p) = prof.as_deref_mut() {
+                for ported in self.shared_q[core as usize].iter() {
+                    if ported.arrived < now {
+                        p.bank_conflict(ported.msg.hart().core() as usize, core as usize, 1);
+                    }
+                }
+            }
             // Network port of the shared bank.
             if let Some(msg) = self.net.bank_queue(core).pop_front() {
                 let resp = self.perform(core, msg, PortSide::Network)?;
@@ -222,6 +234,11 @@ impl MemSys {
                 self.remote_served += 1;
             }
             self.conflicts += self.net.bank_queue(core).len() as u64;
+            if let Some(p) = prof.as_deref_mut() {
+                for msg in self.net.bank_queue(core).iter() {
+                    p.bank_conflict(msg.hart().core() as usize, core as usize, 1);
+                }
+            }
         }
         Ok(())
     }
@@ -573,9 +590,9 @@ mod tests {
             5,
         );
         // Same-cycle service is not allowed.
-        m.tick(5).unwrap();
+        m.tick(5, None).unwrap();
         assert!(m.take_staged(0).is_empty());
-        m.tick(6).unwrap();
+        m.tick(6, None).unwrap();
         let resp = m.take_staged(0);
         assert_eq!(
             resp,
@@ -632,7 +649,7 @@ mod tests {
         let mut got = None;
         for now in 1..20 {
             m.net.tick();
-            m.tick(now).unwrap();
+            m.tick(now, None).unwrap();
             let inbox = m.net.take_core_inbox(3);
             if !inbox.is_empty() {
                 got = Some((now, inbox));

@@ -17,6 +17,7 @@ use crate::error::SimError;
 use crate::fabric::Fabric;
 use crate::hart::{Fetched, HartCtx, HartState, ItEntry, Rb, RbWait};
 use crate::msg::{CoreMsg, NetMsg};
+use crate::prof::{ProfData, ProfEventKind};
 use crate::stats::{StallKind, Stats};
 use crate::trace::{Event, EventKind, Trace, TraceSink};
 
@@ -39,6 +40,9 @@ pub(crate) struct Env<'a> {
     pub now: u64,
     pub cores: usize,
     pub exited: &'a mut bool,
+    /// Profiling collectors; `None` unless profiling is enabled, so the
+    /// disabled path costs one branch per hook and changes nothing else.
+    pub prof: Option<&'a mut ProfData>,
 }
 
 impl Env<'_> {
@@ -143,7 +147,7 @@ impl Core {
     pub fn tick(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
         self.process_alloc(env)?;
         self.release_syncm(env.now);
-        let retired = self.stage_commit(env)?;
+        let committed = self.stage_commit(env)?;
         self.stage_writeback(env);
         self.stage_issue(env)?;
         self.stage_rename(env);
@@ -152,20 +156,44 @@ impl Core {
         // a core cycle either retires one instruction or is a stall slot.
         // Classifying each slot into exactly one bucket yields the exact
         // partition `sum(stalls) + retired == cycles` per core.
-        if !retired {
-            let kind = self.classify_stall(env.now);
-            env.stats.stalls_per_core[self.index as usize].bump(kind);
+        match committed {
+            Some(pc) => {
+                if let Some(p) = env.prof.as_deref_mut() {
+                    p.retired(self.index as usize, pc);
+                }
+            }
+            None => {
+                let (kind, blamed) = self.classify_stall(env.now);
+                env.stats.stalls_per_core[self.index as usize].bump(kind);
+                if let Some(p) = env.prof.as_deref_mut() {
+                    p.stalled(self.index as usize, blamed, kind);
+                }
+            }
         }
         Ok(())
+    }
+
+    /// The program location a stalling hart is blamed at: the oldest
+    /// in-flight instruction (ROB head), else the fetched-but-unrenamed
+    /// instruction, else the next fetch pc.
+    fn blame_loc(h: &HartCtx) -> Option<u32> {
+        h.rob
+            .front()
+            .map(|e| e.pc)
+            .or_else(|| h.ib.as_ref().map(|f| f.pc))
+            .or(h.pc)
     }
 
     /// Attributes a non-retiring cycle to its dominant cause. The checks
     /// run in a fixed priority order (synchronization before memory before
     /// operands before structural hazards), so the classification is as
-    /// deterministic as the machine itself.
-    fn classify_stall(&self, now: u64) -> StallKind {
+    /// deterministic as the machine itself. Alongside the bucket, the
+    /// classifier names the program location it blames — the oldest
+    /// in-flight instruction of the hart that triggered the
+    /// classification — or `None` when no instruction is blamable.
+    fn classify_stall(&self, now: u64) -> (StallKind, Option<u32>) {
         if self.harts.iter().all(|h| h.state == HartState::Free) {
-            return StallKind::Idle;
+            return (StallKind::Idle, None);
         }
         let running = |h: &&HartCtx| h.state == HartState::Running;
         // Synchronization: a committing p_ret held by the barrier, or a
@@ -176,7 +204,7 @@ impl Core {
                 .front()
                 .is_some_and(|e| e.done && e.is_pret && !(h.end_signal && h.in_flight_mem == 0));
             if pret_blocked || h.syncm_wait {
-                return StallKind::SyncWait;
+                return (StallKind::SyncWait, Self::blame_loc(h));
             }
         }
         // Outstanding memory traffic (load responses or store acks).
@@ -189,7 +217,7 @@ impl Core {
                 })
             ) || h.in_flight_mem > 0
             {
-                return StallKind::MemWait;
+                return (StallKind::MemWait, Self::blame_loc(h));
             }
         }
         // A pending fork allocation is synchronization with the allocator.
@@ -201,32 +229,35 @@ impl Core {
                     ..
                 })
             ) {
-                return StallKind::SyncWait;
+                return (StallKind::SyncWait, Self::blame_loc(h));
             }
         }
         // Instructions waiting in the table with no ready operands.
         for h in self.harts.iter().filter(running) {
             if !h.it.is_empty() && h.oldest_ready().is_none() {
-                return StallKind::OperandWait;
+                return (StallKind::OperandWait, Self::blame_loc(h));
             }
         }
         // The single-entry result buffer is occupied (functional-unit
         // latency not yet hidden): the structural throttle of one hart.
         for h in self.harts.iter().filter(running) {
             if h.rb.is_some() {
-                return StallKind::RbFull;
+                return (StallKind::RbFull, Self::blame_loc(h));
             }
         }
         if !self.harts.iter().any(|h| h.state == HartState::Running) {
             // Only Reserved/WaitingJoin harts: waiting for a start pc or a
-            // join message from another core.
-            return StallKind::SyncWait;
+            // join message from another core. No local instruction to
+            // blame — the cause is on another core.
+            return (StallKind::SyncWait, None);
         }
         // Running harts with an empty back end: the front end has not
         // produced a committable instruction (post-fetch suspension
-        // waiting for the next pc, or the pipeline is filling).
+        // waiting for the next pc, or the pipeline is filling). Blame the
+        // first running hart's location.
         let _ = now;
-        StallKind::FetchStarved
+        let loc = self.harts.iter().find(running).and_then(Self::blame_loc);
+        (StallKind::FetchStarved, loc)
     }
 
     /// Satisfies at most one pending fork request with the lowest-numbered
@@ -244,6 +275,15 @@ impl Core {
         self.harts[child_local].allocate(sp);
         env.stats.forks += 1;
         env.emit(requester, EventKind::Fork { child });
+        if let Some(p) = env.prof.as_deref_mut() {
+            p.event(
+                env.now,
+                ProfEventKind::Fork {
+                    parent: requester,
+                    child,
+                },
+            );
+        }
         if requester.core() == self.index {
             // Complete the local `p_fc`.
             let rb = self.harts[requester.local() as usize]
@@ -658,6 +698,9 @@ impl Core {
                         hart,
                     }));
                 }
+                if let Some(p) = env.prof.as_deref_mut() {
+                    p.noc_request(self.index as usize, bank as usize);
+                }
                 if bank == self.index {
                     env.mem.shared_local_request(self.index, msg, env.now);
                     env.stats.local_accesses += 1;
@@ -701,8 +744,9 @@ impl Core {
         h.rob_mark_done(rb.seq);
     }
 
-    /// Commits at most one instruction; returns whether one retired.
-    fn stage_commit(&mut self, env: &mut Env<'_>) -> Result<bool, SimError> {
+    /// Commits at most one instruction; returns the committed pc, if one
+    /// retired.
+    fn stage_commit(&mut self, env: &mut Env<'_>) -> Result<Option<u32>, SimError> {
         let Some(i) = self.select(ST_COMMIT, |h| {
             h.rob.front().is_some_and(|e| {
                 // A p_ret additionally needs the team predecessor's ending
@@ -713,7 +757,7 @@ impl Core {
                 e.done && (!e.is_pret || (h.end_signal && h.in_flight_mem == 0))
             })
         }) else {
-            return Ok(false);
+            return Ok(None);
         };
         let h = &mut self.harts[i];
         let entry = h.rob.pop_front().expect("checked by predicate");
@@ -726,7 +770,7 @@ impl Core {
         if entry.is_pret {
             self.commit_p_ret(i, entry.pret.expect("p_ret resolved at issue"), env)?;
         }
-        Ok(true)
+        Ok(Some(entry.pc))
     }
 
     /// The four ending types of a committing `p_ret` (paper §4).
@@ -744,6 +788,9 @@ impl Core {
                 // Type 3: process exit.
                 *env.exited = true;
                 env.emit(id, EventKind::Exit);
+                if let Some(p) = env.prof.as_deref_mut() {
+                    p.event(env.now, ProfEventKind::Exit { hart: id });
+                }
             } else if word.joins_to(id) {
                 // Type 2: keep waiting for a join.
                 self.harts[hart_idx].state = HartState::WaitingJoin;
@@ -752,6 +799,9 @@ impl Core {
                 // Type 1: the hart ends.
                 self.harts[hart_idx].end();
                 env.emit(id, EventKind::HartEnd);
+                if let Some(p) = env.prof.as_deref_mut() {
+                    p.event(env.now, ProfEventKind::End { hart: id });
+                }
                 self.forward_end_signal(hart_idx, env);
             }
         } else {
@@ -774,6 +824,9 @@ impl Core {
             } else {
                 self.harts[hart_idx].end();
                 env.emit(id, EventKind::HartEnd);
+                if let Some(p) = env.prof.as_deref_mut() {
+                    p.event(env.now, ProfEventKind::End { hart: id });
+                }
             }
         }
         Ok(())

@@ -79,6 +79,7 @@ mod lockstep;
 mod machine;
 mod msg;
 mod network;
+mod prof;
 mod snapshot;
 mod stats;
 mod trace;
@@ -92,6 +93,7 @@ pub use io::{InputDevice, IoBus, OutputDevice, DEVICE_STRIDE};
 pub use json::{Json, JsonError};
 pub use lockstep::{run_lockstep, Divergence, LockstepError, LockstepReport};
 pub use machine::{Machine, RunReport};
+pub use prof::{PcCounters, ProfData, ProfEvent, ProfEventKind, ProfInterval};
 pub use snapshot::{MachineState, SnapError};
 pub use stats::{CoreStalls, IntervalSample, StallKind, Stats};
 pub use trace::{ChromeSink, Event, EventKind, JsonlSink, TextSink, Trace, TraceSink};

@@ -14,6 +14,7 @@ use crate::hart::{HartCtx, HartState, RbWait};
 use crate::io::IoBus;
 use crate::json::Json;
 use crate::msg::{CoreMsg, NetMsg};
+use crate::prof::{ProfData, ProfEventKind};
 use crate::snapshot::{MachineState, SnapError, SnapReader, SnapWriter};
 use crate::stats::{CoreStalls, IntervalSample, Stats};
 use crate::trace::{Event, EventKind, Trace, TraceSink};
@@ -76,6 +77,10 @@ pub struct Machine {
     stats: Stats,
     trace: Trace,
     sink: Option<Box<dyn TraceSink>>,
+    /// Profiling collectors; `None` (off) unless
+    /// [`Machine::enable_profiling`] was called. Like the trace and the
+    /// sink, never part of a snapshot.
+    prof: Option<Box<ProfData>>,
     cursor: SampleCursor,
     pub(crate) cycle: u64,
     pub(crate) exited: bool,
@@ -151,6 +156,7 @@ impl Machine {
             stats: Stats::new(cfg.harts()),
             trace: Trace::new(),
             sink: None,
+            prof: None,
             cursor: SampleCursor::default(),
             cycle: 0,
             exited: false,
@@ -216,6 +222,27 @@ impl Machine {
     /// O(1) memory. Call [`Machine::finish_trace`] after the run to flush.
     pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.sink = Some(sink);
+    }
+
+    /// Enables guest-program profiling: from now on every core cycle is
+    /// attributed to a program counter, shared traffic and bank conflicts
+    /// are recorded per (core, bank), and fork/start/join/end events feed
+    /// the fork-tree timeline (see [`ProfData`]).
+    ///
+    /// Profiling is observational only: the run's instruction sequence,
+    /// trace, statistics and final state are bit-identical with profiling
+    /// on or off. The collectors are not serialized into snapshots — a
+    /// restored machine starts with profiling off.
+    pub fn enable_profiling(&mut self) {
+        if self.prof.is_none() {
+            self.prof = Some(Box::new(ProfData::new(self.cfg.cores)));
+        }
+    }
+
+    /// The profiling collectors, if [`Machine::enable_profiling`] was
+    /// called.
+    pub fn profile(&self) -> Option<&ProfData> {
+        self.prof.as_deref()
     }
 
     /// Finalizes and flushes the attached streaming sink, if any (closes
@@ -328,9 +355,10 @@ impl Machine {
     /// The snapshot captures everything the machine's evolution depends
     /// on: architectural and micro-architectural hart state, memory banks,
     /// every in-flight message, statistics, and the fault plan. It does
-    /// *not* capture the in-memory trace or an attached streaming sink — a
-    /// restored machine starts with an empty trace and no sink, but emits
-    /// exactly the events the original would emit from this cycle on.
+    /// *not* capture the in-memory trace, an attached streaming sink, or
+    /// the profiling collectors — a restored machine starts with an empty
+    /// trace, no sink and profiling off, but emits exactly the events the
+    /// original would emit from this cycle on.
     ///
     /// The payload has two sections: a *static* one (configuration and
     /// fault plan — fixed at construction) and a *dynamic* one (everything
@@ -430,6 +458,7 @@ impl Machine {
             stats,
             trace: Trace::new(),
             sink: None,
+            prof: None,
             cursor,
             cycle,
             exited,
@@ -465,11 +494,12 @@ impl Machine {
                 now,
                 cores: self.cfg.cores,
                 exited: &mut self.exited,
+                prof: self.prof.as_deref_mut(),
             };
             self.cores[c].tick(&mut env)?;
         }
         // 4. Banks serve their ports.
-        self.mem.tick(now)?;
+        self.mem.tick(now, self.prof.as_deref_mut())?;
         self.stats.cycles = self.cycle;
         self.stats.link_hops = self.mem.net.hops + self.fabric.hops;
         self.stats.bank_conflicts = self.mem.conflicts;
@@ -517,6 +547,9 @@ impl Machine {
     fn take_sample(&mut self) {
         let retired = self.stats.retired();
         let stalls = self.stats.stalls_total();
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.take_interval(self.cycle, self.cycle - self.cursor.cycle);
+        }
         self.stats.samples.push(IntervalSample {
             cycle: self.cycle,
             interval: self.cycle - self.cursor.cycle,
@@ -649,6 +682,9 @@ impl Machine {
                 h.pc = Some(pc);
                 h.unsuspend_now();
                 self.emit(to, EventKind::Start { pc });
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.event(now, ProfEventKind::Start { hart: to, pc });
+                }
             }
             CoreMsg::CvWrite {
                 to,
@@ -683,6 +719,9 @@ impl Machine {
                 h.end_signal = true; // everything sequentially prior committed
                 self.stats.joins += 1;
                 self.emit(to, EventKind::Join { pc });
+                if let Some(p) = self.prof.as_deref_mut() {
+                    p.event(now, ProfEventKind::Join { hart: to, pc });
+                }
             }
             CoreMsg::Result { to, slot, value } => {
                 let h = self.hart_mut(to);

@@ -60,6 +60,17 @@ impl NetMsg {
         }
     }
 
+    /// The hart the message belongs to (the requester for requests, the
+    /// destination for responses — the same hart either way).
+    pub(crate) fn hart(&self) -> HartId {
+        match *self {
+            NetMsg::ReadReq { hart, .. }
+            | NetMsg::WriteReq { hart, .. }
+            | NetMsg::ReadResp { hart, .. }
+            | NetMsg::WriteAck { hart, .. } => hart,
+        }
+    }
+
     /// The core the message is ultimately delivered to — meaningful for
     /// responses only.
     pub fn dest_core(&self) -> Option<u32> {

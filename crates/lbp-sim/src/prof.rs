@@ -1,0 +1,318 @@
+//! Guest-program profiling collectors (the machine side of `lbp-prof`).
+//!
+//! When profiling is enabled ([`Machine::enable_profiling`]
+//! (crate::Machine::enable_profiling)), the machine attributes every core
+//! cycle to a program counter: a retiring cycle to the committed
+//! instruction's pc, a stall slot to the pc the stall classifier blames
+//! (the oldest in-flight instruction of the hart it singled out). The
+//! attribution refines the six-bucket stall partition of
+//! [`Stats`](crate::Stats) down to program locations while preserving its
+//! exactness: per core, the attributed retired and stall counts sum to
+//! the machine cycle count.
+//!
+//! The collectors also record a shared-traffic matrix (requests from each
+//! source core to each shared bank — the load the deterministic routes
+//! place on the NoC links), a bank-conflict matrix (queued request-cycles
+//! at the shared banks by requester core), and a fork-tree timeline
+//! (fork/start/join/end events), all sampled per interval when the
+//! configuration sets `sample_interval`.
+//!
+//! Profiling is strictly observational: every mutator is reached through
+//! an `Option` that is `None` unless profiling was enabled, so a
+//! non-profiled run executes the same instruction sequence, emits the
+//! same trace and reaches the same final state bit for bit. The profiler
+//! is *not* part of a snapshot, exactly like the trace and streaming
+//! sink: a restored machine starts with profiling off.
+
+use std::collections::BTreeMap;
+
+use lbp_isa::HartId;
+
+use crate::stats::{CoreStalls, StallKind};
+
+/// Cycle attribution of one (core, pc) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PcCounters {
+    /// Cycles this pc retired on this core.
+    pub retired: u64,
+    /// Stall slots blamed on this pc, by bucket.
+    pub stalls: CoreStalls,
+}
+
+impl PcCounters {
+    /// Total cycles attributed to the pc (retired + stall slots).
+    pub fn cycles(&self) -> u64 {
+        self.retired + self.stalls.total()
+    }
+}
+
+/// One fork-tree / hart-lifetime event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfEventKind {
+    /// A hart was allocated (`p_fc`/`p_fn` satisfied).
+    Fork {
+        /// The hart whose fork instruction requested the allocation.
+        parent: HartId,
+        /// The allocated hart.
+        child: HartId,
+    },
+    /// A start pc was delivered: the hart begins fetching.
+    Start {
+        /// The started hart.
+        hart: HartId,
+        /// Its first pc.
+        pc: u32,
+    },
+    /// A join address resumed a waiting hart.
+    Join {
+        /// The resumed hart.
+        hart: HartId,
+        /// The resumption pc.
+        pc: u32,
+    },
+    /// The hart ended and became free (`p_ret` types 1 and 4).
+    End {
+        /// The ending hart.
+        hart: HartId,
+    },
+    /// The exiting `p_ret` committed (`p_ret` type 3).
+    Exit {
+        /// The exiting hart.
+        hart: HartId,
+    },
+}
+
+impl ProfEventKind {
+    /// The event's stable machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProfEventKind::Fork { .. } => "fork",
+            ProfEventKind::Start { .. } => "start",
+            ProfEventKind::Join { .. } => "join",
+            ProfEventKind::End { .. } => "end",
+            ProfEventKind::Exit { .. } => "exit",
+        }
+    }
+
+    /// The hart the event happens to (the child for a fork).
+    pub fn hart(&self) -> HartId {
+        match *self {
+            ProfEventKind::Fork { child, .. } => child,
+            ProfEventKind::Start { hart, .. }
+            | ProfEventKind::Join { hart, .. }
+            | ProfEventKind::End { hart }
+            | ProfEventKind::Exit { hart } => hart,
+        }
+    }
+}
+
+/// One timeline entry: what happened and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfEvent {
+    /// The cycle the event occurred on.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: ProfEventKind,
+}
+
+/// One per-interval sample of the traffic matrices: the *deltas* over
+/// the `interval` cycles ending at `cycle`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfInterval {
+    /// The cycle the interval ends on.
+    pub cycle: u64,
+    /// The number of cycles the interval covers.
+    pub interval: u64,
+    /// Shared requests issued during the interval, `[src * cores + bank]`.
+    pub noc_requests: Vec<u64>,
+    /// Conflict request-cycles during the interval, `[req * cores + bank]`.
+    pub bank_conflicts: Vec<u64>,
+}
+
+/// All profiling collectors of one machine.
+///
+/// Row-major square matrices of side `cores`: `noc_requests[src][bank]`
+/// counts shared-memory requests from `src` to shared bank `bank` (the
+/// diagonal is the own-slice local port; off-diagonal requests ride the
+/// router hierarchy), `bank_conflicts[req][bank]` counts request-cycles
+/// a requester's messages spent queued at a busy shared-bank port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfData {
+    cores: usize,
+    per_pc: Vec<BTreeMap<u32, PcCounters>>,
+    unattributed: Vec<CoreStalls>,
+    noc_requests: Vec<u64>,
+    bank_conflicts: Vec<u64>,
+    timeline: Vec<ProfEvent>,
+    intervals: Vec<ProfInterval>,
+    cursor_noc: Vec<u64>,
+    cursor_conflicts: Vec<u64>,
+}
+
+impl ProfData {
+    /// Creates empty collectors for a `cores`-core machine.
+    pub fn new(cores: usize) -> ProfData {
+        ProfData {
+            cores,
+            per_pc: vec![BTreeMap::new(); cores],
+            unattributed: vec![CoreStalls::default(); cores],
+            noc_requests: vec![0; cores * cores],
+            bank_conflicts: vec![0; cores * cores],
+            timeline: Vec::new(),
+            intervals: Vec::new(),
+            cursor_noc: vec![0; cores * cores],
+            cursor_conflicts: vec![0; cores * cores],
+        }
+    }
+
+    /// Attributes one retiring cycle of `core` to the committed `pc`.
+    pub(crate) fn retired(&mut self, core: usize, pc: u32) {
+        self.per_pc[core].entry(pc).or_default().retired += 1;
+    }
+
+    /// Attributes one stall slot of `core` to the blamed `pc` (or to the
+    /// core's unattributed bucket when no instruction is blamable, e.g.
+    /// an idle core).
+    pub(crate) fn stalled(&mut self, core: usize, pc: Option<u32>, kind: StallKind) {
+        match pc {
+            Some(pc) => self.per_pc[core].entry(pc).or_default().stalls.bump(kind),
+            None => self.unattributed[core].bump(kind),
+        }
+    }
+
+    /// Counts one shared-memory request from `src` to shared bank `bank`.
+    pub(crate) fn noc_request(&mut self, src: usize, bank: usize) {
+        self.noc_requests[src * self.cores + bank] += 1;
+    }
+
+    /// Adds `n` queued request-cycles of `requester` at shared bank
+    /// `bank`.
+    pub(crate) fn bank_conflict(&mut self, requester: usize, bank: usize, n: u64) {
+        self.bank_conflicts[requester * self.cores + bank] += n;
+    }
+
+    /// Appends one fork-tree timeline event.
+    pub(crate) fn event(&mut self, cycle: u64, kind: ProfEventKind) {
+        self.timeline.push(ProfEvent { cycle, kind });
+    }
+
+    /// Closes the current interval: records the matrix deltas since the
+    /// previous sample (mirrors the stats interval sampler).
+    pub(crate) fn take_interval(&mut self, cycle: u64, interval: u64) {
+        let delta = |cur: &[u64], cursor: &[u64]| -> Vec<u64> {
+            cur.iter().zip(cursor).map(|(&c, &p)| c - p).collect()
+        };
+        self.intervals.push(ProfInterval {
+            cycle,
+            interval,
+            noc_requests: delta(&self.noc_requests, &self.cursor_noc),
+            bank_conflicts: delta(&self.bank_conflicts, &self.cursor_conflicts),
+        });
+        self.cursor_noc.copy_from_slice(&self.noc_requests);
+        self.cursor_conflicts.copy_from_slice(&self.bank_conflicts);
+    }
+
+    /// The machine size the collectors were built for.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The per-pc attribution of one core, in pc order.
+    pub fn per_pc(&self, core: usize) -> impl Iterator<Item = (u32, &PcCounters)> {
+        self.per_pc[core].iter().map(|(&pc, c)| (pc, c))
+    }
+
+    /// Stall slots of one core no instruction could be blamed for.
+    pub fn unattributed(&self, core: usize) -> &CoreStalls {
+        &self.unattributed[core]
+    }
+
+    /// The cumulative shared-request matrix, row-major `[src][bank]`.
+    pub fn noc_matrix(&self) -> &[u64] {
+        &self.noc_requests
+    }
+
+    /// The cumulative bank-conflict matrix, row-major `[req][bank]`.
+    pub fn conflict_matrix(&self) -> &[u64] {
+        &self.bank_conflicts
+    }
+
+    /// The fork-tree timeline, in event order.
+    pub fn timeline(&self) -> &[ProfEvent] {
+        &self.timeline
+    }
+
+    /// The per-interval matrix samples.
+    pub fn intervals(&self) -> &[ProfInterval] {
+        &self.intervals
+    }
+
+    /// Total cycles attributed to one core: per-pc retired + per-pc
+    /// stalls + unattributed stalls. Equals the machine cycle count for
+    /// every core of a profiled run (the exactness invariant).
+    pub fn attributed_cycles(&self, core: usize) -> u64 {
+        self.per_pc[core]
+            .values()
+            .map(PcCounters::cycles)
+            .sum::<u64>()
+            + self.unattributed[core].total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_partitions() {
+        let mut p = ProfData::new(2);
+        p.retired(0, 0x10);
+        p.retired(0, 0x10);
+        p.stalled(0, Some(0x14), StallKind::MemWait);
+        p.stalled(0, None, StallKind::Idle);
+        p.stalled(1, None, StallKind::Idle);
+        assert_eq!(p.attributed_cycles(0), 4);
+        assert_eq!(p.attributed_cycles(1), 1);
+        let cells: Vec<_> = p.per_pc(0).collect();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].0, 0x10);
+        assert_eq!(cells[0].1.retired, 2);
+        assert_eq!(cells[1].1.stalls.mem_wait, 1);
+        assert_eq!(p.unattributed(0).idle, 1);
+    }
+
+    #[test]
+    fn matrices_and_intervals_delta() {
+        let mut p = ProfData::new(2);
+        p.noc_request(0, 1);
+        p.noc_request(0, 1);
+        p.bank_conflict(1, 0, 3);
+        p.take_interval(100, 100);
+        p.noc_request(1, 0);
+        p.take_interval(200, 100);
+        assert_eq!(p.noc_matrix()[1], 2); // [0][1]
+        assert_eq!(p.conflict_matrix()[2], 3); // [1][0]
+        assert_eq!(p.intervals().len(), 2);
+        assert_eq!(p.intervals()[0].noc_requests[1], 2);
+        assert_eq!(p.intervals()[1].noc_requests[1], 0);
+        assert_eq!(p.intervals()[1].noc_requests[2], 1);
+        assert_eq!(p.intervals()[1].bank_conflicts[2], 0);
+    }
+
+    #[test]
+    fn timeline_records_order() {
+        let mut p = ProfData::new(1);
+        let h = HartId::new(0);
+        p.event(
+            1,
+            ProfEventKind::Fork {
+                parent: h,
+                child: h,
+            },
+        );
+        p.event(2, ProfEventKind::Exit { hart: h });
+        assert_eq!(p.timeline().len(), 2);
+        assert_eq!(p.timeline()[0].kind.name(), "fork");
+        assert_eq!(p.timeline()[1].cycle, 2);
+    }
+}

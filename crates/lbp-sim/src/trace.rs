@@ -505,6 +505,98 @@ mod tests {
     }
 
     #[test]
+    fn chrome_sink_strict_round_trip() {
+        // A realistic stream: every event kind, out-of-order harts,
+        // repeated cycles. The emitted file must be strict JSON — the
+        // array properly closed, every string escaped, `ts` values
+        // monotonically non-decreasing — so it always loads in
+        // chrome://tracing.
+        let h = |g| HartId::new(g);
+        let kinds: Vec<(u64, HartId, EventKind)> = vec![
+            (0, h(0), EventKind::Fetch { pc: 0x40 }),
+            (1, h(0), EventKind::Commit { pc: 0x40 }),
+            (1, h(1), EventKind::Fork { child: h(2) }),
+            (2, h(2), EventKind::Start { pc: 0x80 }),
+            (
+                2,
+                h(0),
+                EventKind::MemRead {
+                    addr: 0x1_0000,
+                    bank: 3,
+                },
+            ),
+            (
+                3,
+                h(0),
+                EventKind::MemWrite {
+                    addr: 0x1_0004,
+                    bank: 3,
+                    value: u32::MAX,
+                },
+            ),
+            (4, h(0), EventKind::MemResp { addr: 0x1_0000 }),
+            (5, h(2), EventKind::Join { pc: 0x44 }),
+            (6, h(2), EventKind::EndSignal),
+            (7, h(0), EventKind::Exit),
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut sink = ChromeSink::new(&mut buf);
+            for (cycle, hart, kind) in &kinds {
+                sink.record(&Event {
+                    cycle: *cycle,
+                    hart: *hart,
+                    kind: kind.clone(),
+                });
+            }
+            sink.finish().unwrap();
+            // finish() must be idempotent: a second call cannot emit a
+            // second closing bracket.
+            sink.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.matches("\"traceEvents\"").count(), 1);
+        assert!(text.ends_with("}\n"), "file is closed: {text:?}");
+        let v = Json::parse(&text).unwrap();
+        let events = v.get("traceEvents").and_then(|e| e.as_arr()).unwrap();
+        assert_eq!(events.len(), kinds.len());
+        let mut last_ts = 0;
+        for ev in events {
+            for key in ["name", "ph", "ts", "pid", "tid"] {
+                assert!(ev.get(key).is_some(), "event lacks `{key}`");
+            }
+            let ts = ev.get("ts").and_then(|t| t.as_u64()).unwrap();
+            assert!(ts >= last_ts, "ts went backwards: {ts} after {last_ts}");
+            last_ts = ts;
+            // The describe strings round-trip through the escaper: what
+            // the parser reads back must be exactly what was described.
+            let describe = ev
+                .get("args")
+                .and_then(|a| a.get("describe"))
+                .and_then(|d| d.as_str())
+                .expect("args.describe is a string");
+            assert!(describe.starts_with("at cycle "));
+            let mut rewritten = String::new();
+            Json::Str(describe.to_owned()).write(&mut rewritten);
+            assert_eq!(Json::parse(&rewritten).unwrap().as_str(), Some(describe));
+        }
+        assert_eq!(last_ts, 7);
+    }
+
+    #[test]
+    fn chrome_sink_escapes_hostile_strings() {
+        // The sink writes strings through the shared Json escaper; prove
+        // the pairing (writer escape → parser unescape) is lossless for
+        // quotes, backslashes and control characters so no describe
+        // string can ever corrupt the event array.
+        let hostile = "he said \"hi\\\" then\n\tbeeped \u{1} and left";
+        let mut out = String::new();
+        Json::Str(hostile.to_owned()).write(&mut out);
+        assert!(!out.contains('\n'), "raw newline would break JSONL: {out}");
+        assert_eq!(Json::parse(&out).unwrap().as_str(), Some(hostile));
+    }
+
+    #[test]
     fn empty_chrome_trace_is_valid() {
         let mut buf = Vec::new();
         ChromeSink::new(&mut buf).finish().unwrap();

@@ -7,7 +7,7 @@
 //! on every platform, every run.
 //!
 //! With the `harness` cargo feature it additionally exposes the shared
-//! integration-test harness ([`harness`]): machine builders and
+//! integration-test harness (the `harness` module): machine builders and
 //! scratch-directory program writers used by the `tests/*.rs` suites and
 //! the `lbp-fuzz` conformance fuzzer. The default feature set stays
 //! dependency-free so the simulator's own dev-dependencies don't cycle.

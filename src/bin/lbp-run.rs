@@ -61,7 +61,7 @@ struct Options {
     dumps: Vec<(String, u32)>,
     emit_asm: bool,
     disasm: bool,
-    profile: Option<usize>,
+    profile: Option<String>,
     dump_on_error: Option<String>,
     faults: Vec<Fault>,
     lockstep: bool,
@@ -87,7 +87,12 @@ fn usage() -> ! {
            --dump SYM[:N]     print N words of memory at symbol SYM after the run\n\
            --emit-asm         print the generated assembly and exit\n\
            --disasm           print the assembled image's disassembly and exit\n\
-           --profile [N]      print the N hottest instructions after the run (default 15)\n\
+           --profile DIR      profile the run: per-pc cycle attribution, traffic\n\
+                              matrices and the fork-tree timeline. Writes\n\
+                              DIR/profile.json (lbp-prof-v1), DIR/folded.txt\n\
+                              (flamegraph folded stacks) and DIR/timeline.json\n\
+                              (chrome://tracing), and prints the per-function\n\
+                              hot-spot table\n\
            --fault SPEC       inject a deterministic fault (repeatable); specs:\n\
                               flip-reg:HART:REG:BIT:CYCLE  flip-mem:ADDR:BIT:CYCLE\n\
                               corrupt-instr:PC:XOR:CYCLE   drop-msg:NTH\n\
@@ -174,7 +179,7 @@ fn parse_args() -> Options {
             }
             "--emit-asm" => opts.emit_asm = true,
             "--disasm" => opts.disasm = true,
-            "--profile" => opts.profile = Some(15),
+            "--profile" => opts.profile = Some(args.next().unwrap_or_else(|| usage())),
             "--fault" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 match Fault::parse(&spec) {
@@ -494,9 +499,6 @@ fn main() -> ExitCode {
     }
 
     let mut cfg = LbpConfig::cores(opts.cores);
-    if opts.profile.is_some() {
-        cfg = cfg.with_trace();
-    }
     if opts.interval > 0 {
         cfg = cfg.with_interval(opts.interval);
     }
@@ -545,6 +547,9 @@ fn main() -> ExitCode {
             }
         }
     };
+    if opts.profile.is_some() {
+        machine.enable_profiling();
+    }
     if let Some(path) = &opts.trace {
         let out = match open_out(path) {
             Ok(w) => w,
@@ -637,30 +642,35 @@ fn main() -> ExitCode {
         }
     }
 
-    if let (Some(top_n), Some((_, image))) = (opts.profile, &front) {
-        use std::collections::HashMap;
-        let mut by_pc: HashMap<u32, u64> = HashMap::new();
-        let mut total = 0u64;
-        for e in machine.trace().events() {
-            if let lbp::sim::EventKind::Commit { pc } = e.kind {
-                *by_pc.entry(pc).or_default() += 1;
-                total += 1;
-            }
+    if let Some(dir) = &opts.profile {
+        let prof = machine.profile().expect("profiling was enabled");
+        // Symbolize through the program when we have one; a resumed run
+        // without a program falls back to raw pc names.
+        let sym = match &front {
+            Some((_, image)) => lbp::prof::SymTab::from_image(image),
+            None => lbp::prof::SymTab::empty(),
+        };
+        let report_json = lbp::prof::build_report(&opts.input, &report.stats, prof, &sym);
+        let mut profile_text = String::new();
+        report_json.write_pretty(&mut profile_text);
+        profile_text.push('\n');
+        let folded = lbp::prof::folded_stacks(prof, &sym);
+        let timeline = lbp::prof::timeline_json(prof, report.stats.cycles);
+        let write_all = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            let at = |name: &str| format!("{dir}/{name}");
+            std::fs::write(at("profile.json"), &profile_text)?;
+            std::fs::write(at("folded.txt"), &folded)?;
+            std::fs::write(at("timeline.json"), &timeline)?;
+            Ok(())
+        };
+        if let Err(e) = write_all() {
+            eprintln!("lbp-run: cannot write profile to `{dir}`: {e}");
+            return ExitCode::FAILURE;
         }
-        let mut hot: Vec<(u32, u64)> = by_pc.into_iter().collect();
-        hot.sort_by_key(|&(pc, n)| (std::cmp::Reverse(n), pc));
-        println!("\nhottest instructions ({total} commits):");
-        for (pc, n) in hot.into_iter().take(top_n) {
-            let text = image
-                .text_word(pc)
-                .and_then(|w| lbp::isa::Instr::decode(w).ok())
-                .map(|i| i.to_string())
-                .unwrap_or_else(|| "<data>".to_owned());
-            println!(
-                "  {pc:#010x}  {n:>9} ({:5.1}%)  {text}",
-                100.0 * n as f64 / total as f64
-            );
-        }
+        println!("\nhot spots by function:");
+        print!("{}", lbp::prof::hotspot_table(&report_json, 15));
+        println!("profile:  {dir}/profile.json (+ folded.txt, timeline.json)");
     }
 
     ExitCode::SUCCESS

@@ -25,6 +25,7 @@ fn sweep() -> Vec<BatchJob> {
                 cores,
                 max_cycles,
                 faults: Vec::new(),
+                profile: false,
             });
         }
     }

@@ -1,0 +1,119 @@
+//! Zero-cost-instrumentation property: profiling a run changes nothing
+//! observable.
+//!
+//! For every shipped example (assembly and C), a profiled run and a
+//! plain run must agree bit for bit: identical run outcome, identical
+//! serialized `lbp-stats-v1` report, identical final-state content hash.
+//! On top of the identity, the profiled run's per-pc attribution must
+//! partition exactly: per core, attributed retired plus attributed and
+//! unattributed stalls equals machine cycles (the same exactness
+//! invariant the six-bucket stall partition keeps at machine level).
+
+use lbp::sim::{LbpConfig, Machine, SimError};
+
+/// The budget is modest on purpose: `hung.s` deadlocks, and both runs
+/// must reach the *same* error in reasonable time.
+const MAX_CYCLES: u64 = 2_000_000;
+
+fn image_of(path: &str) -> lbp::asm::Image {
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    if path.ends_with(".c") {
+        lbp::cc::compile(&source)
+            .unwrap_or_else(|e| panic!("{path}: {e}"))
+            .image
+    } else {
+        lbp::asm::assemble(&source).unwrap_or_else(|e| panic!("{path}: {e}"))
+    }
+}
+
+/// Runs the image and returns what an observer can compare: the outcome
+/// (exit flag or error text), the serialized stats report, the
+/// final-state hash, and the machine (for the profiled run's invariant
+/// checks).
+fn observe(
+    image: &lbp::asm::Image,
+    cores: usize,
+    profiled: bool,
+) -> (String, String, u64, Machine) {
+    let mut m = Machine::new(LbpConfig::cores(cores), image).expect("machine builds");
+    if profiled {
+        m.enable_profiling();
+    }
+    let outcome = match m.run(MAX_CYCLES) {
+        Ok(report) => format!("exited={}", report.exited),
+        Err(e @ SimError::Timeout { .. }) => panic!("budget too small: {e}"),
+        Err(e) => format!("error={e}"),
+    };
+    let mut stats_json = String::new();
+    m.stats().to_json().write(&mut stats_json);
+    let hash = lbp::snap::fnv1a64(m.snapshot().dynamic_bytes());
+    (outcome, stats_json, hash, m)
+}
+
+/// Identity half of the property: a profiled and a plain run must be
+/// indistinguishable. Returns the profiled machine for exactness checks.
+fn check_identity(path: &str, cores: usize) -> Machine {
+    let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
+    let image = image_of(&full);
+    let (plain_outcome, plain_stats, plain_hash, _) = observe(&image, cores, false);
+    let (prof_outcome, prof_stats, prof_hash, m) = observe(&image, cores, true);
+    assert_eq!(plain_outcome, prof_outcome, "{path}: outcome differs");
+    assert_eq!(
+        plain_stats, prof_stats,
+        "{path}: lbp-stats-v1 report differs"
+    );
+    assert_eq!(plain_hash, prof_hash, "{path}: final state differs");
+    m
+}
+
+fn check_example(path: &str, cores: usize) {
+    let m = check_identity(path, cores);
+    // Exactness: the per-pc attribution partitions every core's cycles.
+    let prof = m.profile().expect("profiling was enabled");
+    let stats = m.stats();
+    for core in 0..prof.cores() {
+        assert_eq!(
+            prof.attributed_cycles(core),
+            stats.cycles,
+            "{path}: core {core} attribution does not sum to the cycle count"
+        );
+        let mut retired = 0;
+        let mut stalls = 0;
+        for (_, counters) in prof.per_pc(core) {
+            retired += counters.retired;
+            stalls += counters.stalls.total();
+        }
+        assert_eq!(
+            retired,
+            stats.retired_by_core(core),
+            "{path}: core {core} attributed retired differs from stats"
+        );
+        assert_eq!(
+            stalls + prof.unattributed(core).total(),
+            stats.stalls_of_core(core).total(),
+            "{path}: core {core} attributed stalls differ from stats"
+        );
+    }
+}
+
+#[test]
+fn asm_examples_profile_bit_identically() {
+    check_example("examples/asm/mul.s", 1);
+    check_example("examples/asm/fork2.s", 2);
+    // Deadlocks: both runs must fail identically, and attribution must
+    // still partition the cycles that did elapse.
+    check_example("examples/asm/hung.s", 1);
+    // On one core, fork2 trips the fork-protocol check mid-cycle. The
+    // machine treats an erroring cycle as never having happened (the
+    // cycle counter is not advanced), so exactness is only promised for
+    // whole cycles — but the runs must still be bit-identical.
+    check_identity("examples/asm/fork2.s", 1);
+}
+
+#[test]
+fn c_examples_profile_bit_identically() {
+    check_example("examples/c/hello_team.c", 2);
+    check_example("examples/c/matmul.c", 4);
+    check_example("examples/c/set_get.c", 4);
+    check_example("examples/c/reduce.c", 2);
+}
