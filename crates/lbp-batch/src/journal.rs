@@ -1,0 +1,615 @@
+//! The durable job journal — a write-ahead log for the batch service.
+//!
+//! Every state transition a job takes (queued, running, checkpointed,
+//! failed transiently, final) is appended as one JSONL record *before*
+//! the transition's effects are acted on, and fsync'd, so a worker
+//! killed at any instant leaves a journal from which the service
+//! reconstructs exactly where every job stood.
+//!
+//! ## Record format (`lbp-batch-journal-v1`)
+//!
+//! ```json
+//! {"schema":"lbp-batch-journal-v1","seq":7,
+//!  "rec":{"op":"running","id":"mm-c4","attempt":1,"t_us":8123},
+//!  "hash":"c0ffee0123456789"}
+//! ```
+//!
+//! `seq` numbers records contiguously from 0; `hash` is the FNV-1a-64
+//! of `"<seq>:<rec>"` over the serialized record. Both are verified on
+//! reopen, which distinguishes the two kinds of damage a crash (or
+//! disk) can inflict:
+//!
+//! * a **torn tail** — the last append was cut short by the crash. The
+//!   partial line fails validation and *no valid record follows it*;
+//!   the tail is discarded (the file is truncated back to the last
+//!   fully-committed record) and recovery proceeds. A record is only
+//!   acted on after its fsync returned, so nothing acknowledged is
+//!   ever lost this way.
+//! * **mid-file corruption** — a record fails validation but valid
+//!   records follow it. That is not a torn write; the journal's
+//!   history can no longer be trusted, and reopen refuses with
+//!   [`JournalError::Corrupt`] instead of silently dropping committed
+//!   state.
+
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+use lbp_sim::Json;
+
+/// The journal record schema identifier.
+pub const JOURNAL_SCHEMA: &str = "lbp-batch-journal-v1";
+
+/// A failure to open, replay, or append to a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying I/O operation failed.
+    Io(std::io::Error),
+    /// The journal is damaged beyond torn-tail recovery (a record in
+    /// the *middle* of the file fails validation).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o failed: {e}"),
+            JournalError::Corrupt(what) => {
+                write!(f, "journal is corrupt (not a torn tail): {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// One journal record: a job state transition or a service-lifecycle
+/// marker. Serialized order of fields is fixed (the integrity hash
+/// covers the exact bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rec {
+    /// The service (re)started: `epoch` counts prior starts. Timestamps
+    /// are only comparable within one epoch.
+    Start {
+        /// 0 for the first run over this state dir, +1 per restart.
+        epoch: u64,
+    },
+    /// The manifest this journal serves, pinned by content hash so a
+    /// restart with a different manifest is refused.
+    Manifest {
+        /// FNV-1a-64 of the manifest text.
+        mhash: u64,
+        /// Jobs in the manifest.
+        jobs: u64,
+    },
+    /// The job was admitted to the bounded queue.
+    Queued {
+        /// Manifest job id.
+        id: String,
+        /// The job's content hash (see [`crate::job_hash`]).
+        job: u64,
+        /// When the job is a duplicate, the id of the representative
+        /// that actually simulates.
+        dedup_of: Option<String>,
+    },
+    /// The job was shed at admission: the queue was at capacity.
+    Rejected {
+        /// Manifest job id.
+        id: String,
+    },
+    /// A worker picked the job up (attempt numbers start at 1). A
+    /// `Running` record with no later record for the same id means the
+    /// worker died mid-job: the attempt was spent, the job re-queues.
+    Running {
+        /// Manifest job id.
+        id: String,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Microseconds since this epoch's service start.
+        t_us: u64,
+    },
+    /// A checkpoint container was written for the job.
+    Checkpoint {
+        /// Manifest job id.
+        id: String,
+        /// Machine cycle of the checkpoint.
+        cycle: u64,
+        /// File name under the state dir's `ck/` directory.
+        file: String,
+    },
+    /// An attempt failed for a host-side (retryable) reason; the job
+    /// will be retried with backoff.
+    Transient {
+        /// Manifest job id.
+        id: String,
+        /// The attempt that failed.
+        attempt: u32,
+        /// Stable error class (`cancelled`, `checkpoint`, `io`).
+        class: String,
+        /// Human-readable detail.
+        error: String,
+        /// Microseconds since this epoch's service start.
+        t_us: u64,
+    },
+    /// The job reached a final verdict; `line` is its complete
+    /// `lbp-batch-v1` result line (no trailing newline). Duplicates get
+    /// their own `Final` record when their representative finalizes.
+    Final {
+        /// Manifest job id.
+        id: String,
+        /// The result line, byte-exact.
+        line: String,
+        /// Whether the verdict was `ok`.
+        ok: bool,
+        /// Guest cycles simulated (0 for non-ok verdicts).
+        cycles: u64,
+        /// Microseconds since this epoch's service start.
+        t_us: u64,
+    },
+}
+
+impl Rec {
+    fn to_json(&self) -> Json {
+        let opt = |v: &Option<String>| match v {
+            Some(s) => Json::Str(s.clone()),
+            None => Json::Null,
+        };
+        match self {
+            Rec::Start { epoch } => Json::obj([
+                ("op", Json::Str("start".to_owned())),
+                ("epoch", Json::U64(*epoch)),
+            ]),
+            Rec::Manifest { mhash, jobs } => Json::obj([
+                ("op", Json::Str("manifest".to_owned())),
+                ("mhash", Json::Str(format!("{mhash:016x}"))),
+                ("jobs", Json::U64(*jobs)),
+            ]),
+            Rec::Queued { id, job, dedup_of } => Json::obj([
+                ("op", Json::Str("queued".to_owned())),
+                ("id", Json::Str(id.clone())),
+                ("job", Json::Str(format!("{job:016x}"))),
+                ("dedup_of", opt(dedup_of)),
+            ]),
+            Rec::Rejected { id } => Json::obj([
+                ("op", Json::Str("rejected".to_owned())),
+                ("id", Json::Str(id.clone())),
+            ]),
+            Rec::Running { id, attempt, t_us } => Json::obj([
+                ("op", Json::Str("running".to_owned())),
+                ("id", Json::Str(id.clone())),
+                ("attempt", Json::U64(*attempt as u64)),
+                ("t_us", Json::U64(*t_us)),
+            ]),
+            Rec::Checkpoint { id, cycle, file } => Json::obj([
+                ("op", Json::Str("checkpoint".to_owned())),
+                ("id", Json::Str(id.clone())),
+                ("cycle", Json::U64(*cycle)),
+                ("file", Json::Str(file.clone())),
+            ]),
+            Rec::Transient {
+                id,
+                attempt,
+                class,
+                error,
+                t_us,
+            } => Json::obj([
+                ("op", Json::Str("transient".to_owned())),
+                ("id", Json::Str(id.clone())),
+                ("attempt", Json::U64(*attempt as u64)),
+                ("class", Json::Str(class.clone())),
+                ("error", Json::Str(error.clone())),
+                ("t_us", Json::U64(*t_us)),
+            ]),
+            Rec::Final {
+                id,
+                line,
+                ok,
+                cycles,
+                t_us,
+            } => Json::obj([
+                ("op", Json::Str("final".to_owned())),
+                ("id", Json::Str(id.clone())),
+                ("line", Json::Str(line.clone())),
+                ("ok", Json::Bool(*ok)),
+                ("cycles", Json::U64(*cycles)),
+                ("t_us", Json::U64(*t_us)),
+            ]),
+        }
+    }
+
+    fn from_json(v: &Json) -> Option<Rec> {
+        let s = |k: &str| v.get(k).and_then(Json::as_str).map(str::to_owned);
+        let u = |k: &str| v.get(k).and_then(Json::as_u64);
+        let hex = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_str)
+                .and_then(|h| u64::from_str_radix(h, 16).ok())
+        };
+        Some(match v.get("op").and_then(Json::as_str)? {
+            "start" => Rec::Start { epoch: u("epoch")? },
+            "manifest" => Rec::Manifest {
+                mhash: hex("mhash")?,
+                jobs: u("jobs")?,
+            },
+            "queued" => Rec::Queued {
+                id: s("id")?,
+                job: hex("job")?,
+                dedup_of: match v.get("dedup_of")? {
+                    Json::Null => None,
+                    other => Some(other.as_str()?.to_owned()),
+                },
+            },
+            "rejected" => Rec::Rejected { id: s("id")? },
+            "running" => Rec::Running {
+                id: s("id")?,
+                attempt: u("attempt")? as u32,
+                t_us: u("t_us")?,
+            },
+            "checkpoint" => Rec::Checkpoint {
+                id: s("id")?,
+                cycle: u("cycle")?,
+                file: s("file")?,
+            },
+            "transient" => Rec::Transient {
+                id: s("id")?,
+                attempt: u("attempt")? as u32,
+                class: s("class")?,
+                error: s("error")?,
+                t_us: u("t_us")?,
+            },
+            "final" => Rec::Final {
+                id: s("id")?,
+                line: s("line")?,
+                ok: v.get("ok")?.as_bool()?,
+                cycles: u("cycles")?,
+                t_us: u("t_us")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Renders record `seq` as its committed journal line (no newline).
+fn render(seq: u64, rec: &Rec) -> String {
+    let mut body = String::new();
+    rec.to_json().write(&mut body);
+    let hash = lbp_snap::fnv1a64(format!("{seq}:{body}").as_bytes());
+    let mut line = String::new();
+    Json::obj([
+        ("schema", Json::Str(JOURNAL_SCHEMA.to_owned())),
+        ("seq", Json::U64(seq)),
+        ("rec", rec.to_json()),
+        ("hash", Json::Str(format!("{hash:016x}"))),
+    ])
+    .write(&mut line);
+    line
+}
+
+/// Parses and verifies one journal line against the expected `seq`.
+fn parse_line(line: &str, seq: u64) -> Option<Rec> {
+    let v = Json::parse(line).ok()?;
+    if v.get("schema").and_then(Json::as_str) != Some(JOURNAL_SCHEMA) {
+        return None;
+    }
+    if v.get("seq").and_then(Json::as_u64) != Some(seq) {
+        return None;
+    }
+    let rec_json = v.get("rec")?;
+    let rec = Rec::from_json(rec_json)?;
+    // The hash covers the canonical serialization, which round-trips
+    // exactly (records hold only strings, integers, bools and nulls).
+    let mut body = String::new();
+    rec.to_json().write(&mut body);
+    let want = lbp_snap::fnv1a64(format!("{seq}:{body}").as_bytes());
+    let got = u64::from_str_radix(v.get("hash")?.as_str()?, 16).ok()?;
+    (want == got).then_some(rec)
+}
+
+/// An open, append-only journal. Every [`Journal::append`] is flushed
+/// and fsync'd before it returns: once a transition is journaled, a
+/// `kill -9` cannot un-happen it.
+#[derive(Debug)]
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path`, replaying every
+    /// committed record. A torn tail — a trailing region from which no
+    /// valid record can be read — is discarded by truncating the file
+    /// back to the last committed record.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] on filesystem failures;
+    /// [`JournalError::Corrupt`] when a record *before* the tail fails
+    /// validation (damage that truncation must not paper over).
+    pub fn open(path: impl AsRef<Path>) -> Result<(Journal, Vec<Rec>), JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        // Split into newline-terminated lines, tracking byte offsets. A
+        // final fragment without its newline is a torn append by
+        // construction (the writer commits line + '\n' in one write).
+        let mut lines: Vec<(usize, &str)> = Vec::new(); // (start offset, text)
+        let mut tail_fragment: Option<usize> = None;
+        let mut start = 0;
+        while start < bytes.len() {
+            match bytes[start..].iter().position(|&b| b == b'\n') {
+                Some(rel) => {
+                    let text = std::str::from_utf8(&bytes[start..start + rel]).unwrap_or("\u{0}");
+                    lines.push((start, text));
+                    start += rel + 1;
+                }
+                None => {
+                    tail_fragment = Some(start);
+                    break;
+                }
+            }
+        }
+
+        let mut recs = Vec::with_capacity(lines.len());
+        let mut bad: Option<usize> = tail_fragment; // offset to truncate to
+        for (i, (off, text)) in lines.iter().enumerate() {
+            match parse_line(text, recs.len() as u64) {
+                Some(rec) => recs.push(rec),
+                None => {
+                    // A valid record *after* this one means the damage is
+                    // not a torn tail: refuse rather than drop committed
+                    // history. (Seq continuity cannot be checked — the
+                    // damaged record may have consumed any count — so any
+                    // later line that validates structurally at any seq
+                    // is proof of mid-file damage.)
+                    let later_valid = lines[i + 1..].iter().any(|(_, t)| {
+                        Json::parse(t).ok().is_some_and(|v| {
+                            v.get("schema").and_then(Json::as_str) == Some(JOURNAL_SCHEMA)
+                                && v.get("rec").and_then(Rec::from_json).is_some()
+                                && v.get("hash").is_some()
+                        })
+                    });
+                    if later_valid {
+                        return Err(JournalError::Corrupt(format!(
+                            "record {i} (byte offset {off}) fails validation but later \
+                             records are intact; refusing to discard committed history \
+                             — inspect or restore {}",
+                            path.display()
+                        )));
+                    }
+                    bad = Some(*off);
+                    break;
+                }
+            }
+        }
+
+        if let Some(off) = bad {
+            file.set_len(off as u64)?;
+        }
+        file.seek(std::io::SeekFrom::End(0))?;
+        let next_seq = recs.len() as u64;
+        Ok((
+            Journal {
+                file,
+                path,
+                next_seq,
+            },
+            recs,
+        ))
+    }
+
+    /// Appends one record durably: the line (with its seq and integrity
+    /// hash) is written, flushed, and fsync'd before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure; the record must then be considered *not*
+    /// committed.
+    pub fn append(&mut self, rec: &Rec) -> Result<(), JournalError> {
+        let mut line = render(self.next_seq, rec);
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records committed so far (== the next record's sequence number).
+    pub fn committed(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lbp-batch-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn sample(n: usize) -> Vec<Rec> {
+        (0..n)
+            .map(|i| Rec::Running {
+                id: format!("job-{i}"),
+                attempt: 1 + (i % 3) as u32,
+                t_us: 1000 * i as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_reopen_round_trips() {
+        let path = scratch("roundtrip.jsonl");
+        let recs = sample(5);
+        {
+            let (mut j, replay) = Journal::open(&path).unwrap();
+            assert!(replay.is_empty());
+            for r in &recs {
+                j.append(r).unwrap();
+            }
+        }
+        let (j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay, recs);
+        assert_eq!(j.committed(), 5);
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_appends_continue() {
+        let path = scratch("torn.jsonl");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for r in sample(3) {
+                j.append(&r).unwrap();
+            }
+        }
+        // Simulate a crash mid-append: half a line, no newline.
+        let committed = std::fs::read(&path).unwrap();
+        let mut torn = committed.clone();
+        torn.extend_from_slice(br#"{"schema":"lbp-batch-journal-v1","seq":3,"rec":{"op":"fin"#);
+        std::fs::write(&path, &torn).unwrap();
+
+        let (mut j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay, sample(3), "committed records survive the tear");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            committed,
+            "the torn bytes are physically gone"
+        );
+        // The journal stays usable: the next record takes seq 3.
+        j.append(&Rec::Rejected { id: "x".into() }).unwrap();
+        drop(j);
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.len(), 4);
+        assert_eq!(replay[3], Rec::Rejected { id: "x".into() });
+    }
+
+    #[test]
+    fn torn_tail_with_newline_is_also_discarded() {
+        let path = scratch("torn-nl.jsonl");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for r in sample(2) {
+                j.append(&r).unwrap();
+            }
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"garbage\": tru\n");
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay, sample(2));
+    }
+
+    #[test]
+    fn mid_file_corruption_is_refused_not_truncated() {
+        let path = scratch("midfile.jsonl");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for r in sample(4) {
+                j.append(&r).unwrap();
+            }
+        }
+        // Flip one byte inside record 1's payload (keep line structure).
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        lines[1] = lines[1].replace("job-1", "job-X");
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        match Journal::open(&path) {
+            Err(JournalError::Corrupt(msg)) => {
+                assert!(msg.contains("record 1"), "message was: {msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // Nothing was truncated by the refusal.
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 4);
+    }
+
+    #[test]
+    fn wrong_seq_reads_as_damage() {
+        let path = scratch("seq.jsonl");
+        {
+            let (mut j, _) = Journal::open(&path).unwrap();
+            for r in sample(2) {
+                j.append(&r).unwrap();
+            }
+        }
+        // Duplicate the last line: its seq repeats, so it fails
+        // validation as record 2 and is discarded as a torn tail.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let last = text.lines().last().unwrap().to_owned();
+        std::fs::write(&path, format!("{text}{last}\n")).unwrap();
+        let (_, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay, sample(2));
+    }
+
+    #[test]
+    fn every_record_kind_round_trips_through_json() {
+        let recs = vec![
+            Rec::Start { epoch: 2 },
+            Rec::Manifest {
+                mhash: 0xdead_beef_0123_4567,
+                jobs: 9,
+            },
+            Rec::Queued {
+                id: "a".into(),
+                job: 42,
+                dedup_of: None,
+            },
+            Rec::Queued {
+                id: "b".into(),
+                job: 42,
+                dedup_of: Some("a".into()),
+            },
+            Rec::Rejected { id: "late".into() },
+            Rec::Running {
+                id: "a".into(),
+                attempt: 3,
+                t_us: 17,
+            },
+            Rec::Checkpoint {
+                id: "a".into(),
+                cycle: 5000,
+                file: "a.5000.lbpsnap".into(),
+            },
+            Rec::Transient {
+                id: "a".into(),
+                attempt: 3,
+                class: "cancelled".into(),
+                error: "wall clock".into(),
+                t_us: 99,
+            },
+            Rec::Final {
+                id: "a".into(),
+                line: r#"{"schema":"lbp-batch-v1","id":"a"}"#.into(),
+                ok: true,
+                cycles: 1234,
+                t_us: 100,
+            },
+        ];
+        for r in recs {
+            assert_eq!(Rec::from_json(&r.to_json()), Some(r.clone()), "{r:?}");
+        }
+    }
+}

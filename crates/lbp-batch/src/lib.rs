@@ -47,6 +47,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
+pub mod service;
+
 use std::collections::VecDeque;
 use std::io::Write;
 use std::path::Path;
@@ -218,6 +221,13 @@ enum JobOutcome {
         class: &'static str,
         message: String,
     },
+    /// The service shed the job at admission: the bounded queue already
+    /// held `cap` distinct jobs. Never produced by [`run_batch`].
+    Rejected { cap: usize },
+    /// The service retried the job `attempts` times without reaching a
+    /// deterministic verdict and quarantined it as poison. Never
+    /// produced by [`run_batch`].
+    Quarantined { attempts: u32 },
 }
 
 /// The top `top` functions by attributed cycles, as a JSON array.
@@ -239,10 +249,12 @@ fn profile_summary(image: &lbp_asm::Image, machine: &Machine, top: usize) -> Jso
     )
 }
 
-/// Simulates one job to completion. Infallible: every failure becomes an
-/// error outcome on the job's result line.
-fn simulate(job: &BatchJob) -> JobOutcome {
-    let err = |class: &'static str, message: String| JobOutcome::Err { class, message };
+/// Compiles a job's program and builds its (profiling-enabled, when
+/// asked) machine. Front-end and configuration failures come back as
+/// the error outcome the job's result line should carry. Shared by the
+/// one-shot runner and the crash-recoverable service worker.
+fn prepare(job: &BatchJob) -> Result<(lbp_asm::Image, Machine), JobOutcome> {
+    let err = |class: &'static str, message: String| Err(JobOutcome::Err { class, message });
     let image = match job.kind {
         SourceKind::C => match lbp_cc::compile(&job.source) {
             Ok(c) => c.image,
@@ -266,12 +278,25 @@ fn simulate(job: &BatchJob) -> JobOutcome {
     if job.profile {
         machine.enable_profiling();
     }
+    Ok((image, machine))
+}
+
+/// Simulates one job to completion. Infallible: every failure becomes an
+/// error outcome on the job's result line.
+fn simulate(job: &BatchJob) -> JobOutcome {
+    let (image, mut machine) = match prepare(job) {
+        Ok(pair) => pair,
+        Err(outcome) => return outcome,
+    };
     match machine.run(job.max_cycles) {
         Ok(report) => JobOutcome::Ok {
             report: report.to_json(),
             profile: job.profile.then(|| profile_summary(&image, &machine, 5)),
         },
-        Err(e) => err(sim_error_class(&e), e.to_string()),
+        Err(e) => JobOutcome::Err {
+            class: sim_error_class(&e),
+            message: e.to_string(),
+        },
     }
 }
 
@@ -311,6 +336,25 @@ fn result_line(job: &BatchJob, hash: u64, dedup_of: Option<&str>, outcome: &JobO
         JobOutcome::Err { class, message } => {
             pairs.push(("status".to_owned(), Json::Str((*class).to_owned())));
             pairs.push(("error".to_owned(), Json::Str(message.clone())));
+        }
+        JobOutcome::Rejected { cap } => {
+            pairs.push(("status".to_owned(), Json::Str("rejected".to_owned())));
+            pairs.push((
+                "error".to_owned(),
+                Json::Str(format!(
+                    "backpressure: admission queue at capacity ({cap} distinct jobs)"
+                )),
+            ));
+        }
+        JobOutcome::Quarantined { attempts } => {
+            pairs.push(("status".to_owned(), Json::Str("quarantined".to_owned())));
+            pairs.push((
+                "error".to_owned(),
+                Json::Str(format!(
+                    "poison job: {attempts} attempts exhausted without a deterministic \
+                     verdict (see the journal for the attempt history)"
+                )),
+            ));
         }
     }
     let mut line = String::new();

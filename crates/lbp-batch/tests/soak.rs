@@ -1,0 +1,158 @@
+//! The kill-and-restart soak harness — the service's headline proof.
+//!
+//! A reference sweep runs uninterrupted. Then the same sweep runs in a
+//! fresh state directory with seeded crash injection: the worker
+//! process is killed at pseudo-random journal-append points (half the
+//! time leaving a torn half-record at the journal tail), restarted,
+//! killed again — at least three times — and finally allowed to finish.
+//! The recovered `results.jsonl` must be byte-identical to the
+//! uninterrupted run's, and the epoch's p50/p99 job-latency rows must
+//! validate as `lbp-prof-v1` bench records.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use lbp_sim::Json;
+use lbp_testutil::Rng;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lbp-batch-soak-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A program that spins `iters` times before exiting cleanly — long
+/// enough to cross several checkpoint intervals.
+fn spin_program(iters: u64) -> String {
+    format!(
+        "main:
+            li   t1, {iters}
+            li   t2, 0
+        loop:
+            addi t2, t2, 1
+            bne  t2, t1, loop
+            li   t0, -1
+            li   a0, 0
+            p_ret a0, t0"
+    )
+}
+
+/// Writes the soak manifest: three long distinct jobs, a dedup twin,
+/// a multi-core job, and a deterministic failure.
+fn write_manifest(dir: &Path) -> PathBuf {
+    for (name, iters) in [("p1.s", 1500u64), ("p2.s", 2100), ("p3.s", 2700)] {
+        std::fs::write(dir.join(name), spin_program(iters)).unwrap();
+    }
+    std::fs::write(dir.join("bad.s"), "main:\nloop:\n  j loop\n").unwrap();
+    let manifest = r#"{
+        "schema": "lbp-batch-manifest-v1",
+        "jobs": [
+            {"id": "spin-1", "program": "p1.s", "max_cycles": 200000},
+            {"id": "spin-2", "program": "p2.s", "max_cycles": 200000},
+            {"id": "spin-2-again", "program": "p2.s", "max_cycles": 200000},
+            {"id": "spin-3", "program": "p3.s", "max_cycles": 200000},
+            {"id": "spin-1-c2", "program": "p1.s", "cores": 2, "max_cycles": 200000},
+            {"id": "broken", "program": "bad.s", "max_cycles": 5000}
+        ]
+    }"#;
+    let path = dir.join("manifest.json");
+    std::fs::write(&path, manifest).unwrap();
+    path
+}
+
+fn service_cmd(manifest: &Path, state: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lbp-batch"));
+    cmd.arg(manifest)
+        .arg("--state-dir")
+        .arg(state)
+        .args(["--workers", "2"])
+        .args(["--checkpoint-every", "400"])
+        .args(["--slice", "128"])
+        .args(["--backoff-ms", "1"])
+        // Crashed attempts are charged; a generous budget keeps injected
+        // kills from quarantining jobs (which would change the results).
+        .args(["--max-attempts", "1000"]);
+    cmd
+}
+
+#[test]
+fn killed_and_restarted_sweep_matches_uninterrupted_run_byte_for_byte() {
+    let dir = scratch("main");
+    let manifest = write_manifest(&dir);
+
+    // Reference: one uninterrupted service run.
+    let ref_state = dir.join("ref");
+    let status = service_cmd(&manifest, &ref_state).status().unwrap();
+    assert_eq!(status.code(), Some(0), "reference run failed");
+    let reference = std::fs::read(ref_state.join("results.jsonl")).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&reference).lines().count(),
+        6,
+        "one line per manifest job"
+    );
+
+    // Soak: seeded crash injection until at least 3 kills landed.
+    let state = dir.join("soak");
+    let seed = std::env::var("LBP_SOAK_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xdecaf);
+    let mut rng = Rng::new(seed);
+    let mut kills = 0u32;
+    let mut runs = 0u32;
+    while kills < 3 {
+        runs += 1;
+        assert!(runs < 64, "crash injection never let the sweep progress");
+        let crash_after = 2 + rng.below(14);
+        let torn = rng.flip();
+        let mut cmd = service_cmd(&manifest, &state);
+        cmd.args(["--crash-after-appends", &crash_after.to_string()]);
+        if torn {
+            cmd.arg("--crash-torn");
+        }
+        let out = cmd.output().unwrap();
+        match out.status.code() {
+            Some(86) => kills += 1,
+            Some(0) => {} // finished before the crash point fired
+            other => panic!(
+                "unexpected exit {other:?}\nstderr: {}",
+                String::from_utf8_lossy(&out.stderr)
+            ),
+        }
+    }
+    // Let the survivor finish the sweep for real.
+    let out = service_cmd(&manifest, &state).output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "recovery run failed\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let recovered = std::fs::read(state.join("results.jsonl")).unwrap();
+    assert_eq!(
+        recovered,
+        reference,
+        "recovered results differ from the uninterrupted run \
+         (seed {seed}, {kills} kills)\nrecovered:\n{}\nreference:\n{}",
+        String::from_utf8_lossy(&recovered),
+        String::from_utf8_lossy(&reference)
+    );
+
+    // The latency rows are well-formed lbp-prof-v1 bench records.
+    let bench = std::fs::read_to_string(state.join("bench.jsonl")).unwrap();
+    let mut names = Vec::new();
+    for line in bench.lines() {
+        let v = Json::parse(line).unwrap();
+        assert_eq!(lbp_prof::validate(&v).unwrap(), "bench");
+        names.push(v.get("name").and_then(Json::as_str).unwrap().to_owned());
+    }
+    assert!(
+        names.iter().any(|n| n.contains("job-latency/p50"))
+            && names.iter().any(|n| n.contains("job-latency/p99")),
+        "bench rows: {names:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

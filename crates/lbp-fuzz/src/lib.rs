@@ -58,6 +58,9 @@ pub struct FuzzOptions {
     pub corpus: Option<PathBuf>,
     /// Oracle-battery evaluation budget per shrink (0 = no shrinking).
     pub shrink_attempts: usize,
+    /// Executable for the cross-process resume oracle (the CLI passes
+    /// its own path; `None` keeps the oracle in-process).
+    pub resume_exec: Option<PathBuf>,
 }
 
 impl Default for FuzzOptions {
@@ -69,6 +72,7 @@ impl Default for FuzzOptions {
             config: GenConfig::default(),
             corpus: None,
             shrink_attempts: 200,
+            resume_exec: None,
         }
     }
 }
@@ -168,6 +172,9 @@ fn fail_json(case: u64, kind: Kind, f: &Failure, shrunk: Option<&shrink::Shrunk>
 /// oracle failures are verdicts, not errors.
 pub fn run_fuzz(opts: &FuzzOptions, mut out: impl Write) -> io::Result<FuzzSummary> {
     let cfg = effective_config(&opts.config);
+    let check_opts = oracle::CheckOpts {
+        resume_exec: opts.resume_exec.clone(),
+    };
     writeln!(out, "{}", header_json(opts, &cfg))?;
 
     let mut summary = FuzzSummary {
@@ -179,7 +186,7 @@ pub fn run_fuzz(opts: &FuzzOptions, mut out: impl Write) -> io::Result<FuzzSumma
         let mut rng = Rng::new(case_seed(opts.seed, case));
         let program = gen::generate(&mut rng, &cfg, case);
         summary.cases += 1;
-        match oracle::check(&program) {
+        match oracle::check_with(&program, &check_opts) {
             Ok(report) => {
                 summary.passed += 1;
                 let verdict = Json::obj([

@@ -26,8 +26,9 @@ fn usage() -> ! {
          \n\
          Generates seeded PISC/Deterministic-OpenMP programs and checks each\n\
          against the oracle battery (build, verify, run, determinism,\n\
-         snapshot round-trip, ISS lockstep), shrinking and persisting any\n\
-         failure. Identical arguments produce byte-identical output.\n\
+         snapshot round-trip, cross-process resume, ISS lockstep), shrinking\n\
+         and persisting any failure. Identical arguments produce\n\
+         byte-identical output.\n\
          \n\
          --seed N             master seed (required)\n\
          --count N            cases to run (default 20)\n\
@@ -41,6 +42,42 @@ fn usage() -> ! {
          --out FILE           write the JSONL stream to FILE instead of stdout"
     );
     std::process::exit(2);
+}
+
+/// Hidden helper mode behind the cross-process resume oracle:
+/// `lbp-fuzz --resume-worker SNAP MAX_CYCLES` restores SNAP in this
+/// fresh process, runs it to completion, and prints
+/// `"<final-state-hash:016x> <cycles>"` for the parent to compare. Not
+/// documented in `usage()` — it is an implementation detail of the
+/// oracle, not user surface.
+fn resume_worker(snap: &str, max_cycles: &str) -> ! {
+    let Ok(max_cycles) = max_cycles.parse::<u64>() else {
+        usage()
+    };
+    let state = match lbp_snap::load(snap) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lbp-fuzz: cannot load snapshot `{snap}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut machine = match lbp_sim::Machine::restore(&state) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("lbp-fuzz: cannot restore snapshot `{snap}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(fail) = machine.run_diagnosed(max_cycles) {
+        eprintln!("lbp-fuzz: resumed run failed: {}", fail.error);
+        std::process::exit(3);
+    }
+    println!(
+        "{:016x} {}",
+        lbp_snap::content_hash(&machine.snapshot()),
+        machine.stats().cycles
+    );
+    std::process::exit(0);
 }
 
 fn parse_args() -> (FuzzOptions, Option<PathBuf>) {
@@ -106,7 +143,17 @@ fn parse_args() -> (FuzzOptions, Option<PathBuf>) {
 }
 
 fn main() {
-    let (opts, out) = parse_args();
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--resume-worker") {
+        match (argv.get(2), argv.get(3)) {
+            (Some(snap), Some(max)) => resume_worker(snap, max),
+            _ => usage(),
+        }
+    }
+    let (mut opts, out) = parse_args();
+    // The CLI always runs the resume oracle across a real process
+    // boundary, re-execing itself as the worker.
+    opts.resume_exec = std::env::current_exe().ok();
     let summary = match &out {
         Some(path) => match std::fs::File::create(path) {
             Ok(f) => lbp_fuzz::run_fuzz(&opts, std::io::BufWriter::new(f)),

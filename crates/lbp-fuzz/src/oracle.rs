@@ -22,7 +22,14 @@
 //! 5. **snapshot** — snapshot at the mid-cycle of the reference run,
 //!    round-trip the state through the `lbp-snap` codec, resume, and
 //!    demand the spliced run end bit-identical to the straight run.
-//! 6. **lockstep** — replay the commit stream against the sequential
+//! 6. **resume** — snapshot at a fuzzer-chosen cycle and finish the run
+//!    in a *fresh process* (the hidden `lbp-fuzz --resume-worker`
+//!    mode), comparing final-state content hashes across the process
+//!    boundary. This is the crash-recovery story end to end: nothing in
+//!    the parent's address space may be load-bearing for a resumed run.
+//!    Falls back to an in-process restore when no worker executable is
+//!    configured (library callers, the shrinker).
+//! 7. **lockstep** — replay the commit stream against the sequential
 //!    ISS and demand architectural agreement. Parallel programs are
 //!    skipped (the sequential oracle cannot follow a fork), which the
 //!    battery reports rather than hides.
@@ -41,14 +48,26 @@ use crate::gen::{GenProgram, Kind};
 
 /// Names of the oracles, in battery order (stable strings: they appear
 /// in the JSONL verdicts and corpus metadata).
-pub const ORACLES: [&str; 6] = [
+pub const ORACLES: [&str; 7] = [
     "build",
     "verify",
     "run",
     "determinism",
     "snapshot",
+    "resume",
     "lockstep",
 ];
+
+/// Battery knobs that vary by caller rather than by case.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOpts {
+    /// Executable to re-exec as `--resume-worker` for the cross-process
+    /// resume oracle (normally `lbp-fuzz` itself, via
+    /// `std::env::current_exe`). `None` degrades the oracle to an
+    /// in-process restore — still a real check, minus the process
+    /// boundary.
+    pub resume_exec: Option<std::path::PathBuf>,
+}
 
 /// A classified oracle failure.
 #[derive(Debug, Clone)]
@@ -175,8 +194,13 @@ fn reference_run(program: &GenProgram, image: &Image) -> Result<(RunReport, u64)
     })
 }
 
-/// The full battery. The first failing oracle wins.
+/// The full battery with default options (in-process resume oracle).
 pub fn check(program: &GenProgram) -> Result<PassReport, Failure> {
+    check_with(program, &CheckOpts::default())
+}
+
+/// The full battery. The first failing oracle wins.
+pub fn check_with(program: &GenProgram, opts: &CheckOpts) -> Result<PassReport, Failure> {
     let image = build_and_verify(program)?;
 
     // Oracle 3: the reference run.
@@ -214,7 +238,17 @@ pub fn check(program: &GenProgram) -> Result<PassReport, Failure> {
         snapshot_roundtrip(program, &image, cut, &a, final_hash)?;
     }
 
-    // Oracle 6: differential lockstep against the ISS.
+    // Oracle 6: cross-process resume at a fuzzer-chosen cycle. The cut
+    // is a pure function of the program text, so the verdict stream
+    // stays bit-reproducible while different cases cut at different
+    // fractions of their runs.
+    if report.stats.cycles >= 2 {
+        let span = report.stats.cycles - 1;
+        let cut = 1 + lbp_snap::fnv1a64(program.render().as_bytes()) % span;
+        resume_in_fresh_process(program, &image, cut, final_hash, report.stats.cycles, opts)?;
+    }
+
+    // Oracle 7: differential lockstep against the ISS.
     let lockstep_commits = match program.kind {
         // Fork trees always fork; skip the doomed attempt.
         Kind::Fork => None,
@@ -301,6 +335,113 @@ fn snapshot_roundtrip(
                 format!(
                     "final state content hash differs after a snapshot-at-{cut} resume: \
                      {straight_hash:#018x} vs {resumed_hash:#018x}"
+                ),
+            ));
+        }
+        Ok(())
+    })
+}
+
+/// Oracle 6 body: pause at `cut`, hand the snapshot to a fresh process
+/// (or an in-process restore when `opts.resume_exec` is `None`), and
+/// demand the resumed run land on the straight run's final content hash
+/// and cycle count.
+fn resume_in_fresh_process(
+    program: &GenProgram,
+    image: &Image,
+    cut: u64,
+    straight_hash: u64,
+    straight_cycles: u64,
+    opts: &CheckOpts,
+) -> Result<(), Failure> {
+    guarded("resume", || {
+        let mut prefix = Machine::new(cfg_for(program), image)
+            .map_err(|e| Failure::new("resume", e.class(), e.to_string()))?;
+        let exited = prefix
+            .run_to(cut)
+            .map_err(|f| Failure::from_sim("resume", &f))?;
+        if exited {
+            return Err(Failure::new(
+                "resume",
+                "divergence",
+                format!("program exited before cycle {cut}, earlier than the straight run"),
+            ));
+        }
+        let state = prefix.snapshot();
+
+        let (hash, cycles) = match &opts.resume_exec {
+            Some(exe) => {
+                let snap = std::env::temp_dir().join(format!(
+                    "lbp-fuzz-resume-{}-{:016x}.lbpsnap",
+                    std::process::id(),
+                    lbp_snap::content_hash(&state)
+                ));
+                lbp_snap::save(&state, &snap).map_err(|e| {
+                    Failure::new("resume", "worker", format!("cannot write snapshot: {e}"))
+                })?;
+                let out = std::process::Command::new(exe)
+                    .arg("--resume-worker")
+                    .arg(&snap)
+                    .arg(program.max_cycles.to_string())
+                    .output();
+                let _ = std::fs::remove_file(&snap);
+                let out = out.map_err(|e| {
+                    Failure::new(
+                        "resume",
+                        "worker",
+                        format!("cannot spawn resume worker: {e}"),
+                    )
+                })?;
+                if !out.status.success() {
+                    return Err(Failure::new(
+                        "resume",
+                        "worker",
+                        format!(
+                            "resume worker exited {:?}: {}",
+                            out.status.code(),
+                            String::from_utf8_lossy(&out.stderr).trim()
+                        ),
+                    ));
+                }
+                let text = String::from_utf8_lossy(&out.stdout);
+                let mut fields = text.split_whitespace();
+                let parsed = (
+                    fields.next().and_then(|h| u64::from_str_radix(h, 16).ok()),
+                    fields.next().and_then(|c| c.parse().ok()),
+                );
+                match parsed {
+                    (Some(h), Some(c)) => (h, c),
+                    _ => {
+                        return Err(Failure::new(
+                            "resume",
+                            "worker",
+                            format!("malformed resume worker reply: {text:?}"),
+                        ))
+                    }
+                }
+            }
+            None => {
+                let decoded = lbp_snap::decode(&lbp_snap::encode(&state)).map_err(|e| {
+                    Failure::new("resume", "codec", format!("round-trip decode failed: {e}"))
+                })?;
+                let mut resumed = Machine::restore(&decoded)
+                    .map_err(|e| Failure::new("resume", "codec", format!("restore failed: {e}")))?;
+                resumed
+                    .run_diagnosed(program.max_cycles)
+                    .map_err(|f| Failure::from_sim("resume", &f))?;
+                let cycles = resumed.stats().cycles;
+                (lbp_snap::content_hash(&resumed.snapshot()), cycles)
+            }
+        };
+
+        if hash != straight_hash || cycles != straight_cycles {
+            return Err(Failure::new(
+                "resume",
+                "divergence",
+                format!(
+                    "resume-at-{cut} disagrees with the straight run: \
+                     hash {hash:#018x} vs {straight_hash:#018x}, \
+                     cycles {cycles} vs {straight_cycles}"
                 ),
             ));
         }

@@ -200,6 +200,15 @@ impl Machine {
     /// Takes a crash-dump snapshot of the current machine state for
     /// `error`.
     pub fn dump(&self, error: &SimError) -> MachineDump {
+        self.dump_with(error.class(), error.to_string())
+    }
+
+    /// Takes a dump for a condition that is not a [`SimError`] — a
+    /// watchdog cancellation, a daemon shutdown — so graceful stops can
+    /// still emit a valid `lbp-dump-v1` partial report. `error_class`
+    /// should be a stable lowercase token (e.g. `"cancelled"`) distinct
+    /// from the simulator's own classes.
+    pub fn dump_with(&self, error_class: &'static str, error: String) -> MachineDump {
         let mut harts = Vec::new();
         let mut free = 0;
         for core in &self.cores {
@@ -213,8 +222,8 @@ impl Machine {
         }
         MachineDump {
             cycle: self.cycle,
-            error: error.to_string(),
-            error_class: error.class(),
+            error,
+            error_class,
             harts,
             free_harts: free,
             fabric_in_flight: self.fabric.pending(),

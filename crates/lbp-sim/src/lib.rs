@@ -92,7 +92,7 @@ pub use fault::{Fault, FaultPlan};
 pub use io::{InputDevice, IoBus, OutputDevice, DEVICE_STRIDE};
 pub use json::{Json, JsonError};
 pub use lockstep::{run_lockstep, Divergence, LockstepError, LockstepReport};
-pub use machine::{Machine, RunReport};
+pub use machine::{Machine, RunPause, RunReport};
 pub use prof::{PcCounters, ProfData, ProfEvent, ProfEventKind, ProfInterval};
 pub use snapshot::{MachineState, SnapError};
 pub use stats::{CoreStalls, IntervalSample, StallKind, Stats};

@@ -41,6 +41,17 @@ impl RunReport {
     }
 }
 
+/// Why a [`Machine::run_cooperative`] call returned without an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunPause {
+    /// The program exited (`p_ret` type 3).
+    Exited,
+    /// The machine reached the target cycle without exiting.
+    Target,
+    /// The poll callback asked to stop at a slice boundary.
+    Cancelled,
+}
+
 /// Snapshot of the cumulative counters at the last interval boundary,
 /// used to turn cumulative stats into per-interval deltas.
 #[derive(Debug, Default, Clone, Copy)]
@@ -333,6 +344,46 @@ impl Machine {
             self.take_sample();
         }
         Ok(true)
+    }
+
+    /// Runs toward cycle `target` in slices of at most `slice` cycles,
+    /// calling `poll` between slices — the cooperative-cancellation
+    /// primitive behind watchdogs and graceful daemon shutdown.
+    ///
+    /// `poll` sees the paused machine (inspect the cycle, take a
+    /// snapshot, write a checkpoint) and returns whether to continue;
+    /// returning `false` stops the run at the current cycle boundary.
+    /// Because every stop lands on a cycle boundary, a cancelled run can
+    /// be snapshotted and resumed to the exact state an uninterrupted
+    /// run would reach — cancellation is invisible to the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Any fatal fault or deadlock, packaged with a crash dump, exactly
+    /// as [`Machine::run_to`]. Reaching `target` or cancelling are
+    /// normal returns, distinguished by [`RunPause`].
+    pub fn run_cooperative<F>(
+        &mut self,
+        target: u64,
+        slice: u64,
+        mut poll: F,
+    ) -> Result<RunPause, Box<SimFailure>>
+    where
+        F: FnMut(&Machine) -> bool,
+    {
+        let slice = slice.max(1);
+        loop {
+            let stop = self.cycle.saturating_add(slice).min(target);
+            if self.run_to(stop)? {
+                return Ok(RunPause::Exited);
+            }
+            if self.cycle >= target {
+                return Ok(RunPause::Target);
+            }
+            if !poll(self) {
+                return Ok(RunPause::Cancelled);
+            }
+        }
     }
 
     /// The report a completed [`Machine::run`] would return right now.

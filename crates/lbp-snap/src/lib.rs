@@ -63,12 +63,36 @@ pub const FORMAT_VERSION: u16 = 1;
 pub const CONTAINER_HEADER_BYTES: usize = 42;
 
 /// A failure to read or write a snapshot container.
+///
+/// The two corruption modes a crashing writer can leave behind get
+/// their own variants so recovery code can tell them apart: a torn
+/// write truncates the file ([`SnapFileError::ShortRead`]), while media
+/// or memory damage flips bits under an intact length
+/// ([`SnapFileError::HashMismatch`]). Everything else that fails
+/// structural parsing stays [`SnapFileError::Format`].
 #[derive(Debug)]
 pub enum SnapFileError {
     /// The underlying I/O operation failed.
     Io(std::io::Error),
+    /// The container ends early: a torn or truncated write. `expected`
+    /// is the byte count the header promised (or the header size itself
+    /// when not even the header is complete), `got` what is there.
+    ShortRead {
+        /// Bytes the container should hold.
+        expected: u64,
+        /// Bytes actually present.
+        got: u64,
+    },
+    /// The payload bytes do not hash to the header's integrity hash:
+    /// the container is complete but its content was altered.
+    HashMismatch {
+        /// The FNV-1a-64 hash the header recorded at write time.
+        expected: u64,
+        /// The hash of the payload as read.
+        got: u64,
+    },
     /// The bytes are not a well-formed `lbp-snap-v1` container (bad
-    /// magic, unsupported version, length mismatch, hash mismatch).
+    /// magic, unsupported version, header/payload disagreement).
     Format(String),
     /// The payload does not describe a valid machine.
     Snap(SnapError),
@@ -78,6 +102,16 @@ impl std::fmt::Display for SnapFileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SnapFileError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            SnapFileError::ShortRead { expected, got } => write!(
+                f,
+                "truncated lbp-snap-v1 container: {got} of {expected} bytes present \
+                 (torn or interrupted write)"
+            ),
+            SnapFileError::HashMismatch { expected, got } => write!(
+                f,
+                "lbp-snap-v1 content-hash mismatch: header says {expected:#018x}, \
+                 payload hashes to {got:#018x} (the snapshot bytes were altered)"
+            ),
             SnapFileError::Format(what) => write!(f, "not an lbp-snap-v1 container: {what}"),
             SnapFileError::Snap(e) => write!(f, "snapshot payload rejected: {e}"),
         }
@@ -88,8 +122,8 @@ impl std::error::Error for SnapFileError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SnapFileError::Io(e) => Some(e),
-            SnapFileError::Format(_) => None,
             SnapFileError::Snap(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -142,13 +176,19 @@ pub fn encode(state: &MachineState) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// [`SnapFileError::Format`] on any container-level violation,
+/// [`SnapFileError::ShortRead`] when the container ends before the
+/// header's declared size (torn write), [`SnapFileError::HashMismatch`]
+/// when the payload is complete but its bytes were altered,
+/// [`SnapFileError::Format`] on any other container-level violation,
 /// [`SnapFileError::Snap`] if the verified payload still fails machine
 /// validation.
 pub fn decode(bytes: &[u8]) -> Result<MachineState, SnapFileError> {
     let bad = |what: String| Err(SnapFileError::Format(what));
     if bytes.len() < CONTAINER_HEADER_BYTES {
-        return bad(format!("{} bytes is shorter than the header", bytes.len()));
+        return Err(SnapFileError::ShortRead {
+            expected: CONTAINER_HEADER_BYTES as u64,
+            got: bytes.len() as u64,
+        });
     }
     if bytes[..8] != MAGIC {
         return bad("bad magic".to_owned());
@@ -161,14 +201,24 @@ pub fn decode(bytes: &[u8]) -> Result<MachineState, SnapFileError> {
     }
     let (cycle, cores, len, hash) = (u64_at(10), u64_at(18), u64_at(26), u64_at(34));
     let payload = &bytes[CONTAINER_HEADER_BYTES..];
-    if payload.len() as u64 != len {
+    if (payload.len() as u64) < len {
+        return Err(SnapFileError::ShortRead {
+            expected: CONTAINER_HEADER_BYTES as u64 + len,
+            got: bytes.len() as u64,
+        });
+    }
+    if payload.len() as u64 > len {
         return bad(format!(
-            "header declares {len} payload bytes, container holds {}",
+            "header declares {len} payload bytes, container holds {} (trailing bytes)",
             payload.len()
         ));
     }
-    if fnv1a64(payload) != hash {
-        return bad("integrity hash mismatch — the snapshot is damaged".to_owned());
+    let got_hash = fnv1a64(payload);
+    if got_hash != hash {
+        return Err(SnapFileError::HashMismatch {
+            expected: hash,
+            got: got_hash,
+        });
     }
     let state = MachineState::from_bytes(payload.to_vec())?;
     if state.cycle() != cycle || state.cores() as u64 != cores {
@@ -240,15 +290,29 @@ mod tests {
     }
 
     #[test]
-    fn damage_is_detected() {
+    fn damage_is_detected_and_classified() {
         let mut bytes = encode(&snapped());
+        // Cut inside the header: short read against the header size.
         assert!(matches!(
             decode(&bytes[..CONTAINER_HEADER_BYTES - 1]),
-            Err(SnapFileError::Format(_))
+            Err(SnapFileError::ShortRead { expected, got })
+                if expected == CONTAINER_HEADER_BYTES as u64
+                    && got == CONTAINER_HEADER_BYTES as u64 - 1
         ));
+        // Cut inside the payload: short read against the declared total.
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 3]),
+            Err(SnapFileError::ShortRead { expected, got })
+                if expected == bytes.len() as u64 && got == bytes.len() as u64 - 3
+        ));
+        // Bit flip under an intact length: a hash mismatch, not a short
+        // read and not a generic format error.
         let last = bytes.len() - 1;
         bytes[last] ^= 1;
-        assert!(matches!(decode(&bytes), Err(SnapFileError::Format(_))));
+        assert!(matches!(
+            decode(&bytes),
+            Err(SnapFileError::HashMismatch { expected, got }) if expected != got
+        ));
         bytes[last] ^= 1;
         bytes[0] = b'X';
         assert!(matches!(decode(&bytes), Err(SnapFileError::Format(_))));

@@ -30,17 +30,22 @@
 //!   binary fork-protocol verifier, `.s` inputs through the binary
 //!   verifier alone. Diagnostics print to stdout; `--diag-json FILE`
 //!   additionally writes the machine-readable `lbp-diag-v1` report.
+//! - `--wall-ms MS` arms a wall-clock watchdog: a run still going after
+//!   MS milliseconds of host time is cancelled *cooperatively* at a
+//!   cycle boundary — the machine stays valid, `--dump-on-error` still
+//!   writes a well-formed `lbp-dump-v1` report of the partial run — and
+//!   the process exits 11;
 //! - the exit code encodes the error class: 0 ok, 2 usage, 1 front-end or
 //!   I/O failure, 4 timeout, 5 deadlock, 6 protocol violation, 7 decode
 //!   fault, 8 memory fault, 9 lockstep divergence, 10 verification
-//!   rejection.
+//!   rejection, 11 wall-clock cancellation.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
 use lbp::sim::{
     ChromeSink, Fault, FaultPlan, JsonlSink, LbpConfig, LockstepError, Machine, MachineDump,
-    RunReport, SimError, SimFailure, TextSink, TraceSink,
+    RunPause, RunReport, SimError, SimFailure, TextSink, TraceSink,
 };
 
 #[derive(Clone, Copy, PartialEq)]
@@ -71,6 +76,7 @@ struct Options {
     checkpoint_prefix: String,
     resume_from: Option<String>,
     bisect: bool,
+    wall_ms: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -107,10 +113,12 @@ fn usage() -> ! {
                               configuration wins; the program may be omitted)\n\
            --bisect           with --fault: binary-search the clean and faulted\n\
                               runs for the first divergent cycle and event\n\
+           --wall-ms MS       cancel the run cooperatively after MS milliseconds\n\
+                              of host time; exits 11 (0 cancels at first poll)\n\
          \n\
          exit codes: 0 ok, 2 usage, 1 front-end/I/O, 4 timeout, 5 deadlock,\n\
          6 protocol, 7 decode, 8 memory fault, 9 lockstep divergence,\n\
-         10 verification rejection"
+         10 verification rejection, 11 wall-clock cancellation"
     );
     std::process::exit(2)
 }
@@ -138,6 +146,7 @@ fn parse_args() -> Options {
         checkpoint_prefix: "ckpt-".to_owned(),
         resume_from: None,
         bisect: false,
+        wall_ms: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -208,6 +217,13 @@ fn parse_args() -> Options {
             }
             "--resume-from" => opts.resume_from = Some(args.next().unwrap_or_else(|| usage())),
             "--bisect" => opts.bisect = true,
+            "--wall-ms" => {
+                opts.wall_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {
                 opts.input = other.to_owned();
@@ -408,6 +424,43 @@ fn run_with_checkpoints(
     }
 }
 
+/// `--wall-ms MS`: run cooperatively, polling the host clock at cycle
+/// boundaries. A run past its wall budget is cancelled *gracefully* —
+/// the machine stays valid, so a partial `lbp-dump-v1` report can still
+/// be taken — and the caller maps it to exit code 11. Composes with
+/// `--checkpoint-every`: legs shrink to the checkpoint interval and a
+/// snapshot is written after each completed leg.
+fn run_with_wall_clock(
+    machine: &mut Machine,
+    opts: &Options,
+    wall_ms: u64,
+) -> Result<Option<RunReport>, Box<SimFailure>> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wall_ms);
+    let slice = if opts.checkpoint_every > 0 {
+        opts.checkpoint_every
+    } else {
+        10_000
+    };
+    let pause = machine.run_cooperative(opts.max_cycles, slice, |m| {
+        if opts.checkpoint_every > 0 && m.stats().cycles < opts.max_cycles {
+            let state = m.snapshot();
+            let path = format!("{}{}.lbpsnap", opts.checkpoint_prefix, state.cycle());
+            match lbp::snap::save(&state, &path) {
+                Ok(()) => eprintln!("lbp-run: checkpoint written to {path}"),
+                Err(e) => eprintln!("lbp-run: cannot write checkpoint `{path}`: {e}"),
+            }
+        }
+        std::time::Instant::now() < deadline
+    })?;
+    match pause {
+        RunPause::Exited => Ok(Some(machine.report())),
+        // Out of cycle budget before wall budget: re-raise the timeout
+        // with its crash dump attached, as the plain run path would.
+        RunPause::Target => machine.run_diagnosed(opts.max_cycles).map(Some),
+        RunPause::Cancelled => Ok(None),
+    }
+}
+
 /// `--bisect`: build a clean machine and one with the `--fault` plan,
 /// then binary-search their runs (over snapshots) for the first cycle —
 /// and the first traced event — where they diverge.
@@ -565,13 +618,31 @@ fn main() -> ExitCode {
         };
         machine.set_sink(sink);
     }
-    let run_result = if opts.checkpoint_every > 0 {
-        run_with_checkpoints(&mut machine, &opts)
+    let run_result = if let Some(wall_ms) = opts.wall_ms {
+        run_with_wall_clock(&mut machine, &opts, wall_ms)
+    } else if opts.checkpoint_every > 0 {
+        run_with_checkpoints(&mut machine, &opts).map(Some)
     } else {
-        machine.run_diagnosed(opts.max_cycles)
+        machine.run_diagnosed(opts.max_cycles).map(Some)
     };
     let report = match run_result {
-        Ok(r) => r,
+        Ok(Some(r)) => r,
+        Ok(None) => {
+            // The wall-clock watchdog cancelled the run at a cycle
+            // boundary; the machine is still valid, so the partial run
+            // can be dumped like any other diagnosed stop.
+            let cycle = machine.stats().cycles;
+            let msg = format!(
+                "run cancelled: wall-clock budget of {}ms exceeded at cycle {cycle}",
+                opts.wall_ms.unwrap_or(0)
+            );
+            eprintln!("lbp-run: {msg}");
+            if let Some(path) = &opts.dump_on_error {
+                write_dump(path, &machine.dump_with("cancelled", msg));
+            }
+            let _ = machine.finish_trace();
+            return ExitCode::from(11);
+        }
         Err(fail) => {
             eprintln!("lbp-run: {}", fail.error);
             if let Some(path) = &opts.dump_on_error {

@@ -1,6 +1,7 @@
 //! Pins `lbp-run`'s documented exit-code contract: 0 ok, 2 usage,
 //! 1 front-end/I-O, 4 timeout, 5 deadlock, 6 protocol, 7 decode,
-//! 8 memory fault, 9 lockstep divergence, 10 verification rejection.
+//! 8 memory fault, 9 lockstep divergence, 10 verification rejection,
+//! 11 wall-clock cancellation.
 //! Scripts and CI match on these numbers, so they are load-bearing API.
 
 use std::path::PathBuf;
@@ -131,6 +132,57 @@ fn exit_9_lockstep_divergence() {
 #[test]
 fn exit_10_verification_rejection() {
     assert_eq!(code(lbp_run().arg(example("hung.s")).arg("--verify")), 10);
+}
+
+#[test]
+fn exit_11_wall_clock_cancellation() {
+    // `--wall-ms 0` arms an already-expired watchdog: the run is
+    // cancelled at the first cooperative poll, deterministically.
+    let p = scratch("spin.s", "main:\nloop:\n  j loop\n");
+    let dir = harness::scratch_dir("wall-cli");
+    let dump = dir.join("partial.json");
+    let out = lbp_run()
+        .arg(&p)
+        .args(["--cores", "1", "--max-cycles", "1000000", "--wall-ms", "0"])
+        .args(["--dump-on-error", dump.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(11));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("wall-clock budget"),
+        "cancellation must be named on stderr: {stderr}"
+    );
+    // Graceful cancellation still yields a valid partial dump.
+    let text = std::fs::read_to_string(&dump).unwrap();
+    assert!(
+        text.contains("\"lbp-dump-v1\"") && text.contains("\"cancelled\""),
+        "partial dump must be a well-formed lbp-dump-v1 report: {text}"
+    );
+    harness::scratch_cleanup(&dir);
+}
+
+#[test]
+fn wall_clock_budget_that_fits_the_run_changes_nothing() {
+    // A generous budget must not perturb the run: same stdout as the
+    // plain path, exit 0.
+    let plain = lbp_run()
+        .arg(example("mul.s"))
+        .args(["--cores", "1"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+    let watched = lbp_run()
+        .arg(example("mul.s"))
+        .args(["--cores", "1", "--wall-ms", "60000"])
+        .output()
+        .unwrap();
+    assert_eq!(watched.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&watched.stdout),
+        "an unexpired watchdog must not change the run"
+    );
 }
 
 #[test]
