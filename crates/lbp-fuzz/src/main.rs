@@ -26,9 +26,9 @@ fn usage() -> ! {
          \n\
          Generates seeded PISC/Deterministic-OpenMP programs and checks each\n\
          against the oracle battery (build, verify, run, determinism,\n\
-         snapshot round-trip, cross-process resume, ISS lockstep), shrinking\n\
-         and persisting any failure. Identical arguments produce\n\
-         byte-identical output.\n\
+         race-witness, snapshot round-trip, cross-process resume, ISS\n\
+         lockstep), shrinking and persisting any failure. Identical\n\
+         arguments produce byte-identical output.\n\
          \n\
          --seed N             master seed (required)\n\
          --count N            cases to run (default 20)\n\

@@ -19,17 +19,23 @@
 //!    content-hashed final state. (The machine is deterministic by
 //!    construction; this is the metamorphic check that the
 //!    implementation actually is.)
-//! 5. **snapshot** — snapshot at the mid-cycle of the reference run,
+//! 5. **race** — re-run with the dynamic race-witness collector armed
+//!    (`Machine::enable_race_witness`): a statically accepted program
+//!    must produce **zero** concrete shared-memory overlap witnesses —
+//!    the cross-validation of `lbp-verify`'s M-pass — and the collector,
+//!    being observational, must leave the report and the final state
+//!    hash bit-identical to the reference run.
+//! 6. **snapshot** — snapshot at the mid-cycle of the reference run,
 //!    round-trip the state through the `lbp-snap` codec, resume, and
 //!    demand the spliced run end bit-identical to the straight run.
-//! 6. **resume** — snapshot at a fuzzer-chosen cycle and finish the run
+//! 7. **resume** — snapshot at a fuzzer-chosen cycle and finish the run
 //!    in a *fresh process* (the hidden `lbp-fuzz --resume-worker`
 //!    mode), comparing final-state content hashes across the process
 //!    boundary. This is the crash-recovery story end to end: nothing in
 //!    the parent's address space may be load-bearing for a resumed run.
 //!    Falls back to an in-process restore when no worker executable is
 //!    configured (library callers, the shrinker).
-//! 7. **lockstep** — replay the commit stream against the sequential
+//! 8. **lockstep** — replay the commit stream against the sequential
 //!    ISS and demand architectural agreement. Parallel programs are
 //!    skipped (the sequential oracle cannot follow a fork), which the
 //!    battery reports rather than hides.
@@ -48,11 +54,12 @@ use crate::gen::{GenProgram, Kind};
 
 /// Names of the oracles, in battery order (stable strings: they appear
 /// in the JSONL verdicts and corpus metadata).
-pub const ORACLES: [&str; 7] = [
+pub const ORACLES: [&str; 8] = [
     "build",
     "verify",
     "run",
     "determinism",
+    "race",
     "snapshot",
     "resume",
     "lockstep",
@@ -232,13 +239,50 @@ pub fn check_with(program: &GenProgram, opts: &CheckOpts) -> Result<PassReport, 
         ));
     }
 
-    // Oracle 5: snapshot round-trip at the reference run's mid-cycle.
+    // Oracle 5: dynamic race-witness cross-validation. The program
+    // passed static verification (oracle 2), so the collector must
+    // observe zero concrete shared-memory overlaps — and, being
+    // observational, must not perturb the run.
+    guarded("race", || {
+        let mut m = Machine::new(cfg_for(program), &image)
+            .map_err(|e| Failure::new("race", e.class(), e.to_string()))?;
+        m.enable_race_witness();
+        let witnessed = m
+            .run_diagnosed(program.max_cycles)
+            .map_err(|f| Failure::from_sim("race", &f))?;
+        let witnessed_json = witnessed.to_json().to_string();
+        let witnessed_hash = lbp_snap::content_hash(&m.snapshot());
+        if witnessed_json != a || witnessed_hash != final_hash {
+            return Err(Failure::new(
+                "race",
+                "divergence",
+                format!(
+                    "witness collection perturbed the run: report or final state \
+                     differs (hash {witnessed_hash:#018x} vs {final_hash:#018x})"
+                ),
+            ));
+        }
+        let witnesses = m.race_witnesses();
+        if let Some(w) = witnesses.first() {
+            return Err(Failure::new(
+                "race",
+                "race-witness",
+                format!(
+                    "statically accepted program produced {} dynamic race witness(es): {w}",
+                    witnesses.len()
+                ),
+            ));
+        }
+        Ok(())
+    })?;
+
+    // Oracle 6: snapshot round-trip at the reference run's mid-cycle.
     if report.stats.cycles >= 2 {
         let cut = report.stats.cycles / 2;
         snapshot_roundtrip(program, &image, cut, &a, final_hash)?;
     }
 
-    // Oracle 6: cross-process resume at a fuzzer-chosen cycle. The cut
+    // Oracle 7: cross-process resume at a fuzzer-chosen cycle. The cut
     // is a pure function of the program text, so the verdict stream
     // stays bit-reproducible while different cases cut at different
     // fractions of their runs.
@@ -248,7 +292,7 @@ pub fn check_with(program: &GenProgram, opts: &CheckOpts) -> Result<PassReport, 
         resume_in_fresh_process(program, &image, cut, final_hash, report.stats.cycles, opts)?;
     }
 
-    // Oracle 7: differential lockstep against the ISS.
+    // Oracle 8: differential lockstep against the ISS.
     let lockstep_commits = match program.kind {
         // Fork trees always fork; skip the doomed attempt.
         Kind::Fork => None,
@@ -272,7 +316,7 @@ pub fn check_with(program: &GenProgram, opts: &CheckOpts) -> Result<PassReport, 
     })
 }
 
-/// Oracle 5 body: pause at `cut`, round-trip the state through the
+/// Oracle 6 body: pause at `cut`, round-trip the state through the
 /// `lbp-snap` codec, resume, and compare against the straight run.
 fn snapshot_roundtrip(
     program: &GenProgram,
@@ -342,7 +386,7 @@ fn snapshot_roundtrip(
     })
 }
 
-/// Oracle 6 body: pause at `cut`, hand the snapshot to a fresh process
+/// Oracle 7 body: pause at `cut`, hand the snapshot to a fresh process
 /// (or an in-process restore when `opts.resume_exec` is `None`), and
 /// demand the resumed run land on the straight run's final content hash
 /// and cycle count.
@@ -474,6 +518,25 @@ mod tests {
             report.lockstep_commits.is_some(),
             "a seq program is lockstep-checkable"
         );
+    }
+
+    #[test]
+    fn race_oracle_catches_a_dynamic_only_race() {
+        // The precision-boundary fixture: statically accepted (the store
+        // goes through an address of unknown provenance — LBP-M004, a
+        // warning), yet both members write the same shared word at
+        // runtime. The race oracle must catch what the M-pass cannot.
+        let src = include_str!("../../lbp-verify/tests/fixtures/race_dynamic_only.s");
+        let p = GenProgram {
+            kind: Kind::Fork,
+            cores: 1,
+            max_cycles: 100_000,
+            segments: vec![crate::gen::Segment::Fixed(src.to_owned())],
+        };
+        let f = check(&p).unwrap_err();
+        assert_eq!(f.oracle, "race");
+        assert_eq!(f.class, "race-witness");
+        assert!(f.detail.contains("write-write"), "detail: {}", f.detail);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::fabric::Fabric;
 use crate::hart::{Fetched, HartCtx, HartState, ItEntry, Rb, RbWait};
 use crate::msg::{CoreMsg, NetMsg};
 use crate::prof::{ProfData, ProfEventKind};
+use crate::race::RaceData;
 use crate::stats::{StallKind, Stats};
 use crate::trace::{Event, EventKind, Trace, TraceSink};
 
@@ -43,6 +44,9 @@ pub(crate) struct Env<'a> {
     /// Profiling collectors; `None` unless profiling is enabled, so the
     /// disabled path costs one branch per hook and changes nothing else.
     pub prof: Option<&'a mut ProfData>,
+    /// Race-witness collector; `None` unless enabled. Same discipline as
+    /// `prof`: observational, one branch per hook when off.
+    pub race: Option<&'a mut RaceData>,
 }
 
 impl Env<'_> {
@@ -467,6 +471,9 @@ impl Core {
             }
             Instr::Load { kind, offset, .. } => {
                 let addr = v1.wrapping_add(offset as u32);
+                if let Some(r) = env.race.as_deref_mut() {
+                    r.read(id, e.pc, addr, kind.size() as u8);
+                }
                 self.send_read(
                     id,
                     addr,
@@ -479,6 +486,9 @@ impl Core {
             }
             Instr::Store { kind, offset, .. } => {
                 let addr = v1.wrapping_add(offset as u32);
+                if let Some(r) = env.race.as_deref_mut() {
+                    r.write(id, e.pc, addr, kind.size() as u8);
+                }
                 self.send_write(id, addr, v2, kind.size() as u8, env)?;
                 self.harts[hart_idx].in_flight_mem += 1;
                 silent

@@ -80,6 +80,7 @@ mod machine;
 mod msg;
 mod network;
 mod prof;
+mod race;
 mod snapshot;
 mod stats;
 mod trace;
@@ -94,6 +95,7 @@ pub use json::{Json, JsonError};
 pub use lockstep::{run_lockstep, Divergence, LockstepError, LockstepReport};
 pub use machine::{Machine, RunPause, RunReport};
 pub use prof::{PcCounters, ProfData, ProfEvent, ProfEventKind, ProfInterval};
+pub use race::{RaceData, RaceKind, RaceWitness};
 pub use snapshot::{MachineState, SnapError};
 pub use stats::{CoreStalls, IntervalSample, StallKind, Stats};
 pub use trace::{ChromeSink, Event, EventKind, JsonlSink, TextSink, Trace, TraceSink};

@@ -15,6 +15,7 @@ use crate::io::IoBus;
 use crate::json::Json;
 use crate::msg::{CoreMsg, NetMsg};
 use crate::prof::{ProfData, ProfEventKind};
+use crate::race::{RaceData, RaceWitness};
 use crate::snapshot::{MachineState, SnapError, SnapReader, SnapWriter};
 use crate::stats::{CoreStalls, IntervalSample, Stats};
 use crate::trace::{Event, EventKind, Trace, TraceSink};
@@ -92,6 +93,10 @@ pub struct Machine {
     /// [`Machine::enable_profiling`] was called. Like the trace and the
     /// sink, never part of a snapshot.
     prof: Option<Box<ProfData>>,
+    /// Race-witness collector; `None` (off) unless
+    /// [`Machine::enable_race_witness`] was called. Observational like
+    /// `prof`, and likewise never part of a snapshot.
+    race: Option<Box<RaceData>>,
     cursor: SampleCursor,
     pub(crate) cycle: u64,
     pub(crate) exited: bool,
@@ -168,6 +173,7 @@ impl Machine {
             trace: Trace::new(),
             sink: None,
             prof: None,
+            race: None,
             cursor: SampleCursor::default(),
             cycle: 0,
             exited: false,
@@ -254,6 +260,27 @@ impl Machine {
     /// called.
     pub fn profile(&self) -> Option<&ProfData> {
         self.prof.as_deref()
+    }
+
+    /// Turns on the dynamic race-witness collector (see [`RaceData`]).
+    /// Every subsequent shared-memory access is checked byte-by-byte for
+    /// cross-hart overlap with no fork/join protocol message in between.
+    ///
+    /// Collection is observational only: the run's instruction sequence,
+    /// trace, statistics and final state are bit-identical with the
+    /// collector on or off, and it is not serialized into snapshots — a
+    /// restored machine starts with collection off.
+    pub fn enable_race_witness(&mut self) {
+        if self.race.is_none() {
+            self.race = Some(Box::new(RaceData::new(self.cfg.cores)));
+        }
+    }
+
+    /// The race witnesses collected so far; empty when
+    /// [`Machine::enable_race_witness`] was never called (or when the
+    /// program is race-free).
+    pub fn race_witnesses(&self) -> &[RaceWitness] {
+        self.race.as_deref().map_or(&[], |r| r.witnesses.as_slice())
     }
 
     /// Finalizes and flushes the attached streaming sink, if any (closes
@@ -510,6 +537,7 @@ impl Machine {
             trace: Trace::new(),
             sink: None,
             prof: None,
+            race: None,
             cursor,
             cycle,
             exited,
@@ -546,6 +574,7 @@ impl Machine {
                 cores: self.cfg.cores,
                 exited: &mut self.exited,
                 prof: self.prof.as_deref_mut(),
+                race: self.race.as_deref_mut(),
             };
             self.cores[c].tick(&mut env)?;
         }
@@ -700,6 +729,25 @@ impl Machine {
     }
 
     fn deliver_core_msg(&mut self, core: u32, msg: CoreMsg, now: u64) -> Result<(), SimError> {
+        // Rendezvous deliveries are synchronization edges for the race
+        // collector: the recipient is provably not executing when they
+        // arrive (blocked on the fork result, not yet started, or waiting
+        // in `p_ret`), so it happens-after everything recorded so far.
+        // `CvWrite`/`CvAck`/`EndSignal`/`Result` can reach a hart that is
+        // still running and must NOT count — they would fabricate an
+        // ordering for accesses already in flight.
+        if let Some(r) = self.race.as_deref_mut() {
+            match &msg {
+                CoreMsg::ForkReply { to, .. }
+                | CoreMsg::Start { to, .. }
+                | CoreMsg::Join { to, .. } => r.sync(*to),
+                CoreMsg::ForkReq { .. }
+                | CoreMsg::CvWrite { .. }
+                | CoreMsg::CvAck { .. }
+                | CoreMsg::EndSignal { .. }
+                | CoreMsg::Result { .. } => {}
+            }
+        }
         match msg {
             CoreMsg::ForkReq { from } => {
                 self.cores[core as usize].alloc_q.push_back(from);

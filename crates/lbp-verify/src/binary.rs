@@ -46,6 +46,7 @@ const MAX_STEPS: usize = 4_000_000;
 pub fn verify_image(image: &Image) -> Vec<Diag> {
     let mut diags = slot_liveness(image);
     diags.extend(Interp::new(image).run());
+    diags.extend(crate::mpass::analyze(image));
     diags.sort_by_key(|d| (d.line, d.code.as_str()));
     diags
 }
@@ -94,6 +95,7 @@ fn slot_liveness(image: &Image) -> Vec<Diag> {
                          the hart blocks forever"
                     ),
                 )
+                .with_pc(pc)
                 .with_wait_reason(format!("a p_swre result in slot {slot} that is never sent"))
                 .with_hint(format!(
                     "add a matching `p_swre <value>, <join-hart>, {slot}` on the \
@@ -114,6 +116,7 @@ fn slot_liveness(image: &Image) -> Vec<Diag> {
                          but no p_swcv in the image ever writes slot {slot}"
                     ),
                 )
+                .with_pc(pc)
                 .with_wait_reason(format!(
                     "a continuation value in cv slot {slot} that is never transmitted"
                 ))
@@ -353,6 +356,7 @@ impl<'a> Interp<'a> {
                              outside the text section"
                         ),
                     )
+                    .with_pc(src)
                     .with_hint("end the path with p_ret (t0 = -1 and ra = 0 exit the program)"),
                     src,
                 );
@@ -394,6 +398,7 @@ impl<'a> Interp<'a> {
                              undecodable word {word:#010x}"
                         ),
                     )
+                    .with_pc(pc)
                     .with_hint("keep data out of executed paths; end code with p_ret"),
                     pc,
                 );
@@ -515,6 +520,7 @@ impl<'a> Interp<'a> {
                                     describe(held)
                                 ),
                             )
+                            .with_pc(pc)
                             .with_wait_reason(
                                 "a continuation value delivered to a hart that was \
                                  never allocated",
@@ -549,6 +555,7 @@ impl<'a> Interp<'a> {
                                     mask_slots(mask)
                                 ),
                             )
+                            .with_pc(pc)
                             .with_wait_reason(format!(
                                 "a continuation value in cv slot {offset} that its \
                                  forker never transmitted"
@@ -611,6 +618,7 @@ impl<'a> Interp<'a> {
                              fork result; the join half of the identity word is missing"
                         ),
                     )
+                    .with_pc(pc)
                     .with_wait_reason(
                         "a join address that would be sent to hart 0 instead of the \
                          team's join hart",
@@ -633,6 +641,7 @@ impl<'a> Interp<'a> {
                         line_of(self.image, pc),
                         format!("parallel start at {pc:#x}: `{rs1}` holds {what}"),
                     )
+                    .with_pc(pc)
                     .with_wait_reason("a start pc delivered to a hart that was never allocated")
                     .with_hint(
                         "build the identity word with p_set + p_fc/p_fn + p_merge \
@@ -654,6 +663,7 @@ impl<'a> Interp<'a> {
                          (no p_syncm since the last p_swcv)"
                     ),
                 )
+                .with_pc(pc)
                 .with_wait_reason("the started hart may read its cv frame before the values land")
                 .with_hint("insert `p_syncm` between the last p_swcv and the start"),
                 pc,
@@ -681,6 +691,7 @@ impl<'a> Interp<'a> {
                                      the join would be sent to hart 0x7fff"
                                 ),
                             )
+                            .with_pc(pc)
                             .with_hint("load `ra` with 0 (`li ra, 0`) before the exit p_ret"),
                             pc,
                         );
@@ -700,6 +711,7 @@ impl<'a> Interp<'a> {
                             c as u32
                         ),
                     )
+                    .with_pc(pc)
                     .with_wait_reason(
                         "a join that would target whatever hart the constant happens \
                          to name",
@@ -722,6 +734,7 @@ impl<'a> Interp<'a> {
                              result instead of an identity word"
                         ),
                     )
+                    .with_pc(pc)
                     .with_hint("p_merge the fork result into the identity word first"),
                     pc,
                 );

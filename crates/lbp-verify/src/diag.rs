@@ -11,7 +11,8 @@
 use std::fmt;
 
 /// Stable diagnostic codes. `S*` codes come from the source-level race
-/// analysis, `B*` codes from the binary-level protocol verifier, `C*`
+/// analysis, `B*` codes from the binary-level protocol verifier, `M*`
+/// codes from the binary-level shared-memory determinism pass, `C*`
 /// codes are semantic (front-end) errors re-reported through the lint
 /// surface.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +52,27 @@ pub enum DiagCode {
     /// Control flow reaches the end of the text section or an
     /// undecodable word.
     BFallsOffText,
+    /// Two team members' shared-store footprints provably overlap
+    /// within one sync epoch.
+    MOverlappingWrite,
+    /// A team member reads a shared address another member provably
+    /// writes within the same sync epoch.
+    MRacingRead,
+    /// A shared access whose address the affine analysis cannot prove
+    /// member-disjoint (interval-valued subscript or analysis budget
+    /// exceeded).
+    MUnprovableSubscript,
+    /// A store through an address of unknown provenance inside a
+    /// parallel epoch.
+    MUnknownStore,
+    /// A shared-region pointer value is itself stored to shared memory
+    /// inside a parallel epoch (escapes the epoch's footprint
+    /// reasoning).
+    MEscapingPointer,
+    /// The whole team's shared-write footprint lands in a single
+    /// memory bank while the team spans several cores (serializes at
+    /// the bank, a determinism-preserving performance hazard).
+    MBankAliasing,
 }
 
 impl DiagCode {
@@ -72,6 +94,12 @@ impl DiagCode {
             DiagCode::BContinuationSlot => "LBP-B006",
             DiagCode::BMalformedRet => "LBP-B007",
             DiagCode::BFallsOffText => "LBP-B008",
+            DiagCode::MOverlappingWrite => "LBP-M001",
+            DiagCode::MRacingRead => "LBP-M002",
+            DiagCode::MUnprovableSubscript => "LBP-M003",
+            DiagCode::MUnknownStore => "LBP-M004",
+            DiagCode::MEscapingPointer => "LBP-M005",
+            DiagCode::MBankAliasing => "LBP-M006",
         }
     }
 }
@@ -117,6 +145,10 @@ pub struct Diag {
     pub message: String,
     /// 1-based source line (0 when unknown / generated code).
     pub line: usize,
+    /// The faulting program counter for binary-level findings. Carries
+    /// the location even when `line` is 0 (generated code, fuzz
+    /// corpora).
+    pub pc: Option<u32>,
     /// For races: the concrete hart pair (and element) that conflicts.
     pub witness: Option<String>,
     /// For protocol hangs: what the blocked hart would wait for, phrased
@@ -139,10 +171,17 @@ impl Diag {
             severity,
             message: message.into(),
             line,
+            pc: None,
             witness: None,
             wait_reason: None,
             hint: None,
         }
+    }
+
+    /// Attaches the faulting program counter.
+    pub fn with_pc(mut self, pc: u32) -> Diag {
+        self.pc = Some(pc);
+        self
     }
 
     /// Attaches a hart-pair witness.
@@ -169,6 +208,9 @@ impl fmt::Display for Diag {
         write!(f, "{} [{}]", self.severity.as_str(), self.code)?;
         if self.line > 0 {
             write!(f, " line {}", self.line)?;
+        }
+        if let Some(pc) = self.pc {
+            write!(f, " pc {pc:#x}")?;
         }
         write!(f, ": {}", self.message)?;
         if let Some(w) = &self.witness {
@@ -200,8 +242,8 @@ pub fn accepted(diags: &[Diag]) -> bool {
 ///   "program": "examples/asm/hung.s",
 ///   "verdict": "reject",
 ///   "diags": [ { "code": "...", "severity": "...", "line": N,
-///                "message": "...", "witness": ..., "wait_reason": ...,
-///                "hint": ... } ]
+///                "pc": N, "message": "...", "witness": ...,
+///                "wait_reason": ..., "hint": ... } ]
 /// }
 /// ```
 pub fn report_json(program: &str, diags: &[Diag]) -> String {
@@ -220,6 +262,9 @@ pub fn report_json(program: &str, diags: &[Diag]) -> String {
         out.push_str(", \"severity\": ");
         json_string(&mut out, d.severity.as_str());
         out.push_str(&format!(", \"line\": {}", d.line));
+        if let Some(pc) = d.pc {
+            out.push_str(&format!(", \"pc\": {pc}"));
+        }
         out.push_str(", \"message\": ");
         json_string(&mut out, &d.message);
         for (key, value) in [
@@ -279,6 +324,12 @@ mod tests {
             DiagCode::BContinuationSlot,
             DiagCode::BMalformedRet,
             DiagCode::BFallsOffText,
+            DiagCode::MOverlappingWrite,
+            DiagCode::MRacingRead,
+            DiagCode::MUnprovableSubscript,
+            DiagCode::MUnknownStore,
+            DiagCode::MEscapingPointer,
+            DiagCode::MBankAliasing,
         ];
         let strings: std::collections::HashSet<&str> = codes.iter().map(|c| c.as_str()).collect();
         assert_eq!(strings.len(), codes.len());
@@ -307,6 +358,19 @@ mod tests {
         assert!(json.contains("\"code\": \"LBP-B001\""));
         assert!(json.contains("\\\"never\\\""));
         assert!(json.contains("\"wait_reason\""));
+    }
+
+    #[test]
+    fn pc_rendered_when_line_unknown() {
+        let d =
+            Diag::new(DiagCode::MUnknownStore, Severity::Warning, 0, "wild store").with_pc(0x44);
+        let text = d.to_string();
+        assert!(!text.contains("line"));
+        assert!(text.contains("pc 0x44"));
+        let json = report_json("gen.s", std::slice::from_ref(&d));
+        assert!(json.contains("\"pc\": 68"));
+        let without = Diag::new(DiagCode::CSema, Severity::Error, 3, "x");
+        assert!(!report_json("a.c", &[without]).contains("\"pc\""));
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //!   `p_merge` → `p_syncm` → `p_jalr` per the paper's Fig. 8) and
 //!   result-line slot liveness (`p_lwre` receives must have `p_swre`
 //!   senders), flagging statically the hangs the simulator can only
-//!   report at runtime.
+//!   report at runtime. A third pass — the shared-memory determinism
+//!   analysis (`LBP-M001`..`M006`) — runs an address-lattice abstract
+//!   interpretation (constant / affine-in-member-index / interval /
+//!   unknown) over every load and store of each discovered parallel
+//!   epoch and proves cross-member write-write and write-read
+//!   disjointness, the binary-level counterpart of the source `S` codes.
 //! - The source-level race analysis lives in `lbp-cc` (`lbp_cc::lint`)
 //!   and reports through this crate's [`Diag`] type, so both layers
 //!   speak one diagnostic format: `lbp-diag-v1` (see [`report_json`]).
@@ -44,6 +49,7 @@
 
 mod binary;
 mod diag;
+mod mpass;
 
 pub use binary::verify_image;
 pub use diag::{accepted, report_json, Diag, DiagCode, Severity};

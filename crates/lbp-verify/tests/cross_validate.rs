@@ -2,7 +2,9 @@
 //! infrastructure: no program the verifier accepts may deadlock in the
 //! simulator across the fault-free test matrix — and the one program the
 //! dynamic detector catches hanging (`examples/asm/hung.s`) must already
-//! be rejected statically, for the same reason.
+//! be rejected statically, for the same reason. Since the M-pass, the
+//! same bargain covers shared memory: every accepted program also runs
+//! under the race-witness collector and must produce zero witnesses.
 
 use lbp_kernels::matmul::{Matmul, Version};
 use lbp_kernels::simple::{self, VectorParams};
@@ -26,6 +28,9 @@ fn verify_then_run(name: &str, image: &lbp_asm::Image, cores: usize) {
             .join("\n")
     );
     let mut m = Machine::new(LbpConfig::cores(cores), image).unwrap();
+    // The dynamic side of the M-pass bargain: a statically accepted
+    // program must not produce a concrete shared-memory race witness.
+    m.enable_race_witness();
     match m.run(100_000_000) {
         Ok(report) => assert!(report.exited, "{name}: accepted but did not exit"),
         Err(SimError::Deadlock { .. }) => {
@@ -33,6 +38,15 @@ fn verify_then_run(name: &str, image: &lbp_asm::Image, cores: usize) {
         }
         Err(e) => panic!("{name}: {e}"),
     }
+    assert!(
+        m.race_witnesses().is_empty(),
+        "{name}: statically accepted but raced dynamically: {}",
+        m.race_witnesses()
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
 }
 
 #[test]
@@ -69,6 +83,7 @@ fn accepted_matmul_kernels_run_deadlock_free() {
         let diags = verify_image(&image);
         assert!(accepted(&diags), "{}: rejected", version.name());
         let mut m = mm.machine().unwrap();
+        m.enable_race_witness();
         match m.run(100_000_000) {
             Ok(_) => {}
             Err(SimError::Deadlock { .. }) => {
@@ -76,6 +91,11 @@ fn accepted_matmul_kernels_run_deadlock_free() {
             }
             Err(e) => panic!("{}: {e}", version.name()),
         }
+        assert!(
+            m.race_witnesses().is_empty(),
+            "{}: accepted kernel raced dynamically",
+            version.name()
+        );
         assert!(
             mm.verify(&mut m).unwrap(),
             "{}: wrong result",

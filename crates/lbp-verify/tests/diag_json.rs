@@ -1,0 +1,117 @@
+//! `lbp-diag-v1` is a machine-readable contract, so it must survive a
+//! real parser, not just substring assertions: every report — including
+//! one stuffed with hostile strings — must parse with `lbp_sim::json`
+//! and round-trip every field bit-exactly.
+
+use lbp_sim::json::Json;
+use lbp_verify::{report_json, Diag, DiagCode, Severity};
+
+/// Parses a report and returns the `diags` array.
+fn parse(report: &str) -> (Json, Vec<Json>) {
+    let json = Json::parse(report).expect("lbp-diag-v1 must be valid JSON");
+    let diags = json
+        .get("diags")
+        .and_then(|d| d.as_arr())
+        .expect("report carries a diags array")
+        .to_vec();
+    (json, diags)
+}
+
+#[test]
+fn hostile_strings_escape_and_round_trip() {
+    // Every string field carries every JSON-hostile class at once:
+    // quotes, backslashes, newlines, tabs, raw control bytes, and
+    // non-ASCII text that must pass through untouched.
+    let hostile = "quote\" backslash\\ newline\n tab\t bell\u{7} nul\u{0} émoji🦀";
+    let program = format!("evil/{hostile}.s");
+    let diags = vec![
+        Diag::new(
+            DiagCode::MOverlappingWrite,
+            Severity::Error,
+            0,
+            format!("message {hostile}"),
+        )
+        .with_pc(0x1bc)
+        .with_witness(format!("witness {hostile}"))
+        .with_hint(format!("hint {hostile}")),
+        Diag::new(
+            DiagCode::BRecvNoSender,
+            Severity::Warning,
+            7,
+            "plain".to_owned(),
+        )
+        .with_wait_reason(format!("wait {hostile}")),
+    ];
+    let report = report_json(&program, &diags);
+    let (json, parsed) = parse(&report);
+
+    assert_eq!(
+        json.get("schema").and_then(Json::as_str),
+        Some("lbp-diag-v1")
+    );
+    assert_eq!(
+        json.get("program").and_then(Json::as_str),
+        Some(program.as_str())
+    );
+    assert_eq!(json.get("verdict").and_then(Json::as_str), Some("reject"));
+
+    assert_eq!(parsed.len(), 2);
+    let d = &parsed[0];
+    assert_eq!(d.get("code").and_then(Json::as_str), Some("LBP-M001"));
+    assert_eq!(d.get("severity").and_then(Json::as_str), Some("error"));
+    assert_eq!(d.get("line").and_then(Json::as_u64), Some(0));
+    assert_eq!(d.get("pc").and_then(Json::as_u64), Some(0x1bc));
+    assert_eq!(
+        d.get("message").and_then(Json::as_str),
+        Some(format!("message {hostile}").as_str()),
+        "escaping must be lossless through a real parser"
+    );
+    assert_eq!(
+        d.get("witness").and_then(Json::as_str),
+        Some(format!("witness {hostile}").as_str())
+    );
+    assert_eq!(
+        d.get("hint").and_then(Json::as_str),
+        Some(format!("hint {hostile}").as_str())
+    );
+
+    let d = &parsed[1];
+    assert_eq!(d.get("pc"), None, "absent pc stays absent");
+    assert_eq!(d.get("witness"), None);
+    assert_eq!(
+        d.get("wait_reason").and_then(Json::as_str),
+        Some(format!("wait {hostile}").as_str())
+    );
+}
+
+#[test]
+fn real_reports_parse_end_to_end() {
+    // A genuine report from each producing layer: the binary M-pass on a
+    // red fixture, and an empty accept.
+    let source = std::fs::read_to_string(format!(
+        "{}/tests/fixtures/m_overlap_write.s",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .unwrap();
+    let image = lbp_asm::assemble(&source).unwrap();
+    let diags = lbp_verify::verify_image(&image);
+    let (json, parsed) = parse(&report_json("m_overlap_write.s", &diags));
+    assert_eq!(json.get("verdict").and_then(Json::as_str), Some("reject"));
+    assert!(!parsed.is_empty());
+    let m001 = parsed
+        .iter()
+        .find(|d| d.get("code").and_then(Json::as_str) == Some("LBP-M001"))
+        .expect("the M001 diagnostic is in the report");
+    let pc = m001
+        .get("pc")
+        .and_then(Json::as_u64)
+        .expect("M diags carry a pc");
+    assert!(
+        pc > 0 && pc % 4 == 0,
+        "pc is a real instruction address: {pc}"
+    );
+
+    let (json, parsed) = parse(&report_json("empty.s", &[]));
+    assert_eq!(json.get("verdict").and_then(Json::as_str), Some("accept"));
+    assert!(parsed.is_empty());
+}

@@ -1,0 +1,77 @@
+# Members write disjoint slices, but the value stored is the address of
+# another shared buffer — a shared pointer published to shared memory
+# escapes the epoch's footprint analysis. Expected: LBP-M005 (warning,
+# accepted).
+main:
+    li   t0, -1
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   t0, 4(sp)
+    p_set t0
+    li   a1, 0
+    la   s0, work
+    la   ra, join
+    li   s1, 0
+    li   s2, 2
+team:
+    addi t5, s2, -1
+    beq  s1, t5, last
+    andi t4, s1, 3
+    addi t3, zero, 3
+    beq  t4, t3, fnext
+    p_fc t6
+    j    forked
+fnext:
+    p_fn t6
+forked:
+    p_swcv ra, t6, 0
+    p_swcv t0, t6, 4
+    p_swcv s0, t6, 8
+    p_swcv a1, t6, 12
+    p_swcv s2, t6, 20
+    addi s1, s1, 1
+    p_swcv s1, t6, 16
+    addi s1, s1, -1
+    p_merge t0, t0, t6
+    p_syncm
+    mv   s3, s0
+    mv   a0, s1
+    mv   t1, t0
+    p_jalr ra, t0, s3
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    p_lwcv s0, 8
+    p_lwcv a1, 12
+    p_lwcv s1, 16
+    p_lwcv s2, 20
+    j    team
+last:
+    mv   s3, s0
+    mv   a0, s1
+    mv   t1, t0
+    p_set t0
+    jalr s3
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    p_ret
+join:
+    lw   ra, 0(sp)
+    lw   t0, 4(sp)
+    addi sp, sp, 8
+    li   t0, -1
+    li   ra, 0
+    p_ret
+
+work:
+    la   a2, buf
+    slli t2, a0, 2
+    add  a2, a2, t2
+    la   a3, buf2
+    sw   a3, 0(a2)
+    p_ret
+
+.data
+.align 4
+buf: .space 64
+.align 4
+buf2: .space 16

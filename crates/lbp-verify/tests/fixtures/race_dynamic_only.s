@@ -1,0 +1,80 @@
+# The precision boundary: each member indexes the output through a value
+# loaded from shared memory (always 0 at runtime), so both members write
+# out[0]. Statically that store has unknown provenance — LBP-M004, a
+# warning, and the program is ACCEPTED. Dynamically the race-witness
+# collector catches the overlapping writes. Expected: accepted by
+# lbp-verify, one write-write RaceWitness at runtime.
+main:
+    li   t0, -1
+    addi sp, sp, -8
+    sw   ra, 0(sp)
+    sw   t0, 4(sp)
+    p_set t0
+    li   a1, 0
+    la   s0, work
+    la   ra, join
+    li   s1, 0
+    li   s2, 2
+team:
+    addi t5, s2, -1
+    beq  s1, t5, last
+    andi t4, s1, 3
+    addi t3, zero, 3
+    beq  t4, t3, fnext
+    p_fc t6
+    j    forked
+fnext:
+    p_fn t6
+forked:
+    p_swcv ra, t6, 0
+    p_swcv t0, t6, 4
+    p_swcv s0, t6, 8
+    p_swcv a1, t6, 12
+    p_swcv s2, t6, 20
+    addi s1, s1, 1
+    p_swcv s1, t6, 16
+    addi s1, s1, -1
+    p_merge t0, t0, t6
+    p_syncm
+    mv   s3, s0
+    mv   a0, s1
+    mv   t1, t0
+    p_jalr ra, t0, s3
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    p_lwcv s0, 8
+    p_lwcv a1, 12
+    p_lwcv s1, 16
+    p_lwcv s2, 20
+    j    team
+last:
+    mv   s3, s0
+    mv   a0, s1
+    mv   t1, t0
+    p_set t0
+    jalr s3
+    p_lwcv ra, 0
+    p_lwcv t0, 4
+    p_ret
+join:
+    lw   ra, 0(sp)
+    lw   t0, 4(sp)
+    addi sp, sp, 8
+    li   t0, -1
+    li   ra, 0
+    p_ret
+
+work:
+    la   a2, buf
+    lw   a3, 0(a2)
+    slli a3, a3, 2
+    la   a4, out
+    add  a4, a4, a3
+    sw   a0, 0(a4)
+    p_ret
+
+.data
+.align 4
+buf: .space 4
+.align 4
+out: .space 16

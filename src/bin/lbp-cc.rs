@@ -10,7 +10,10 @@
 //! `--lint` runs the source-level determinism analysis: every variable
 //! in a parallel region is classified private / shared / reduction, and
 //! shared writes that two harts can both reach are rejected with a
-//! hart-pair witness and a fix hint. Diagnostics print to stdout;
+//! hart-pair witness and a fix hint. When the source level accepts, the
+//! program is also compiled and the binary-level analyses (protocol
+//! B-codes and the shared-memory M-pass) run over the generated image,
+//! merged into the same report. Diagnostics print to stdout;
 //! `--diag-json FILE` additionally writes the machine-readable
 //! `lbp-diag-v1` report. A lint rejection exits with code 10, the same
 //! verification exit class as `lbp-run --verify`.
@@ -82,13 +85,25 @@ fn write_out(path: &str, text: &str) -> std::io::Result<()> {
 }
 
 fn run_lint(opts: &Options, source: &str) -> ExitCode {
-    let diags = match lbp::cc::lint(source) {
+    let mut diags = match lbp::cc::lint(source) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("lbp-cc: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // Cross-check the source verdict at the binary level: compile the
+    // program (when the source lint accepted it) and run the image-level
+    // analyses, including the shared-memory M-pass, over the generated
+    // code. The two layers speak the same `lbp-diag-v1` format, so the
+    // reports merge; line numbers of binary diags refer to the generated
+    // assembly, which is why they also carry a `pc`.
+    if lbp::verify::accepted(&diags) {
+        if let Ok(compiled) = lbp::cc::compile(source) {
+            diags.extend(lbp::verify::verify_image(&compiled.image));
+            diags.sort_by(|a, b| (a.line, a.code.as_str()).cmp(&(b.line, b.code.as_str())));
+        }
+    }
     // `--diag-json -` owns stdout: the JSON must stay parseable, so the
     // human-readable rendering is suppressed.
     let json_to_stdout = opts.diag_json.as_deref() == Some("-");

@@ -30,6 +30,10 @@
 //!   binary fork-protocol verifier, `.s` inputs through the binary
 //!   verifier alone. Diagnostics print to stdout; `--diag-json FILE`
 //!   additionally writes the machine-readable `lbp-diag-v1` report.
+//! - `--race-witness` arms the dynamic race-witness collector: every
+//!   shared access is checked against other harts' footprints under the
+//!   machine's delivery ordering, and any concrete overlap is reported
+//!   (exit 10) — the dynamic cross-validation of `--verify`'s `M` codes;
 //! - `--wall-ms MS` arms a wall-clock watchdog: a run still going after
 //!   MS milliseconds of host time is cancelled *cooperatively* at a
 //!   cycle boundary — the machine stays valid, `--dump-on-error` still
@@ -71,6 +75,7 @@ struct Options {
     faults: Vec<Fault>,
     lockstep: bool,
     verify: bool,
+    race_witness: bool,
     diag_json: Option<String>,
     checkpoint_every: u64,
     checkpoint_prefix: String,
@@ -107,6 +112,9 @@ fn usage() -> ! {
            --lockstep         check against the sequential ISS oracle (1 hart)\n\
            --verify           statically verify the program instead of running it\n\
            --diag-json FILE   with --verify, write the lbp-diag-v1 report ('-' = stdout)\n\
+           --race-witness     collect per-epoch shared-write footprints during the\n\
+                              run and report concrete cross-hart overlaps; any\n\
+                              witness exits 10\n\
            --checkpoint-every N  write an lbp-snap-v1 snapshot every N cycles\n\
            --checkpoint-prefix P checkpoint files are P<cycle>.lbpsnap (default ckpt-)\n\
            --resume-from FILE continue a run from a checkpoint (the snapshot's\n\
@@ -141,6 +149,7 @@ fn parse_args() -> Options {
         faults: Vec::new(),
         lockstep: false,
         verify: false,
+        race_witness: false,
         diag_json: None,
         checkpoint_every: 0,
         checkpoint_prefix: "ckpt-".to_owned(),
@@ -204,6 +213,7 @@ fn parse_args() -> Options {
             }
             "--lockstep" => opts.lockstep = true,
             "--verify" => opts.verify = true,
+            "--race-witness" => opts.race_witness = true,
             "--diag-json" => opts.diag_json = Some(args.next().unwrap_or_else(|| usage())),
             "--checkpoint-every" => {
                 opts.checkpoint_every = args
@@ -366,8 +376,18 @@ fn run_verify_mode(opts: &Options, source: &str) -> ExitCode {
         for d in &diags {
             println!("{d}");
         }
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for d in &diags {
+            *counts.entry(d.code.as_str()).or_insert(0) += 1;
+        }
+        let breakdown = if counts.is_empty() {
+            String::new()
+        } else {
+            let parts: Vec<String> = counts.iter().map(|(c, n)| format!("{c} x{n}")).collect();
+            format!(": {}", parts.join(", "))
+        };
         println!(
-            "verify:   {} ({} diagnostic{})",
+            "verify:   {} ({} diagnostic{}{breakdown})",
             if ok { "accepted" } else { "rejected" },
             diags.len(),
             if diags.len() == 1 { "" } else { "s" }
@@ -603,6 +623,9 @@ fn main() -> ExitCode {
     if opts.profile.is_some() {
         machine.enable_profiling();
     }
+    if opts.race_witness {
+        machine.enable_race_witness();
+    }
     if let Some(path) = &opts.trace {
         let out = match open_out(path) {
             Ok(w) => w,
@@ -672,6 +695,23 @@ fn main() -> ExitCode {
     );
     println!("forks:    {}", report.stats.forks);
     println!("locality: {:.2}", report.stats.locality());
+    let mut raced = false;
+    if opts.race_witness {
+        let witnesses = machine.race_witnesses();
+        if witnesses.is_empty() {
+            println!("races:    none observed");
+        } else {
+            for w in witnesses {
+                println!("race:     {w}");
+            }
+            println!(
+                "races:    {} concrete overlap{} observed",
+                witnesses.len(),
+                if witnesses.len() == 1 { "" } else { "s" }
+            );
+            raced = true;
+        }
+    }
 
     if let Some(path) = &opts.stats_json {
         let mut text = String::new();
@@ -744,5 +784,10 @@ fn main() -> ExitCode {
         println!("profile:  {dir}/profile.json (+ folded.txt, timeline.json)");
     }
 
+    if raced {
+        // Determinism violated at runtime: same class as a static
+        // verification rejection.
+        return ExitCode::from(10);
+    }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,118 @@
+//! Zero-cost-instrumentation property for the race-witness collector:
+//! collecting witnesses changes nothing observable.
+//!
+//! For every shipped example (assembly and C), a collected run and a
+//! plain run must agree bit for bit: identical run outcome, identical
+//! serialized `lbp-stats-v1` report, identical final-state content
+//! hash. On top of the identity, the collector must hold up its end of
+//! the M-pass bargain: zero witnesses on every statically accepted
+//! program, and a concrete witness on the fixture the static pass can
+//! only accept with an unknown-provenance warning.
+
+use lbp::sim::{LbpConfig, Machine, SimError};
+
+/// The budget is modest on purpose: `hung.s` deadlocks, and both runs
+/// must reach the *same* error in reasonable time.
+const MAX_CYCLES: u64 = 2_000_000;
+
+fn image_of(path: &str) -> lbp::asm::Image {
+    let source = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    if path.ends_with(".c") {
+        lbp::cc::compile(&source)
+            .unwrap_or_else(|e| panic!("{path}: {e}"))
+            .image
+    } else {
+        lbp::asm::assemble(&source).unwrap_or_else(|e| panic!("{path}: {e}"))
+    }
+}
+
+/// Runs the image and returns what an observer can compare: the outcome
+/// (exit flag or error text), the serialized stats report, the
+/// final-state hash, and the machine (for witness inspection).
+fn observe(
+    image: &lbp::asm::Image,
+    cores: usize,
+    collected: bool,
+) -> (String, String, u64, Machine) {
+    let mut m = Machine::new(LbpConfig::cores(cores), image).expect("machine builds");
+    if collected {
+        m.enable_race_witness();
+    }
+    let outcome = match m.run(MAX_CYCLES) {
+        Ok(report) => format!("exited={}", report.exited),
+        Err(e @ SimError::Timeout { .. }) => panic!("budget too small: {e}"),
+        Err(e) => format!("error={e}"),
+    };
+    let mut stats_json = String::new();
+    m.stats().to_json().write(&mut stats_json);
+    let hash = lbp::snap::fnv1a64(m.snapshot().dynamic_bytes());
+    (outcome, stats_json, hash, m)
+}
+
+/// Identity half of the property: a collected and a plain run must be
+/// indistinguishable. Returns the collected machine for witness checks.
+fn check_identity(path: &str, cores: usize) -> Machine {
+    let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
+    let image = image_of(&full);
+    let (plain_outcome, plain_stats, plain_hash, plain) = observe(&image, cores, false);
+    let (coll_outcome, coll_stats, coll_hash, m) = observe(&image, cores, true);
+    assert_eq!(plain_outcome, coll_outcome, "{path}: outcome differs");
+    assert_eq!(
+        plain_stats, coll_stats,
+        "{path}: lbp-stats-v1 report differs"
+    );
+    assert_eq!(plain_hash, coll_hash, "{path}: final state differs");
+    // A machine that never enabled collection reports no witnesses.
+    assert!(plain.race_witnesses().is_empty());
+    m
+}
+
+/// A committed (statically accepted) example must be witness-free.
+fn check_clean(path: &str, cores: usize) {
+    let m = check_identity(path, cores);
+    assert!(
+        m.race_witnesses().is_empty(),
+        "{path}: committed example produced race witnesses: {}",
+        m.race_witnesses()
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn asm_examples_collect_bit_identically() {
+    check_clean("examples/asm/mul.s", 1);
+    check_clean("examples/asm/fork2.s", 2);
+    // Deadlocks: both runs must fail identically; the witnesses
+    // collected up to the deadlock still must not perturb the run.
+    check_identity("examples/asm/hung.s", 1);
+}
+
+#[test]
+fn c_examples_collect_bit_identically() {
+    check_clean("examples/c/hello_team.c", 2);
+    check_clean("examples/c/matmul.c", 4);
+    check_clean("examples/c/set_get.c", 4);
+    check_clean("examples/c/reduce.c", 2);
+}
+
+/// The precision boundary, dynamic half: the fixture the M-pass can
+/// only warn about (LBP-M004, statically accepted) produces a concrete
+/// write-write witness at runtime — and the identity still holds, so
+/// catching it costs nothing observable.
+#[test]
+fn dynamic_only_race_is_witnessed_without_perturbation() {
+    let m = check_identity("crates/lbp-verify/tests/fixtures/race_dynamic_only.s", 1);
+    let witnesses = m.race_witnesses();
+    assert!(
+        !witnesses.is_empty(),
+        "the dynamic-only fixture must produce a witness"
+    );
+    let rendered = witnesses[0].to_string();
+    assert!(
+        rendered.contains("write-write race"),
+        "both members store to the same word: {rendered}"
+    );
+}
