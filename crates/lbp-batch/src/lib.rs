@@ -33,6 +33,10 @@
 //! hot-function summary. Profiling is part of the job's content hash —
 //! a profiled job never dedups against an unprofiled twin — but an
 //! unprofiled job's hash is unchanged from earlier schema revisions.
+//! A job may set `"warm": N` to fast-forward its first N retired
+//! instructions on the functional engine (`lbp_sim::FastEngine`) before
+//! the cycle-exact window — hybrid jobs hash apart from cold twins the
+//! same way profiled jobs do.
 //!
 //! ## Result lines (`lbp-batch-v1`)
 //!
@@ -102,6 +106,9 @@ pub struct BatchJob {
     /// Whether the run carries the `lbp-prof` collectors and the result
     /// line a hot-function summary.
     pub profile: bool,
+    /// Fast-forward the first N retired instructions on the functional
+    /// engine before the cycle-exact run (`None` = fully cycle-exact).
+    pub warm: Option<u64>,
 }
 
 /// The job's content hash: equal hashes mean byte-equal work, so one
@@ -123,6 +130,11 @@ pub fn job_hash(job: &BatchJob) -> u64 {
     // hashes (the CI smoke fixtures pin them).
     if job.profile {
         key.push_str("profile\0");
+    }
+    // Likewise: a warmed job does different work (its stats carry the
+    // virtual warm phase), so it never dedups against a cold twin.
+    if let Some(warm) = job.warm {
+        key.push_str(&format!("warm={warm}\0"));
     }
     lbp_snap::fnv1a64(key.as_bytes())
 }
@@ -197,6 +209,13 @@ pub fn load_manifest(text: &str, base_dir: &Path) -> Result<Vec<BatchJob>, Batch
                 .as_bool()
                 .ok_or_else(|| bad(format!("job `{id}`: profile must be a boolean")))?,
         };
+        let warm = match j.get("warm") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| bad(format!("job `{id}`: warm must be a number")))?,
+            ),
+        };
         out.push(BatchJob {
             id,
             source,
@@ -205,6 +224,7 @@ pub fn load_manifest(text: &str, base_dir: &Path) -> Result<Vec<BatchJob>, Batch
             max_cycles,
             faults,
             profile,
+            warm,
         });
     }
     Ok(out)
@@ -271,9 +291,27 @@ fn prepare(job: &BatchJob) -> Result<(lbp_asm::Image, Machine), JobOutcome> {
         .map(|s| Fault::parse(s).expect("validated when the manifest was loaded"))
         .collect();
     let cfg = LbpConfig::cores(job.cores).with_faults(plan);
-    let mut machine = match Machine::new(cfg, &image) {
-        Ok(m) => m,
-        Err(e) => return err("config", e.to_string()),
+    let mut machine = if let Some(warm) = job.warm {
+        // Hybrid job: fast-forward functionally, then hand the
+        // materialized machine to the cycle-exact window. Warm-phase
+        // refusals (message faults, faults scheduled inside the warm
+        // window) land in the job's result line like any other error.
+        let mut fast = match lbp_sim::FastEngine::new(cfg, &image) {
+            Ok(f) => f,
+            Err(e) => return err("config", e.to_string()),
+        };
+        if let Err(e) = fast.run(lbp_sim::FastStop::Retired(warm), job.max_cycles) {
+            return err(sim_error_class(&e), e.to_string());
+        }
+        match fast.materialize(&image) {
+            Ok(m) => m,
+            Err(e) => return err(sim_error_class(&e), e.to_string()),
+        }
+    } else {
+        match Machine::new(cfg, &image) {
+            Ok(m) => m,
+            Err(e) => return err("config", e.to_string()),
+        }
     };
     if job.profile {
         machine.enable_profiling();
@@ -464,6 +502,7 @@ mod tests {
             max_cycles: 10_000,
             faults: Vec::new(),
             profile: false,
+            warm: None,
         }
     }
 
@@ -552,6 +591,39 @@ mod tests {
     }
 
     #[test]
+    fn warmed_jobs_run_hybrid_and_hash_apart() {
+        let cold = job("cold", 1);
+        let mut warm = job("warm", 1);
+        warm.warm = Some(2);
+        assert_ne!(job_hash(&cold), job_hash(&warm), "warm is job identity");
+        let mut out = Vec::new();
+        let summary = run_batch(&[cold, warm], 1, &mut out).unwrap();
+        assert_eq!(summary.unique, 2);
+        assert_eq!(summary.failed, 0);
+        for l in &lines(&out) {
+            let v = Json::parse(l).unwrap();
+            assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"), "{l}");
+            let exited = v
+                .get("report")
+                .and_then(|r| r.get("exited"))
+                .and_then(Json::as_bool);
+            assert_eq!(exited, Some(true), "{l}");
+        }
+        // A fault scheduled inside the warm window is refused, and the
+        // refusal lands in the result line rather than panicking.
+        let mut clash = job("clash", 1);
+        clash.warm = Some(2);
+        clash.faults = vec!["flip-reg:0:a0:0:1".to_owned()];
+        let mut out = Vec::new();
+        let summary = run_batch(&[clash], 1, &mut out).unwrap();
+        assert_eq!(summary.failed, 1);
+        let v = Json::parse(&lines(&out)[0]).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("protocol"));
+        let msg = v.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("warm"), "diagnostic names the warm phase: {msg}");
+    }
+
+    #[test]
     fn failures_land_in_the_result_line() {
         let mut bad = job("x", 1);
         bad.source = "main:\n  not_an_instruction".to_owned();
@@ -577,7 +649,7 @@ mod tests {
             "jobs": [
                 {"program": "p.s"},
                 {"id": "two", "program": "p.s", "cores": 2, "max_cycles": 77,
-                 "faults": ["drop-msg:0"], "profile": true}
+                 "faults": ["drop-msg:0"], "profile": true, "warm": 5}
             ]
         }"#;
         let jobs = load_manifest(manifest, &dir).unwrap();
@@ -588,9 +660,14 @@ mod tests {
         assert_eq!(jobs[1].faults, vec!["drop-msg:0".to_owned()]);
         assert!(!jobs[0].profile, "profile defaults to off");
         assert!(jobs[1].profile);
+        assert_eq!(jobs[0].warm, None, "warm defaults to fully cycle-exact");
+        assert_eq!(jobs[1].warm, Some(5));
         // A non-boolean profile flag is rejected up front.
         let bad_profile = manifest.replace("\"profile\": true", "\"profile\": \"yes\"");
         assert!(load_manifest(&bad_profile, &dir).is_err());
+        // So is a non-numeric warm target.
+        let bad_warm = manifest.replace("\"warm\": 5", "\"warm\": \"lots\"");
+        assert!(load_manifest(&bad_warm, &dir).is_err());
         // Bad fault spec fails the whole manifest up front.
         let bad = manifest.replace("drop-msg:0", "warp-core:9");
         assert!(load_manifest(&bad, &dir).is_err());

@@ -990,6 +990,7 @@ mod tests {
             max_cycles: cycles,
             faults: Vec::new(),
             profile: false,
+            warm: None,
         }
     }
 

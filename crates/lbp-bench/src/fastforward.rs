@@ -1,0 +1,232 @@
+//! The hybrid fast-forward speedup suite (`BENCH_009`).
+//!
+//! Where [`crate::throughput`] measures how fast the cycle-exact engine
+//! chews through guest cycles, this suite measures what the functional
+//! engine buys: each corpus workload runs three ways over the same
+//! assembled image and inputs —
+//!
+//! - **cycle-exact**: the reference `Machine` run, start to exit;
+//! - **functional**: the `lbp-sim` fast engine run to the exit
+//!   boundary (`sim_cycles` is its *virtual* cycle — the per-core
+//!   retired maximum — so `Mcyc/s` columns stay comparable);
+//! - **hybrid90**: a warm phase covering ~90% of the program's retired
+//!   instructions on the functional engine, materialized through the
+//!   snapshot boundary, finished cycle-exact.
+//!
+//! Fidelity is asserted, not assumed: the functional and hybrid runs
+//! must land on the cycle-exact run's architectural hash, and the
+//! recorded [`FfSummary::bit_identical`] flag feeds the `--check` gate.
+
+use std::time::Instant;
+
+use lbp_prof::BenchRow;
+use lbp_sim::{FastStop, Json};
+
+use crate::throughput::Workload;
+
+/// The per-workload outcome: three measured rows plus the speedup and
+/// fidelity summary the suite record carries alongside them.
+pub struct FfMeasure {
+    /// `<name>/cycle-exact`, `<name>/functional`, `<name>/hybrid90`.
+    pub rows: Vec<BenchRow>,
+    /// The comparison summary.
+    pub summary: FfSummary,
+}
+
+/// The speedup/fidelity summary of one workload.
+pub struct FfSummary {
+    /// The workload name.
+    pub name: String,
+    /// Cycle-exact wall-clock over functional wall-clock (whole run).
+    pub functional_speedup: f64,
+    /// Cycle-exact wall-clock over hybrid wall-clock (warm phase +
+    /// materialization + cycle-exact tail).
+    pub hybrid_speedup: f64,
+    /// The fraction of retired instructions the warm phase covered
+    /// (the target is 0.9; clamping to a rendezvous boundary may move
+    /// it).
+    pub warm_fraction: f64,
+    /// Whether every engine combination reached the cycle-exact run's
+    /// architectural hash.
+    pub bit_identical: bool,
+}
+
+impl FfSummary {
+    /// Serializes as a JSON fragment of the bench-suite record.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("functional_speedup", Json::F64(self.functional_speedup)),
+            ("hybrid_speedup", Json::F64(self.hybrid_speedup)),
+            ("warm_fraction", Json::F64(self.warm_fraction)),
+            ("bit_identical", Json::Bool(self.bit_identical)),
+        ])
+    }
+}
+
+fn row(w: &Workload, suffix: &str, cores: u32, sim_cycles: u64, retired: u64, host_ns: u64, state_bytes: u64) -> BenchRow {
+    BenchRow {
+        name: format!("{}/{suffix}", w.name),
+        harts: w.harts,
+        cores,
+        sim_cycles,
+        retired,
+        // The functional engine has no microarchitectural event stream;
+        // retired commits are the only events either row kind shares.
+        events: retired,
+        host_ns: host_ns.max(1),
+        state_bytes,
+        peak_rss_kb: lbp_prof::peak_rss_kb(),
+    }
+}
+
+/// Measures one workload across all three engine modes.
+///
+/// # Panics
+///
+/// Panics if any run faults or exhausts its budget — the corpus is
+/// fixed and known-good. A fidelity *divergence* does not panic; it is
+/// recorded in the summary for `--check` to fail on.
+pub fn measure(w: &Workload) -> FfMeasure {
+    // Cycle-exact reference.
+    let mut m = w.machine();
+    let cores = m.config().cores as u32;
+    let start = Instant::now();
+    let report = m
+        .run(w.max_cycles)
+        .unwrap_or_else(|e| panic!("{}: cycle-exact: {e}", w.name));
+    let exact_ns = start.elapsed().as_nanos() as u64;
+    assert!(report.exited, "{}: did not exit within budget", w.name);
+    let pure_hash = m.arch_hash();
+    let retired = report.stats.retired();
+    let exact_row = row(
+        w,
+        "cycle-exact",
+        cores,
+        report.stats.cycles,
+        retired,
+        exact_ns,
+        m.snapshot().as_bytes().len() as u64,
+    );
+
+    // Functional, start to the exit boundary.
+    let (mut fast, image) = w.fast_engine();
+    let start = Instant::now();
+    let summary = fast
+        .run(FastStop::Exit, w.max_cycles.saturating_mul(4))
+        .unwrap_or_else(|e| panic!("{}: functional: {e}", w.name));
+    let fast_ns = start.elapsed().as_nanos() as u64;
+    let fast_row = row(
+        w,
+        "functional",
+        cores,
+        fast.virtual_cycle(),
+        summary.retired,
+        fast_ns,
+        0,
+    );
+    // Fidelity: materializing at the exit boundary and retiring the
+    // final p_ret must land on the reference state.
+    let mut tail = fast
+        .materialize(&image)
+        .unwrap_or_else(|e| panic!("{}: materialize at exit: {e}", w.name));
+    let tail_report = tail
+        .run(w.max_cycles)
+        .unwrap_or_else(|e| panic!("{}: exit tail: {e}", w.name));
+    let mut bit_identical = tail_report.exited && tail.arch_hash() == pure_hash;
+
+    // Hybrid: warm ~90% of retirement functionally, finish cycle-exact.
+    let warm = retired * 9 / 10;
+    let (mut fast, image) = w.fast_engine();
+    let start = Instant::now();
+    let warm_summary = fast
+        .run(FastStop::Retired(warm), w.max_cycles.saturating_mul(4))
+        .unwrap_or_else(|e| panic!("{}: warm phase: {e}", w.name));
+    let mut hm = fast
+        .materialize(&image)
+        .unwrap_or_else(|e| panic!("{}: materialize: {e}", w.name));
+    let hybrid_report = hm
+        .run(w.max_cycles)
+        .unwrap_or_else(|e| panic!("{}: hybrid tail: {e}", w.name));
+    let hybrid_ns = start.elapsed().as_nanos() as u64;
+    assert!(hybrid_report.exited, "{}: hybrid did not exit", w.name);
+    bit_identical &= hm.arch_hash() == pure_hash;
+    let hybrid_row = row(
+        w,
+        "hybrid90",
+        cores,
+        hybrid_report.stats.cycles,
+        hybrid_report.stats.retired(),
+        hybrid_ns,
+        hm.snapshot().as_bytes().len() as u64,
+    );
+
+    FfMeasure {
+        rows: vec![exact_row, fast_row, hybrid_row],
+        summary: FfSummary {
+            name: w.name.clone(),
+            functional_speedup: exact_ns as f64 / fast_ns.max(1) as f64,
+            hybrid_speedup: exact_ns as f64 / hybrid_ns.max(1) as f64,
+            warm_fraction: warm_summary.retired as f64 / retired.max(1) as f64,
+            bit_identical,
+        },
+    }
+}
+
+/// Assembles the committed `lbp-prof-v1` bench-suite record: every
+/// per-mode row plus the `fastforward` summary array.
+pub fn suite_json(bench_id: &str, rows: &[BenchRow], summaries: &[FfSummary]) -> Json {
+    Json::obj([
+        ("schema", Json::Str(lbp_prof::PROF_SCHEMA.to_owned())),
+        ("kind", Json::Str("bench-suite".to_owned())),
+        ("bench_id", Json::Str(bench_id.to_owned())),
+        (
+            "invocation",
+            Json::Str(
+                "cargo run -p lbp-bench --release --bin fastforward -- --out BENCH_009.json"
+                    .to_owned(),
+            ),
+        ),
+        (
+            "rows",
+            Json::Arr(rows.iter().map(BenchRow::to_json).collect()),
+        ),
+        (
+            "fastforward",
+            Json::Arr(summaries.iter().map(FfSummary::to_json).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spin_workload_is_bit_identical_across_engines() {
+        let w = Workload::corpus(true)
+            .into_iter()
+            .find(|w| w.name.starts_with("spin_alu"))
+            .expect("corpus has a spin workload");
+        let m = measure(&w);
+        assert!(m.summary.bit_identical, "engines diverged on {}", w.name);
+        assert_eq!(m.rows.len(), 3);
+        // The hybrid run retires the same instruction stream as the
+        // cycle-exact one (warm counts fold into the materialized stats).
+        assert_eq!(m.rows[2].retired, m.rows[0].retired);
+        for r in &m.rows {
+            assert_eq!(lbp_prof::validate(&r.to_json()).unwrap(), "bench");
+        }
+    }
+
+    #[test]
+    fn suite_record_validates_with_summaries() {
+        let w = Workload::corpus(true)
+            .into_iter()
+            .find(|w| w.name.starts_with("fork_join"))
+            .expect("corpus has a fork-join workload");
+        let m = measure(&w);
+        let suite = suite_json("BENCH_TEST", &m.rows, &[m.summary]);
+        assert_eq!(lbp_prof::validate(&suite).unwrap(), "bench-suite");
+    }
+}

@@ -25,6 +25,7 @@ use std::fmt::Write as _;
 use lbp_baseline::PhiModel;
 use lbp_kernels::matmul::{Matmul, Version};
 
+pub mod fastforward;
 pub mod throughput;
 
 /// One measured row of a figure.

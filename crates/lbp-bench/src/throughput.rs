@@ -19,9 +19,10 @@
 
 use std::time::Instant;
 
+use lbp_asm::Image;
 use lbp_kernels::matmul::{Matmul, Version};
 use lbp_prof::BenchRow;
-use lbp_sim::{Json, LbpConfig, Machine};
+use lbp_sim::{FastEngine, Json, LbpConfig, Machine};
 
 /// One workload of the throughput corpus: a named recipe for building a
 /// fresh, input-loaded machine.
@@ -133,6 +134,66 @@ spin_loop:
                     .parallel_for("spin");
                 let image = p.build().expect("spin program assembles");
                 Machine::new(LbpConfig::cores(1), &image).expect("machine builds")
+            }
+        }
+    }
+
+    /// Builds a fresh functional engine over the same image and inputs
+    /// the cycle-exact [`Workload::machine`] runs, plus the image (the
+    /// hybrid handoff's `materialize` needs it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to build — the corpus is fixed and
+    /// known-good.
+    pub fn fast_engine(&self) -> (FastEngine, Image) {
+        match &self.kind {
+            Kind::Matmul { harts, version } => {
+                let mm = Matmul::new(*harts, *version);
+                let image = mm.build();
+                let mut fast =
+                    FastEngine::new(mm.config(), &image).expect("matmul fast engine builds");
+                let l = mm.layout();
+                for i in 0..l.n {
+                    for k in 0..l.m {
+                        fast.poke_shared(l.x(i, k), 1).expect("X input in range");
+                    }
+                }
+                for k in 0..l.m {
+                    for j in 0..l.n {
+                        fast.poke_shared(l.y(k, j), 1).expect("Y input in range");
+                    }
+                }
+                (fast, image)
+            }
+            Kind::ForkJoin { threads } => {
+                let p = lbp_omp::DetOmp::new(*threads)
+                    .function("empty", "p_ret")
+                    .parallel_for("empty");
+                let image = p.build().expect("fork-join program assembles");
+                let cores = threads.div_ceil(4);
+                let fast =
+                    FastEngine::new(LbpConfig::cores(cores), &image).expect("fast engine builds");
+                (fast, image)
+            }
+            Kind::Spin { members } => {
+                let p = lbp_omp::DetOmp::new(*members)
+                    .function(
+                        "spin",
+                        "li   a2, 2000
+                         li   a3, 0
+spin_loop:
+                         addi a3, a3, 1
+                         xori a3, a3, 5
+                         addi a2, a2, -1
+                         bnez a2, spin_loop
+                         p_ret",
+                    )
+                    .parallel_for("spin");
+                let image = p.build().expect("spin program assembles");
+                let fast =
+                    FastEngine::new(LbpConfig::cores(1), &image).expect("fast engine builds");
+                (fast, image)
             }
         }
     }

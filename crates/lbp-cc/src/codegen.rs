@@ -787,6 +787,15 @@ impl Gen<'_> {
             fx.release(v);
             return Ok(Val::Imm(0));
         }
+        if name == "__roi_start" || name == "__roi_end" {
+            // A region-of-interest marker: not a call at all. It lowers
+            // to a label the hybrid driver targets (`lbp-run --roi`),
+            // anchored on a nop so the marker owns a concrete pc even at
+            // a block boundary.
+            self.asm.label(name);
+            self.asm.line("nop");
+            return Ok(Val::Imm(0));
+        }
         // Evaluate arguments into spill slots (robust against nested
         // calls), then save live scratch, reload the arguments and call.
         for (i, arg) in args.iter().enumerate() {

@@ -23,7 +23,13 @@ pub struct Checked {
 }
 
 /// Functions the compiler provides (the `det_omp.h` API surface).
-const BUILTINS: [(&str, usize, bool); 1] = [("omp_set_num_threads", 1, false)];
+const BUILTINS: [(&str, usize, bool); 3] = [
+    ("omp_set_num_threads", 1, false),
+    // Region-of-interest markers: lowered to asm labels (plus an
+    // anchoring nop) that hybrid fast-forward simulation stops at.
+    ("__roi_start", 0, false),
+    ("__roi_end", 0, false),
+];
 
 /// The register-allocatable local budget per function (locals + params
 /// live in `s4`-`s11`).

@@ -39,6 +39,12 @@
 //!    ISS and demand architectural agreement. Parallel programs are
 //!    skipped (the sequential oracle cannot follow a fork), which the
 //!    battery reports rather than hides.
+//! 9. **hybrid** — fast-forward the same image on the functional
+//!    engine to warm targets of 0, mid-run (often mid-rendezvous), and
+//!    past-end retired instructions, materialize through the snapshot
+//!    boundary, finish cycle-exactly, and demand the final
+//!    architectural hash equal the pure cycle-exact run's. Clamping a
+//!    mid-rendezvous target must never panic.
 //!
 //! Every step runs under `catch_unwind`: a panic anywhere in the stack
 //! is itself a verdict (`class = "panic"`) — the simulator must never
@@ -47,14 +53,16 @@
 use std::panic::{self, AssertUnwindSafe};
 
 use lbp_asm::Image;
-use lbp_sim::{run_lockstep, LbpConfig, LockstepError, Machine, RunReport, SimFailure};
+use lbp_sim::{
+    run_lockstep, FastEngine, FastStop, LbpConfig, LockstepError, Machine, RunReport, SimFailure,
+};
 use lbp_verify::Severity;
 
 use crate::gen::{GenProgram, Kind};
 
 /// Names of the oracles, in battery order (stable strings: they appear
 /// in the JSONL verdicts and corpus metadata).
-pub const ORACLES: [&str; 8] = [
+pub const ORACLES: [&str; 9] = [
     "build",
     "verify",
     "run",
@@ -63,6 +71,7 @@ pub const ORACLES: [&str; 8] = [
     "snapshot",
     "resume",
     "lockstep",
+    "hybrid",
 ];
 
 /// Battery knobs that vary by caller rather than by case.
@@ -188,8 +197,11 @@ fn cfg_for(program: &GenProgram) -> LbpConfig {
     LbpConfig::cores(program.cores)
 }
 
-/// One full run from reset; `Err` carries the dump.
-fn reference_run(program: &GenProgram, image: &Image) -> Result<(RunReport, u64), Failure> {
+/// One full run from reset; `Err` carries the dump. Returns the
+/// report, the snapshot content hash, and the architectural hash (the
+/// hybrid oracle's comparator: it excludes cycle counts, which the
+/// functional engine only approximates).
+fn reference_run(program: &GenProgram, image: &Image) -> Result<(RunReport, u64, u64), Failure> {
     guarded("run", || {
         let mut m = Machine::new(cfg_for(program), image)
             .map_err(|e| Failure::new("run", e.class(), e.to_string()))?;
@@ -197,7 +209,8 @@ fn reference_run(program: &GenProgram, image: &Image) -> Result<(RunReport, u64)
             .run_diagnosed(program.max_cycles)
             .map_err(|f| Failure::from_sim("run", &f))?;
         let hash = lbp_snap::content_hash(&m.snapshot());
-        Ok((report, hash))
+        let arch = m.arch_hash();
+        Ok((report, hash, arch))
     })
 }
 
@@ -211,10 +224,10 @@ pub fn check_with(program: &GenProgram, opts: &CheckOpts) -> Result<PassReport, 
     let image = build_and_verify(program)?;
 
     // Oracle 3: the reference run.
-    let (report, final_hash) = reference_run(program, &image)?;
+    let (report, final_hash, pure_arch) = reference_run(program, &image)?;
 
     // Oracle 4: bit-identical repetition.
-    let (report2, final_hash2) = reference_run(program, &image).map_err(|mut f| {
+    let (report2, final_hash2, _) = reference_run(program, &image).map_err(|mut f| {
         // A *second* run failing after the first passed is itself a
         // determinism bug, whatever the underlying error said.
         f.oracle = "determinism";
@@ -308,6 +321,43 @@ pub fn check_with(program: &GenProgram, opts: &CheckOpts) -> Result<PassReport, 
             }
         })?,
     };
+
+    // Oracle 9: hybrid fast-forward handoff. The functional engine
+    // runs the same image to several warm targets, materializes
+    // through the snapshot boundary, and the cycle-exact engine
+    // finishes; every variant must land on the pure run's
+    // architectural hash. `retired / 2` routinely falls mid-rendezvous
+    // on forking programs — the clamp path — and `u64::MAX` exercises
+    // the past-end exit boundary.
+    guarded("hybrid", || {
+        let budget = program.max_cycles.saturating_mul(4);
+        for warm in [0, report.stats.retired() / 2, u64::MAX] {
+            let mut fast = FastEngine::new(cfg_for(program), &image)
+                .map_err(|e| Failure::new("hybrid", e.class(), e.to_string()))?;
+            fast.run(FastStop::Retired(warm), budget)
+                .map_err(|e| Failure::new("hybrid", e.class(), format!("warm={warm}: {e}")))?;
+            let mut m = fast
+                .materialize(&image)
+                .map_err(|e| Failure::new("hybrid", e.class(), format!("warm={warm}: {e}")))?;
+            m.run_diagnosed(program.max_cycles).map_err(|f| {
+                let mut f = Failure::from_sim("hybrid", &f);
+                f.detail = format!("warm={warm}: {}", f.detail);
+                f
+            })?;
+            let arch = m.arch_hash();
+            if arch != pure_arch {
+                return Err(Failure::new(
+                    "hybrid",
+                    "divergence",
+                    format!(
+                        "warm={warm}: hybrid final architectural hash {arch:#018x} \
+                         != pure cycle-exact {pure_arch:#018x}"
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    })?;
 
     Ok(PassReport {
         cycles: report.stats.cycles,
@@ -518,6 +568,28 @@ mod tests {
             report.lockstep_commits.is_some(),
             "a seq program is lockstep-checkable"
         );
+    }
+
+    #[test]
+    fn hybrid_oracle_passes_fork_trees() {
+        // Kind index 2 = fork: the generated tree forks across cores,
+        // so the mid-run warm target lands inside (or between) X_PAR
+        // rendezvous windows — the clamp path the hybrid oracle must
+        // survive without divergence.
+        for seed in [3, 11] {
+            let mut rng = Rng::new(seed);
+            let p = generate(&mut rng, &GenConfig::default(), 2);
+            let report = check(&p).unwrap_or_else(|f| {
+                panic!(
+                    "seed {seed}: oracle {} tripped ({}): {}\n---\n{}",
+                    f.oracle,
+                    f.class,
+                    f.detail,
+                    p.render()
+                )
+            });
+            assert!(report.retired > 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Precompiled dispatch metadata for functional-mode interpreters.
+//!
+//! A cycle-exact pipeline decodes every fetched word; a functional ISS
+//! executing billions of instructions cannot afford the nested
+//! `Instr`/kind matching on its hot path. [`predecode`] lowers a code
+//! image once into a flat array of [`UOp`]s — one fully flattened
+//! operation tag ([`UKind`]) plus raw register indices and a 32-bit
+//! immediate — so an interpreter dispatches with a single match on a
+//! dense `u8` discriminant and never touches the decoder again.
+//!
+//! The lowering is total: undecodable words become [`UKind::Invalid`]
+//! carrying the raw word, so a functional engine reports the same decode
+//! fault the pipeline would, at the same pc.
+
+use crate::{BranchKind, Instr, LoadKind, OpImmKind, OpKind, StoreKind};
+
+/// Fully flattened operation kind: every RV32IM sub-kind and every X_PAR
+/// instruction gets its own discriminant, so interpreter dispatch is one
+/// jump on a dense `u8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+#[allow(missing_docs)] // names mirror the assembly mnemonics
+pub enum UKind {
+    Lui,
+    Auipc,
+    Jal,
+    Jalr,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+    Sb,
+    Sh,
+    Sw,
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    PFc,
+    PFn,
+    PSet,
+    PMerge,
+    PSyncm,
+    /// `p_jalr` with `rd != x0`: parallelized indirect call.
+    PCall,
+    /// `p_jalr` with `rd == x0`: the `p_ret` hart-ending pseudo-instruction.
+    PRet,
+    PJal,
+    PLwcv,
+    PSwcv,
+    PLwre,
+    PSwre,
+    /// A word the decoder rejects; `imm` holds the raw word.
+    Invalid,
+}
+
+impl UKind {
+    /// Whether this operation is an RV32M multiply/divide (tracked in the
+    /// run statistics).
+    pub fn is_muldiv(self) -> bool {
+        matches!(
+            self,
+            UKind::Mul
+                | UKind::Mulh
+                | UKind::Mulhsu
+                | UKind::Mulhu
+                | UKind::Div
+                | UKind::Divu
+                | UKind::Rem
+                | UKind::Remu
+        )
+    }
+}
+
+/// One predecoded operation: the flattened kind, the raw architectural
+/// register indices (0–31; unused fields read 0 = `x0`), and a combined
+/// 32-bit immediate (`lui`/`auipc` store the already-shifted value,
+/// branches/jumps the byte offset, `p_lwre`/`p_swre` the slot number,
+/// [`UKind::Invalid`] the undecodable raw word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UOp {
+    /// The flattened operation.
+    pub kind: UKind,
+    /// Destination architectural register index.
+    pub rd: u8,
+    /// First source architectural register index.
+    pub rs1: u8,
+    /// Second source architectural register index.
+    pub rs2: u8,
+    /// The immediate operand (see the struct docs for per-kind meaning).
+    pub imm: i32,
+}
+
+impl UOp {
+    /// Lowers a decoded instruction into its flat dispatch form.
+    pub fn from_instr(instr: &Instr) -> UOp {
+        let mut u = UOp {
+            kind: UKind::Invalid,
+            rd: 0,
+            rs1: 0,
+            rs2: 0,
+            imm: 0,
+        };
+        match *instr {
+            Instr::Lui { rd, imm } => {
+                u.kind = UKind::Lui;
+                u.rd = rd.index() as u8;
+                u.imm = imm as i32;
+            }
+            Instr::Auipc { rd, imm } => {
+                u.kind = UKind::Auipc;
+                u.rd = rd.index() as u8;
+                u.imm = imm as i32;
+            }
+            Instr::Jal { rd, offset } => {
+                u.kind = UKind::Jal;
+                u.rd = rd.index() as u8;
+                u.imm = offset;
+            }
+            Instr::Jalr { rd, rs1, offset } => {
+                u.kind = UKind::Jalr;
+                u.rd = rd.index() as u8;
+                u.rs1 = rs1.index() as u8;
+                u.imm = offset;
+            }
+            Instr::Branch {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                u.kind = match kind {
+                    BranchKind::Eq => UKind::Beq,
+                    BranchKind::Ne => UKind::Bne,
+                    BranchKind::Lt => UKind::Blt,
+                    BranchKind::Ge => UKind::Bge,
+                    BranchKind::Ltu => UKind::Bltu,
+                    BranchKind::Geu => UKind::Bgeu,
+                };
+                u.rs1 = rs1.index() as u8;
+                u.rs2 = rs2.index() as u8;
+                u.imm = offset;
+            }
+            Instr::Load {
+                kind,
+                rd,
+                rs1,
+                offset,
+            } => {
+                u.kind = match kind {
+                    LoadKind::B => UKind::Lb,
+                    LoadKind::H => UKind::Lh,
+                    LoadKind::W => UKind::Lw,
+                    LoadKind::Bu => UKind::Lbu,
+                    LoadKind::Hu => UKind::Lhu,
+                };
+                u.rd = rd.index() as u8;
+                u.rs1 = rs1.index() as u8;
+                u.imm = offset;
+            }
+            Instr::Store {
+                kind,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                u.kind = match kind {
+                    StoreKind::B => UKind::Sb,
+                    StoreKind::H => UKind::Sh,
+                    StoreKind::W => UKind::Sw,
+                };
+                u.rs1 = rs1.index() as u8;
+                u.rs2 = rs2.index() as u8;
+                u.imm = offset;
+            }
+            Instr::OpImm { kind, rd, rs1, imm } => {
+                u.kind = match kind {
+                    OpImmKind::Add => UKind::Addi,
+                    OpImmKind::Slt => UKind::Slti,
+                    OpImmKind::Sltu => UKind::Sltiu,
+                    OpImmKind::Xor => UKind::Xori,
+                    OpImmKind::Or => UKind::Ori,
+                    OpImmKind::And => UKind::Andi,
+                    OpImmKind::Sll => UKind::Slli,
+                    OpImmKind::Srl => UKind::Srli,
+                    OpImmKind::Sra => UKind::Srai,
+                };
+                u.rd = rd.index() as u8;
+                u.rs1 = rs1.index() as u8;
+                u.imm = imm;
+            }
+            Instr::Op { kind, rd, rs1, rs2 } => {
+                u.kind = match kind {
+                    OpKind::Add => UKind::Add,
+                    OpKind::Sub => UKind::Sub,
+                    OpKind::Sll => UKind::Sll,
+                    OpKind::Slt => UKind::Slt,
+                    OpKind::Sltu => UKind::Sltu,
+                    OpKind::Xor => UKind::Xor,
+                    OpKind::Srl => UKind::Srl,
+                    OpKind::Sra => UKind::Sra,
+                    OpKind::Or => UKind::Or,
+                    OpKind::And => UKind::And,
+                    OpKind::Mul => UKind::Mul,
+                    OpKind::Mulh => UKind::Mulh,
+                    OpKind::Mulhsu => UKind::Mulhsu,
+                    OpKind::Mulhu => UKind::Mulhu,
+                    OpKind::Div => UKind::Div,
+                    OpKind::Divu => UKind::Divu,
+                    OpKind::Rem => UKind::Rem,
+                    OpKind::Remu => UKind::Remu,
+                };
+                u.rd = rd.index() as u8;
+                u.rs1 = rs1.index() as u8;
+                u.rs2 = rs2.index() as u8;
+            }
+            Instr::PFc { rd } => {
+                u.kind = UKind::PFc;
+                u.rd = rd.index() as u8;
+            }
+            Instr::PFn { rd } => {
+                u.kind = UKind::PFn;
+                u.rd = rd.index() as u8;
+            }
+            Instr::PSet { rd, rs1 } => {
+                u.kind = UKind::PSet;
+                u.rd = rd.index() as u8;
+                u.rs1 = rs1.index() as u8;
+            }
+            Instr::PMerge { rd, rs1, rs2 } => {
+                u.kind = UKind::PMerge;
+                u.rd = rd.index() as u8;
+                u.rs1 = rs1.index() as u8;
+                u.rs2 = rs2.index() as u8;
+            }
+            Instr::PSyncm => u.kind = UKind::PSyncm,
+            Instr::PJalr { rd, rs1, rs2 } => {
+                u.kind = if rd.is_zero() {
+                    UKind::PRet
+                } else {
+                    UKind::PCall
+                };
+                u.rd = rd.index() as u8;
+                u.rs1 = rs1.index() as u8;
+                u.rs2 = rs2.index() as u8;
+            }
+            Instr::PJal { rd, rs1, offset } => {
+                u.kind = UKind::PJal;
+                u.rd = rd.index() as u8;
+                u.rs1 = rs1.index() as u8;
+                u.imm = offset;
+            }
+            Instr::PLwcv { rd, offset } => {
+                u.kind = UKind::PLwcv;
+                u.rd = rd.index() as u8;
+                u.imm = offset;
+            }
+            Instr::PSwcv { rs1, rs2, offset } => {
+                u.kind = UKind::PSwcv;
+                u.rs1 = rs1.index() as u8;
+                u.rs2 = rs2.index() as u8;
+                u.imm = offset;
+            }
+            Instr::PLwre { rd, offset } => {
+                u.kind = UKind::PLwre;
+                u.rd = rd.index() as u8;
+                u.imm = offset;
+            }
+            Instr::PSwre { rs1, rs2, offset } => {
+                u.kind = UKind::PSwre;
+                u.rs1 = rs1.index() as u8;
+                u.rs2 = rs2.index() as u8;
+                u.imm = offset;
+            }
+        }
+        u
+    }
+
+    /// Lowers one raw code word: decodable words via [`UOp::from_instr`],
+    /// the rest to [`UKind::Invalid`] with the word preserved in `imm`.
+    pub fn from_word(word: u32) -> UOp {
+        match Instr::decode(word) {
+            Ok(instr) => UOp::from_instr(&instr),
+            Err(_) => UOp {
+                kind: UKind::Invalid,
+                rd: 0,
+                rs1: 0,
+                rs2: 0,
+                imm: word as i32,
+            },
+        }
+    }
+}
+
+/// Lowers a whole code image (the `text` section, one word per
+/// instruction) into its predecoded dispatch form, indexed by `pc / 4`.
+pub fn predecode(text: &[u32]) -> Vec<UOp> {
+    text.iter().map(|&w| UOp::from_word(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn round_trip_covers_every_decodable_word() {
+        // Every encodable instruction must lower to a non-Invalid UOp.
+        let samples = [
+            Instr::Lui {
+                rd: Reg::A0,
+                imm: 0x1234_5000,
+            },
+            Instr::Jalr {
+                rd: Reg::RA,
+                rs1: Reg::A0,
+                offset: -4,
+            },
+            Instr::Op {
+                kind: OpKind::Remu,
+                rd: Reg::A1,
+                rs1: Reg::A2,
+                rs2: Reg::A3,
+            },
+            Instr::PJalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                rs2: Reg::T0,
+            },
+            Instr::PSwre {
+                rs1: Reg::T0,
+                rs2: Reg::A4,
+                offset: 3,
+            },
+        ];
+        for instr in samples {
+            let u = UOp::from_word(instr.encode().unwrap());
+            assert_ne!(u.kind, UKind::Invalid, "{instr} lowered to Invalid");
+            assert_eq!(u, UOp::from_instr(&instr));
+        }
+    }
+
+    #[test]
+    fn p_ret_splits_from_p_call() {
+        let ret = Instr::PJalr {
+            rd: Reg::ZERO,
+            rs1: Reg::RA,
+            rs2: Reg::T0,
+        };
+        assert_eq!(UOp::from_instr(&ret).kind, UKind::PRet);
+        let call = Instr::PJalr {
+            rd: Reg::RA,
+            rs1: Reg::T0,
+            rs2: Reg::A0,
+        };
+        assert_eq!(UOp::from_instr(&call).kind, UKind::PCall);
+    }
+
+    #[test]
+    fn invalid_words_keep_the_raw_word() {
+        let u = UOp::from_word(0xffff_ffff);
+        assert_eq!(u.kind, UKind::Invalid);
+        assert_eq!(u.imm as u32, 0xffff_ffff);
+    }
+
+    #[test]
+    fn predecode_indexes_by_pc() {
+        let text = [Instr::NOP.encode().unwrap(), 0xffff_ffff];
+        let uops = predecode(&text);
+        assert_eq!(uops.len(), 2);
+        assert_eq!(uops[0].kind, UKind::Addi);
+        assert_eq!(uops[1].kind, UKind::Invalid);
+    }
+}

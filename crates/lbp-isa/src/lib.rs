@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod decode;
+pub mod dispatch;
 mod encode;
 mod hart;
 mod instr;

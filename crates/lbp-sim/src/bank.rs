@@ -158,6 +158,29 @@ impl MemSys {
         LOCAL_BASE + (hart.local() + 1) * stack - CV_FRAME_BYTES
     }
 
+    /// The per-core local banks (hybrid-handoff materialization and
+    /// architectural hashing).
+    pub(crate) fn local_banks(&self) -> &[Vec<u8>] {
+        &self.local
+    }
+
+    /// The per-core shared-bank slices (hybrid-handoff materialization
+    /// and architectural hashing).
+    pub(crate) fn shared_banks(&self) -> &[Vec<u8>] {
+        &self.shared
+    }
+
+    /// Mutable per-core local banks (hybrid-handoff materialization).
+    pub(crate) fn local_banks_mut(&mut self) -> &mut [Vec<u8>] {
+        &mut self.local
+    }
+
+    /// Mutable per-core shared-bank slices (hybrid-handoff
+    /// materialization).
+    pub(crate) fn shared_banks_mut(&mut self) -> &mut [Vec<u8>] {
+        &mut self.shared
+    }
+
     /// Writes one byte directly into a shared bank (image loading).
     fn poke_shared(&mut self, addr: u32, byte: u8, hart: HartId) -> Result<(), MemFault> {
         let bank = self.shared_bank_of(addr) as usize;

@@ -78,6 +78,15 @@ pub(crate) struct Core {
     /// Pending fork requests (own `p_fc`s and `ForkReq`s from the
     /// predecessor core), satisfied one per cycle in arrival order.
     pub alloc_q: VecDeque<HartId>,
+    /// Allocatable harts, in hand-out order: local indices never yet
+    /// allocated (ascending), then recycled harts in the order their
+    /// `p_ret`s committed. Because `p_ret` commits are serialized by the
+    /// team-predecessor ending signal, this order is a pure function of
+    /// the fork/join protocol — not of pipeline or fabric timing — which
+    /// is what lets the functional engine reproduce hart assignment
+    /// exactly. A set-based "lowest free" policy would instead depend on
+    /// *when* an in-flight free lands relative to a fork request.
+    pub free_q: VecDeque<u32>,
 }
 
 impl Core {
@@ -89,6 +98,7 @@ impl Core {
                 .collect(),
             rr: [0; 5],
             alloc_q: VecDeque::new(),
+            free_q: (0..HARTS_PER_CORE as u32).collect(),
         }
     }
 
@@ -104,6 +114,10 @@ impl Core {
         w.seq(self.alloc_q.len());
         for &h in &self.alloc_q {
             crate::snapshot::put_hart(w, h);
+        }
+        w.seq(self.free_q.len());
+        for &l in &self.free_q {
+            w.u32(l);
         }
     }
 
@@ -123,11 +137,22 @@ impl Core {
         for _ in 0..r.seq()? {
             alloc_q.push_back(crate::snapshot::get_hart(r)?);
         }
+        let mut free_q = VecDeque::new();
+        for _ in 0..r.seq()? {
+            let l = r.u32()?;
+            if l >= HARTS_PER_CORE as u32 {
+                return Err(crate::snapshot::SnapError::Corrupt(format!(
+                    "free-queue entry {l} is not a local hart index"
+                )));
+            }
+            free_q.push_back(l);
+        }
         Ok(Core {
             index,
             harts,
             rr,
             alloc_q,
+            free_q,
         })
     }
 
@@ -264,15 +289,23 @@ impl Core {
         (StallKind::FetchStarved, loc)
     }
 
-    /// Satisfies at most one pending fork request with the lowest-numbered
-    /// free hart.
+    /// Satisfies at most one pending fork request with the head of the
+    /// free queue (never-allocated harts in index order, then recycled
+    /// harts in `p_ret`-commit order — see [`Core::free_q`]).
     fn process_alloc(&mut self, env: &mut Env<'_>) -> Result<(), SimError> {
         let Some(&requester) = self.alloc_q.front() else {
             return Ok(());
         };
-        let Some(child_local) = self.harts.iter().position(|h| h.state == HartState::Free) else {
+        let Some(&child_front) = self.free_q.front() else {
             return Ok(()); // all four harts busy: the fork stalls, deterministically
         };
+        let child_local = child_front as usize;
+        debug_assert_eq!(
+            self.harts[child_local].state,
+            HartState::Free,
+            "free-queue head must be a free hart"
+        );
+        self.free_q.pop_front();
         self.alloc_q.pop_front();
         let child = HartId::from_parts(self.index, child_local as u32);
         let sp = env.mem.cv_base(child);
@@ -808,6 +841,7 @@ impl Core {
             } else {
                 // Type 1: the hart ends.
                 self.harts[hart_idx].end();
+                self.free_q.push_back(hart_idx as u32);
                 env.emit(id, EventKind::HartEnd);
                 if let Some(p) = env.prof.as_deref_mut() {
                     p.event(env.now, ProfEventKind::End { hart: id });
@@ -833,6 +867,7 @@ impl Core {
                 self.harts[hart_idx].state = HartState::WaitingJoin;
             } else {
                 self.harts[hart_idx].end();
+                self.free_q.push_back(hart_idx as u32);
                 env.emit(id, EventKind::HartEnd);
                 if let Some(p) = env.prof.as_deref_mut() {
                     p.event(env.now, ProfEventKind::End { hart: id });

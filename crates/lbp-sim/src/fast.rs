@@ -1,0 +1,1369 @@
+//! The functional-mode fast engine: a precompiled-dispatch ISS over the
+//! whole machine.
+//!
+//! Where [`Machine`](crate::Machine) models every pipeline stage, bank
+//! port and router hop, [`FastEngine`] executes the same assembled image
+//! at the *architectural* level only: one instruction at a time per hart,
+//! memory served synchronously, and every X_PAR rendezvous message
+//! (fork request/reply, start pc, join address, ending-hart signal,
+//! `p_swre` result) delivered the moment it is sent. The paper's
+//! determinism argument is what makes this sound: fork/join rendezvous
+//! edges totally order all cross-hart communication of a well-formed
+//! Deterministic OpenMP program, so *any* schedule that respects those
+//! edges — including this engine's simple run-to-block schedule — reaches
+//! the same architectural state at every rendezvous point that the
+//! cycle-exact engine reaches.
+//!
+//! The engine exists for hybrid fast-forward simulation: `lbp-run --warm N`
+//! executes the warm-up region here at tens of Minstr/s, then
+//! [`FastEngine::materialize`] builds a cycle-exact [`Machine`] from the
+//! architectural state (all pipelines drained, no message in flight) and
+//! the measured window runs at full fidelity. See `DESIGN.md` for the
+//! functional-mode semantics contract and its precision boundaries.
+//!
+//! What is deliberately **not** modeled: cycles, stalls, bank conflicts,
+//! link hops and contention (all zero in the produced statistics), fault
+//! injection (the warm phase must be fault-free; [`FastEngine::materialize`]
+//! enforces it), and I/O devices (whose replies are cycle-dependent —
+//! accessing the I/O region functionally is an error).
+
+use std::collections::VecDeque;
+
+use lbp_asm::Image;
+use lbp_isa::dispatch::{predecode, UKind, UOp};
+use lbp_isa::{
+    HartId, IdentityWord, Region, HARTS_PER_CORE, INSTR_BYTES, LOCAL_BASE, SHARED_BASE,
+};
+
+use crate::bank::MemFault;
+use crate::config::{LbpConfig, CV_FRAME_BYTES};
+use crate::error::{BlockedHart, SimError};
+use crate::hart::HartState;
+
+/// Why a functional hart cannot execute its next instruction right now.
+/// Parked harts leave the scheduler's runnable set; the delivery that
+/// satisfies the wait moves them back to [`FWait::Ready`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FWait {
+    /// Runnable.
+    Ready,
+    /// A `p_fc`/`p_fn` is queued at a core allocator; completing the fork
+    /// writes the child identity into `rd` and retires the instruction.
+    Fork { rd: u8 },
+    /// A `p_ret` waiting for the team predecessor's ending-hart signal.
+    EndSignal,
+    /// A `p_lwre` waiting for data in a receive slot (an out-of-range
+    /// slot waits forever, like the cycle-exact issue gate).
+    Result { slot: usize },
+    /// Parked just before the program's exit `p_ret` (never executed
+    /// functionally).
+    AtExit,
+}
+
+/// Architectural state of one hart in the functional engine.
+#[derive(Debug, Clone)]
+struct FHart {
+    state: HartState,
+    /// Next pc; meaningful only while `Running`.
+    pc: u32,
+    /// Architectural registers (`x0` held at zero by the write helper).
+    regs: [u32; 32],
+    /// `p_swre` receive slots.
+    recv: Vec<VecDeque<u32>>,
+    end_signal: bool,
+    team_succ: Option<HartId>,
+    wait: FWait,
+}
+
+impl FHart {
+    fn fresh(result_slots: usize) -> FHart {
+        FHart {
+            state: HartState::Free,
+            pc: 0,
+            regs: [0; 32],
+            recv: (0..result_slots).map(|_| VecDeque::new()).collect(),
+            end_signal: false,
+            team_succ: None,
+            wait: FWait::Ready,
+        }
+    }
+}
+
+/// The condition a [`FastEngine::run`] call stops on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastStop {
+    /// Stop once the machine has retired this many instructions in total
+    /// (clamped forward to the next rendezvous-quiet point).
+    Retired(u64),
+    /// Stop the first time any hart is *about to execute* this pc — the
+    /// region-of-interest marker handoff.
+    Pc(u32),
+    /// Run until the program's exit `p_ret` is reached (it is never
+    /// executed functionally: the hart parks just before it so the
+    /// cycle-exact engine can retire it).
+    Exit,
+}
+
+/// What a completed [`FastEngine::run`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastSummary {
+    /// Instructions retired in total (across every `run` call so far).
+    pub retired: u64,
+    /// The virtual cycle of the engine: the maximum per-core retired
+    /// count, i.e. the fewest cycles any machine that retires at most one
+    /// instruction per core per cycle could have used.
+    pub virtual_cycle: u64,
+    /// The hart stream reached the exit `p_ret` (parked, not executed).
+    pub at_exit: bool,
+    /// Instructions retired *past* the stop target while draining pending
+    /// fork allocations to the next rendezvous-quiet point. Zero when the
+    /// target already fell on a quiet point.
+    pub clamped: u64,
+    /// Whether the engine stopped rendezvous-quiet (no fork request
+    /// pending anywhere). `false` only when the program deadlocked or
+    /// exited with a fork still queued; materialization is still sound —
+    /// blocked forks re-execute cycle-exactly — but the handoff is no
+    /// longer at a rendezvous boundary.
+    pub rendezvous_clean: bool,
+    /// The hart that triggered a [`FastStop::Pc`] stop.
+    pub stop_hart: Option<HartId>,
+}
+
+/// The functional-mode engine: architectural state for every hart, flat
+/// memory banks, and per-core fork-allocation queues.
+#[derive(Debug)]
+pub struct FastEngine {
+    cfg: LbpConfig,
+    /// Raw text words (kept for re-predecoding after sabotage and for
+    /// decode-error reporting).
+    text: Vec<u32>,
+    /// The predecoded program, indexed by `pc / 4`.
+    uops: Vec<UOp>,
+    /// Per-core local banks.
+    local: Vec<Vec<u8>>,
+    /// Per-core shared-bank slices.
+    shared: Vec<Vec<u8>>,
+    harts: Vec<FHart>,
+    /// Pending fork requests per core, in arrival order.
+    alloc_q: Vec<VecDeque<HartId>>,
+    /// Per-core allocatable harts in hand-out order (local indices):
+    /// never-allocated harts ascending, then recycled harts in
+    /// `p_ret`-order. Mirrors the cycle-exact `Core::free_q` exactly —
+    /// the ending-signal chain serializes frees, so this order (unlike a
+    /// "lowest free" scan) is timing-independent and both engines hand
+    /// the same hart to the same fork.
+    free_q: Vec<VecDeque<u32>>,
+    /// Per-hart retired-instruction counts.
+    retired_per_hart: Vec<u64>,
+    total_retired: u64,
+    forks: u64,
+    joins: u64,
+    muldiv_ops: u64,
+    local_accesses: u64,
+    remote_accesses: u64,
+    at_exit: bool,
+    /// The scheduler's runnable-set cache is stale (a hart changed state,
+    /// blocked, or was started/joined/freed since the last rebuild).
+    sched_dirty: bool,
+    /// Per-hart committed-pc streams, recorded when enabled (hybrid
+    /// divergence bisection).
+    commit_log: Option<Vec<Vec<u32>>>,
+}
+
+impl FastEngine {
+    /// Builds the engine and loads the image: text predecoded into the
+    /// dispatch form, data distributed over the shared banks, hart 0
+    /// booted at the entry point with the boot ending-signal set.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the initialized data exceeds the configured shared space.
+    pub fn new(cfg: LbpConfig, image: &Image) -> Result<FastEngine, SimError> {
+        let cores = cfg.cores;
+        let mut shared: Vec<Vec<u8>> = (0..cores)
+            .map(|_| vec![0; cfg.shared_bank_bytes as usize])
+            .collect();
+        for (i, &byte) in image.data.iter().enumerate() {
+            let addr = SHARED_BASE + i as u32;
+            let bank = ((addr - SHARED_BASE) / cfg.shared_bank_bytes) as usize;
+            if bank >= cores {
+                return Err(SimError::Mem(MemFault::Unmapped {
+                    addr,
+                    hart: HartId::FIRST,
+                }));
+            }
+            shared[bank][((addr - SHARED_BASE) % cfg.shared_bank_bytes) as usize] = byte;
+        }
+        let mut harts: Vec<FHart> = (0..cfg.harts())
+            .map(|_| FHart::fresh(cfg.result_slots))
+            .collect();
+        let boot_sp = cv_base(&cfg, HartId::FIRST);
+        harts[0].state = HartState::Running;
+        harts[0].pc = image.entry;
+        harts[0].regs[2] = boot_sp; // sp
+        harts[0].end_signal = true; // nothing precedes the boot hart
+        Ok(FastEngine {
+            text: image.text.clone(),
+            uops: predecode(&image.text),
+            local: (0..cores)
+                .map(|_| vec![0; cfg.local_bank_bytes as usize])
+                .collect(),
+            shared,
+            harts,
+            alloc_q: (0..cores).map(|_| VecDeque::new()).collect(),
+            free_q: (0..cores)
+                .map(|c| {
+                    // The boot hart starts running, not free.
+                    let first = if c == 0 { 1 } else { 0 };
+                    (first..HARTS_PER_CORE as u32).collect()
+                })
+                .collect(),
+            retired_per_hart: vec![0; cfg.harts()],
+            total_retired: 0,
+            forks: 0,
+            joins: 0,
+            muldiv_ops: 0,
+            local_accesses: 0,
+            remote_accesses: 0,
+            at_exit: false,
+            sched_dirty: true,
+            commit_log: None,
+            cfg,
+        })
+    }
+
+    /// Turns on per-hart committed-pc recording (the functional side of
+    /// hybrid divergence bisection). Costs one `Vec` push per retired
+    /// instruction; leave off for plain fast-forwarding.
+    pub fn enable_commit_log(&mut self) {
+        if self.commit_log.is_none() {
+            self.commit_log = Some(vec![Vec::new(); self.harts.len()]);
+        }
+    }
+
+    /// The committed-pc stream of every hart (empty unless
+    /// [`FastEngine::enable_commit_log`] was called first).
+    pub fn commit_log(&self) -> &[Vec<u32>] {
+        self.commit_log.as_deref().unwrap_or(&[])
+    }
+
+    /// XORs the code word at `pc` with `xor` and re-predecodes it —
+    /// deliberate sabotage of the *functional copy only*, used to prove
+    /// that hybrid divergence bisection localizes a functional bug to the
+    /// exact instruction.
+    pub fn sabotage_code(&mut self, pc: u32, xor: u32) {
+        let idx = (pc / INSTR_BYTES) as usize;
+        if let Some(word) = self.text.get_mut(idx) {
+            *word ^= xor;
+            self.uops[idx] = UOp::from_word(*word);
+        }
+    }
+
+    /// Total instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.total_retired
+    }
+
+    /// Whether the run is parked at the exit `p_ret`.
+    pub fn at_exit(&self) -> bool {
+        self.at_exit
+    }
+
+    /// Per-hart retired-instruction counts.
+    pub fn retired_per_hart(&self) -> &[u64] {
+        &self.retired_per_hart
+    }
+
+    /// The engine's virtual cycle: the maximum per-core retired count
+    /// (a machine retiring at most one instruction per core per cycle
+    /// needs at least this many cycles).
+    pub fn virtual_cycle(&self) -> u64 {
+        (0..self.cfg.cores)
+            .map(|c| self.retired_by_core(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// An architectural register of a hart (test/inspection helper).
+    pub fn reg(&self, hart: HartId, reg: lbp_isa::Reg) -> u32 {
+        self.harts[hart.global() as usize].regs[reg.index()]
+    }
+
+    /// Writes a word of shared memory (input loading before a run,
+    /// mirroring [`crate::Machine::poke_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or misaligned addresses.
+    pub fn poke_shared(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        if !addr.is_multiple_of(4) {
+            return Err(SimError::Mem(MemFault::Unaligned {
+                addr,
+                size: 4,
+                hart: HartId::FIRST,
+            }));
+        }
+        let (bank, off) = self.shared_slot(addr, HartId::FIRST)?;
+        self.shared[bank][off..off + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads a word of shared memory (result extraction).
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or misaligned addresses.
+    pub fn peek_shared(&self, addr: u32) -> Result<u32, SimError> {
+        if !addr.is_multiple_of(4) {
+            return Err(SimError::Mem(MemFault::Unaligned {
+                addr,
+                size: 4,
+                hart: HartId::FIRST,
+            }));
+        }
+        let (bank, off) = self.shared_slot(addr, HartId::FIRST)?;
+        let bytes = &self.shared[bank][off..off + 4];
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    fn retired_by_core(&self, core: usize) -> u64 {
+        self.retired_per_hart
+            .iter()
+            .skip(core * HARTS_PER_CORE)
+            .take(HARTS_PER_CORE)
+            .sum()
+    }
+
+    fn id(&self, hi: usize) -> HartId {
+        HartId::new(hi as u32)
+    }
+
+    fn get(&self, hi: usize, r: u8) -> u32 {
+        self.harts[hi].regs[r as usize]
+    }
+
+    fn set(&mut self, hi: usize, rd: u8, value: u32) {
+        if rd != 0 {
+            self.harts[hi].regs[rd as usize] = value;
+        }
+    }
+
+    fn retire(&mut self, hi: usize, pc: u32) {
+        self.retired_per_hart[hi] += 1;
+        self.total_retired += 1;
+        if let Some(log) = self.commit_log.as_mut() {
+            log[hi].push(pc);
+        }
+    }
+
+    /// No fork request pending anywhere: a legal rendezvous-boundary
+    /// handoff point.
+    fn rendezvous_quiet(&self) -> bool {
+        self.alloc_q.iter().all(VecDeque::is_empty)
+            && self
+                .harts
+                .iter()
+                .all(|h| !matches!(h.wait, FWait::Fork { .. }))
+    }
+
+    fn runnable(&self, hi: usize) -> bool {
+        let h = &self.harts[hi];
+        h.state == HartState::Running && h.wait == FWait::Ready
+    }
+
+    /// Satisfies queued fork requests at `core` while free harts exist,
+    /// mirroring `process_alloc`: head of the free queue, arrival
+    /// order, requester's `rd` receives the child's global identity.
+    fn try_alloc(&mut self, core: usize) {
+        loop {
+            if self.alloc_q[core].is_empty() {
+                return;
+            }
+            let base = core * HARTS_PER_CORE;
+            let Some(child_local) = self.free_q[core].front().map(|&l| l as usize) else {
+                return; // all four harts busy: the fork stalls
+            };
+            debug_assert_eq!(
+                self.harts[base + child_local].state,
+                HartState::Free,
+                "free-queue head must be a free hart"
+            );
+            self.free_q[core].pop_front();
+            let requester = self.alloc_q[core].pop_front().expect("checked non-empty");
+            let child = base + child_local;
+            let sp = cv_base(&self.cfg, HartId::new(child as u32));
+            let h = &mut self.harts[child];
+            h.regs = [0; 32];
+            h.regs[2] = sp;
+            for q in &mut h.recv {
+                q.clear();
+            }
+            h.end_signal = false;
+            h.team_succ = None;
+            h.state = HartState::Reserved;
+            h.wait = FWait::Ready;
+            self.forks += 1;
+            self.sched_dirty = true;
+            // Complete the requester's blocked p_fc/p_fn.
+            let req = requester.global() as usize;
+            let FWait::Fork { rd } = self.harts[req].wait else {
+                unreachable!("queued fork requester is not fork-blocked");
+            };
+            let pc = self.harts[req].pc;
+            self.set(req, rd, child as u32);
+            self.harts[req].wait = FWait::Ready;
+            self.harts[req].pc = pc.wrapping_add(4);
+            self.retire(req, pc);
+        }
+    }
+
+    /// Ends a hart (`p_ret` types 1 and 4) and lets its core's allocator
+    /// satisfy a queued fork with the freed slot.
+    fn end_hart(&mut self, hi: usize) {
+        self.harts[hi].state = HartState::Free;
+        self.harts[hi].pc = 0;
+        self.sched_dirty = true;
+        let core = hi / HARTS_PER_CORE;
+        self.free_q[core].push_back((hi % HARTS_PER_CORE) as u32);
+        self.try_alloc(core);
+    }
+
+    fn forward_end_signal(&mut self, hi: usize) {
+        if let Some(next) = self.harts[hi].team_succ {
+            if (next.core() as usize) < self.cfg.cores {
+                // EndSignal delivery sets the flag regardless of state.
+                let h = &mut self.harts[next.global() as usize];
+                h.end_signal = true;
+                if h.wait == FWait::EndSignal {
+                    h.wait = FWait::Ready;
+                    self.sched_dirty = true;
+                }
+            }
+        }
+    }
+
+    fn deliver_start(&mut self, to: HartId, pc: u32) -> Result<(), SimError> {
+        let h = &mut self.harts[to.global() as usize];
+        if h.state != HartState::Reserved {
+            return Err(SimError::Protocol {
+                hart: to,
+                what: format!(
+                    "start pc {pc:#x} delivered to a hart in state {:?}",
+                    h.state
+                ),
+            });
+        }
+        h.state = HartState::Running;
+        h.pc = pc;
+        self.sched_dirty = true;
+        Ok(())
+    }
+
+    fn deliver_join(&mut self, to: HartId, pc: u32) -> Result<(), SimError> {
+        let h = &mut self.harts[to.global() as usize];
+        if h.state != HartState::WaitingJoin {
+            return Err(SimError::Protocol {
+                hart: to,
+                what: format!(
+                    "join address {pc:#x} delivered to a hart in state {:?}",
+                    h.state
+                ),
+            });
+        }
+        h.state = HartState::Running;
+        h.pc = pc;
+        h.end_signal = true; // everything sequentially prior committed
+        self.joins += 1;
+        self.sched_dirty = true;
+        Ok(())
+    }
+
+    fn validate_start_target(&self, from: HartId, to: HartId) -> Result<(), SimError> {
+        let c = from.core();
+        if (to.core() != c && to.core() != c + 1) || to.core() as usize >= self.cfg.cores {
+            return Err(SimError::Protocol {
+                hart: from,
+                what: format!("start pc sent to hart {to}, which is neither local nor next-core"),
+            });
+        }
+        Ok(())
+    }
+
+    fn shared_slot(&self, addr: u32, hart: HartId) -> Result<(usize, usize), SimError> {
+        let bank = ((addr - SHARED_BASE) / self.cfg.shared_bank_bytes) as usize;
+        if bank >= self.cfg.cores {
+            return Err(SimError::Mem(MemFault::Unmapped { addr, hart }));
+        }
+        Ok((
+            bank,
+            ((addr - SHARED_BASE) % self.cfg.shared_bank_bytes) as usize,
+        ))
+    }
+
+    /// Loads `size` bytes for `hi`, counting the access like the
+    /// cycle-exact router would (local vs remote).
+    fn mem_load(&mut self, hi: usize, addr: u32, size: u8, signed: bool) -> Result<u32, SimError> {
+        let hart = self.id(hi);
+        let core = hi / HARTS_PER_CORE;
+        if !addr.is_multiple_of(size as u32) {
+            return Err(SimError::Mem(MemFault::Unaligned { addr, size, hart }));
+        }
+        let bytes: &[u8] = match Region::of(addr) {
+            Region::Local => {
+                self.local_accesses += 1;
+                let off = (addr - LOCAL_BASE) as usize;
+                self.local[core]
+                    .get(off..off + size as usize)
+                    .ok_or(SimError::Mem(MemFault::Unmapped { addr, hart }))?
+            }
+            Region::Shared => {
+                let (bank, off) = self.shared_slot(addr, hart)?;
+                if bank == core {
+                    self.local_accesses += 1;
+                } else {
+                    self.remote_accesses += 1;
+                }
+                self.shared[bank]
+                    .get(off..off + size as usize)
+                    .ok_or(SimError::Mem(MemFault::Unmapped { addr, hart }))?
+            }
+            Region::Io => {
+                return Err(SimError::Protocol {
+                    hart,
+                    what: format!(
+                        "functional mode cannot access I/O devices \
+                         (load at {addr:#010x}); run the region cycle-exact"
+                    ),
+                })
+            }
+            Region::Code => {
+                return Err(SimError::Protocol {
+                    hart,
+                    what: format!("data access to the code region at {addr:#010x}"),
+                })
+            }
+        };
+        let mut raw = 0u32;
+        for (i, b) in bytes.iter().enumerate() {
+            raw |= (*b as u32) << (8 * i);
+        }
+        Ok(match (size, signed) {
+            (1, true) => raw as u8 as i8 as i32 as u32,
+            (2, true) => raw as u16 as i16 as i32 as u32,
+            _ => raw,
+        })
+    }
+
+    /// Stores the low `size` bytes of `value`, counting the access.
+    fn mem_store(&mut self, hi: usize, addr: u32, value: u32, size: u8) -> Result<(), SimError> {
+        let hart = self.id(hi);
+        let core = hi / HARTS_PER_CORE;
+        if !addr.is_multiple_of(size as u32) {
+            return Err(SimError::Mem(MemFault::Unaligned { addr, size, hart }));
+        }
+        let bytes: &mut [u8] = match Region::of(addr) {
+            Region::Local => {
+                self.local_accesses += 1;
+                let off = (addr - LOCAL_BASE) as usize;
+                self.local[core]
+                    .get_mut(off..off + size as usize)
+                    .ok_or(SimError::Mem(MemFault::Unmapped { addr, hart }))?
+            }
+            Region::Shared => {
+                let (bank, off) = self.shared_slot(addr, hart)?;
+                if bank == core {
+                    self.local_accesses += 1;
+                } else {
+                    self.remote_accesses += 1;
+                }
+                self.shared[bank]
+                    .get_mut(off..off + size as usize)
+                    .ok_or(SimError::Mem(MemFault::Unmapped { addr, hart }))?
+            }
+            Region::Io => {
+                return Err(SimError::Protocol {
+                    hart,
+                    what: format!(
+                        "functional mode cannot access I/O devices \
+                         (store at {addr:#010x}); run the region cycle-exact"
+                    ),
+                })
+            }
+            Region::Code => {
+                return Err(SimError::Protocol {
+                    hart,
+                    what: format!("data access to the code region at {addr:#010x}"),
+                })
+            }
+        };
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Writes a word into a hart's continuation-value frame (the `p_swcv`
+    /// target path; never counted, like the cycle-exact `CvWrite`).
+    fn cv_store(&mut self, to: HartId, offset: u32, value: u32) -> Result<(), SimError> {
+        let addr = cv_base(&self.cfg, to).wrapping_add(offset);
+        if !addr.is_multiple_of(4) {
+            return Err(SimError::Mem(MemFault::Unaligned {
+                addr,
+                size: 4,
+                hart: to,
+            }));
+        }
+        let off = (addr - LOCAL_BASE) as usize;
+        let bytes = self.local[to.core() as usize]
+            .get_mut(off..off + 4)
+            .ok_or(SimError::Mem(MemFault::Unmapped { addr, hart: to }))?;
+        bytes.copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Executes one instruction of hart `hi` (which must be runnable).
+    /// Returns whether the hart made progress; `Ok(false)` means it
+    /// blocked with zero side effects (or parked at the exit `p_ret`).
+    fn step(&mut self, hi: usize) -> Result<bool, SimError> {
+        let id = self.id(hi);
+        let core = hi / HARTS_PER_CORE;
+        let pc = self.harts[hi].pc;
+        if !pc.is_multiple_of(4) {
+            return Err(SimError::Mem(MemFault::Unaligned {
+                addr: pc,
+                size: 4,
+                hart: id,
+            }));
+        }
+        let Some(u) = self.uops.get((pc / 4) as usize).copied() else {
+            return Err(SimError::Mem(MemFault::Unmapped { addr: pc, hart: id }));
+        };
+        let a = self.get(hi, u.rs1);
+        let b = self.get(hi, u.rs2);
+        let imm = u.imm;
+        let mut next = pc.wrapping_add(4);
+        match u.kind {
+            UKind::Lui => self.set(hi, u.rd, imm as u32),
+            UKind::Auipc => self.set(hi, u.rd, pc.wrapping_add(imm as u32)),
+            UKind::Jal => {
+                self.set(hi, u.rd, pc.wrapping_add(4));
+                next = pc.wrapping_add(imm as u32);
+            }
+            UKind::Jalr => {
+                next = a.wrapping_add(imm as u32) & !1;
+                self.set(hi, u.rd, pc.wrapping_add(4));
+            }
+            UKind::Beq => {
+                if a == b {
+                    next = pc.wrapping_add(imm as u32);
+                }
+            }
+            UKind::Bne => {
+                if a != b {
+                    next = pc.wrapping_add(imm as u32);
+                }
+            }
+            UKind::Blt => {
+                if (a as i32) < (b as i32) {
+                    next = pc.wrapping_add(imm as u32);
+                }
+            }
+            UKind::Bge => {
+                if (a as i32) >= (b as i32) {
+                    next = pc.wrapping_add(imm as u32);
+                }
+            }
+            UKind::Bltu => {
+                if a < b {
+                    next = pc.wrapping_add(imm as u32);
+                }
+            }
+            UKind::Bgeu => {
+                if a >= b {
+                    next = pc.wrapping_add(imm as u32);
+                }
+            }
+            UKind::Lb | UKind::Lh | UKind::Lw | UKind::Lbu | UKind::Lhu => {
+                let (size, signed) = match u.kind {
+                    UKind::Lb => (1, true),
+                    UKind::Lh => (2, true),
+                    UKind::Lw => (4, false),
+                    UKind::Lbu => (1, false),
+                    _ => (2, false),
+                };
+                let v = self.mem_load(hi, a.wrapping_add(imm as u32), size, signed)?;
+                self.set(hi, u.rd, v);
+            }
+            UKind::Sb | UKind::Sh | UKind::Sw => {
+                let size = match u.kind {
+                    UKind::Sb => 1,
+                    UKind::Sh => 2,
+                    _ => 4,
+                };
+                self.mem_store(hi, a.wrapping_add(imm as u32), b, size)?;
+            }
+            UKind::Addi => self.set(hi, u.rd, a.wrapping_add(imm as u32)),
+            UKind::Slti => self.set(hi, u.rd, ((a as i32) < imm) as u32),
+            UKind::Sltiu => self.set(hi, u.rd, (a < imm as u32) as u32),
+            UKind::Xori => self.set(hi, u.rd, a ^ imm as u32),
+            UKind::Ori => self.set(hi, u.rd, a | imm as u32),
+            UKind::Andi => self.set(hi, u.rd, a & imm as u32),
+            UKind::Slli => self.set(hi, u.rd, a.wrapping_shl(imm as u32 & 31)),
+            UKind::Srli => self.set(hi, u.rd, a.wrapping_shr(imm as u32 & 31)),
+            UKind::Srai => self.set(hi, u.rd, ((a as i32).wrapping_shr(imm as u32 & 31)) as u32),
+            UKind::Add => self.set(hi, u.rd, a.wrapping_add(b)),
+            UKind::Sub => self.set(hi, u.rd, a.wrapping_sub(b)),
+            UKind::Sll => self.set(hi, u.rd, a.wrapping_shl(b & 31)),
+            UKind::Slt => self.set(hi, u.rd, ((a as i32) < (b as i32)) as u32),
+            UKind::Sltu => self.set(hi, u.rd, (a < b) as u32),
+            UKind::Xor => self.set(hi, u.rd, a ^ b),
+            UKind::Srl => self.set(hi, u.rd, a.wrapping_shr(b & 31)),
+            UKind::Sra => self.set(hi, u.rd, ((a as i32).wrapping_shr(b & 31)) as u32),
+            UKind::Or => self.set(hi, u.rd, a | b),
+            UKind::And => self.set(hi, u.rd, a & b),
+            UKind::Mul => {
+                self.muldiv_ops += 1;
+                self.set(hi, u.rd, a.wrapping_mul(b));
+            }
+            UKind::Mulh => {
+                self.muldiv_ops += 1;
+                self.set(hi, u.rd, ((((a as i32) as i64) * ((b as i32) as i64)) >> 32) as u32);
+            }
+            UKind::Mulhsu => {
+                self.muldiv_ops += 1;
+                self.set(hi, u.rd, ((((a as i32) as i64) * (b as i64)) >> 32) as u32);
+            }
+            UKind::Mulhu => {
+                self.muldiv_ops += 1;
+                self.set(hi, u.rd, (((a as u64) * (b as u64)) >> 32) as u32);
+            }
+            UKind::Div => {
+                self.muldiv_ops += 1;
+                let v = if b == 0 {
+                    u32::MAX
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    a
+                } else {
+                    ((a as i32).wrapping_div(b as i32)) as u32
+                };
+                self.set(hi, u.rd, v);
+            }
+            UKind::Divu => {
+                self.muldiv_ops += 1;
+                self.set(hi, u.rd, a.checked_div(b).unwrap_or(u32::MAX));
+            }
+            UKind::Rem => {
+                self.muldiv_ops += 1;
+                let v = if b == 0 {
+                    a
+                } else if a == 0x8000_0000 && b == u32::MAX {
+                    0
+                } else {
+                    ((a as i32).wrapping_rem(b as i32)) as u32
+                };
+                self.set(hi, u.rd, v);
+            }
+            UKind::Remu => {
+                self.muldiv_ops += 1;
+                self.set(hi, u.rd, if b == 0 { a } else { a % b });
+            }
+            UKind::PSyncm => {} // functional memory is always drained
+            UKind::PSet => self.set(hi, u.rd, IdentityWord::from_bits(a).set(id).bits()),
+            UKind::PMerge => self.set(
+                hi,
+                u.rd,
+                IdentityWord::from_bits(a)
+                    .merge(IdentityWord::from_bits(b))
+                    .bits(),
+            ),
+            UKind::PLwcv => {
+                let addr = cv_base(&self.cfg, id).wrapping_add(imm as u32);
+                let v = self.mem_load(hi, addr, 4, false)?;
+                self.set(hi, u.rd, v);
+            }
+            UKind::PSwcv => {
+                let target = HartId::new(a & 0xffff);
+                if target.core() as usize == core {
+                    let addr = cv_base(&self.cfg, target).wrapping_add(imm as u32);
+                    self.mem_store(hi, addr, b, 4)?;
+                } else if target.core() as usize == core + 1
+                    && (target.core() as usize) < self.cfg.cores
+                {
+                    // Forward-link CvWrite: delivered immediately, never
+                    // counted as a bank access of the sender.
+                    self.cv_store(target, imm as u32, b)?;
+                } else {
+                    return Err(SimError::Protocol {
+                        hart: id,
+                        what: format!(
+                            "p_swcv to hart {target}, which is neither on this core nor the next"
+                        ),
+                    });
+                }
+            }
+            UKind::PLwre => {
+                let slot = imm as usize;
+                match self.harts[hi].recv.get_mut(slot) {
+                    Some(q) if !q.is_empty() => {
+                        let v = q.pop_front().expect("checked non-empty");
+                        self.set(hi, u.rd, v);
+                    }
+                    // Empty or out-of-range slot: issue-gated, blocks with
+                    // no side effects (out-of-range blocks forever, like
+                    // the cycle-exact machine).
+                    _ => {
+                        self.harts[hi].wait = FWait::Result { slot };
+                        self.sched_dirty = true;
+                        return Ok(false);
+                    }
+                }
+            }
+            UKind::PSwre => {
+                let target = IdentityWord::from_bits(a).join_hart();
+                if target.core() > core as u32 {
+                    return Err(SimError::Protocol {
+                        hart: id,
+                        what: format!(
+                            "p_swre to hart {target}, which follows this core: the backward \
+                             line cannot send data forward in the sequential order"
+                        ),
+                    });
+                }
+                let slot = imm as u32;
+                let tg = target.global() as usize;
+                let q = self.harts[tg]
+                    .recv
+                    .get_mut(slot as usize)
+                    .ok_or_else(|| SimError::Protocol {
+                        hart: target,
+                        what: format!("p_swre to out-of-range result slot {slot}"),
+                    })?;
+                q.push_back(b);
+                if self.harts[tg].wait == (FWait::Result { slot: slot as usize }) {
+                    self.harts[tg].wait = FWait::Ready;
+                    self.sched_dirty = true;
+                }
+            }
+            UKind::PFc => {
+                self.alloc_q[core].push_back(id);
+                self.harts[hi].wait = FWait::Fork { rd: u.rd };
+                self.try_alloc(core);
+                return Ok(true); // progress: the request is queued
+            }
+            UKind::PFn => {
+                if core + 1 >= self.cfg.cores {
+                    return Err(SimError::Protocol {
+                        hart: id,
+                        what: "p_fn on the last core: the core line does not wrap".to_owned(),
+                    });
+                }
+                self.alloc_q[core + 1].push_back(id);
+                self.harts[hi].wait = FWait::Fork { rd: u.rd };
+                self.try_alloc(core + 1);
+                return Ok(true);
+            }
+            UKind::PJal => {
+                let target = HartId::new(a & 0xffff);
+                self.validate_start_target(id, target)?;
+                self.deliver_start(target, pc.wrapping_add(4))?;
+                self.harts[hi].team_succ = Some(target);
+                self.set(hi, u.rd, 0);
+                next = pc.wrapping_add(imm as u32);
+            }
+            UKind::PCall => {
+                let target = IdentityWord::from_bits(a).allocated_hart();
+                self.validate_start_target(id, target)?;
+                self.deliver_start(target, pc.wrapping_add(4))?;
+                self.harts[hi].team_succ = Some(target);
+                self.set(hi, u.rd, 0);
+                next = b & !1;
+            }
+            UKind::PRet => {
+                // Commit gate: the team predecessor's ending signal.
+                if !self.harts[hi].end_signal {
+                    self.harts[hi].wait = FWait::EndSignal;
+                    self.sched_dirty = true;
+                    return Ok(false);
+                }
+                let word = IdentityWord::from_bits(b);
+                if a == 0 && word.is_exit_sentinel() {
+                    // The exit boundary: park *before* the exit p_ret so
+                    // the cycle-exact engine retires it.
+                    self.at_exit = true;
+                    self.harts[hi].wait = FWait::AtExit;
+                    self.sched_dirty = true;
+                    return Ok(false);
+                }
+                self.harts[hi].end_signal = false; // consumed
+                self.retire(hi, pc);
+                if a == 0 {
+                    if word.joins_to(id) {
+                        // Type 2: wait for a join address.
+                        self.harts[hi].state = HartState::WaitingJoin;
+                        self.forward_end_signal(hi);
+                    } else {
+                        // Type 1: the hart ends.
+                        self.forward_end_signal(hi);
+                        self.end_hart(hi);
+                    }
+                } else {
+                    // Type 4: send the continuation backward, then end
+                    // (or wait, on a self-join). No end-signal forward.
+                    let target = word.join_hart();
+                    if target.core() > core as u32 {
+                        return Err(SimError::Protocol {
+                            hart: id,
+                            what: format!("join address sent forward to hart {target}"),
+                        });
+                    }
+                    if target == id {
+                        self.harts[hi].state = HartState::WaitingJoin;
+                        self.deliver_join(target, a)?;
+                    } else {
+                        self.end_hart(hi);
+                        self.deliver_join(target, a)?;
+                    }
+                }
+                return Ok(true);
+            }
+            UKind::Invalid => {
+                return Err(SimError::Decode {
+                    pc,
+                    word: u.imm as u32,
+                    hart: id,
+                });
+            }
+        }
+        self.harts[hi].pc = next;
+        self.retire(hi, pc);
+        Ok(true)
+    }
+
+    /// Describes every blocked hart (functional deadlock diagnostics).
+    fn blocked_report(&self) -> Vec<BlockedHart> {
+        let mut blocked = Vec::new();
+        for hi in 0..self.harts.len() {
+            let h = &self.harts[hi];
+            let reason = match (h.state, h.wait) {
+                (HartState::Free, _) => continue,
+                (_, FWait::Fork { .. }) => {
+                    format!("a free hart on core {} (fork pending)", {
+                        // The request sits in whichever queue holds it.
+                        self.alloc_q
+                            .iter()
+                            .position(|q| q.contains(&self.id(hi)))
+                            .unwrap_or(hi / HARTS_PER_CORE)
+                    })
+                }
+                (HartState::Reserved, _) => "its start pc (p_jal/p_jalr)".to_owned(),
+                (HartState::WaitingJoin, _) => "a join address (p_ret)".to_owned(),
+                (_, FWait::EndSignal) => "the ending-hart signal (p_ret)".to_owned(),
+                (_, FWait::Result { slot }) => {
+                    format!("data in result slot {slot} (p_lwre)")
+                }
+                (_, FWait::AtExit) => continue, // parked at the exit, not stuck
+                (HartState::Running, FWait::Ready) => {
+                    "an event that can no longer happen".to_owned()
+                }
+            };
+            blocked.push(BlockedHart {
+                hart: self.id(hi),
+                waiting_on: reason,
+            });
+        }
+        blocked
+    }
+
+    /// Runs the engine until `stop` is met (then drains pending fork
+    /// allocations to the next rendezvous-quiet point), the exit `p_ret`
+    /// is reached, or `max_steps` instructions have executed.
+    ///
+    /// The schedule is deterministic: one instruction per runnable hart
+    /// per round, in hart order. The interleaving approximates the
+    /// cycle-exact machine's concurrency, which matters for hart
+    /// *allocation* fidelity — a run-to-block schedule would let early
+    /// team members end (freeing their harts) before later forks arrive,
+    /// so `p_fc` would reuse harts the concurrent machine never frees in
+    /// time. The runnable set is cached and rebuilt only when a hart
+    /// parks, wakes, or changes state, so serial phases stay fast.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when no hart can make progress,
+    /// [`SimError::Timeout`] when the step budget runs out, or any fatal
+    /// fault the program raises (same classes as the cycle-exact engine).
+    pub fn run(&mut self, stop: FastStop, max_steps: u64) -> Result<FastSummary, SimError> {
+        let mut steps = 0u64;
+        let mut clamped = 0u64;
+        let mut stopping = self.stop_met(stop);
+        let mut stop_hart: Option<HartId> = None;
+        let mut include_stopped = false;
+        let mut runnable: Vec<usize> = Vec::new();
+        self.sched_dirty = true;
+        'outer: loop {
+            if self.at_exit || (stopping && self.rendezvous_quiet()) {
+                break;
+            }
+            if self.sched_dirty {
+                runnable = (0..self.harts.len()).filter(|&h| self.runnable(h)).collect();
+                self.sched_dirty = false;
+            }
+            let mut progress = false;
+            for i in 0..runnable.len() {
+                let hi = runnable[i];
+                if !self.runnable(hi) {
+                    continue; // parked or freed since the set was built
+                }
+                if stopping {
+                    if self.rendezvous_quiet() {
+                        break 'outer;
+                    }
+                    if !include_stopped && stop_hart == Some(self.id(hi)) {
+                        continue; // keep the ROI hart parked while draining
+                    }
+                } else if let FastStop::Pc(p) = stop {
+                    if self.harts[hi].pc == p {
+                        stopping = true;
+                        stop_hart = Some(self.id(hi));
+                        continue;
+                    }
+                }
+                let before = self.total_retired;
+                let stepped = self.step(hi)?;
+                if self.at_exit {
+                    break 'outer;
+                }
+                if !stepped {
+                    continue; // parked with a wait reason; pruned on rebuild
+                }
+                progress = true;
+                steps += 1;
+                if steps > max_steps {
+                    return Err(SimError::Timeout { cycles: max_steps });
+                }
+                if stopping {
+                    clamped += self.total_retired - before;
+                } else if self.stop_met(stop) {
+                    stopping = true;
+                }
+            }
+            if self.at_exit || (stopping && self.rendezvous_quiet()) {
+                break;
+            }
+            if !progress {
+                if self.sched_dirty {
+                    continue; // a hart parked or woke mid-round: rebuild and retry
+                }
+                if stopping {
+                    if !include_stopped && stop_hart.is_some() {
+                        include_stopped = true; // the ROI hart is the only way forward
+                        continue;
+                    }
+                    break; // cannot drain: hand off anyway (not clean)
+                }
+                return Err(SimError::Deadlock {
+                    cycle: self.virtual_cycle(),
+                    blocked: self.blocked_report(),
+                });
+            }
+        }
+        Ok(FastSummary {
+            retired: self.total_retired,
+            virtual_cycle: self.virtual_cycle(),
+            at_exit: self.at_exit,
+            clamped,
+            rendezvous_clean: self.rendezvous_quiet(),
+            stop_hart,
+        })
+    }
+
+    fn stop_met(&self, stop: FastStop) -> bool {
+        match stop {
+            FastStop::Retired(n) => self.total_retired >= n,
+            FastStop::Pc(_) | FastStop::Exit => false,
+        }
+    }
+
+    /// Builds a cycle-exact [`Machine`](crate::Machine) from the current
+    /// architectural state — the hybrid handoff. Every pipeline is empty,
+    /// no message is in flight, and the machine's clock is set to the
+    /// engine's virtual cycle with the per-core cycle-accounting invariant
+    /// (`retired + stalls == cycles`) preserved by padding the synthetic
+    /// stall budget into the `idle` bucket.
+    ///
+    /// At zero retired instructions the materialized machine is
+    /// bit-identical (snapshot bytes) to `Machine::new(cfg, image)`.
+    ///
+    /// # Errors
+    ///
+    /// Refuses fault plans the hybrid timeline cannot honor: message
+    /// (drop/delay) faults, and cycle-triggered faults whose trigger falls
+    /// inside the fast-forwarded warm phase (trigger ≤ virtual cycle).
+    pub fn materialize(&self, image: &Image) -> Result<crate::Machine, SimError> {
+        crate::machine::materialize_from_fast(self, image)
+    }
+
+    // ---- accessors used by the materialization glue in machine.rs ----
+
+    pub(crate) fn cfg(&self) -> &LbpConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.forks,
+            self.joins,
+            self.muldiv_ops,
+            self.local_accesses,
+            self.remote_accesses,
+        )
+    }
+
+    pub(crate) fn free_queues(&self) -> &[VecDeque<u32>] {
+        &self.free_q
+    }
+
+    pub(crate) fn bank_contents(&self) -> (&[Vec<u8>], &[Vec<u8>]) {
+        (&self.local, &self.shared)
+    }
+
+    pub(crate) fn hart_view(&self, hi: usize) -> FastHartView<'_> {
+        let h = &self.harts[hi];
+        FastHartView {
+            state: h.state,
+            pc: if h.state == HartState::Running {
+                Some(h.pc)
+            } else {
+                None
+            },
+            regs: &h.regs,
+            recv: &h.recv,
+            end_signal: h.end_signal,
+            team_succ: h.team_succ,
+        }
+    }
+}
+
+/// A read-only architectural view of one functional hart, consumed by the
+/// materialization glue.
+pub(crate) struct FastHartView<'a> {
+    pub state: HartState,
+    pub pc: Option<u32>,
+    pub regs: &'a [u32; 32],
+    pub recv: &'a [VecDeque<u32>],
+    pub end_signal: bool,
+    pub team_succ: Option<HartId>,
+}
+
+/// The fixed continuation-value frame base of a hart (mirrors
+/// `MemSys::cv_base` without needing the bank structures).
+fn cv_base(cfg: &LbpConfig, hart: HartId) -> u32 {
+    let stack = cfg.local_bank_bytes / HARTS_PER_CORE as u32;
+    LOCAL_BASE + (hart.local() + 1) * stack - CV_FRAME_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbp_asm::assemble;
+    use lbp_isa::Reg;
+
+    fn engine(src: &str, cores: usize) -> FastEngine {
+        let image = assemble(src).unwrap();
+        FastEngine::new(LbpConfig::cores(cores), &image).unwrap()
+    }
+
+    #[test]
+    fn runs_arithmetic_to_the_exit_boundary() {
+        let mut e = engine(
+            "main:
+                li   a0, 6
+                li   a1, 7
+                mul  a2, a0, a1
+                li   t0, -1
+                li   a0, 0
+                p_ret a0, t0",
+            1,
+        );
+        let s = e.run(FastStop::Exit, 1_000).unwrap();
+        assert!(s.at_exit);
+        assert!(s.rendezvous_clean);
+        // The exit p_ret itself is NOT executed functionally.
+        assert_eq!(s.retired, 5);
+        assert_eq!(e.reg(HartId::FIRST, Reg::A2), 42);
+        assert_eq!(e.muldiv_ops, 1);
+    }
+
+    #[test]
+    fn memory_and_counters() {
+        let mut e = engine(
+            "main:
+                la   a0, cell
+                li   a1, 1234
+                sw   a1, 0(a0)
+                lw   a2, 0(a0)
+                li   t0, -1
+                li   ra, 0
+                p_ret
+            .data
+            cell: .word 0",
+            2,
+        );
+        e.run(FastStop::Exit, 1_000).unwrap();
+        assert_eq!(e.reg(HartId::FIRST, Reg::A2), 1234);
+        assert_eq!(e.peek_shared(SHARED_BASE).unwrap(), 1234);
+        // cell sits in bank 0, the executing core's own slice.
+        assert_eq!(e.local_accesses, 2);
+        assert_eq!(e.remote_accesses, 0);
+    }
+
+    #[test]
+    fn fork_team_runs_functionally() {
+        // The crate-level doc example: a two-hart Fig. 8 team.
+        let mut e = engine(
+            "main:
+                li    t0, -1
+                addi  sp, sp, -8
+                sw    ra, 0(sp)
+                sw    t0, 4(sp)
+                p_set t0
+                la    ra, rp
+                p_fc   t6
+                p_swcv ra, t6, 0
+                p_swcv t0, t6, 4
+                p_merge t0, t0, t6
+                p_syncm
+                la    a0, child
+                p_jalr ra, t0, a0
+                p_lwcv ra, 0
+                p_lwcv t0, 4
+                p_set t0
+                la    a0, child
+                jalr  a0
+                lw    ra, 0(sp)
+                lw    t0, 4(sp)
+                addi  sp, sp, 8
+                p_ret
+            rp:
+                lw    ra, 0(sp)
+                lw    t0, 4(sp)
+                addi  sp, sp, 8
+                p_ret
+            child:
+                p_ret
+            ",
+            1,
+        );
+        let s = e.run(FastStop::Exit, 10_000).unwrap();
+        assert!(s.at_exit);
+        assert_eq!(e.forks, 1);
+        // Two join deliveries: the child's self-join after its inline
+        // call, then the backward join that resumes the parent.
+        assert_eq!(e.joins, 2);
+    }
+
+    #[test]
+    fn retired_stop_clamps_to_rendezvous_quiet() {
+        let mut e = engine(
+            "main:
+                li   t0, -1
+                p_fc t6          # retires as instruction 2
+                li   a0, 5
+                li   ra, 0
+                p_ret",
+            1,
+        );
+        // Ask to stop mid-way; the fork either completed (quiet) already
+        // or the drain pushes past it.
+        let s = e.run(FastStop::Retired(2), 1_000).unwrap();
+        assert!(s.rendezvous_clean);
+        assert!(s.retired >= 2);
+    }
+
+    #[test]
+    fn functional_deadlock_is_reported() {
+        let mut e = engine(
+            "main:
+                p_lwre a0, 3     # nobody ever sends a result
+                li   t0, -1
+                li   ra, 0
+                p_ret",
+            1,
+        );
+        let err = e.run(FastStop::Exit, 1_000).unwrap_err();
+        match err {
+            SimError::Deadlock { blocked, .. } => {
+                assert_eq!(blocked.len(), 1);
+                assert!(blocked[0].waiting_on.contains("result slot"));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+        assert!(!e.at_exit());
+    }
+
+    #[test]
+    fn pc_stop_parks_before_the_marker() {
+        let mut e = engine(
+            "main:
+                li   a0, 1
+                li   a1, 2
+            roi:
+                add  a2, a0, a1
+                li   t0, -1
+                li   ra, 0
+                p_ret",
+            1,
+        );
+        let image = assemble(
+            "main:
+                li   a0, 1
+                li   a1, 2
+            roi:
+                add  a2, a0, a1
+                li   t0, -1
+                li   ra, 0
+                p_ret",
+        )
+        .unwrap();
+        let roi = image.symbol("roi").unwrap();
+        let s = e.run(FastStop::Pc(roi), 1_000).unwrap();
+        assert_eq!(s.stop_hart, Some(HartId::FIRST));
+        assert_eq!(s.retired, 2); // the add has NOT run
+        assert_eq!(e.reg(HartId::FIRST, Reg::A2), 0);
+    }
+
+    #[test]
+    fn sabotage_changes_the_functional_copy_only() {
+        let src = "main:
+                li   a0, 6
+                li   a1, 7
+                add  a2, a0, a1
+                li   t0, -1
+                li   ra, 0
+                p_ret";
+        let mut e = engine(src, 1);
+        let image = assemble(src).unwrap();
+        // Corrupt the add into something else (flip a bit in rs2).
+        e.sabotage_code(8, 1 << 20);
+        e.run(FastStop::Exit, 1_000).unwrap();
+        assert_ne!(e.reg(HartId::FIRST, Reg::A2), 13);
+        // The image itself is untouched.
+        assert_eq!(image.text[2], assemble(src).unwrap().text[2]);
+    }
+
+    #[test]
+    fn commit_log_records_per_hart_pcs() {
+        let mut e = engine(
+            "main:
+                li   a0, 1
+                li   a1, 2
+                li   t0, -1
+                li   ra, 0
+                p_ret",
+            1,
+        );
+        e.enable_commit_log();
+        e.run(FastStop::Exit, 1_000).unwrap();
+        assert_eq!(e.commit_log()[0], vec![0, 4, 8, 12]);
+    }
+}

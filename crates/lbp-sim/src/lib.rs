@@ -70,6 +70,7 @@ mod deadlock;
 mod dump;
 mod error;
 mod fabric;
+pub mod fast;
 mod fault;
 mod hart;
 mod io;
@@ -89,6 +90,7 @@ pub use bank::MemFault;
 pub use config::{Latencies, LbpConfig, CV_FRAME_BYTES};
 pub use dump::{HartDump, MachineDump, SimFailure, DUMP_SCHEMA};
 pub use error::{BlockedHart, SimError};
+pub use fast::{FastEngine, FastStop, FastSummary};
 pub use fault::{Fault, FaultPlan};
 pub use io::{InputDevice, IoBus, OutputDevice, DEVICE_STRIDE};
 pub use json::{Json, JsonError};

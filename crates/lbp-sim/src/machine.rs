@@ -167,6 +167,7 @@ impl Machine {
             .collect();
         let boot_sp = mem.cv_base(HartId::FIRST);
         cores[0].harts[0].boot(image.entry, boot_sp);
+        cores[0].free_q.retain(|&l| l != 0); // the boot hart starts running, not free
         Ok(Machine {
             fabric,
             stats: Stats::new(cfg.harts()),
@@ -846,6 +847,212 @@ impl Machine {
         let h = &self.cores[hart.core() as usize].harts[hart.local() as usize];
         h.prf[h.rat[reg.index()] as usize].value
     }
+
+    /// An FNV-1a-64 hash of the machine's *architectural* state: hart
+    /// states, program counters, architectural registers (read through the
+    /// renaming tables), receive slots, end signals, team successors,
+    /// per-hart retired counts, the architectural event counters
+    /// (forks/joins/muldiv/local/remote accesses) and the full memory
+    /// image — but **no** timing state (cycles, stalls, hops, conflicts,
+    /// in-flight messages, pipeline contents).
+    ///
+    /// This is the hybrid-handoff equality oracle: a fast-forwarded
+    /// warm-then-measure run of a race-free program must end with the
+    /// same architectural hash as the pure cycle-exact run. Meaningful
+    /// when the machine is quiescent (exited or at a cycle boundary with
+    /// drained pipelines).
+    pub fn arch_hash(&self) -> u64 {
+        let mut h = ArchHasher::new();
+        h.u8(self.exited as u8);
+        for core in &self.cores {
+            for hart in &core.harts {
+                let tag = match hart.state {
+                    HartState::Free => 0u8,
+                    HartState::Reserved => 1,
+                    HartState::Running => 2,
+                    HartState::WaitingJoin => 3,
+                };
+                h.u8(tag);
+                if hart.state == HartState::Free {
+                    continue; // dead registers carry stale values
+                }
+                match hart.pc {
+                    Some(pc) => {
+                        h.u8(1);
+                        h.u32(pc);
+                    }
+                    None => h.u8(0),
+                }
+                for r in 0..32 {
+                    h.u32(hart.prf[hart.rat[r] as usize].value);
+                }
+                for q in &hart.recv {
+                    h.u64(q.len() as u64);
+                    for &v in q {
+                        h.u32(v);
+                    }
+                }
+                h.u8(hart.end_signal as u8);
+                match hart.team_succ {
+                    Some(succ) => {
+                        h.u8(1);
+                        h.u32(succ.global());
+                    }
+                    None => h.u8(0),
+                }
+            }
+        }
+        for &n in &self.stats.retired_per_hart {
+            h.u64(n);
+        }
+        h.u64(self.stats.forks);
+        h.u64(self.stats.joins);
+        h.u64(self.stats.muldiv_ops);
+        h.u64(self.stats.local_accesses);
+        h.u64(self.stats.remote_accesses);
+        for bank in self.mem.local_banks() {
+            h.bytes(bank);
+        }
+        for bank in self.mem.shared_banks() {
+            h.bytes(bank);
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a-64 over architectural state (same constants as `lbp-snap`).
+struct ArchHasher(u64);
+
+impl ArchHasher {
+    fn new() -> ArchHasher {
+        ArchHasher(0xcbf2_9ce4_8422_2325)
+    }
+    fn u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.u8(b);
+        }
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Builds a cycle-exact [`Machine`] from a functional engine's
+/// architectural state — the hybrid handoff behind
+/// [`FastEngine::materialize`](crate::fast::FastEngine::materialize).
+///
+/// The produced machine is indistinguishable from one that ran the warm
+/// phase cycle-exactly and then had every timing counter zeroed: all
+/// pipelines empty, no message in flight, the clock at the engine's
+/// virtual cycle, and the per-core accounting invariant
+/// (`retired + stalls == cycles`) preserved by padding the synthetic
+/// stall budget into the `idle` bucket.
+pub(crate) fn materialize_from_fast(
+    fast: &crate::fast::FastEngine,
+    image: &Image,
+) -> Result<Machine, SimError> {
+    let cfg = fast.cfg().clone();
+    let vcycle = fast.virtual_cycle();
+    // The hybrid timeline cannot honor every fault plan: message faults
+    // count fabric messages the warm phase never sends, and a
+    // cycle-triggered fault inside the warm window would have hit a state
+    // the fast engine never modeled. Refuse both up front.
+    for fault in &cfg.faults.faults {
+        match fault {
+            Fault::DropMsg { .. } | Fault::DelayMsg { .. } => {
+                return Err(SimError::Protocol {
+                    hart: HartId::FIRST,
+                    what: format!(
+                        "fault `{fault}` counts fabric messages, which functional \
+                         fast-forwarding does not model; run cycle-exact from cycle 0"
+                    ),
+                });
+            }
+            _ => {
+                if vcycle > 0 && fault.cycle().is_some_and(|c| c <= vcycle) {
+                    return Err(SimError::Protocol {
+                        hart: HartId::FIRST,
+                        what: format!(
+                            "fault `{fault}` triggers at cycle {} but the functional warm \
+                             phase already covers cycles 1..={vcycle}; schedule it after the \
+                             handoff or shrink --warm",
+                            fault.cycle().unwrap_or(0)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    let mut m = Machine::new(cfg, image)?;
+    m.cycle = vcycle;
+    m.stats.cycles = vcycle;
+    let (forks, joins, muldiv_ops, local_accesses, remote_accesses) = fast.counters();
+    m.stats.forks = forks;
+    m.stats.joins = joins;
+    m.stats.muldiv_ops = muldiv_ops;
+    m.stats.local_accesses = local_accesses;
+    m.stats.remote_accesses = remote_accesses;
+    m.stats.retired_per_hart.copy_from_slice(fast.retired_per_hart());
+    for c in 0..m.cfg.cores {
+        let retired = m.stats.retired_by_core(c);
+        m.stats.stalls_per_core[c] = CoreStalls {
+            idle: vcycle - retired,
+            ..CoreStalls::default()
+        };
+    }
+    m.mem.local_served = local_accesses;
+    m.mem.remote_served = remote_accesses;
+    let harts = m.cfg.harts();
+    for hi in 0..harts {
+        let view = fast.hart_view(hi);
+        let id = HartId::new(hi as u32);
+        let h = m.hart_mut(id);
+        h.state = view.state;
+        h.pc = view.pc;
+        h.fetch_suspended = view.pc.is_none();
+        h.resume_at = 0;
+        h.end_signal = view.end_signal;
+        h.team_succ = view.team_succ;
+        if view.state != HartState::Free {
+            // The renaming table of an untouched hart is the identity, so
+            // architectural register r lives in physical register r.
+            for r in 0..32 {
+                let phys = h.rat[r] as usize;
+                h.prf[phys].value = view.regs[r];
+                h.prf[phys].ready = true;
+            }
+        }
+        for (q, src) in h.recv.iter_mut().zip(view.recv) {
+            q.clone_from(src);
+        }
+    }
+    for (core, q) in fast.free_queues().iter().enumerate() {
+        m.cores[core].free_q.clone_from(q);
+    }
+    let (local, shared) = fast.bank_contents();
+    for (dst, src) in m.mem.local_banks_mut().iter_mut().zip(local) {
+        dst.copy_from_slice(src);
+    }
+    for (dst, src) in m.mem.shared_banks_mut().iter_mut().zip(shared) {
+        dst.copy_from_slice(src);
+    }
+    m.cursor = SampleCursor {
+        cycle: vcycle,
+        retired: m.stats.retired(),
+        link_hops: 0,
+        stalls: m.stats.stalls_total(),
+    };
+    Ok(m)
 }
 
 /// Rejects fault plans that target something outside the machine, so the

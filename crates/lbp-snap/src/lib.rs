@@ -1,7 +1,7 @@
 //! # lbp-snap — deterministic checkpoint/restore for LBP machines
 //!
-//! A versioned, content-hashed file container (`lbp-snap-v1`) around
-//! [`lbp_sim::MachineState`], plus a divergence bisector that
+//! A versioned, content-hashed file container (`lbp-snap`, format v2)
+//! around [`lbp_sim::MachineState`], plus a divergence bisector that
 //! binary-searches two runs for the first cycle — and the first traced
 //! event — where their evolutions part ways.
 //!
@@ -10,13 +10,21 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic  b"LBPSNAP1"
-//!      8     2  format version (little-endian u16, currently 1)
-//!     10     8  snapshot cycle
-//!     18     8  core count
-//!     26     8  payload length in bytes
-//!     34     8  FNV-1a-64 hash of the payload
-//!     42     …  payload (the `MachineState` bytes)
+//!      8     2  format version (little-endian u16, currently 2)
+//!     10     1  producing engine (0 = cycle-exact, 1 = functional)
+//!     11     8  snapshot cycle
+//!     19     8  core count
+//!     27     8  payload length in bytes
+//!     35     8  FNV-1a-64 hash of the payload
+//!     43     …  payload (the `MachineState` bytes)
 //! ```
+//!
+//! Version-1 containers (no engine byte; every snapshot implicitly
+//! cycle-exact) still decode. The engine byte records *provenance*: a
+//! snapshot materialized from the functional fast-forward engine
+//! ([`lbp_sim::FastEngine`]) carries approximate timing (its cycle is a
+//! retirement lower bound, its stall ledger synthetic), so tools that
+//! compare timing — the bisector above all — must refuse to mix the two.
 //!
 //! The hash makes snapshots *content-addressed*: two machines in the same
 //! state produce byte-identical files with the same
@@ -51,16 +59,78 @@ use lbp_sim::{MachineState, SnapError};
 
 mod bisect;
 
-pub use bisect::{first_divergence, DivergencePoint};
+pub use bisect::{first_divergence, hybrid_divergence, DivergencePoint, HybridDivergence};
 
 /// The container magic, spelling the format name.
 pub const MAGIC: [u8; 8] = *b"LBPSNAP1";
 
 /// The current container format version.
-pub const FORMAT_VERSION: u16 = 1;
+pub const FORMAT_VERSION: u16 = 2;
 
-/// Bytes of container header before the payload.
-pub const CONTAINER_HEADER_BYTES: usize = 42;
+/// Bytes of container header before the payload (current format).
+pub const CONTAINER_HEADER_BYTES: usize = 43;
+
+/// Header size of the legacy version-1 container (no engine byte).
+pub const V1_HEADER_BYTES: usize = 42;
+
+/// Which simulation engine produced a snapshot.
+///
+/// Functional snapshots come from the fast-forward interpreter: their
+/// architectural state is exact, but the cycle count is a retirement
+/// lower bound and the stall ledger synthetic. Timing-sensitive tools
+/// (the bisector) must not compare them against cycle-exact snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The full pipeline/NoC/bank model — exact cycles.
+    CycleExact,
+    /// The functional fast-forward interpreter — exact architecture,
+    /// virtual cycles.
+    Functional,
+}
+
+impl Engine {
+    fn to_byte(self) -> u8 {
+        match self {
+            Engine::CycleExact => 0,
+            Engine::Functional => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Engine> {
+        match b {
+            0 => Some(Engine::CycleExact),
+            1 => Some(Engine::Functional),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::CycleExact => "cycle-exact",
+            Engine::Functional => "functional",
+        })
+    }
+}
+
+/// Container metadata, readable without restoring the machine.
+#[derive(Debug, Clone, Copy)]
+pub struct Meta {
+    /// The container format version (1 or 2).
+    pub version: u16,
+    /// The engine that produced the snapshot (v1 containers predate the
+    /// field and are always cycle-exact).
+    pub engine: Engine,
+    /// The cycle the machine was snapshotted at.
+    pub cycle: u64,
+    /// The machine's core count.
+    pub cores: u64,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// The FNV-1a-64 content hash of the payload.
+    pub content_hash: u64,
+}
 
 /// A failure to read or write a snapshot container.
 ///
@@ -91,7 +161,7 @@ pub enum SnapFileError {
         /// The hash of the payload as read.
         got: u64,
     },
-    /// The bytes are not a well-formed `lbp-snap-v1` container (bad
+    /// The bytes are not a well-formed `lbp-snap` container (bad
     /// magic, unsupported version, header/payload disagreement).
     Format(String),
     /// The payload does not describe a valid machine.
@@ -104,15 +174,15 @@ impl std::fmt::Display for SnapFileError {
             SnapFileError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
             SnapFileError::ShortRead { expected, got } => write!(
                 f,
-                "truncated lbp-snap-v1 container: {got} of {expected} bytes present \
+                "truncated lbp-snap container: {got} of {expected} bytes present \
                  (torn or interrupted write)"
             ),
             SnapFileError::HashMismatch { expected, got } => write!(
                 f,
-                "lbp-snap-v1 content-hash mismatch: header says {expected:#018x}, \
+                "lbp-snap content-hash mismatch: header says {expected:#018x}, \
                  payload hashes to {got:#018x} (the snapshot bytes were altered)"
             ),
-            SnapFileError::Format(what) => write!(f, "not an lbp-snap-v1 container: {what}"),
+            SnapFileError::Format(what) => write!(f, "not a valid lbp-snap container: {what}"),
             SnapFileError::Snap(e) => write!(f, "snapshot payload rejected: {e}"),
         }
     }
@@ -157,12 +227,19 @@ pub fn content_hash(state: &MachineState) -> u64 {
     fnv1a64(state.as_bytes())
 }
 
-/// Serializes a machine state into an `lbp-snap-v1` container.
+/// Serializes a machine state into the current container format,
+/// recording a cycle-exact producing engine.
 pub fn encode(state: &MachineState) -> Vec<u8> {
+    encode_with_engine(state, Engine::CycleExact)
+}
+
+/// Serializes a machine state, recording which engine produced it.
+pub fn encode_with_engine(state: &MachineState, engine: Engine) -> Vec<u8> {
     let payload = state.as_bytes();
     let mut out = Vec::with_capacity(CONTAINER_HEADER_BYTES + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.push(engine.to_byte());
     out.extend_from_slice(&state.cycle().to_le_bytes());
     out.extend_from_slice(&(state.cores() as u64).to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -171,39 +248,63 @@ pub fn encode(state: &MachineState) -> Vec<u8> {
     out
 }
 
-/// Parses an `lbp-snap-v1` container back into a [`MachineState`],
-/// verifying the magic, version, length and integrity hash.
+/// Reads and verifies the container header without touching the payload
+/// beyond hashing it — cheap inspection of cycle, cores and producing
+/// engine. Accepts both format versions.
 ///
 /// # Errors
 ///
-/// [`SnapFileError::ShortRead`] when the container ends before the
-/// header's declared size (torn write), [`SnapFileError::HashMismatch`]
-/// when the payload is complete but its bytes were altered,
-/// [`SnapFileError::Format`] on any other container-level violation,
-/// [`SnapFileError::Snap`] if the verified payload still fails machine
-/// validation.
-pub fn decode(bytes: &[u8]) -> Result<MachineState, SnapFileError> {
+/// [`SnapFileError::ShortRead`], [`SnapFileError::HashMismatch`] or
+/// [`SnapFileError::Format`] exactly as [`decode`] classifies them.
+pub fn peek(bytes: &[u8]) -> Result<Meta, SnapFileError> {
     let bad = |what: String| Err(SnapFileError::Format(what));
-    if bytes.len() < CONTAINER_HEADER_BYTES {
+    if bytes.len() < V1_HEADER_BYTES {
+        // Too short for any header; report against the declared version
+        // when readable, else the current format's size.
+        let expected = if bytes.len() >= 10 && bytes[8..10] == 1u16.to_le_bytes() {
+            V1_HEADER_BYTES
+        } else {
+            CONTAINER_HEADER_BYTES
+        };
         return Err(SnapFileError::ShortRead {
-            expected: CONTAINER_HEADER_BYTES as u64,
+            expected: expected as u64,
             got: bytes.len() as u64,
         });
     }
     if bytes[..8] != MAGIC {
         return bad("bad magic".to_owned());
     }
-    let u16_at = |at: usize| u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap());
+    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    // v1 has no engine byte; numeric fields start right after the
+    // version and every snapshot is implicitly cycle-exact.
+    let (engine, header) = match version {
+        1 => (Engine::CycleExact, V1_HEADER_BYTES),
+        2 => {
+            if bytes.len() < CONTAINER_HEADER_BYTES {
+                return Err(SnapFileError::ShortRead {
+                    expected: CONTAINER_HEADER_BYTES as u64,
+                    got: bytes.len() as u64,
+                });
+            }
+            match Engine::from_byte(bytes[10]) {
+                Some(e) => (e, CONTAINER_HEADER_BYTES),
+                None => return bad(format!("unknown producing engine {}", bytes[10])),
+            }
+        }
+        v => return bad(format!("unsupported format version {v}")),
+    };
+    let base = header - 32;
     let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
-    let version = u16_at(8);
-    if version != FORMAT_VERSION {
-        return bad(format!("unsupported format version {version}"));
-    }
-    let (cycle, cores, len, hash) = (u64_at(10), u64_at(18), u64_at(26), u64_at(34));
-    let payload = &bytes[CONTAINER_HEADER_BYTES..];
+    let (cycle, cores, len, hash) = (
+        u64_at(base),
+        u64_at(base + 8),
+        u64_at(base + 16),
+        u64_at(base + 24),
+    );
+    let payload = &bytes[header..];
     if (payload.len() as u64) < len {
         return Err(SnapFileError::ShortRead {
-            expected: CONTAINER_HEADER_BYTES as u64 + len,
+            expected: header as u64 + len,
             got: bytes.len() as u64,
         });
     }
@@ -220,30 +321,108 @@ pub fn decode(bytes: &[u8]) -> Result<MachineState, SnapFileError> {
             got: got_hash,
         });
     }
-    let state = MachineState::from_bytes(payload.to_vec())?;
-    if state.cycle() != cycle || state.cores() as u64 != cores {
-        return bad(format!(
-            "container header (cycle {cycle}, {cores} cores) disagrees with the payload \
+    Ok(Meta {
+        version,
+        engine,
+        cycle,
+        cores,
+        payload_len: len,
+        content_hash: hash,
+    })
+}
+
+/// Parses a container back into a [`MachineState`], verifying the
+/// magic, version, length and integrity hash. Both format versions are
+/// accepted; use [`peek`] first when the producing engine matters.
+///
+/// # Errors
+///
+/// [`SnapFileError::ShortRead`] when the container ends before the
+/// header's declared size (torn write), [`SnapFileError::HashMismatch`]
+/// when the payload is complete but its bytes were altered,
+/// [`SnapFileError::Format`] on any other container-level violation,
+/// [`SnapFileError::Snap`] if the verified payload still fails machine
+/// validation.
+pub fn decode(bytes: &[u8]) -> Result<MachineState, SnapFileError> {
+    let meta = peek(bytes)?;
+    if meta.version < FORMAT_VERSION {
+        // The v2 payload gained the per-core hart free queue; a v1
+        // payload lacks it and cannot be restored by this build.
+        return Err(SnapFileError::Format(format!(
+            "snapshot container v{} predates this build's machine-state layout: \
+             re-run the producing simulation to regenerate the snapshot",
+            meta.version
+        )));
+    }
+    let state = MachineState::from_bytes(bytes[CONTAINER_HEADER_BYTES..].to_vec())?;
+    if state.cycle() != meta.cycle || state.cores() as u64 != meta.cores {
+        return Err(SnapFileError::Format(format!(
+            "container header (cycle {}, {} cores) disagrees with the payload \
              (cycle {}, {} cores)",
+            meta.cycle,
+            meta.cores,
             state.cycle(),
             state.cores()
-        ));
+        )));
     }
     Ok(state)
 }
 
-/// Writes a machine state to `path` as an `lbp-snap-v1` container.
+/// Checks that two snapshots may be bisected against each other.
+///
+/// Bisection compares *timing* evolution, so both snapshots must come
+/// from the same container format version and the same engine; a
+/// functional snapshot's virtual cycle cannot be lined up against a
+/// cycle-exact one's.
+///
+/// # Errors
+///
+/// [`SnapFileError::Format`] naming the mismatched field and both
+/// values, with the fix (re-snapshot, or bisect within one engine).
+pub fn ensure_bisect_compatible(a: &Meta, b: &Meta) -> Result<(), SnapFileError> {
+    if a.version != b.version {
+        return Err(SnapFileError::Format(format!(
+            "cannot bisect across container format versions (one snapshot is v{}, the \
+             other v{}); re-save the older snapshot with this tool to upgrade it",
+            a.version, b.version
+        )));
+    }
+    if a.engine != b.engine {
+        return Err(SnapFileError::Format(format!(
+            "cannot bisect a {} snapshot against a {} one: functional snapshots carry \
+             virtual cycles, not pipeline timing; take both snapshots from the same \
+             engine (e.g. re-run the warm phase cycle-exact)",
+            a.engine, b.engine
+        )));
+    }
+    Ok(())
+}
+
+/// Writes a machine state to `path` as a cycle-exact container.
 ///
 /// # Errors
 ///
 /// Any I/O failure creating or writing the file.
 pub fn save(state: &MachineState, path: impl AsRef<Path>) -> Result<(), SnapFileError> {
+    save_with_engine(state, Engine::CycleExact, path)
+}
+
+/// Writes a machine state to `path`, recording its producing engine.
+///
+/// # Errors
+///
+/// Any I/O failure creating or writing the file.
+pub fn save_with_engine(
+    state: &MachineState,
+    engine: Engine,
+    path: impl AsRef<Path>,
+) -> Result<(), SnapFileError> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(&encode(state))?;
+    f.write_all(&encode_with_engine(state, engine))?;
     Ok(())
 }
 
-/// Reads and verifies an `lbp-snap-v1` container from `path`.
+/// Reads and verifies a snapshot container from `path`.
 ///
 /// # Errors
 ///
@@ -252,6 +431,17 @@ pub fn load(path: impl AsRef<Path>) -> Result<MachineState, SnapFileError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     decode(&bytes)
+}
+
+/// Reads and verifies only the container metadata from `path`.
+///
+/// # Errors
+///
+/// I/O failures or container-format violations.
+pub fn peek_file(path: impl AsRef<Path>) -> Result<Meta, SnapFileError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    peek(&bytes)
 }
 
 #[cfg(test)]
@@ -316,6 +506,58 @@ mod tests {
         bytes[last] ^= 1;
         bytes[0] = b'X';
         assert!(matches!(decode(&bytes), Err(SnapFileError::Format(_))));
+    }
+
+    #[test]
+    fn engine_provenance_round_trips() {
+        let state = snapped();
+        let bytes = encode_with_engine(&state, Engine::Functional);
+        let meta = peek(&bytes).unwrap();
+        assert_eq!(meta.version, FORMAT_VERSION);
+        assert_eq!(meta.engine, Engine::Functional);
+        assert_eq!(meta.cycle, 2);
+        assert_eq!(meta.engine.to_string(), "functional");
+        assert_eq!(peek(&encode(&state)).unwrap().engine, Engine::CycleExact);
+        // Provenance does not perturb the payload.
+        assert_eq!(decode(&bytes).unwrap().as_bytes(), state.as_bytes());
+    }
+
+    #[test]
+    fn v1_containers_peek_as_cycle_exact_but_refuse_decode() {
+        let state = snapped();
+        let payload = state.as_bytes();
+        // Hand-build a legacy v1 container (42-byte header, no engine).
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(&MAGIC);
+        v1.extend_from_slice(&1u16.to_le_bytes());
+        v1.extend_from_slice(&state.cycle().to_le_bytes());
+        v1.extend_from_slice(&(state.cores() as u64).to_le_bytes());
+        v1.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        v1.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        v1.extend_from_slice(payload);
+        let meta = peek(&v1).unwrap();
+        assert_eq!(meta.version, 1);
+        assert_eq!(meta.engine, Engine::CycleExact);
+        // The v2 machine-state layout (hart free queues) is not present
+        // in a v1 payload, so decode refuses rather than misparsing.
+        let msg = decode(&v1).unwrap_err().to_string();
+        assert!(msg.contains("v1") && msg.contains("re-run"), "{msg}");
+    }
+
+    #[test]
+    fn bisect_refuses_mixed_engines_and_versions() {
+        let state = snapped();
+        let exact = peek(&encode(&state)).unwrap();
+        let fast = peek(&encode_with_engine(&state, Engine::Functional)).unwrap();
+        assert!(ensure_bisect_compatible(&exact, &exact).is_ok());
+        let msg = ensure_bisect_compatible(&exact, &fast)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("cycle-exact") && msg.contains("functional"), "{msg}");
+        let mut v1 = exact;
+        v1.version = 1;
+        let msg = ensure_bisect_compatible(&v1, &exact).unwrap_err().to_string();
+        assert!(msg.contains("v1") && msg.contains("v2"), "{msg}");
     }
 
     #[test]

@@ -108,12 +108,12 @@ fn bit_flipped_container_reports_hash_mismatch_with_both_hashes() {
 
 #[test]
 fn header_hash_field_flip_is_a_mismatch_not_a_parse_error() {
-    // Flipping the *recorded* hash (header offset 34..42) leaves the
+    // Flipping the *recorded* hash (header offset 35..43) leaves the
     // payload intact; the diagnostic must still be HashMismatch with
     // `expected` carrying the altered header value.
     let (path, bytes) = fixture("header-hash.lbpsnap");
     let mut damaged = bytes.clone();
-    damaged[34] ^= 0x01;
+    damaged[35] ^= 0x01;
     std::fs::write(&path, &damaged).unwrap();
     assert!(matches!(
         lbp_snap::load(&path),

@@ -82,6 +82,13 @@ struct Options {
     resume_from: Option<String>,
     bisect: bool,
     wall_ms: Option<u64>,
+    warm: Option<u64>,
+    roi: bool,
+    warm_snap: Option<String>,
+    snap_info: Option<String>,
+    bisect_snaps: Option<(String, String)>,
+    hybrid_bisect: bool,
+    sabotage: Vec<(u32, u32)>,
 }
 
 fn usage() -> ! {
@@ -123,6 +130,24 @@ fn usage() -> ! {
                               runs for the first divergent cycle and event\n\
            --wall-ms MS       cancel the run cooperatively after MS milliseconds\n\
                               of host time; exits 11 (0 cancels at first poll)\n\
+           --warm N           fast-forward the first N retired instructions on the\n\
+                              functional engine (clamped to the next rendezvous\n\
+                              boundary), then hand off to the cycle-exact engine\n\
+           --roi              like --warm, but fast-forward until the program's\n\
+                              `__roi_start` marker (a label; `.c` inputs write it\n\
+                              with `__roi_start();`)\n\
+           --warm-snap FILE   with --warm/--roi, save the handoff snapshot to FILE\n\
+                              (container records the functional engine)\n\
+           --snap-info FILE   print a snapshot container's metadata (format\n\
+                              version, producing engine, cycle, cores) and exit\n\
+           --bisect-snaps A B bisect two same-cycle snapshots of diverging runs;\n\
+                              refuses mixed container versions or engines\n\
+           --hybrid-bisect    run the functional and cycle-exact engines side by\n\
+                              side and localize their first divergence to the\n\
+                              exact instruction (commit-stream comparison)\n\
+           --sabotage PC:XOR  with --hybrid-bisect: XOR a code word in the\n\
+                              functional copy only (repeatable; seeded-divergence\n\
+                              validation of the localizer)\n\
          \n\
          exit codes: 0 ok, 2 usage, 1 front-end/I/O, 4 timeout, 5 deadlock,\n\
          6 protocol, 7 decode, 8 memory fault, 9 lockstep divergence,\n\
@@ -156,6 +181,13 @@ fn parse_args() -> Options {
         resume_from: None,
         bisect: false,
         wall_ms: None,
+        warm: None,
+        roi: false,
+        warm_snap: None,
+        snap_info: None,
+        bisect_snaps: None,
+        hybrid_bisect: false,
+        sabotage: Vec::new(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -234,6 +266,40 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--warm" => {
+                opts.warm = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--roi" => opts.roi = true,
+            "--warm-snap" => opts.warm_snap = Some(args.next().unwrap_or_else(|| usage())),
+            "--snap-info" => opts.snap_info = Some(args.next().unwrap_or_else(|| usage())),
+            "--bisect-snaps" => {
+                let a = args.next().unwrap_or_else(|| usage());
+                let b = args.next().unwrap_or_else(|| usage());
+                opts.bisect_snaps = Some((a, b));
+            }
+            "--hybrid-bisect" => opts.hybrid_bisect = true,
+            "--sabotage" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let parse_u32 = |s: &str| -> Option<u32> {
+                    s.strip_prefix("0x")
+                        .map(|h| u32::from_str_radix(h, 16).ok())
+                        .unwrap_or_else(|| s.parse().ok())
+                };
+                match spec
+                    .split_once(':')
+                    .and_then(|(pc, xor)| Some((parse_u32(pc)?, parse_u32(xor)?)))
+                {
+                    Some(pair) => opts.sabotage.push(pair),
+                    None => {
+                        eprintln!("lbp-run: bad --sabotage spec `{spec}` (want PC:XOR)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {
                 opts.input = other.to_owned();
@@ -241,18 +307,64 @@ fn parse_args() -> Options {
             _ => usage(),
         }
     }
+    // --snap-info and --bisect-snaps operate on containers alone.
+    if opts.snap_info.is_some() || opts.bisect_snaps.is_some() {
+        return opts;
+    }
     if opts.input.is_empty() && opts.resume_from.is_none() {
         usage();
     }
     // Every mode that compiles or statically inspects the program needs
     // one; only a plain resumed run can do without.
     if opts.input.is_empty()
-        && (opts.verify || opts.lockstep || opts.bisect || opts.emit_asm || opts.disasm)
+        && (opts.verify
+            || opts.lockstep
+            || opts.bisect
+            || opts.emit_asm
+            || opts.disasm
+            || opts.hybrid_bisect
+            || opts.warm.is_some()
+            || opts.roi)
     {
         usage();
     }
     if opts.bisect && opts.faults.is_empty() {
         eprintln!("lbp-run: --bisect needs at least one --fault to diverge from the clean run");
+        std::process::exit(2);
+    }
+    if opts.warm.is_some() && opts.roi {
+        eprintln!("lbp-run: --warm and --roi both set the fast-forward target; pick one");
+        std::process::exit(2);
+    }
+    if opts.warm.is_some() || opts.roi {
+        // These modes are defined against cycle-exact execution from
+        // reset; a functional warm phase has no timing (or, for
+        // --resume-from, no warm phase at all).
+        let flag = if opts.roi { "--roi" } else { "--warm" };
+        let conflicts: [(&str, bool); 5] = [
+            ("--lockstep", opts.lockstep),
+            ("--verify", opts.verify),
+            ("--race-witness", opts.race_witness),
+            ("--bisect", opts.bisect),
+            ("--resume-from", opts.resume_from.is_some()),
+        ];
+        for (name, on) in conflicts {
+            if on {
+                eprintln!(
+                    "lbp-run: {flag} cannot combine with {name}: the warm phase runs \
+                     functionally, outside what {name} checks; run the whole program \
+                     cycle-exact instead"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.warm_snap.is_some() && opts.warm.is_none() && !opts.roi {
+        eprintln!("lbp-run: --warm-snap needs --warm or --roi to produce the handoff snapshot");
+        std::process::exit(2);
+    }
+    if !opts.sabotage.is_empty() && !opts.hybrid_bisect {
+        eprintln!("lbp-run: --sabotage only makes sense with --hybrid-bisect");
         std::process::exit(2);
     }
     if opts.cores == 0 || opts.cores > 4096 {
@@ -481,6 +593,174 @@ fn run_with_wall_clock(
     }
 }
 
+/// `--snap-info FILE`: print a container's metadata without restoring
+/// the machine.
+fn run_snap_info(path: &str) -> ExitCode {
+    match lbp::snap::peek_file(path) {
+        Ok(meta) => {
+            println!("snapshot: {path}");
+            println!("format:   lbp-snap v{}", meta.version);
+            println!("engine:   {}", meta.engine);
+            println!("cycle:    {}", meta.cycle);
+            println!("cores:    {}", meta.cores);
+            println!("payload:  {} bytes", meta.payload_len);
+            println!("hash:     {:#018x}", meta.content_hash);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lbp-run: cannot inspect `{path}`: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--bisect-snaps A B`: bisect two same-cycle snapshots of diverging
+/// runs, refusing incompatible container versions or engines first.
+fn run_bisect_snaps(a: &str, b: &str, max_cycles: u64) -> ExitCode {
+    let (meta_a, meta_b) = match (lbp::snap::peek_file(a), lbp::snap::peek_file(b)) {
+        (Ok(x), Ok(y)) => (x, y),
+        (Err(e), _) => {
+            eprintln!("lbp-run: cannot inspect `{a}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        (_, Err(e)) => {
+            eprintln!("lbp-run: cannot inspect `{b}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = lbp::snap::ensure_bisect_compatible(&meta_a, &meta_b) {
+        eprintln!("lbp-run: {e}");
+        return ExitCode::from(2);
+    }
+    let (sa, sb) = match (lbp::snap::load(a), lbp::snap::load(b)) {
+        (Ok(x), Ok(y)) => (x, y),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("lbp-run: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stride = (max_cycles / 100).clamp(16, 65_536);
+    match lbp::snap::first_divergence(&sa, &sb, max_cycles, stride) {
+        Ok(Some(d)) => {
+            println!("{d}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            println!(
+                "no divergence: the two runs stayed state-identical for {max_cycles} cycles"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lbp-run: bisection failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--warm N` / `--roi`: fast-forward on the functional engine, print
+/// the warm summary, and materialize the cycle-exact machine at the
+/// handoff boundary.
+fn warm_forward(
+    cfg: LbpConfig,
+    image: &lbp::asm::Image,
+    opts: &Options,
+) -> Result<Machine, ExitCode> {
+    use lbp::sim::{FastEngine, FastStop};
+    let stop = if opts.roi {
+        match image.symbol("__roi_start") {
+            Some(pc) => FastStop::Pc(pc),
+            None => {
+                eprintln!(
+                    "lbp-run: --roi needs a `__roi_start` marker; add `__roi_start();` to \
+                     the C source (or a `__roi_start:` label in assembly)"
+                );
+                return Err(ExitCode::from(2));
+            }
+        }
+    } else {
+        FastStop::Retired(opts.warm.unwrap_or(0))
+    };
+    let mut fast = match FastEngine::new(cfg, image) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lbp-run: {e}");
+            return Err(ExitCode::from(sim_exit_code(&e)));
+        }
+    };
+    let started = std::time::Instant::now();
+    let summary = match fast.run(stop, opts.max_cycles) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lbp-run: warm phase failed: {e}");
+            return Err(ExitCode::from(sim_exit_code(&e)));
+        }
+    };
+    let secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "lbp-run: warm phase retired {} instructions (virtual cycle {}) in {:.1}ms \
+         ({:.1} Minstr/s)",
+        summary.retired,
+        summary.virtual_cycle,
+        secs * 1e3,
+        summary.retired as f64 / secs.max(1e-9) / 1e6
+    );
+    if summary.clamped > 0 {
+        eprintln!(
+            "lbp-run: warm target fell mid-rendezvous; clamped {} instructions forward \
+             to the next rendezvous boundary",
+            summary.clamped
+        );
+    }
+    if summary.at_exit {
+        eprintln!(
+            "lbp-run: warm phase reached the exit boundary; the cycle-exact window only \
+             retires the exit p_ret"
+        );
+    }
+    let machine = match fast.materialize(image) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("lbp-run: {e}");
+            return Err(ExitCode::from(sim_exit_code(&e)));
+        }
+    };
+    if let Some(path) = &opts.warm_snap {
+        let state = machine.snapshot();
+        match lbp::snap::save_with_engine(&state, lbp::snap::Engine::Functional, path) {
+            Ok(()) => eprintln!(
+                "lbp-run: handoff snapshot written to {path} (functional, cycle {})",
+                state.cycle()
+            ),
+            Err(e) => eprintln!("lbp-run: cannot write handoff snapshot `{path}`: {e}"),
+        }
+    }
+    Ok(machine)
+}
+
+/// `--hybrid-bisect`: run the functional and cycle-exact engines side by
+/// side and localize their first commit-stream divergence.
+fn run_hybrid_bisect(opts: &Options, image: &lbp::asm::Image) -> ExitCode {
+    let cfg = LbpConfig::cores(opts.cores);
+    match lbp::snap::hybrid_divergence(cfg, image, opts.max_cycles, &opts.sabotage) {
+        Ok(Some(d)) => {
+            println!("{d}");
+            ExitCode::SUCCESS
+        }
+        Ok(None) => {
+            println!(
+                "no divergence: the functional and cycle-exact engines retire identical \
+                 per-hart instruction streams"
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lbp-run: {e}");
+            ExitCode::from(sim_exit_code(&e))
+        }
+    }
+}
+
 /// `--bisect`: build a clean machine and one with the `--fault` plan,
 /// then binary-search their runs (over snapshots) for the first cycle —
 /// and the first traced event — where they diverge.
@@ -527,6 +807,12 @@ fn run_bisect_mode(opts: &Options, image: &lbp::asm::Image) -> ExitCode {
 
 fn main() -> ExitCode {
     let opts = parse_args();
+    if let Some(path) = &opts.snap_info {
+        return run_snap_info(path);
+    }
+    if let Some((a, b)) = &opts.bisect_snaps {
+        return run_bisect_snaps(a, b, opts.max_cycles);
+    }
     // With --resume-from the program is optional — the snapshot carries
     // the whole machine. When given anyway, it still feeds --dump and
     // --profile symbol lookups.
@@ -582,40 +868,52 @@ fn main() -> ExitCode {
         let image = &front.as_ref().expect("checked by parse_args").1;
         return run_bisect_mode(&opts, image);
     }
+    if opts.hybrid_bisect {
+        let image = &front.as_ref().expect("checked by parse_args").1;
+        return run_hybrid_bisect(&opts, image);
+    }
     if opts.lockstep {
         let image = &front.as_ref().expect("checked by parse_args").1;
         return run_lockstep_mode(cfg, image, &opts);
     }
-    let mut machine = match &opts.resume_from {
-        Some(path) => {
-            let state = match lbp::snap::load(path) {
-                Ok(state) => state,
-                Err(e) => {
-                    eprintln!("lbp-run: cannot load checkpoint `{path}`: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            match Machine::restore(&state) {
-                Ok(m) => {
-                    eprintln!("lbp-run: resumed from {path} at cycle {}", state.cycle());
-                    m
-                }
-                Err(e) => {
-                    eprintln!("lbp-run: cannot restore `{path}`: {e}");
-                    return ExitCode::FAILURE;
+    let mut machine = if opts.warm.is_some() || opts.roi {
+        let image = &front.as_ref().expect("checked by parse_args").1;
+        match warm_forward(cfg, image, &opts) {
+            Ok(m) => m,
+            Err(code) => return code,
+        }
+    } else {
+        match &opts.resume_from {
+            Some(path) => {
+                let state = match lbp::snap::load(path) {
+                    Ok(state) => state,
+                    Err(e) => {
+                        eprintln!("lbp-run: cannot load checkpoint `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match Machine::restore(&state) {
+                    Ok(m) => {
+                        eprintln!("lbp-run: resumed from {path} at cycle {}", state.cycle());
+                        m
+                    }
+                    Err(e) => {
+                        eprintln!("lbp-run: cannot restore `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
-        }
-        None => {
-            let image = &front
-                .as_ref()
-                .expect("a program or --resume-from is required")
-                .1;
-            match Machine::new(cfg, image) {
-                Ok(m) => m,
-                Err(e) => {
-                    eprintln!("lbp-run: {e}");
-                    return ExitCode::from(sim_exit_code(&e));
+            None => {
+                let image = &front
+                    .as_ref()
+                    .expect("a program or --resume-from is required")
+                    .1;
+                match Machine::new(cfg, image) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("lbp-run: {e}");
+                        return ExitCode::from(sim_exit_code(&e));
+                    }
                 }
             }
         }

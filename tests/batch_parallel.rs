@@ -26,6 +26,7 @@ fn sweep() -> Vec<BatchJob> {
                 max_cycles,
                 faults: Vec::new(),
                 profile: false,
+                warm: None,
             });
         }
     }

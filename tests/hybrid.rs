@@ -1,0 +1,296 @@
+//! The hybrid handoff property: `materialize(fast_forward(N))` then
+//! running cycle-exactly to completion must reach the *bit-identical
+//! architectural state* a pure cycle-exact run reaches — for every
+//! example program, at every warm target (including 0, mid-rendezvous
+//! values, and past-end), and with faults scheduled inside the
+//! cycle-exact window.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use lbp::asm::Image;
+use lbp::kernels::matmul::{Matmul, Version};
+use lbp::sim::{
+    Event, EventKind, FastEngine, FastStop, Fault, FaultPlan, LbpConfig, Machine, TraceSink,
+};
+
+const MAX_CYCLES: u64 = 100_000_000;
+const MAX_STEPS: u64 = 100_000_000;
+
+fn repo(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every example program the suite proves the handoff on: assembly
+/// examples, compiled C samples, and a kernels-built fork tree.
+fn example_images() -> Vec<(String, Image, usize)> {
+    let mut out = Vec::new();
+    for (file, cores) in [("examples/asm/mul.s", 1), ("examples/asm/fork2.s", 2)] {
+        let src = std::fs::read_to_string(repo(file)).unwrap();
+        out.push((file.to_owned(), lbp::asm::assemble(&src).unwrap(), cores));
+    }
+    for (file, cores) in [
+        ("examples/c/hello_team.c", 2),
+        ("examples/c/matmul.c", 4),
+        ("examples/c/set_get.c", 4),
+        ("examples/c/reduce.c", 2),
+    ] {
+        let src = std::fs::read_to_string(repo(file)).unwrap();
+        let compiled = lbp::cc::compile(&src).unwrap();
+        out.push((file.to_owned(), compiled.image, cores));
+    }
+    let mm = Matmul::new(16, Version::Base);
+    out.push(("kernels/matmul-base-16".to_owned(), mm.build(), mm.cores()));
+    out
+}
+
+fn pure_run(image: &Image, cores: usize) -> (u64, u64) {
+    let mut m = Machine::new(LbpConfig::cores(cores), image).unwrap();
+    let report = m.run(MAX_CYCLES).unwrap();
+    assert!(report.exited);
+    (report.stats.retired(), m.arch_hash())
+}
+
+/// Fast-forwards to `stop`, materializes, finishes cycle-exactly, and
+/// returns the final architectural hash plus the finished machine.
+fn hybrid_run(image: &Image, cores: usize, stop: FastStop) -> (u64, Machine) {
+    let mut fast = FastEngine::new(LbpConfig::cores(cores), image).unwrap();
+    fast.run(stop, MAX_STEPS).unwrap();
+    let mut m = fast.materialize(image).unwrap();
+    let report = m.run(MAX_CYCLES).unwrap();
+    assert!(report.exited);
+    (m.arch_hash(), m)
+}
+
+#[test]
+fn hybrid_handoff_matches_pure_cycle_exact() {
+    for (name, image, cores) in example_images() {
+        let (retired, pure_hash) = pure_run(&image, cores);
+        for warm in [0, retired / 2, retired.saturating_sub(1), u64::MAX] {
+            let (hash, m) = hybrid_run(&image, cores, FastStop::Retired(warm));
+            assert_eq!(
+                hash, pure_hash,
+                "{name}: hybrid warm={warm} diverged from pure cycle-exact"
+            );
+            assert_eq!(
+                m.stats().retired(),
+                retired,
+                "{name}: hybrid warm={warm} retired a different instruction count"
+            );
+        }
+        let (hash, _) = hybrid_run(&image, cores, FastStop::Exit);
+        assert_eq!(hash, pure_hash, "{name}: exit-boundary handoff diverged");
+    }
+}
+
+/// Every warm target in 0..=retired for a forking program — mid-rendezvous
+/// targets included — must clamp cleanly, never panic, and still converge.
+#[test]
+fn every_warm_target_clamps_and_converges() {
+    let src = std::fs::read_to_string(repo("examples/asm/fork2.s")).unwrap();
+    let image = lbp::asm::assemble(&src).unwrap();
+    let (retired, pure_hash) = pure_run(&image, 2);
+    for warm in 0..=retired {
+        let mut fast = FastEngine::new(LbpConfig::cores(2), &image).unwrap();
+        let summary = fast.run(FastStop::Retired(warm), MAX_STEPS).unwrap();
+        assert!(
+            summary.rendezvous_clean,
+            "warm={warm}: drain left a fork pending"
+        );
+        let mut m = fast.materialize(&image).unwrap();
+        let report = m.run(MAX_CYCLES).unwrap();
+        assert!(report.exited, "warm={warm}: hybrid run did not exit");
+        assert_eq!(m.arch_hash(), pure_hash, "warm={warm}: diverged");
+    }
+}
+
+/// `__roi_start();` compiles to a label the hybrid driver can target:
+/// fast-forwarding to its pc parks before the marker, and finishing
+/// cycle-exactly still converges to the pure run's state.
+#[test]
+fn roi_marker_compiles_to_a_targetable_label() {
+    let src = "\
+#define NUM_HART 8
+#include <det_omp.h>
+
+int data[NUM_HART];
+int out[1];
+
+void fill(int t) { data[t] = t * 3; }
+
+void main(void) {
+    int t; int s;
+    omp_set_num_threads(NUM_HART);
+#pragma omp parallel for
+    for (t = 0; t < NUM_HART; t++) fill(t);
+    __roi_start();
+    s = 0;
+    for (t = 0; t < NUM_HART; t++) s += data[t];
+    out[0] = s;
+    __roi_end();
+}
+";
+    let compiled = lbp::cc::compile(src).unwrap();
+    let start = compiled
+        .image
+        .symbol("__roi_start")
+        .expect("__roi_start(); lowers to a label");
+    assert!(
+        compiled.image.symbol("__roi_end").is_some(),
+        "__roi_end(); lowers to a label"
+    );
+    let (retired, pure_hash) = pure_run(&compiled.image, 2);
+    let mut fast = FastEngine::new(LbpConfig::cores(2), &compiled.image).unwrap();
+    let summary = fast.run(FastStop::Pc(start), MAX_STEPS).unwrap();
+    assert!(summary.retired > 0, "the warm phase covered the fork region");
+    assert!(summary.retired < retired, "the ROI tail stayed cycle-exact");
+    let mut m = fast.materialize(&compiled.image).unwrap();
+    let report = m.run(MAX_CYCLES).unwrap();
+    assert!(report.exited);
+    assert_eq!(m.arch_hash(), pure_hash, "ROI handoff diverged");
+}
+
+#[test]
+fn warm_zero_materializes_bit_identical_to_fresh() {
+    for (name, image, cores) in example_images() {
+        let cfg = LbpConfig::cores(cores);
+        let mut fast = FastEngine::new(cfg.clone(), &image).unwrap();
+        let summary = fast.run(FastStop::Retired(0), MAX_STEPS).unwrap();
+        assert_eq!(summary.retired, 0, "{name}: warm=0 executed instructions");
+        let m = fast.materialize(&image).unwrap();
+        let fresh = Machine::new(cfg, &image).unwrap();
+        assert_eq!(
+            m.snapshot().as_bytes(),
+            fresh.snapshot().as_bytes(),
+            "{name}: warm=0 materialization is not bit-identical to a fresh machine"
+        );
+    }
+}
+
+/// A sink collecting per-hart committed pcs (the cycle-exact half of the
+/// commit-stream concatenation property).
+struct PerHartCommits {
+    streams: Rc<RefCell<Vec<VecDeque<u32>>>>,
+}
+
+impl TraceSink for PerHartCommits {
+    fn record(&mut self, event: &Event) {
+        if let EventKind::Commit { pc } = event.kind {
+            self.streams.borrow_mut()[event.hart.global() as usize].push_back(pc);
+        }
+    }
+}
+
+fn commit_streams(m: &mut Machine, harts: usize) -> Rc<RefCell<Vec<VecDeque<u32>>>> {
+    let streams = Rc::new(RefCell::new(vec![VecDeque::new(); harts]));
+    m.set_sink(Box::new(PerHartCommits {
+        streams: Rc::clone(&streams),
+    }));
+    streams
+}
+
+/// Per hart: pure commit-pc stream == functional commit log ++ hybrid
+/// window commit stream. This is the property the divergence bisector
+/// relies on to localize a functional bug to one instruction.
+#[test]
+fn per_hart_commit_streams_concatenate() {
+    let src = std::fs::read_to_string(repo("examples/asm/fork2.s")).unwrap();
+    let image = lbp::asm::assemble(&src).unwrap();
+    let cfg = LbpConfig::cores(2);
+    let harts = cfg.harts();
+
+    let mut pure = Machine::new(cfg.clone(), &image).unwrap();
+    let pure_streams = commit_streams(&mut pure, harts);
+    pure.run(MAX_CYCLES).unwrap();
+
+    let (retired, _) = pure_run(&image, 2);
+    let mut fast = FastEngine::new(cfg.clone(), &image).unwrap();
+    fast.enable_commit_log();
+    fast.run(FastStop::Retired(retired / 2), MAX_STEPS).unwrap();
+    let mut hybrid = fast.materialize(&image).unwrap();
+    let window_streams = commit_streams(&mut hybrid, harts);
+    hybrid.run(MAX_CYCLES).unwrap();
+
+    for h in 0..harts {
+        let mut expect: Vec<u32> = fast.commit_log()[h].clone();
+        expect.extend(window_streams.borrow()[h].iter().copied());
+        let got: Vec<u32> = pure_streams.borrow()[h].iter().copied().collect();
+        assert_eq!(
+            got, expect,
+            "hart {h}: pure commit stream != functional log ++ window stream"
+        );
+    }
+}
+
+#[test]
+fn faults_inside_the_window_ride_through() {
+    // A long countdown whose `cookie` word the program never touches
+    // after load time: flipping one of its bits at cycle 2000 — inside
+    // the cycle-exact window for a warm target of 200 retired
+    // instructions — must survive to the final state.
+    let image = lbp::asm::assemble(
+        "main:
+            li   a0, 5000
+            la   a1, counter
+        loop:
+            addi a0, a0, -1
+            sw   a0, 0(a1)
+            bne  a0, zero, loop
+            li   t0, -1
+            li   ra, 0
+            p_ret
+        .data
+        counter: .word 0
+        cookie:  .word 0",
+    )
+    .unwrap();
+    let cookie = lbp::isa::SHARED_BASE + 4;
+    let plan: FaultPlan = [Fault::parse(&format!("flip-mem:{cookie:#x}:0:2000")).unwrap()]
+        .into_iter()
+        .collect();
+    let cfg = LbpConfig::cores(1).with_faults(plan);
+
+    let run_faulted = || {
+        let mut fast = FastEngine::new(cfg.clone(), &image).unwrap();
+        fast.run(FastStop::Retired(200), MAX_STEPS).unwrap();
+        let mut m = fast.materialize(&image).unwrap();
+        m.run(MAX_CYCLES).unwrap();
+        (m.arch_hash(), m.stats().clone())
+    };
+    let (h1, s1) = run_faulted();
+    let (h2, s2) = run_faulted();
+    assert_eq!(h1, h2, "faulted hybrid runs must be deterministic");
+    assert_eq!(s1, s2);
+    // Sanity: the fault is actually observable vs an unfaulted hybrid run.
+    let (unfaulted, _) = hybrid_run(&image, 1, FastStop::Retired(200));
+    assert_ne!(h1, unfaulted, "the in-window fault must change final state");
+}
+
+#[test]
+fn warm_phase_faults_are_refused_with_a_clear_diagnostic() {
+    let src = std::fs::read_to_string(repo("examples/asm/mul.s")).unwrap();
+    let image = lbp::asm::assemble(&src).unwrap();
+    // A register flip at cycle 1 lands inside any nonzero warm phase.
+    let early: FaultPlan = [Fault::parse("flip-reg:0:a0:0:1").unwrap()]
+        .into_iter()
+        .collect();
+    let cfg = LbpConfig::cores(1).with_faults(early);
+    let mut fast = FastEngine::new(cfg, &image).unwrap();
+    fast.run(FastStop::Retired(3), MAX_STEPS).unwrap();
+    let err = fast.materialize(&image).unwrap_err().to_string();
+    assert!(
+        err.contains("warm"),
+        "warm-phase fault refusal must say why: {err}"
+    );
+
+    // Message faults count fabric traffic the warm phase never sends.
+    let drops: FaultPlan = [Fault::parse("drop-msg:0").unwrap()].into_iter().collect();
+    let cfg = LbpConfig::cores(1).with_faults(drops);
+    let fast = FastEngine::new(cfg, &image).unwrap();
+    let err = fast.materialize(&image).unwrap_err().to_string();
+    assert!(
+        err.contains("functional"),
+        "message-fault refusal must say why: {err}"
+    );
+}
