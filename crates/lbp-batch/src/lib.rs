@@ -620,7 +620,10 @@ mod tests {
         let v = Json::parse(&lines(&out)[0]).unwrap();
         assert_eq!(v.get("status").and_then(Json::as_str), Some("protocol"));
         let msg = v.get("error").and_then(Json::as_str).unwrap();
-        assert!(msg.contains("warm"), "diagnostic names the warm phase: {msg}");
+        assert!(
+            msg.contains("warm"),
+            "diagnostic names the warm phase: {msg}"
+        );
     }
 
     #[test]

@@ -64,7 +64,15 @@ impl FfSummary {
     }
 }
 
-fn row(w: &Workload, suffix: &str, cores: u32, sim_cycles: u64, retired: u64, host_ns: u64, state_bytes: u64) -> BenchRow {
+fn row(
+    w: &Workload,
+    suffix: &str,
+    cores: u32,
+    sim_cycles: u64,
+    retired: u64,
+    host_ns: u64,
+    state_bytes: u64,
+) -> BenchRow {
     BenchRow {
         name: format!("{}/{suffix}", w.name),
         harts: w.harts,

@@ -90,6 +90,8 @@ pub enum Stmt {
         then: Vec<Stmt>,
         /// Else branch.
         els: Vec<Stmt>,
+        /// Source line (of the `if` keyword).
+        line: usize,
     },
     /// `while (cond) { .. }`.
     While {
@@ -97,6 +99,8 @@ pub enum Stmt {
         cond: Expr,
         /// Body.
         body: Vec<Stmt>,
+        /// Source line (of the `while` keyword).
+        line: usize,
     },
     /// `for (init; cond; step) { .. }` (init/step are statements).
     For {
@@ -108,6 +112,8 @@ pub enum Stmt {
         step: Box<Option<Stmt>>,
         /// Body.
         body: Vec<Stmt>,
+        /// Source line (of the `for` keyword).
+        line: usize,
     },
     /// `return e;` / `return;`.
     Return(Option<Expr>, usize),

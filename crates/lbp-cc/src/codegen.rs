@@ -24,7 +24,7 @@ use lbp_omp::{emit_parallel_region, TeamBody};
 
 use crate::ast::*;
 use crate::sema::Checked;
-use crate::CcError;
+use crate::{CcError, CodegenSabotage};
 
 /// Expression scratch registers (order = allocation preference).
 const SCRATCH: [&str; 7] = ["t2", "t3", "t4", "t5", "t6", "a6", "a7"];
@@ -38,19 +38,23 @@ const OFF_T0: i32 = 4;
 const OFF_SREG: i32 = 8; // 8 words
 const OFF_SPILL: i32 = 40; // 13 words
 
-/// Generates the complete assembly program.
+/// Generates the complete assembly program, optionally injecting a
+/// deliberate miscompilation (see [`CodegenSabotage`]) — the hook behind
+/// `lbp-cc --sabotage codegen:*` that red-tests the `semantics`
+/// differential oracle.
 ///
 /// # Errors
 ///
 /// Returns an error for constructs the generator cannot express
 /// (expressions deeper than the scratch pool, unsupported builtins).
-pub fn generate(cx: &Checked) -> Result<String, CcError> {
+pub fn generate_with(cx: &Checked, sabotage: Option<CodegenSabotage>) -> Result<String, CcError> {
     let mut g = Gen {
         cx,
         asm: Asm::new(),
         label_n: 0,
         team_fns: Vec::new(),
         section_tables: Vec::new(),
+        sabotage,
     };
     g.asm
         .comment("Compiled by lbp-cc (Deterministic OpenMP translator)");
@@ -183,6 +187,8 @@ struct Gen<'a> {
     label_n: usize,
     team_fns: Vec<(Function, FnKind)>,
     section_tables: Vec<(String, Vec<String>)>,
+    /// A deliberate miscompilation under test, if any.
+    sabotage: Option<CodegenSabotage>,
 }
 
 impl Gen<'_> {
@@ -296,7 +302,9 @@ impl Gen<'_> {
                 fx.release(v);
                 Ok(())
             }
-            Stmt::If { cond, then, els } => {
+            Stmt::If {
+                cond, then, els, ..
+            } => {
                 let else_l = self.fresh("else");
                 let end_l = self.fresh("endif");
                 self.branch_if_false(cond, &else_l, fx)?;
@@ -316,7 +324,7 @@ impl Gen<'_> {
                 }
                 Ok(())
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, .. } => {
                 let head = self.fresh("while");
                 let end = self.fresh("wend");
                 // Any iteration may observe the previous iteration's
@@ -337,6 +345,7 @@ impl Gen<'_> {
                 cond,
                 step,
                 body,
+                ..
             } => {
                 if let Some(i) = init.as_ref() {
                     self.stmt(i, fx)?;
@@ -412,21 +421,44 @@ impl Gen<'_> {
         line: usize,
     ) -> Result<(), CcError> {
         let fn_name = self.fresh("omp_fn");
+        let mut member_body = body.to_vec();
+        if self.sabotage == Some(CodegenSabotage::IndexShift) {
+            // Each member computes with index `t + 1`: the static chunk
+            // assignment every member receives is shifted by one.
+            member_body.insert(
+                0,
+                Stmt::Assign {
+                    lhs: Place::Var(var.to_owned()),
+                    rhs: Expr::Binary(
+                        BinOp::Add,
+                        Box::new(Expr::Var(var.to_owned())),
+                        Box::new(Expr::Int(1)),
+                    ),
+                    line,
+                },
+            );
+        }
         self.team_fns.push((
             Function {
                 name: fn_name.clone(),
                 params: vec![var.to_owned()],
                 returns_value: false,
-                body: body.to_vec(),
+                body: member_body,
                 line,
             },
             FnKind::TeamMember,
         ));
+        let mut emit_count = count as usize;
+        if self.sabotage == Some(CodegenSabotage::ChunkBounds) && emit_count > 1 {
+            // Off-by-one static chunk bounds: the last member is never
+            // spawned, so its chunk of the iteration space never runs.
+            emit_count -= 1;
+        }
         // The region's built-in p_syncm (before each p_jalr) drains
         // main's pending stores before any member runs.
         emit_parallel_region(
             &mut self.asm,
-            count as usize,
+            emit_count,
             &TeamBody::Uniform { function: fn_name },
             None,
         );
@@ -459,8 +491,12 @@ impl Gen<'_> {
             ));
             fns.push(fn_name);
         }
-        let count = fns.len();
+        let mut count = fns.len();
         self.section_tables.push((table.clone(), fns));
+        if self.sabotage == Some(CodegenSabotage::ChunkBounds) && count > 1 {
+            // Same off-by-one as parallel-for: the last section never runs.
+            count -= 1;
+        }
         emit_parallel_region(&mut self.asm, count, &TeamBody::Sections { table }, None);
         fx.pending.clear();
         fx.pending.unknown = true;
@@ -676,6 +712,14 @@ impl Gen<'_> {
         let va = self.expr(a, fx, line)?;
         let vb = self.expr(b, fx, line)?;
         if let (Val::Imm(x), Val::Imm(y)) = (va, vb) {
+            let op = if op == BinOp::Sub && self.sabotage == Some(CodegenSabotage::ConstFold) {
+                // Mis-fold constant subtraction as addition; the runtime
+                // `sub` path is untouched, so only folded expressions
+                // diverge from the spec interpreter.
+                BinOp::Add
+            } else {
+                op
+            };
             return Ok(Val::Imm(fold(op, x, y)));
         }
         // Immediate forms for commutative/offset-friendly operations.

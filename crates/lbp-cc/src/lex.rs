@@ -7,13 +7,16 @@ use std::fmt;
 
 use crate::CcError;
 
-/// A lexical token with its 1-based source line.
+/// A lexical token with its 1-based source line and column.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// The token kind/payload.
     pub kind: Tok,
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column of the token's first character (0 for
+    /// tokens without a concrete column, e.g. pragma lines and EOF).
+    pub col: usize,
 }
 
 /// Token kinds.
@@ -73,11 +76,14 @@ pub fn lex(source: &str) -> Result<Vec<Token>, CcError> {
             lex_preprocessor(rest.trim(), line_no, &mut defines, &mut tokens)?;
             continue;
         }
-        lex_line(line, line_no, &defines, &mut tokens)?;
+        // Columns are relative to the untrimmed line.
+        let col0 = raw_line.len() - raw_line.trim_start().len();
+        lex_line(line, line_no, col0, &defines, &mut tokens)?;
     }
     tokens.push(Token {
         kind: Tok::Eof,
         line: without_comments.lines().count() + 1,
+        col: 0,
     });
     Ok(tokens)
 }
@@ -156,7 +162,7 @@ fn lex_preprocessor(
             ["omp", "section"] => Tok::PragmaSection,
             _ => return Err(CcError::new(line, format!("unsupported pragma `#{rest}`"))),
         };
-        tokens.push(Token { kind, line });
+        tokens.push(Token { kind, line, col: 0 });
         return Ok(());
     }
     Err(CcError::new(
@@ -191,6 +197,7 @@ fn parse_shift_expr(t: &str) -> Option<i64> {
 fn lex_line(
     line: &str,
     line_no: usize,
+    col0: usize,
     defines: &HashMap<String, i64>,
     tokens: &mut Vec<Token>,
 ) -> Result<(), CcError> {
@@ -202,6 +209,7 @@ fn lex_line(
             i += 1;
             continue;
         }
+        let col = col0 + i + 1;
         if c.is_ascii_digit() {
             let start = i;
             while i < bytes.len() && (bytes[i] as char).is_ascii_alphanumeric() {
@@ -213,6 +221,7 @@ fn lex_line(
             tokens.push(Token {
                 kind: Tok::Int(v),
                 line: line_no,
+                col,
             });
             continue;
         }
@@ -228,11 +237,13 @@ fn lex_line(
                 tokens.push(Token {
                     kind: Tok::Int(v),
                     line: line_no,
+                    col,
                 });
             } else {
                 tokens.push(Token {
                     kind: Tok::Ident(word.to_owned()),
                     line: line_no,
+                    col,
                 });
             }
             continue;
@@ -243,6 +254,7 @@ fn lex_line(
                 tokens.push(Token {
                     kind: Tok::Int(bytes[i + 1] as i64),
                     line: line_no,
+                    col,
                 });
                 i += 3;
                 continue;
@@ -261,6 +273,7 @@ fn lex_line(
                         _ => ".",
                     }),
                     line: line_no,
+                    col,
                 });
                 i += 1;
                 continue 'outer;
@@ -271,6 +284,7 @@ fn lex_line(
                 tokens.push(Token {
                     kind: Tok::Sym(sym),
                     line: line_no,
+                    col,
                 });
                 i += sym.len();
                 continue 'outer;
@@ -351,6 +365,15 @@ mod tests {
             .find(|t| t.kind == Tok::Ident("b".into()))
             .unwrap();
         assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn tokens_carry_columns() {
+        let toks = lex("  int x = 42;").unwrap();
+        assert_eq!(toks[0].col, 3); // `int`
+        assert_eq!(toks[1].col, 7); // `x`
+        assert_eq!(toks[2].col, 9); // `=`
+        assert_eq!(toks[3].col, 11); // `42`
     }
 
     #[test]

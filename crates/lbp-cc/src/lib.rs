@@ -54,27 +54,41 @@ use std::fmt;
 
 pub mod ast;
 mod codegen;
-mod lex;
+pub mod lex;
 mod lint;
-mod parse;
-mod sema;
+pub mod parse;
+pub mod sema;
 
 pub use sema::{MAX_ARGS, MAX_LOCALS};
 
-/// A compilation error with its 1-based source line.
+/// A compilation error with its 1-based source line (and column, when
+/// the error is anchored to a concrete token).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CcError {
     /// 1-based source line.
     pub line: usize,
+    /// 1-based source column; 0 when unknown (statement-granular
+    /// diagnostics from sema carry a line only).
+    pub col: usize,
     /// Description.
     pub message: String,
 }
 
 impl CcError {
-    /// Creates an error.
+    /// Creates an error with a line but no column.
     pub fn new(line: usize, message: impl Into<String>) -> CcError {
         CcError {
             line,
+            col: 0,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an error anchored to a line *and* column.
+    pub fn at(line: usize, col: usize, message: impl Into<String>) -> CcError {
+        CcError {
+            line,
+            col,
             message: message.into(),
         }
     }
@@ -82,11 +96,67 @@ impl CcError {
 
 impl fmt::Display for CcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "compile error at line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(
+                f,
+                "compile error at line {}:{}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "compile error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
 impl std::error::Error for CcError {}
+
+/// A deliberate, named miscompilation the code generator can inject
+/// (`lbp-cc --sabotage codegen:<kind>`). Each kind is designed to stay
+/// *internally consistent* — the sabotaged binary runs deterministically,
+/// races with nobody, and passes the whole lockstep battery — so only a
+/// codegen-independent executable semantics (lbp-sema) can catch it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodegenSabotage {
+    /// Off-by-one static chunk bounds: a team of `n > 1` spawns only
+    /// `n - 1` members, silently dropping the last chunk.
+    ChunkBounds,
+    /// Every parallel-for member computes with index `t + 1` instead of
+    /// `t`: the static schedule is shifted by one chunk.
+    IndexShift,
+    /// Constant folding treats `a - b` as `a + b` (runtime subtraction
+    /// is untouched).
+    ConstFold,
+}
+
+impl CodegenSabotage {
+    /// All kinds, for enumeration in tests and CLIs.
+    pub const ALL: [CodegenSabotage; 3] = [
+        CodegenSabotage::ChunkBounds,
+        CodegenSabotage::IndexShift,
+        CodegenSabotage::ConstFold,
+    ];
+
+    /// The CLI name of this kind (without the `codegen:` prefix).
+    pub fn name(self) -> &'static str {
+        match self {
+            CodegenSabotage::ChunkBounds => "chunk-bounds",
+            CodegenSabotage::IndexShift => "index-shift",
+            CodegenSabotage::ConstFold => "const-fold",
+        }
+    }
+
+    /// Parses a kind name as spelled by [`CodegenSabotage::name`].
+    pub fn parse(name: &str) -> Option<CodegenSabotage> {
+        CodegenSabotage::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Compilation options beyond the defaults of [`compile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcOptions {
+    /// Inject a deliberate miscompilation (testing only).
+    pub sabotage: Option<CodegenSabotage>,
+}
 
 /// The output of a successful compilation.
 #[derive(Debug, Clone)]
@@ -105,10 +175,18 @@ pub struct Compiled {
 /// Returns the first lexical, syntactic, semantic or code-generation
 /// error with its source line.
 pub fn compile(source: &str) -> Result<Compiled, CcError> {
-    let tokens = lex::lex(source)?;
-    let unit = parse::parse(tokens)?;
-    let checked = sema::check(unit)?;
-    let asm = codegen::generate(&checked)?;
+    compile_with(source, &CcOptions::default())
+}
+
+/// [`compile`] with explicit [`CcOptions`] (e.g. codegen sabotage).
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, semantic or code-generation
+/// error with its source line.
+pub fn compile_with(source: &str, opts: &CcOptions) -> Result<Compiled, CcError> {
+    let checked = front_end(source)?;
+    let asm = codegen::generate_with(&checked, opts.sabotage)?;
     let image = lbp_asm::assemble(&asm).map_err(|e| {
         // An assembler error on generated code is a compiler bug; point
         // at the generated line for debugging.
@@ -118,6 +196,19 @@ pub fn compile(source: &str) -> Result<Compiled, CcError> {
         )
     })?;
     Ok(Compiled { asm, image })
+}
+
+/// Runs the front end only — lex, parse and semantic check — returning
+/// the typed, checked AST both the code generator and the lbp-sema
+/// reference interpreter consume.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn front_end(source: &str) -> Result<sema::Checked, CcError> {
+    let tokens = lex::lex(source)?;
+    let unit = parse::parse(tokens)?;
+    sema::check(unit)
 }
 
 /// Runs the determinism lint over a mini-C translation unit without

@@ -281,8 +281,13 @@ impl<'a> Linter<'a> {
             Stmt::Expr(e, line) => {
                 self.eval(e, env, *line);
             }
-            Stmt::If { cond, then, els } => {
-                self.eval(cond, env, 0);
+            Stmt::If {
+                cond,
+                then,
+                els,
+                line,
+            } => {
+                self.eval(cond, env, *line);
                 let mut env_then = env.clone();
                 let mut env_els = env.clone();
                 self.walk_block(then, &mut env_then);
@@ -294,9 +299,9 @@ impl<'a> Linter<'a> {
                     *v = if a == b { a } else { Sub::Unknown };
                 }
             }
-            Stmt::While { cond, body } => {
+            Stmt::While { cond, body, line } => {
                 invalidate_assigned(body, env);
-                self.eval(cond, env, 0);
+                self.eval(cond, env, *line);
                 let mut benv = env.clone();
                 self.walk_block(body, &mut benv);
             }
@@ -305,6 +310,7 @@ impl<'a> Linter<'a> {
                 cond,
                 step,
                 body,
+                line,
             } => {
                 if let Some(i) = init.as_ref() {
                     self.walk_stmt(i, env);
@@ -317,7 +323,7 @@ impl<'a> Linter<'a> {
                     invalidate_assigned(std::slice::from_ref(st), env);
                 }
                 if let Some(c) = cond {
-                    self.eval(c, env, 0);
+                    self.eval(c, env, *line);
                 }
                 let mut benv = env.clone();
                 self.walk_block(body, &mut benv);

@@ -35,6 +35,10 @@ impl Parser {
         self.tokens[self.pos.min(self.tokens.len() - 1)].line
     }
 
+    fn col(&self) -> usize {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].col
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
             .kind
@@ -44,7 +48,7 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> CcError {
-        CcError::new(self.line(), msg)
+        CcError::at(self.line(), self.col(), msg)
     }
 
     fn eat_sym(&mut self, sym: &str) -> Result<(), CcError> {
@@ -299,6 +303,7 @@ impl Parser {
                 cond: Expr::Int(1),
                 then: body,
                 els: Vec::new(),
+                line,
             });
         }
         match self.peek().clone() {
@@ -363,6 +368,7 @@ impl Parser {
                         cond: Expr::Int(1),
                         then: decls,
                         els: Vec::new(),
+                        line,
                     })
                 }
             }
@@ -378,7 +384,12 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then, els })
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    els,
+                    line,
+                })
             }
             Tok::Ident(kw) if kw == "do" => {
                 self.bump();
@@ -402,10 +413,12 @@ impl Parser {
                     cond,
                     then: Vec::new(),
                     els: vec![Stmt::Break(line)],
+                    line,
                 });
                 Ok(Stmt::While {
                     cond: Expr::Int(1),
                     body: looped,
+                    line,
                 })
             }
             Tok::Ident(kw) if kw == "while" => {
@@ -414,7 +427,7 @@ impl Parser {
                 let cond = self.expr()?;
                 self.eat_sym(")")?;
                 let body = self.stmt_or_block()?;
-                Ok(Stmt::While { cond, body })
+                Ok(Stmt::While { cond, body, line })
             }
             Tok::Ident(kw) if kw == "for" => {
                 self.bump();
@@ -425,6 +438,7 @@ impl Parser {
                     cond,
                     step: Box::new(step),
                     body,
+                    line,
                 })
             }
             Tok::Ident(kw) if kw == "break" => {
@@ -493,6 +507,7 @@ impl Parser {
     /// One or more comma-separated simple statements (the paper's Fig. 18
     /// writes `for (l = 0, i = t; ...)`), folded into a single statement.
     fn comma_stmts(&mut self) -> Result<Stmt, CcError> {
+        let line = self.line();
         let mut stmts = vec![self.simple_stmt()?];
         while self.at_sym(",") {
             self.bump();
@@ -506,6 +521,7 @@ impl Parser {
                 cond: Expr::Int(1),
                 then: stmts,
                 els: Vec::new(),
+                line,
             })
         }
     }

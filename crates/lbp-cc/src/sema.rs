@@ -205,13 +205,18 @@ fn check_stmt_depth(
             check_expr(rhs, *line, cx, scope, errs);
         }
         Stmt::Expr(e, line) => check_expr(e, *line, cx, scope, errs),
-        Stmt::If { cond, then, els } => {
-            check_expr(cond, f.line, cx, scope, errs);
+        Stmt::If {
+            cond,
+            then,
+            els,
+            line,
+        } => {
+            check_expr(cond, *line, cx, scope, errs);
             check_block_depth(then, f, cx, scope, counter, in_region, loops, errs);
             check_block_depth(els, f, cx, scope, counter, in_region, loops, errs);
         }
-        Stmt::While { cond, body } => {
-            check_expr(cond, f.line, cx, scope, errs);
+        Stmt::While { cond, body, line } => {
+            check_expr(cond, *line, cx, scope, errs);
             check_block_depth(body, f, cx, scope, counter, in_region, loops + 1, errs);
         }
         Stmt::For {
@@ -219,12 +224,13 @@ fn check_stmt_depth(
             cond,
             step,
             body,
+            line,
         } => {
             if let Some(i) = init.as_ref() {
                 check_stmt_depth(i, f, cx, scope, counter, in_region, loops, errs);
             }
             if let Some(c) = cond {
-                check_expr(c, f.line, cx, scope, errs);
+                check_expr(c, *line, cx, scope, errs);
             }
             check_block_depth(body, f, cx, scope, counter, in_region, loops + 1, errs);
             if let Some(st) = step.as_ref() {
@@ -548,6 +554,26 @@ void main(void) { }",
         let first = check_src(src).unwrap_err();
         let all = check_all_src(src).unwrap_err();
         assert_eq!(first.to_string(), all[0].to_string());
+    }
+
+    #[test]
+    fn control_flow_conditions_report_their_own_line() {
+        // `if`/`while`/`for` conditions used to fall back to the
+        // function's line; they must carry the statement's line so
+        // lbp-sema trap messages can reuse the span.
+        let errs = check_all_src(
+            "void main(void) {
+    int i;
+    if (missing) { }
+    while (also_missing) { }
+    for (i = 0; i < bound; i++) { }
+}",
+        )
+        .unwrap_err();
+        assert_eq!(errs.len(), 3, "{errs:?}");
+        assert_eq!(errs[0].line, 3, "{errs:?}");
+        assert_eq!(errs[1].line, 4, "{errs:?}");
+        assert_eq!(errs[2].line, 5, "{errs:?}");
     }
 
     #[test]

@@ -131,6 +131,7 @@ mod tests {
             kind: Kind::Seq,
             cores: 1,
             max_cycles: 1000,
+            codegen_sabotage: None,
             segments: vec![Segment::Fixed("main:\n    p_ret\n".to_owned())],
         };
         let failure = Failure {

@@ -73,6 +73,13 @@ pub enum Sabotage {
     /// Replace the exit idiom with a self-join that can never be
     /// satisfied: the run oracle must report a `deadlock`.
     Hang,
+    /// Compile the (C-kind) program with a deliberate miscompilation
+    /// injected into `lbp-cc`'s code generator. Every kind is designed
+    /// to produce an internally consistent binary — deterministic,
+    /// race-free, snapshot/lockstep/hybrid clean — that computes the
+    /// *wrong answer*, so only the `semantics` oracle (the lbp-sema
+    /// executable semantics) can catch it.
+    Codegen(lbp_cc::CodegenSabotage),
 }
 
 impl Sabotage {
@@ -81,11 +88,17 @@ impl Sabotage {
         match self {
             Sabotage::WildStore => "wild-store",
             Sabotage::Hang => "hang",
+            Sabotage::Codegen(lbp_cc::CodegenSabotage::ChunkBounds) => "codegen:chunk-bounds",
+            Sabotage::Codegen(lbp_cc::CodegenSabotage::IndexShift) => "codegen:index-shift",
+            Sabotage::Codegen(lbp_cc::CodegenSabotage::ConstFold) => "codegen:const-fold",
         }
     }
 
     /// Parses a sabotage name.
     pub fn parse(s: &str) -> Option<Sabotage> {
+        if let Some(kind) = s.strip_prefix("codegen:") {
+            return lbp_cc::CodegenSabotage::parse(kind).map(Sabotage::Codegen);
+        }
         [Sabotage::WildStore, Sabotage::Hang]
             .into_iter()
             .find(|v| v.name() == s)
@@ -135,6 +148,12 @@ pub struct GenProgram {
     /// Cycle budget for one run (families differ by orders of
     /// magnitude).
     pub max_cycles: u64,
+    /// Miscompilation to inject when compiling (C kind only): the
+    /// binary-side half of [`Sabotage::Codegen`]. The rendered *source*
+    /// stays clean — the interpreter reads the source, the simulator
+    /// runs the sabotaged binary, and the `semantics` oracle sees them
+    /// disagree.
+    pub codegen_sabotage: Option<lbp_cc::CodegenSabotage>,
     /// Source pieces in order.
     pub segments: Vec<Segment>,
 }
@@ -518,6 +537,7 @@ fn gen_asm(rng: &mut Rng, cfg: &GenConfig, kind: Kind) -> GenProgram {
         kind,
         cores,
         max_cycles: 400_000,
+        codegen_sabotage: None,
         segments,
     }
 }
@@ -675,6 +695,7 @@ fn gen_fork(rng: &mut Rng, cfg: &GenConfig) -> GenProgram {
         kind: Kind::Fork,
         cores,
         max_cycles: 4_000_000,
+        codegen_sabotage: None,
         segments,
     }
 }
@@ -684,11 +705,18 @@ fn gen_fork(rng: &mut Rng, cfg: &GenConfig) -> GenProgram {
 // ---------------------------------------------------------------------------
 
 fn gen_c(rng: &mut Rng, cfg: &GenConfig) -> GenProgram {
+    let codegen_sabotage = match cfg.sabotage {
+        Some(Sabotage::Codegen(kind)) => Some(kind),
+        _ => None,
+    };
     // Team sizes the runtime supports on small machines; 1 keeps the
     // region fork-free, which makes the program lockstep-checkable.
+    // Under codegen sabotage, single-member teams are excluded: the
+    // chunk-bounds miscompilation only manifests when count > 1.
     let teams: Vec<usize> = [1usize, 2, 4, 8, 16]
         .into_iter()
         .filter(|t| t.div_ceil(HARTS_PER_CORE) <= cfg.max_cores)
+        .filter(|&t| codegen_sabotage.is_none() || t > 1)
         .collect();
     let team = teams[rng.index(teams.len())];
     let width = 2 + rng.index(3); // elements per member slice
@@ -746,12 +774,22 @@ fn gen_c(rng: &mut Rng, cfg: &GenConfig) -> GenProgram {
             "    s = 0;\n    for (i = 0; i < {n}; i++) s += out[i];\n    acc[0] = s;\n"
         )));
     }
+    if codegen_sabotage.is_some() {
+        // Guaranteed trigger for every codegen sabotage kind: `W - 1`
+        // is an Imm-Imm fold site (const-fold flips it), and the region
+        // above always runs, so chunk-bounds / index-shift corrupt
+        // `out` regardless of which removable units survive shrinking.
+        segments.push(Segment::Fixed(
+            "    acc[1] = acc[1] + (W - 1);\n".to_owned(),
+        ));
+    }
     segments.push(Segment::Fixed("}\n".to_owned()));
 
     GenProgram {
         kind: Kind::C,
         cores,
         max_cycles: 2_000_000,
+        codegen_sabotage,
         segments,
     }
 }

@@ -100,16 +100,22 @@ pub fn case_seed(seed: u64, case: u64) -> u64 {
     seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
 }
 
-/// Effective generator configuration: sabotage is an assembly-level
-/// transform, so planting a bug restricts the kinds to the assembly
-/// families (defaulting to `seq` if none remain).
+/// Effective generator configuration: each sabotage family only makes
+/// sense for the kinds it can be planted in — the assembly-level bugs
+/// (`wild-store`, `hang`) restrict to the assembly families (defaulting
+/// to `seq` if none remain), while the `codegen:*` miscompilations only
+/// exist on the `lbp-cc` path and restrict to `c`.
 fn effective_config(config: &GenConfig) -> GenConfig {
     let mut cfg = config.clone();
-    if cfg.sabotage.is_some() {
-        cfg.kinds.retain(|k| matches!(k, Kind::Seq | Kind::Mem));
-        if cfg.kinds.is_empty() {
-            cfg.kinds = vec![Kind::Seq];
+    match cfg.sabotage {
+        Some(gen::Sabotage::Codegen(_)) => cfg.kinds = vec![Kind::C],
+        Some(_) => {
+            cfg.kinds.retain(|k| matches!(k, Kind::Seq | Kind::Mem));
+            if cfg.kinds.is_empty() {
+                cfg.kinds = vec![Kind::Seq];
+            }
         }
+        None => {}
     }
     cfg
 }
@@ -325,6 +331,44 @@ mod tests {
             assert!(d.join("meta.json").exists());
             assert!(d.join("dump.json").exists());
         }
+        harness::scratch_cleanup(&root);
+    }
+
+    /// Red fixture for the semantics oracle end to end: a sweep with a
+    /// planted miscompilation restricts itself to C programs, every
+    /// case fails as `semantics/divergence` (proving the other nine
+    /// oracles saw nothing), the shrinker reproduces the divergence on
+    /// a reduced program, and the corpus holds the C reproducer.
+    #[test]
+    fn codegen_sabotaged_sweep_shrinks_to_a_c_reproducer() {
+        let root = harness::scratch_dir("fuzz-codegen-red-sweep");
+        let corpus = root.join("corpus");
+        let opts = FuzzOptions {
+            seed: 42,
+            count: 1,
+            config: GenConfig {
+                sabotage: Some(Sabotage::Codegen(lbp_cc::CodegenSabotage::IndexShift)),
+                ..GenConfig::default()
+            },
+            corpus: Some(corpus.clone()),
+            shrink_attempts: 120,
+            ..FuzzOptions::default()
+        };
+        let mut out = Vec::new();
+        let summary = run_fuzz(&opts, &mut out).unwrap();
+        assert_eq!(summary.passed, 0, "every sabotaged case must fail");
+        assert!(summary
+            .failures
+            .iter()
+            .all(|(_, c)| c == "semantics/divergence"));
+        let dirs: Vec<_> = std::fs::read_dir(&corpus).unwrap().collect();
+        assert_eq!(dirs.len(), 1);
+        let d = dirs.into_iter().next().unwrap().unwrap().path();
+        assert!(d.join("program.c").exists());
+        assert!(d.join("shrunk.c").exists(), "shrinker must reproduce");
+        assert!(d.join("meta.json").exists());
+        let meta = std::fs::read_to_string(d.join("meta.json")).unwrap();
+        assert!(meta.contains("codegen:index-shift"));
         harness::scratch_cleanup(&root);
     }
 }

@@ -3,8 +3,8 @@
 //! ```text
 //! lbp-fuzz --seed N [--count N] [--skip N] [--corpus DIR]
 //!          [--kinds seq,mem,fork,c] [--max-team N] [--max-cores N]
-//!          [--sabotage wild-store|hang] [--shrink-attempts N]
-//!          [--out FILE]
+//!          [--sabotage wild-store|hang|codegen:<kind>]
+//!          [--shrink-attempts N] [--out FILE]
 //! ```
 //!
 //! Verdicts stream to `--out` (default stdout) as `lbp-fuzz-v1` JSONL;
@@ -27,8 +27,9 @@ fn usage() -> ! {
          Generates seeded PISC/Deterministic-OpenMP programs and checks each\n\
          against the oracle battery (build, verify, run, determinism,\n\
          race-witness, snapshot round-trip, cross-process resume, ISS\n\
-         lockstep), shrinking and persisting any failure. Identical\n\
-         arguments produce byte-identical output.\n\
+         lockstep, hybrid fast-forward, executable semantics), shrinking\n\
+         and persisting any failure. Identical arguments produce\n\
+         byte-identical output.\n\
          \n\
          --seed N             master seed (required)\n\
          --count N            cases to run (default 20)\n\
@@ -37,7 +38,10 @@ fn usage() -> ! {
          --kinds LIST         comma list of seq,mem,fork,c (default: all)\n\
          --max-team N         fork-tree team-size cap (default 32)\n\
          --max-cores N        machine-size cap in cores (default 8)\n\
-         --sabotage KIND      plant a known bug: wild-store | hang\n\
+         --sabotage KIND      plant a known bug: wild-store | hang |\n\
+         \x20                    codegen:chunk-bounds | codegen:index-shift |\n\
+         \x20                    codegen:const-fold (miscompilations only the\n\
+         \x20                    semantics oracle can catch)\n\
          --shrink-attempts N  shrink budget per failure, 0 = off (default 200)\n\
          --out FILE           write the JSONL stream to FILE instead of stdout"
     );

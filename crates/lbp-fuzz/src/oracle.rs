@@ -45,6 +45,15 @@
 //!    boundary, finish cycle-exactly, and demand the final
 //!    architectural hash equal the pure cycle-exact run's. Clamping a
 //!    mid-rendezvous target must never panic.
+//! 10. **semantics** — C sources only: interpret the *source* under
+//!     lbp-sema's executable semantics and demand the simulated binary
+//!     land on the interpreter's outcome, global word for global word.
+//!     Oracles 3–9 only ever compare the machine against itself (or the
+//!     ISS running the same binary), so a miscompilation that is
+//!     deterministic, race-free and snapshot-stable sails through all of
+//!     them — this is the only oracle holding the binary to what the
+//!     program *means*. `--sabotage codegen:<kind>` plants exactly such
+//!     bugs to prove it.
 //!
 //! Every step runs under `catch_unwind`: a panic anywhere in the stack
 //! is itself a verdict (`class = "panic"`) — the simulator must never
@@ -62,7 +71,7 @@ use crate::gen::{GenProgram, Kind};
 
 /// Names of the oracles, in battery order (stable strings: they appear
 /// in the JSONL verdicts and corpus metadata).
-pub const ORACLES: [&str; 9] = [
+pub const ORACLES: [&str; 10] = [
     "build",
     "verify",
     "run",
@@ -72,6 +81,7 @@ pub const ORACLES: [&str; 9] = [
     "resume",
     "lockstep",
     "hybrid",
+    "semantics",
 ];
 
 /// Battery knobs that vary by caller rather than by case.
@@ -173,7 +183,12 @@ pub fn build_and_verify(program: &GenProgram) -> Result<Image, Failure> {
             ));
         }
         guarded("build", || {
-            lbp_cc::compile(&src)
+            // `codegen_sabotage` rides only the compiled side: the
+            // rendered source the semantics oracle interprets is clean.
+            let cc = lbp_cc::CcOptions {
+                sabotage: program.codegen_sabotage,
+            };
+            lbp_cc::compile_with(&src, &cc)
                 .map(|c| c.image)
                 .map_err(|e| Failure::new("build", "frontend", e.to_string()))
         })?
@@ -358,6 +373,33 @@ pub fn check_with(program: &GenProgram, opts: &CheckOpts) -> Result<PassReport, 
         }
         Ok(())
     })?;
+
+    // Oracle 10: executable semantics. Interpret the C source under
+    // lbp-sema and demand the simulated binary reproduce the
+    // interpreter's observable outcome — the one oracle that compares
+    // the machine against the program's *meaning* rather than against
+    // another run of the same binary.
+    if program.is_c() {
+        guarded("semantics", || {
+            let src = program.render();
+            match lbp_sema::diff::diff_compiled(
+                &src,
+                &image,
+                program.cores,
+                program.max_cycles,
+                &lbp_sema::InterpOptions::default(),
+            ) {
+                Ok(_) => Ok(()),
+                Err(lbp_sema::diff::DiffError::Divergence(d)) => {
+                    Err(Failure::new("semantics", "divergence", d))
+                }
+                Err(lbp_sema::diff::DiffError::Trap(t)) => {
+                    Err(Failure::new("semantics", t.class, t.to_string()))
+                }
+                Err(e) => Err(Failure::new("semantics", "oracle", e.to_string())),
+            }
+        })?;
+    }
 
     Ok(PassReport {
         cycles: report.stats.cycles,
@@ -603,6 +645,7 @@ mod tests {
             kind: Kind::Fork,
             cores: 1,
             max_cycles: 100_000,
+            codegen_sabotage: None,
             segments: vec![crate::gen::Segment::Fixed(src.to_owned())],
         };
         let f = check(&p).unwrap_err();
@@ -619,6 +662,7 @@ mod tests {
             kind: Kind::Seq,
             cores: 1,
             max_cycles: 10_000,
+            codegen_sabotage: None,
             segments: vec![crate::gen::Segment::Fixed(
                 "main:\n    li t6, 0x8f000000\n    sw t6, 0(t6)\n    li t0, -1\n    li ra, 0\n    p_ret\n"
                     .to_owned(),
@@ -628,5 +672,58 @@ mod tests {
         assert_eq!(f.oracle, "run");
         assert_eq!(f.class, "mem");
         assert!(f.dump.is_some(), "run failures carry a dump");
+    }
+
+    /// The headline red check for the semantics oracle: every
+    /// `codegen:*` miscompilation survives oracles 1–9 untouched — the
+    /// sabotaged binary builds, verifies, runs deterministically,
+    /// produces no race witness, snapshots, resumes and fast-forwards
+    /// cleanly — and is caught *only* by the semantics oracle. (The
+    /// battery is ordered, so `f.oracle == "semantics"` proves all
+    /// nine preceding oracles passed.) The same program compiled
+    /// honestly passes the whole battery including semantics.
+    #[test]
+    fn codegen_sabotage_is_caught_only_by_the_semantics_oracle() {
+        for kind in lbp_cc::CodegenSabotage::ALL {
+            let cfg = GenConfig {
+                kinds: vec![Kind::C],
+                sabotage: Some(crate::gen::Sabotage::Codegen(kind)),
+                ..GenConfig::default()
+            };
+            let mut rng = Rng::new(5);
+            let p = generate(&mut rng, &cfg, 0);
+            let f = match check(&p) {
+                Err(f) => f,
+                Ok(_) => panic!(
+                    "{}: sabotaged program passed the battery\n---\n{}",
+                    kind.name(),
+                    p.render()
+                ),
+            };
+            assert_eq!(
+                f.oracle,
+                "semantics",
+                "{}: tripped {} ({}) instead of semantics: {}",
+                kind.name(),
+                f.oracle,
+                f.class,
+                f.detail
+            );
+            assert_eq!(f.class, "divergence", "{}: {}", kind.name(), f.detail);
+
+            let clean = GenProgram {
+                codegen_sabotage: None,
+                ..p.clone()
+            };
+            check(&clean).unwrap_or_else(|f| {
+                panic!(
+                    "{}: honest compile failed {} ({}): {}",
+                    kind.name(),
+                    f.oracle,
+                    f.class,
+                    f.detail
+                )
+            });
+        }
     }
 }

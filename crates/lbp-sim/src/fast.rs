@@ -16,7 +16,8 @@
 //!
 //! The engine exists for hybrid fast-forward simulation: `lbp-run --warm N`
 //! executes the warm-up region here at tens of Minstr/s, then
-//! [`FastEngine::materialize`] builds a cycle-exact [`Machine`] from the
+//! [`FastEngine::materialize`] builds a cycle-exact
+//! [`Machine`](crate::machine::Machine) from the
 //! architectural state (all pipelines drained, no message in flight) and
 //! the measured window runs at full fidelity. See `DESIGN.md` for the
 //! functional-mode semantics contract and its precision boundaries.
@@ -31,9 +32,7 @@ use std::collections::VecDeque;
 
 use lbp_asm::Image;
 use lbp_isa::dispatch::{predecode, UKind, UOp};
-use lbp_isa::{
-    HartId, IdentityWord, Region, HARTS_PER_CORE, INSTR_BYTES, LOCAL_BASE, SHARED_BASE,
-};
+use lbp_isa::{HartId, IdentityWord, Region, HARTS_PER_CORE, INSTR_BYTES, LOCAL_BASE, SHARED_BASE};
 
 use crate::bank::MemFault;
 use crate::config::{LbpConfig, CV_FRAME_BYTES};
@@ -727,7 +726,11 @@ impl FastEngine {
             }
             UKind::Mulh => {
                 self.muldiv_ops += 1;
-                self.set(hi, u.rd, ((((a as i32) as i64) * ((b as i32) as i64)) >> 32) as u32);
+                self.set(
+                    hi,
+                    u.rd,
+                    ((((a as i32) as i64) * ((b as i32) as i64)) >> 32) as u32,
+                );
             }
             UKind::Mulhsu => {
                 self.muldiv_ops += 1;
@@ -831,15 +834,18 @@ impl FastEngine {
                 }
                 let slot = imm as u32;
                 let tg = target.global() as usize;
-                let q = self.harts[tg]
-                    .recv
-                    .get_mut(slot as usize)
-                    .ok_or_else(|| SimError::Protocol {
+                let q = self.harts[tg].recv.get_mut(slot as usize).ok_or_else(|| {
+                    SimError::Protocol {
                         hart: target,
                         what: format!("p_swre to out-of-range result slot {slot}"),
-                    })?;
+                    }
+                })?;
                 q.push_back(b);
-                if self.harts[tg].wait == (FWait::Result { slot: slot as usize }) {
+                if self.harts[tg].wait
+                    == (FWait::Result {
+                        slot: slot as usize,
+                    })
+                {
                     self.harts[tg].wait = FWait::Ready;
                     self.sched_dirty = true;
                 }
@@ -1005,12 +1011,13 @@ impl FastEngine {
                 break;
             }
             if self.sched_dirty {
-                runnable = (0..self.harts.len()).filter(|&h| self.runnable(h)).collect();
+                runnable = (0..self.harts.len())
+                    .filter(|&h| self.runnable(h))
+                    .collect();
                 self.sched_dirty = false;
             }
             let mut progress = false;
-            for i in 0..runnable.len() {
-                let hi = runnable[i];
+            for &hi in &runnable {
                 if !self.runnable(hi) {
                     continue; // parked or freed since the set was built
                 }

@@ -1002,7 +1002,9 @@ pub(crate) fn materialize_from_fast(
     m.stats.muldiv_ops = muldiv_ops;
     m.stats.local_accesses = local_accesses;
     m.stats.remote_accesses = remote_accesses;
-    m.stats.retired_per_hart.copy_from_slice(fast.retired_per_hart());
+    m.stats
+        .retired_per_hart
+        .copy_from_slice(fast.retired_per_hart());
     for c in 0..m.cfg.cores {
         let retired = m.stats.retired_by_core(c);
         m.stats.stalls_per_core[c] = CoreStalls {

@@ -553,10 +553,15 @@ mod tests {
         let msg = ensure_bisect_compatible(&exact, &fast)
             .unwrap_err()
             .to_string();
-        assert!(msg.contains("cycle-exact") && msg.contains("functional"), "{msg}");
+        assert!(
+            msg.contains("cycle-exact") && msg.contains("functional"),
+            "{msg}"
+        );
         let mut v1 = exact;
         v1.version = 1;
-        let msg = ensure_bisect_compatible(&v1, &exact).unwrap_err().to_string();
+        let msg = ensure_bisect_compatible(&v1, &exact)
+            .unwrap_err()
+            .to_string();
         assert!(msg.contains("v1") && msg.contains("v2"), "{msg}");
     }
 

@@ -5,6 +5,8 @@
 //! lbp-cc program.c -o program.s     # compile to a file
 //! lbp-cc program.c --lint           # static determinism lint, no codegen
 //! lbp-cc program.c --lint --diag-json report.json
+//! lbp-cc program.c --interp         # run the executable semantics
+//! lbp-cc program.c --diff           # interpret AND simulate, compare
 //! ```
 //!
 //! `--lint` runs the source-level determinism analysis: every variable
@@ -17,6 +19,17 @@
 //! `--diag-json FILE` additionally writes the machine-readable
 //! `lbp-diag-v1` report. A lint rejection exits with code 10, the same
 //! verification exit class as `lbp-run --verify`.
+//!
+//! `--interp` runs the program under lbp-sema's executable semantics —
+//! no code generation involved beyond laying globals out where the
+//! image would — and prints the canonical observable outcome with its
+//! content hash. `--diff` additionally compiles and simulates the
+//! program and demands the simulator reproduce every global word of the
+//! interpreted outcome; a divergence exits with code 12 (and is, by
+//! construction, a compiler or simulator bug). `--sabotage
+//! codegen:<kind>` injects a deliberate miscompilation into the
+//! compiled side (`chunk-bounds`, `index-shift` or `const-fold`) so the
+//! differential harness can be watched catching it.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -26,6 +39,10 @@ struct Options {
     output: Option<String>,
     lint: bool,
     diag_json: Option<String>,
+    interp: bool,
+    diff: bool,
+    sabotage: Option<lbp::cc::CodegenSabotage>,
+    max_cycles: u64,
 }
 
 fn usage() -> ! {
@@ -36,8 +53,15 @@ fn usage() -> ! {
            -o FILE            write the generated assembly to FILE ('-' = stdout)\n\
            --lint             run the static determinism lint instead of compiling\n\
            --diag-json FILE   with --lint, write the lbp-diag-v1 report ('-' = stdout)\n\
+           --interp           run the executable semantics, print the outcome + hash\n\
+           --diff             interpret AND compile-and-simulate, compare observables\n\
+           --sabotage codegen:KIND\n\
+                              inject a deliberate miscompilation into generated code\n\
+                              (chunk-bounds | index-shift | const-fold)\n\
+           --max-cycles N     simulation budget for --diff (default 100000000)\n\
          \n\
-         exit codes: 0 ok, 1 front-end/I/O, 2 usage, 10 lint rejection"
+         exit codes: 0 ok, 1 front-end/I/O, 2 usage, 10 lint rejection,\n\
+                     12 observable divergence (--diff)"
     );
     std::process::exit(2)
 }
@@ -49,12 +73,35 @@ fn parse_args() -> Options {
         output: None,
         lint: false,
         diag_json: None,
+        interp: false,
+        diff: false,
+        sabotage: None,
+        max_cycles: 100_000_000,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-o" => opts.output = Some(args.next().unwrap_or_else(|| usage())),
             "--lint" => opts.lint = true,
             "--diag-json" => opts.diag_json = Some(args.next().unwrap_or_else(|| usage())),
+            "--interp" => opts.interp = true,
+            "--diff" => opts.diff = true,
+            "--sabotage" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let kind = spec
+                    .strip_prefix("codegen:")
+                    .and_then(lbp::cc::CodegenSabotage::parse);
+                match kind {
+                    Some(k) => opts.sabotage = Some(k),
+                    None => {
+                        eprintln!("lbp-cc: unknown sabotage `{spec}`");
+                        usage()
+                    }
+                }
+            }
+            "--max-cycles" => {
+                let n = args.next().unwrap_or_else(|| usage());
+                opts.max_cycles = n.parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             other if opts.input.is_empty() && !other.starts_with('-') => {
                 opts.input = other.to_owned();
@@ -136,6 +183,51 @@ fn run_lint(opts: &Options, source: &str) -> ExitCode {
     }
 }
 
+fn run_interp(source: &str) -> ExitCode {
+    match lbp::sema::diff::interp_source(source, &Default::default()) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            println!("hash {:016x}", outcome.content_hash());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lbp-cc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_diff(opts: &Options, source: &str) -> ExitCode {
+    let cc_opts = lbp::cc::CcOptions {
+        sabotage: opts.sabotage,
+    };
+    match lbp::sema::diff::diff_source_with(
+        source,
+        &cc_opts,
+        None,
+        opts.max_cycles,
+        &Default::default(),
+    ) {
+        Ok(report) => {
+            print!("{}", report.outcome.render());
+            println!("hash {:016x}", report.hash());
+            println!(
+                "diff:     observables agree (simulated in {} cycles)",
+                report.cycles
+            );
+            ExitCode::SUCCESS
+        }
+        Err(lbp::sema::diff::DiffError::Divergence(d)) => {
+            eprintln!("lbp-cc: observable divergence: {d}");
+            ExitCode::from(12)
+        }
+        Err(e) => {
+            eprintln!("lbp-cc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if !opts.input.ends_with(".c") {
@@ -152,7 +244,18 @@ fn main() -> ExitCode {
     if opts.lint {
         return run_lint(&opts, &source);
     }
-    let compiled = match lbp::cc::compile(&source) {
+    if opts.diff {
+        return run_diff(&opts, &source);
+    }
+    if opts.interp {
+        return run_interp(&source);
+    }
+    let compiled = match lbp::cc::compile_with(
+        &source,
+        &lbp::cc::CcOptions {
+            sabotage: opts.sabotage,
+        },
+    ) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("lbp-cc: {e}");

@@ -646,9 +646,7 @@ fn run_bisect_snaps(a: &str, b: &str, max_cycles: u64) -> ExitCode {
             ExitCode::SUCCESS
         }
         Ok(None) => {
-            println!(
-                "no divergence: the two runs stayed state-identical for {max_cycles} cycles"
-            );
+            println!("no divergence: the two runs stayed state-identical for {max_cycles} cycles");
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -9,6 +9,7 @@ pub use lbp_isa as isa;
 pub use lbp_kernels as kernels;
 pub use lbp_omp as omp;
 pub use lbp_prof as prof;
+pub use lbp_sema as sema;
 pub use lbp_sim as sim;
 pub use lbp_snap as snap;
 pub use lbp_verify as verify;

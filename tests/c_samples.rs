@@ -1,45 +1,50 @@
 //! Compiles and runs every shipped C sample in `examples/c/`, checking
 //! their documented results — so the samples a user tries first can never
 //! rot.
+//!
+//! Every sample now runs *differentially*: the documented result is
+//! asserted against the interpreted outcome (lbp-sema's executable
+//! semantics), and the differential harness independently demands the
+//! compiled-and-simulated binary reproduce that outcome word for word.
+//! A sample passing here therefore certifies compiler, simulator and
+//! interpreter all agree on what the program means.
 
-use lbp::cc;
-use lbp::sim::{LbpConfig, Machine};
+use lbp::sema::diff::{diff_source, DiffReport};
 
-fn run_sample(name: &str, cores: usize) -> (Machine, lbp::asm::Image) {
+fn diff_sample(name: &str) -> DiffReport {
     let path = format!("{}/examples/c/{name}", env!("CARGO_MANIFEST_DIR"));
     let source = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
-    let compiled = cc::compile(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
-    let mut m = Machine::new(LbpConfig::cores(cores), &compiled.image).expect("machine");
-    let report = m.run(100_000_000).unwrap_or_else(|e| panic!("{name}: {e}"));
-    assert!(report.exited, "{name} must exit");
-    (m, compiled.image)
+    diff_source(&source, None, 100_000_000).unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
-fn words(m: &mut Machine, image: &lbp::asm::Image, sym: &str, n: u32) -> Vec<i32> {
-    let base = image.symbol(sym).unwrap_or_else(|| panic!("symbol {sym}"));
-    (0..n)
-        .map(|i| m.peek_shared(base + 4 * i).unwrap() as i32)
-        .collect()
+fn global(report: &DiffReport, name: &str) -> Vec<i32> {
+    report
+        .outcome
+        .global(name)
+        .unwrap_or_else(|| panic!("global {name}"))
+        .to_vec()
 }
 
 #[test]
 fn hello_team_sample() {
-    let (mut m, img) = run_sample("hello_team.c", 2);
-    let v = words(&mut m, &img, "v", 8);
+    let report = diff_sample("hello_team.c");
+    let v = global(&report, "v");
     assert_eq!(v, (1..=8).map(|x| x * x).collect::<Vec<i32>>());
 }
 
 #[test]
 fn matmul_sample() {
-    let (mut m, img) = run_sample("matmul.c", 4);
-    let z = words(&mut m, &img, "Z", 256);
+    let report = diff_sample("matmul.c");
+    let z = global(&report, "Z");
+    assert_eq!(z.len(), 256);
     assert!(z.iter().all(|&v| v == 8), "Z must be all 8");
 }
 
 #[test]
 fn set_get_sample() {
-    let (mut m, img) = run_sample("set_get.c", 4);
-    let w = words(&mut m, &img, "w", 64);
+    let report = diff_sample("set_get.c");
+    let w = global(&report, "w");
+    assert_eq!(w.len(), 64);
     for (i, &v) in w.iter().enumerate() {
         assert_eq!(v, 3 * i as i32, "w[{i}]");
     }
@@ -47,8 +52,8 @@ fn set_get_sample() {
 
 #[test]
 fn reduce_sample() {
-    let (mut m, img) = run_sample("reduce.c", 2);
-    let total = words(&mut m, &img, "total", 1)[0];
+    let report = diff_sample("reduce.c");
+    let total = global(&report, "total")[0];
     let expect: i32 = (0..256).map(|i| i % 10).sum();
     assert_eq!(total, expect);
 }

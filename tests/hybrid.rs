@@ -143,7 +143,10 @@ void main(void) {
     let (retired, pure_hash) = pure_run(&compiled.image, 2);
     let mut fast = FastEngine::new(LbpConfig::cores(2), &compiled.image).unwrap();
     let summary = fast.run(FastStop::Pc(start), MAX_STEPS).unwrap();
-    assert!(summary.retired > 0, "the warm phase covered the fork region");
+    assert!(
+        summary.retired > 0,
+        "the warm phase covered the fork region"
+    );
     assert!(summary.retired < retired, "the ROI tail stayed cycle-exact");
     let mut m = fast.materialize(&compiled.image).unwrap();
     let report = m.run(MAX_CYCLES).unwrap();
